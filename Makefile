@@ -1,0 +1,42 @@
+# Standard workflows for the desmask reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short bench experiments csv verify fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure and table of the paper (text report + plots).
+experiments:
+	$(GO) run ./cmd/experiments -traces 256 -plot
+
+# CSV series for external plotting.
+csv:
+	$(GO) run ./cmd/experiments -traces 256 -csv out
+
+# The repository's verification artifacts.
+verify:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -rf out
+	$(GO) clean -testcache

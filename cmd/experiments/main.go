@@ -1,0 +1,160 @@
+// Command experiments regenerates every figure and table of the paper
+// "Masking the Energy Behavior of DES Encryption" (DATE 2003) on the
+// simulated smart-card system and prints the measured series/rows next to
+// the paper's published values.
+//
+// Usage:
+//
+//	experiments [-traces N] [-csv dir]
+//
+// -traces controls the DPA trace count (default 256, full key recovery).
+// -csv, when set, additionally writes the Figure 6-12 series as CSV files
+// into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"desmask/internal/experiments"
+	"desmask/internal/trace"
+)
+
+func main() {
+	traces := flag.Int("traces", 256, "number of DPA traces to collect per system")
+	csvDir := flag.String("csv", "", "directory to write figure CSV series into (optional)")
+	plot := flag.Bool("plot", false, "render ASCII charts of Figures 6, 8 and 9")
+	flag.Parse()
+
+	if err := experiments.RunAll(os.Stdout, *traces); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if *plot {
+		if err := renderPlots(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nCSV series written to", *csvDir)
+	}
+}
+
+func renderPlots() error {
+	f6, err := experiments.Figure6(experiments.DefaultKey, experiments.DefaultPlain, 10)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nFigure 6 — energy profile (pJ/cycle, whole encryption; note the 16 rounds):")
+	fmt.Print(trace.Plot(f6.Series, 96, 10))
+
+	f8, err := experiments.Figure8(experiments.DefaultKey, experiments.DefaultKeyBit1, experiments.DefaultPlain)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nFigure 8 — |differential| for two keys, round 1, BEFORE masking (pJ):")
+	abs8 := make([]float64, len(f8.Diff))
+	for i, v := range f8.Diff {
+		if v < 0 {
+			v = -v
+		}
+		abs8[i] = v
+	}
+	fmt.Print(trace.Plot(abs8, 96, 8))
+
+	f9, err := experiments.Figure9(experiments.DefaultKey, experiments.DefaultKeyBit1, experiments.DefaultPlain)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nFigure 9 — the same differential AFTER masking (pJ):")
+	abs9 := make([]float64, len(f9.Diff))
+	for i, v := range f9.Diff {
+		if v < 0 {
+			v = -v
+		}
+		abs9[i] = v
+	}
+	fmt.Print(trace.Plot(abs9, 96, 8))
+	return nil
+}
+
+func writeCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, headers []string, cols ...[]float64) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return trace.WriteCSV(f, headers, cols...)
+	}
+
+	f6, err := experiments.Figure6(experiments.DefaultKey, experiments.DefaultPlain, 10)
+	if err != nil {
+		return err
+	}
+	if err := write("figure6.csv", []string{"cycle", "pj_per_cycle"},
+		trace.Series(len(f6.Series), f6.BucketWidth), f6.Series); err != nil {
+		return err
+	}
+
+	figs := []struct {
+		name string
+		run  func() (*experiments.DifferentialResult, error)
+	}{
+		{"figure7.csv", experiments.Figure7},
+		{"figure8.csv", func() (*experiments.DifferentialResult, error) {
+			return experiments.Figure8(experiments.DefaultKey, experiments.DefaultKeyBit1, experiments.DefaultPlain)
+		}},
+		{"figure9.csv", func() (*experiments.DifferentialResult, error) {
+			return experiments.Figure9(experiments.DefaultKey, experiments.DefaultKeyBit1, experiments.DefaultPlain)
+		}},
+		{"figure10.csv", func() (*experiments.DifferentialResult, error) {
+			return experiments.Figure10(experiments.DefaultKey, experiments.DefaultPlain, experiments.DefaultPlain2)
+		}},
+	}
+	for _, fig := range figs {
+		r, err := fig.run()
+		if err != nil {
+			return err
+		}
+		x := make([]float64, len(r.Diff))
+		for i := range x {
+			x[i] = float64(r.Window.Start + i)
+		}
+		if err := write(fig.name, []string{"cycle", "diff_pj"}, x, r.Diff); err != nil {
+			return err
+		}
+	}
+
+	f11, err := experiments.Figure11(experiments.DefaultKey, experiments.DefaultPlain, experiments.DefaultPlain2)
+	if err != nil {
+		return err
+	}
+	x := make([]float64, len(f11.IP.Diff))
+	for i := range x {
+		x[i] = float64(f11.IP.Window.Start + i)
+	}
+	if err := write("figure11_ip.csv", []string{"cycle", "diff_pj"}, x, f11.IP.Diff); err != nil {
+		return err
+	}
+
+	f12, err := experiments.Figure12(experiments.DefaultKey, experiments.DefaultPlain)
+	if err != nil {
+		return err
+	}
+	x = make([]float64, len(f12.Overhead))
+	for i := range x {
+		x[i] = float64(f12.Window.Start + i)
+	}
+	return write("figure12.csv", []string{"cycle", "overhead_pj"}, x, f12.Overhead)
+}

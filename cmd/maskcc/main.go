@@ -1,0 +1,72 @@
+// Command maskcc is the masking compiler as a CLI: MiniC in, assembly with
+// selectively secured instructions out, plus the forward-slice report.
+//
+// Usage:
+//
+//	maskcc [-policy selective] [-o out.s] [-slice] [-no-secure-indexing] prog.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"desmask/internal/compiler"
+)
+
+func main() {
+	policyStr := flag.String("policy", "selective", "protection policy: none | seeds-only | selective | naive-loadstore | all-secure")
+	out := flag.String("o", "", "write assembly to this file (default stdout)")
+	slice := flag.Bool("slice", false, "print the forward-slice report instead of assembly")
+	noIdx := flag.Bool("no-secure-indexing", false, "disable the secure-indexing treatment (ablation)")
+	optimize := flag.Bool("O", false, "enable masking-preserving optimizations (constant folding, store-to-load forwarding)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: maskcc [flags] prog.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maskcc:", err)
+		os.Exit(1)
+	}
+	var policy compiler.Policy
+	found := false
+	for _, p := range compiler.Policies() {
+		if p.String() == *policyStr {
+			policy, found = p, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "maskcc: unknown policy %q\n", *policyStr)
+		os.Exit(2)
+	}
+	res, err := compiler.CompileWithOptions(string(src), compiler.Options{
+		Policy:                policy,
+		DisableSecureIndexing: *noIdx,
+		Optimize:              *optimize,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maskcc:", err)
+		os.Exit(1)
+	}
+	if *slice {
+		fmt.Print(res.Report.String())
+		return
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "maskcc:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprint(w, res.Asm)
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "%s", res.Report.String())
+	}
+}

@@ -1,0 +1,93 @@
+// Command simrun assembles a .s file for the desmask ISA and executes it on
+// the cycle-accurate simulator, optionally dumping the per-cycle energy
+// trace as CSV.
+//
+// Usage:
+//
+//	simrun [-max N] [-trace out.csv] [-bucket N] [-listing] [-regs] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"desmask/internal/asm"
+	"desmask/internal/cpu"
+	"desmask/internal/energy"
+	"desmask/internal/isa"
+	"desmask/internal/mem"
+	"desmask/internal/trace"
+)
+
+func main() {
+	maxCycles := flag.Uint64("max", 10_000_000, "maximum simulated cycles")
+	traceOut := flag.String("trace", "", "write the per-cycle energy trace to this CSV file")
+	bucket := flag.Int("bucket", 1, "aggregate the trace every N cycles (with -trace)")
+	listing := flag.Bool("listing", false, "print the disassembly listing before running")
+	regs := flag.Bool("regs", false, "dump register values after the run")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: simrun [flags] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simrun:", err)
+		os.Exit(1)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simrun:", err)
+		os.Exit(1)
+	}
+	if *listing {
+		fmt.Print(prog.Listing())
+	}
+	c, err := cpu.New(prog, mem.New(), energy.NewModel(energy.DefaultConfig()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simrun:", err)
+		os.Exit(1)
+	}
+	var rec trace.Recorder
+	if *traceOut != "" {
+		c.SetSink(&rec)
+	}
+	runErr := c.Run(*maxCycles)
+	st := c.Stats()
+	fmt.Printf("halted=%v cycles=%d insts=%d secure-insts=%d stalls=%d flushes=%d\n",
+		c.Halted(), st.Cycles, st.Insts, st.SecureInst, st.Stalls, st.Flushes)
+	fmt.Printf("energy=%.3f uJ avg=%.2f pJ/cycle\n", st.EnergyPJ/1e6, st.AvgPJPerCycle())
+	fmt.Printf("exit status ($v0) = %d\n", int32(c.Reg(isa.V0)))
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "simrun:", runErr)
+	}
+	if *regs {
+		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+			fmt.Printf("%-6s %#08x\n", r, c.Reg(r))
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simrun:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		series := rec.T.Totals
+		width := 1
+		if *bucket > 1 {
+			series = trace.Bucket(rec.T.Totals, *bucket)
+			width = *bucket
+		}
+		if err := trace.WriteCSV(f, []string{"cycle", "pj"},
+			trace.Series(len(series), width), series); err != nil {
+			fmt.Fprintln(os.Stderr, "simrun:", err)
+			os.Exit(1)
+		}
+	}
+	if runErr != nil {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,141 @@
+// custom-program shows the masking compiler on a user kernel that is not
+// DES: a toy MAC that mixes a secret key into a message. Annotating the key
+// `secure` is all the programmer does; forward slicing finds the derived
+// values, the emitted assembly secures exactly the key-dependent
+// operations, and two runs with different secrets produce cycle-identical
+// energy traces.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"desmask/internal/compiler"
+	"desmask/internal/cpu"
+	"desmask/internal/energy"
+	"desmask/internal/mem"
+)
+
+const src = `
+// A toy keyed checksum: secret key, public message, public-by-design tag.
+secure int key[4];
+int msg[16];
+int tag;
+
+int mix(int acc, secure int k, int m) {
+	int t;
+	t = (acc ^ k) + m;
+	t = (t << 3) | ((t >> 29) & 7);
+	return t;
+}
+
+void main() {
+	int i;
+	int acc;
+	acc = 0;
+	for (i = 0; i < 16; i = i + 1) {
+		acc = mix(acc, key[i & 3], msg[i]);
+	}
+	// The tag is emitted to the outside world anyway.
+	tag = public(acc);
+}
+`
+
+func run(res *compiler.Result, keyVals [4]uint32) ([]float64, []uint32, uint32, error) {
+	c, err := cpu.New(res.Program, mem.New(), energy.NewModel(energy.DefaultConfig()))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	keyAddr := res.Program.Symbols[compiler.GlobalLabel("key")]
+	msgAddr := res.Program.Symbols[compiler.GlobalLabel("msg")]
+	for i, v := range keyVals {
+		if err := c.Mem().StoreWord(keyAddr+uint32(4*i), v); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if err := c.Mem().StoreWord(msgAddr+uint32(4*i), uint32(0x1000+i)); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	var totals []float64
+	var pcs []uint32
+	c.SetSink(cpu.SinkFunc(func(ci cpu.CycleInfo) {
+		totals = append(totals, ci.Energy.Total)
+		pc := uint32(0xffffffff)
+		if ci.ExecValid {
+			pc = ci.ExecPC
+		}
+		pcs = append(pcs, pc)
+	}))
+	if err := c.Run(1_000_000); err != nil {
+		return nil, nil, 0, err
+	}
+	tag, err := c.Mem().LoadWord(res.Program.Symbols[compiler.GlobalLabel("tag")])
+	return totals, pcs, tag, err
+}
+
+func main() {
+	res, err := compiler.Compile(src, compiler.PolicySelective)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== forward slice ===")
+	fmt.Print(res.Report.String())
+
+	// Show a few of the secured instructions the compiler emitted.
+	fmt.Println("\n=== secured instructions (excerpt) ===")
+	shown := 0
+	for _, line := range strings.Split(res.Asm, "\n") {
+		if strings.Contains(line, ".s ") && shown < 8 {
+			fmt.Println(line)
+			shown++
+		}
+	}
+
+	// Two different secrets: every cycle until the tag is declassified and
+	// emitted must be energy-identical. The tag-emission tail legitimately
+	// differs — the tag is public output, exactly like the paper's output
+	// inverse permutation.
+	t1, pcs, tag1, err := run(res, [4]uint32{0x00000000, 0x11111111, 0x22222222, 0x33333333})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t2, _, tag2, err := run(res, [4]uint32{0xdeadbeef, 0xcafef00d, 0x8badf00d, 0xfeedface})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntags: %08x vs %08x (different, as they should be)\n", tag1, tag2)
+
+	// The masked region ends when the last mix() call returns; everything
+	// after that is the public-output emission.
+	mixStart := res.Program.Symbols["f_mix"]
+	mixEnd := res.Program.Symbols["f_mix_ret"] + 12 // through the jr
+	lastMix := 0
+	for i, pc := range pcs {
+		if pc >= mixStart && pc < mixEnd {
+			lastMix = i
+		}
+	}
+	var maskedDiff, tailDiff float64
+	for i := range t1 {
+		d := math.Abs(t1[i] - t2[i])
+		if i <= lastMix {
+			if d > maskedDiff {
+				maskedDiff = d
+			}
+		} else if d > tailDiff {
+			tailDiff = d
+		}
+	}
+	fmt.Printf("cycles: %d (masked region: 0..%d)\n", len(t1), lastMix)
+	fmt.Printf("max energy difference, secret-processing region: %.6f pJ\n", maskedDiff)
+	fmt.Printf("max energy difference, public-tag emission:      %.2f pJ (reveals only the tag)\n", tailDiff)
+	if maskedDiff < 1e-9 {
+		fmt.Println("energy behaviour of the secret is fully masked")
+	} else {
+		fmt.Println("WARNING: the secret leaks!")
+	}
+}

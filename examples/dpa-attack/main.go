@@ -1,0 +1,73 @@
+// dpa-attack mounts the differential power analysis of Kocher et al. [7]
+// (as described by Goubin-Patarin [5]) against the simulated smart card:
+// collect first-round energy traces for random known plaintexts, guess the
+// 6 sub-key bits feeding each S-box, and split traces by a predicted S-box
+// output bit. On the unprotected system the correct guess produces a
+// differential spike and the first-round sub-key falls out; on the
+// selectively masked system every guess is exactly flat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"desmask/internal/compiler"
+	"desmask/internal/des"
+	"desmask/internal/desprog"
+	"desmask/internal/dpa"
+	"desmask/internal/trace"
+)
+
+func main() {
+	numTraces := flag.Int("traces", 256, "energy traces to collect per system")
+	key := flag.Uint64("key", 0x133457799BBCDFF1, "the secret key under attack")
+	flag.Parse()
+
+	cfg := dpa.Config{NumTraces: *numTraces, Seed: 42, MaxCycles: 25_000}
+	window := trace.Window{Start: 7_000, End: 25_000} // skip the plaintext-dependent IP
+
+	for _, pol := range []compiler.Policy{compiler.PolicyNone, compiler.PolicySelective} {
+		m, err := desprog.New(pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== attacking %s system (%d traces) ===\n", pol, *numTraces)
+		ts, err := dpa.Collect(m, *key, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts.Window = window
+
+		results := dpa.AttackAll(ts, 0)
+		recovered, detail := dpa.Verify(results, *key)
+		for box, r := range results {
+			status := "WRONG"
+			if detail[box] {
+				status = "RECOVERED"
+			}
+			fmt.Printf("  S-box %d: guess %2d (truth %2d)  peak %6.2f pJ  margin %.2f  %s\n",
+				box+1, r.Best.Guess, des.SubkeySixBits(*key, box), r.Best.Peak, r.Margin(), status)
+		}
+		fmt.Printf("  -> %d/8 six-bit sub-key chunks recovered\n", recovered)
+
+		// Complete the break: 48 K1 bits + one known pt/ct pair pin down
+		// the remaining 8 effective key bits by trial encryption.
+		pt := ts.Plaintexts[0]
+		ct := des.Encrypt(*key, pt)
+		var chunks [8]uint32
+		for box, r := range results {
+			chunks[box] = r.Best.Guess
+		}
+		if full, ok := des.RecoverKey(chunks, pt, ct); ok {
+			fmt.Printf("  -> FULL 56-bit KEY RECOVERED: %016X (true key mod parity: %016X)\n\n",
+				full, des.StripParity(*key))
+		} else {
+			fmt.Printf("  -> full key recovery failed (some chunk was wrong)\n\n")
+		}
+	}
+
+	fmt.Println("The masked system's round region is energy-identical for every")
+	fmt.Println("plaintext, so the difference of means is exactly zero for all 64")
+	fmt.Println("guesses: DPA has nothing to work with.")
+}

@@ -1,0 +1,63 @@
+// Quickstart: encrypt one DES block on the simulated smart-card processor
+// with the paper's selective energy masking, verify it against the
+// reference implementation, and compare the energy bill with the
+// unprotected baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"desmask/internal/compiler"
+	"desmask/internal/core"
+)
+
+func main() {
+	const (
+		key       = 0x133457799BBCDFF1
+		plaintext = 0x0123456789ABCDEF
+	)
+
+	// Build the masked system: the compiler forward-slices from the
+	// `secure`-annotated key and emits dual-rail secure instructions only
+	// where key-derived data flows.
+	masked, err := core.NewSystem(compiler.PolicySelective)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := masked.Encrypt(key, plaintext)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plaintext  %016X\n", uint64(plaintext))
+	fmt.Printf("ciphertext %016X\n", res.Cipher)
+
+	// The simulated, compiler-masked implementation must agree with the
+	// reference oracle.
+	if err := masked.Verify(key, plaintext); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified against reference DES: OK")
+
+	// Compare with the unprotected baseline.
+	baseline, err := core.NewSystem(compiler.PolicyNone)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := baseline.Encrypt(key, plaintext)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-22s %10s %12s %14s\n", "system", "energy", "pJ/cycle", "secure insts")
+	fmt.Printf("%-22s %8.2f uJ %12.1f %8d/%d\n", "unprotected", base.TotalUJ(),
+		base.Stats.AvgPJPerCycle(), base.Stats.SecureInst, base.Stats.Insts)
+	fmt.Printf("%-22s %8.2f uJ %12.1f %8d/%d\n", "selectively masked", res.TotalUJ(),
+		res.Stats.AvgPJPerCycle(), res.Stats.SecureInst, res.Stats.Insts)
+	fmt.Printf("\nmasking cost: +%.1f%% energy for key-trace-flat execution\n",
+		100*(res.TotalUJ()/base.TotalUJ()-1))
+
+	rep := masked.Report()
+	fmt.Printf("compiler secured %d of %d securable instructions (seeds: %v)\n",
+		rep.SecuredOps, rep.TotalOps, rep.Seeds)
+}

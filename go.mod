@@ -1,0 +1,3 @@
+module desmask
+
+go 1.22

@@ -1,0 +1,800 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"desmask/internal/isa"
+)
+
+// Options configures segment placement.
+type Options struct {
+	TextBase uint32 // defaults to DefaultTextBase
+	DataBase uint32 // defaults to DefaultDataBase
+}
+
+// Assemble translates assembly source into a loadable Program using default
+// options.
+func Assemble(src string) (*Program, error) {
+	return AssembleWith(src, Options{})
+}
+
+// AssembleWith translates assembly source with explicit options.
+func AssembleWith(src string, opt Options) (*Program, error) {
+	if opt.TextBase%4 != 0 || opt.DataBase%4 != 0 {
+		return nil, fmt.Errorf("asm: segment bases must be word-aligned")
+	}
+	a := &assembler{
+		opt:     opt,
+		symbols: map[string]uint32{},
+		symLine: map[string]int{},
+	}
+	if a.opt.TextBase == 0 && a.opt.DataBase == 0 {
+		a.opt.TextBase = DefaultTextBase
+		a.opt.DataBase = DefaultDataBase
+	}
+	if err := a.parse(src); err != nil {
+		return nil, err
+	}
+	if err := a.layout(); err != nil {
+		return nil, err
+	}
+	p, err := a.emit()
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// stmt is one parsed source statement (after label extraction).
+type stmt struct {
+	line    int
+	section string // "text" or "data"
+	// For text: mnemonic + operands. For data: directive + operands.
+	mnem string
+	args []string
+	// size in words, fixed during parsing so pass-1 layout is exact.
+	size uint32
+	addr uint32 // assigned during layout
+}
+
+type assembler struct {
+	opt     Options
+	stmts   []stmt
+	symbols map[string]uint32
+	symLine map[string]int
+	// label placements recorded during parse: name -> (section, stmt index)
+	labels []labelDef
+	errs   []string
+}
+
+type labelDef struct {
+	name    string
+	line    int
+	section string
+	// index of the following statement within that section's statement
+	// order; the label binds to the address of that statement (or segment
+	// end if it is past the last statement).
+	ordinal int
+}
+
+func (a *assembler) errorf(line int, format string, args ...interface{}) {
+	a.errs = append(a.errs, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func (a *assembler) failed() error {
+	if len(a.errs) == 0 {
+		return nil
+	}
+	const maxShown = 20
+	shown := a.errs
+	suffix := ""
+	if len(shown) > maxShown {
+		suffix = fmt.Sprintf("\n... and %d more errors", len(shown)-maxShown)
+		shown = shown[:maxShown]
+	}
+	return fmt.Errorf("asm: %s%s", strings.Join(shown, "\n"), suffix)
+}
+
+// stripComment removes # and // comments.
+func stripComment(s string) string {
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+func (a *assembler) parse(src string) error {
+	section := "text"
+	counts := map[string]int{}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := ln + 1
+		s := strings.TrimSpace(stripComment(raw))
+		if s == "" {
+			continue
+		}
+		// Labels (possibly several on one line).
+		for {
+			i := strings.IndexByte(s, ':')
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(s[:i])
+			if !isIdent(name) {
+				break
+			}
+			if _, dup := a.symLine[name]; dup {
+				a.errorf(line, "duplicate label %q (first defined on line %d)", name, a.symLine[name])
+			} else {
+				a.symLine[name] = line
+				a.labels = append(a.labels, labelDef{name, line, section, counts[section]})
+			}
+			s = strings.TrimSpace(s[i+1:])
+		}
+		if s == "" {
+			continue
+		}
+		mnem, rest := splitMnemonic(s)
+		if strings.HasPrefix(mnem, ".") {
+			switch mnem {
+			case ".text":
+				section = "text"
+				continue
+			case ".data":
+				section = "data"
+				continue
+			case ".globl", ".global", ".ent", ".end":
+				continue // accepted and ignored
+			}
+		}
+		st := stmt{line: line, section: section, mnem: mnem, args: splitArgs(rest)}
+		var err error
+		st.size, err = a.sizeOf(&st)
+		if err != nil {
+			a.errorf(line, "%v", err)
+			continue
+		}
+		if section == "text" && strings.HasPrefix(mnem, ".") && mnem != ".align" {
+			a.errorf(line, "data directive %s in .text section", mnem)
+			continue
+		}
+		a.stmts = append(a.stmts, st)
+		counts[section]++
+		// Relocate pending labels bound at this ordinal: nothing to do; the
+		// ordinal recorded above already points here.
+	}
+	return a.failed()
+}
+
+// splitMnemonic separates the first whitespace-delimited token.
+func splitMnemonic(s string) (string, string) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			return strings.ToLower(s[:i]), strings.TrimSpace(s[i:])
+		}
+	}
+	return strings.ToLower(s), ""
+}
+
+// splitArgs splits comma-separated operands.
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseNum parses a decimal, hex (0x), octal (0o), binary (0b) or character
+// ('c') literal, with optional leading minus.
+func parseNum(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body := s[1 : len(s)-1]
+		if len(body) == 1 {
+			return int64(body[0]), nil
+		}
+		return 0, fmt.Errorf("bad character literal %s", s)
+	}
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// mnemonic resolution ------------------------------------------------------
+
+// resolveMnemonic maps a source mnemonic to (base, secure). Resolution order:
+// exact machine op or pseudo-op; trailing ".s"; leading "s" on a securable
+// base (the paper's slw/ssw/sxor/smove spellings).
+func resolveMnemonic(m string) (base string, secure bool, ok bool) {
+	if isBaseMnemonic(m) {
+		return m, false, true
+	}
+	if strings.HasSuffix(m, ".s") {
+		b := strings.TrimSuffix(m, ".s")
+		if isBaseMnemonic(b) {
+			return b, true, true
+		}
+		return "", false, false
+	}
+	if len(m) > 1 && m[0] == 's' && isBaseMnemonic(m[1:]) && securableMnemonic(m[1:]) {
+		return m[1:], true, true
+	}
+	return "", false, false
+}
+
+var pseudoOps = map[string]bool{
+	"nop": true, "move": true, "li": true, "la": true, "b": true,
+	"beqz": true, "bnez": true, "blt": true, "bge": true, "bgt": true, "ble": true,
+	"not": true, "neg": true,
+}
+
+func isBaseMnemonic(m string) bool {
+	if _, ok := isa.OpcodeByName(m); ok {
+		return true
+	}
+	return pseudoOps[m]
+}
+
+// securableMnemonic reports whether the base may carry a secure marker.
+func securableMnemonic(m string) bool {
+	if op, ok := isa.OpcodeByName(m); ok {
+		return op.Securable()
+	}
+	switch m {
+	case "move", "li", "la": // secure assignment building blocks
+		return true
+	}
+	return false
+}
+
+// sizing -------------------------------------------------------------------
+
+// sizeOf fixes the word size of a statement during pass 1 so that layout is
+// exact. Pseudo-instruction sizes never depend on symbol addresses (worst
+// case is assumed where needed).
+func (a *assembler) sizeOf(st *stmt) (uint32, error) {
+	if strings.HasPrefix(st.mnem, ".") {
+		switch st.mnem {
+		case ".word":
+			if len(st.args) == 0 {
+				return 0, fmt.Errorf(".word needs at least one value")
+			}
+			return uint32(len(st.args)), nil
+		case ".space":
+			if len(st.args) != 1 {
+				return 0, fmt.Errorf(".space needs a byte count")
+			}
+			n, err := parseNum(st.args[0])
+			if err != nil || n < 0 {
+				return 0, fmt.Errorf("bad .space size %q", st.args[0])
+			}
+			return uint32((n + 3) / 4), nil
+		case ".align":
+			// Alignment is resolved at layout; record requested alignment in
+			// args and reserve no fixed size. Sizes must be exact, so we
+			// only support word alignment (already guaranteed) and reject
+			// larger ones to keep pass-1 layout deterministic.
+			if len(st.args) == 1 {
+				if n, err := parseNum(st.args[0]); err == nil && n <= 2 {
+					return 0, nil
+				}
+			}
+			return 0, fmt.Errorf(".align only supports alignments up to 4 bytes (words are always aligned)")
+		}
+		return 0, fmt.Errorf("unknown directive %s", st.mnem)
+	}
+	if st.section != "text" {
+		return 0, fmt.Errorf("instruction %q in .data section", st.mnem)
+	}
+	base, _, ok := resolveMnemonic(st.mnem)
+	if !ok {
+		return 0, fmt.Errorf("unknown mnemonic %q", st.mnem)
+	}
+	switch base {
+	case "li":
+		if len(st.args) != 2 {
+			return 0, fmt.Errorf("li needs 2 operands")
+		}
+		v, err := parseNum(st.args[1])
+		if err != nil {
+			return 0, fmt.Errorf("li immediate %q: %v", st.args[1], err)
+		}
+		return uint32(len(liExpansion(int32(v)))), nil
+	case "la":
+		return 2, nil
+	case "blt", "bge", "bgt", "ble":
+		return 2, nil
+	case "lw", "sw":
+		// Direct-symbol form (`lw $2, i` per paper Fig. 4) costs 2 words;
+		// the offset(base) form costs 1.
+		if len(st.args) == 2 && !strings.Contains(st.args[1], "(") {
+			if _, err := parseNum(st.args[1]); err != nil {
+				return 2, nil
+			}
+		}
+		return 1, nil
+	default:
+		return 1, nil
+	}
+}
+
+// liExpansion returns the opcode skeleton used to materialise v, sized 1, 2
+// or 5 words.
+type liStep struct {
+	op    isa.Opcode
+	imm   int32
+	useRt bool // second operand is rt (accumulate) rather than $zero
+}
+
+func liExpansion(v int32) []liStep {
+	if v >= isa.MinImm && v <= isa.MaxImm {
+		return []liStep{{op: isa.OpAddiu, imm: v}}
+	}
+	if v >= 0 && v <= isa.MaxUImm {
+		return []liStep{{op: isa.OpOri, imm: v}}
+	}
+	u := uint32(v)
+	if u < 1<<30 {
+		return []liStep{
+			{op: isa.OpLui, imm: int32(u >> 15)},
+			{op: isa.OpOri, imm: int32(u & 0x7fff), useRt: true},
+		}
+	}
+	// Full 32-bit constant: build from the top in three ori/sll pairs.
+	return []liStep{
+		{op: isa.OpOri, imm: int32(u >> 17)},
+		{op: isa.OpSll, imm: 2, useRt: true},
+		{op: isa.OpOri, imm: int32(u >> 15 & 0x3), useRt: true},
+		{op: isa.OpSll, imm: 15, useRt: true},
+		{op: isa.OpOri, imm: int32(u & 0x7fff), useRt: true},
+	}
+}
+
+// layout -------------------------------------------------------------------
+
+func (a *assembler) layout() error {
+	textAddr := a.opt.TextBase
+	dataAddr := a.opt.DataBase
+	ordinals := map[string]int{}
+	// addrs[section][ordinal] = address of that statement.
+	addrs := map[string][]uint32{}
+	ends := map[string]uint32{"text": textAddr, "data": dataAddr}
+	for i := range a.stmts {
+		st := &a.stmts[i]
+		switch st.section {
+		case "text":
+			st.addr = textAddr
+			textAddr += 4 * st.size
+			ends["text"] = textAddr
+		case "data":
+			st.addr = dataAddr
+			dataAddr += 4 * st.size
+			ends["data"] = dataAddr
+		}
+		addrs[st.section] = append(addrs[st.section], st.addr)
+		ordinals[st.section]++
+	}
+	if a.opt.TextBase < a.opt.DataBase && textAddr > a.opt.DataBase {
+		return fmt.Errorf("asm: text segment (%d words) overflows into data base %#x", (textAddr-a.opt.TextBase)/4, a.opt.DataBase)
+	}
+	for _, l := range a.labels {
+		secAddrs := addrs[l.section]
+		if l.ordinal < len(secAddrs) {
+			a.symbols[l.name] = secAddrs[l.ordinal]
+		} else {
+			a.symbols[l.name] = ends[l.section]
+		}
+	}
+	return nil
+}
+
+// emission -----------------------------------------------------------------
+
+func (a *assembler) emit() (*Program, error) {
+	p := &Program{
+		TextBase: a.opt.TextBase,
+		DataBase: a.opt.DataBase,
+		Symbols:  a.symbols,
+	}
+	for i := range a.stmts {
+		st := &a.stmts[i]
+		if st.section == "data" || strings.HasPrefix(st.mnem, ".") {
+			a.emitData(p, st)
+			continue
+		}
+		a.emitText(p, st)
+	}
+	if err := a.failed(); err != nil {
+		return nil, err
+	}
+	p.Entry = p.TextBase
+	if addr, ok := p.Symbols["main"]; ok {
+		p.Entry = addr
+	}
+	return p, nil
+}
+
+func (a *assembler) emitData(p *Program, st *stmt) {
+	switch st.mnem {
+	case ".word":
+		for _, arg := range st.args {
+			if v, err := parseNum(arg); err == nil {
+				p.Data = append(p.Data, uint32(v))
+			} else if addr, ok := a.symbols[arg]; ok {
+				p.Data = append(p.Data, addr)
+			} else {
+				a.errorf(st.line, "bad .word value %q", arg)
+				p.Data = append(p.Data, 0)
+			}
+		}
+	case ".space":
+		for i := uint32(0); i < st.size; i++ {
+			p.Data = append(p.Data, 0)
+		}
+	case ".align":
+		// nothing: words are always aligned
+	default:
+		a.errorf(st.line, "unknown directive %s", st.mnem)
+	}
+}
+
+func (a *assembler) push(p *Program, st *stmt, in isa.Inst) {
+	if _, err := isa.Encode(in); err != nil {
+		a.errorf(st.line, "%v", err)
+	}
+	p.Text = append(p.Text, in)
+	p.Lines = append(p.Lines, st.line)
+}
+
+// reg parses a register operand.
+func (a *assembler) reg(st *stmt, s string) isa.Reg {
+	r, ok := isa.RegByName(s)
+	if !ok {
+		a.errorf(st.line, "bad register %q", s)
+	}
+	return r
+}
+
+// immOrSym parses an immediate or resolves a symbol to its address.
+func (a *assembler) immOrSym(st *stmt, s string) int32 {
+	if v, err := parseNum(s); err == nil {
+		return int32(v)
+	}
+	if addr, ok := a.symbols[s]; ok {
+		return int32(addr)
+	}
+	a.errorf(st.line, "undefined symbol or bad immediate %q", s)
+	return 0
+}
+
+// branchDisp computes the word displacement to a label from the instruction
+// that will sit at the current end of text.
+func (a *assembler) branchDisp(p *Program, st *stmt, label string) int32 {
+	target, ok := a.symbols[label]
+	if !ok {
+		if v, err := parseNum(label); err == nil {
+			return int32(v) // numeric displacement, used in tests
+		}
+		a.errorf(st.line, "undefined branch target %q", label)
+		return 0
+	}
+	next := p.TextBase + uint32(4*len(p.Text)) + 4
+	return (int32(target) - int32(next)) / 4
+}
+
+// jumpTarget computes the absolute word index of a label.
+func (a *assembler) jumpTarget(st *stmt, label string) int32 {
+	if target, ok := a.symbols[label]; ok {
+		return int32(target / 4)
+	}
+	if v, err := parseNum(label); err == nil {
+		return int32(uint32(v) / 4)
+	}
+	a.errorf(st.line, "undefined jump target %q", label)
+	return 0
+}
+
+// memOperand parses "imm(reg)", "(reg)", "sym" or "imm"; the last two forms
+// report direct==true.
+func parseMemOperand(s string) (off string, base string, direct bool) {
+	i := strings.IndexByte(s, '(')
+	if i < 0 {
+		return s, "", true
+	}
+	j := strings.IndexByte(s, ')')
+	if j < i {
+		return s, "", true
+	}
+	off = strings.TrimSpace(s[:i])
+	if off == "" {
+		off = "0"
+	}
+	return off, strings.TrimSpace(s[i+1 : j]), false
+}
+
+func (a *assembler) wantArgs(st *stmt, n int) bool {
+	if len(st.args) != n {
+		a.errorf(st.line, "%s needs %d operands, got %d", st.mnem, n, len(st.args))
+		return false
+	}
+	return true
+}
+
+// splitAddr splits an absolute address for a lui+ori / lui+mem pair.
+func splitAddrForOri(addr uint32) (hi, lo int32) {
+	return int32(addr >> 15), int32(addr & 0x7fff)
+}
+
+// splitAddrForMem splits an address so lo fits the signed 15-bit memory
+// displacement.
+func splitAddrForMem(addr uint32) (hi, lo int32) {
+	hi = int32((addr + 0x4000) >> 15)
+	lo = int32(addr) - hi<<15
+	return hi, lo
+}
+
+func (a *assembler) emitText(p *Program, st *stmt) {
+	startLen := len(p.Text)
+	base, secure, ok := resolveMnemonic(st.mnem)
+	if !ok {
+		a.errorf(st.line, "unknown mnemonic %q", st.mnem)
+		return
+	}
+	if op, isOp := isa.OpcodeByName(base); isOp {
+		a.emitMachineOp(p, st, op, secure)
+	} else {
+		a.emitPseudo(p, st, base, secure)
+	}
+	if got := uint32(len(p.Text) - startLen); got != st.size {
+		// Internal consistency check: pass-1 size must match emission.
+		a.errorf(st.line, "internal: statement size %d != planned %d", got, st.size)
+	}
+}
+
+func (a *assembler) emitMachineOp(p *Program, st *stmt, op isa.Opcode, secure bool) {
+	in := isa.Inst{Op: op, Secure: secure}
+	switch op.Format() {
+	case isa.FmtR:
+		if !a.wantArgs(st, 3) {
+			a.pad(p, st)
+			return
+		}
+		in.Rd, in.Rs, in.Rt = a.reg(st, st.args[0]), a.reg(st, st.args[1]), a.reg(st, st.args[2])
+	case isa.FmtRShift:
+		if !a.wantArgs(st, 3) {
+			a.pad(p, st)
+			return
+		}
+		in.Rd, in.Rt, in.Imm = a.reg(st, st.args[0]), a.reg(st, st.args[1]), a.immOrSym(st, st.args[2])
+	case isa.FmtRJump:
+		if !a.wantArgs(st, 1) {
+			a.pad(p, st)
+			return
+		}
+		in.Rs = a.reg(st, st.args[0])
+	case isa.FmtI:
+		if !a.wantArgs(st, 3) {
+			a.pad(p, st)
+			return
+		}
+		in.Rt, in.Rs, in.Imm = a.reg(st, st.args[0]), a.reg(st, st.args[1]), a.immOrSym(st, st.args[2])
+	case isa.FmtILui:
+		if !a.wantArgs(st, 2) {
+			a.pad(p, st)
+			return
+		}
+		in.Rt, in.Imm = a.reg(st, st.args[0]), a.immOrSym(st, st.args[1])
+	case isa.FmtIMem:
+		if !a.wantArgs(st, 2) {
+			a.pad(p, st)
+			return
+		}
+		in.Rt = a.reg(st, st.args[0])
+		off, baseReg, direct := parseMemOperand(st.args[1])
+		if direct {
+			if v, err := parseNum(off); err == nil {
+				// Absolute numeric address off $zero.
+				in.Rs, in.Imm = isa.Zero, int32(v)
+				a.push(p, st, in)
+				return
+			}
+			// Direct symbol: lui $at, hi; op rt, lo($at). The address
+			// computation itself is not sensitive (the paper: "revealing
+			// the address of data is not considered as a problem"), so the
+			// lui stays insecure even for slw/ssw.
+			addr, ok := a.symbols[off]
+			if !ok {
+				a.errorf(st.line, "undefined symbol %q", off)
+				a.pad(p, st)
+				return
+			}
+			hi, lo := splitAddrForMem(addr)
+			a.push(p, st, isa.Inst{Op: isa.OpLui, Rt: isa.AT, Imm: hi})
+			in.Rs, in.Imm = isa.AT, lo
+			a.push(p, st, in)
+			return
+		}
+		in.Rs, in.Imm = a.reg(st, baseReg), a.immOrSym(st, off)
+	case isa.FmtIBranch:
+		if op == isa.OpBlez || op == isa.OpBgtz {
+			if !a.wantArgs(st, 2) {
+				a.pad(p, st)
+				return
+			}
+			in.Rs = a.reg(st, st.args[0])
+			in.Imm = a.branchDisp(p, st, st.args[1])
+		} else {
+			if !a.wantArgs(st, 3) {
+				a.pad(p, st)
+				return
+			}
+			in.Rs, in.Rt = a.reg(st, st.args[0]), a.reg(st, st.args[1])
+			in.Imm = a.branchDisp(p, st, st.args[2])
+		}
+	case isa.FmtJ:
+		if !a.wantArgs(st, 1) {
+			a.pad(p, st)
+			return
+		}
+		in.Imm = a.jumpTarget(st, st.args[0])
+	case isa.FmtNone:
+		if !a.wantArgs(st, 0) {
+			a.pad(p, st)
+			return
+		}
+	}
+	a.push(p, st, in)
+}
+
+// pad fills the statement's planned extent with nops so that layout stays
+// consistent after an error was reported for it.
+func (a *assembler) pad(p *Program, st *stmt) {
+	end := (st.addr-p.TextBase)/4 + st.size
+	for uint32(len(p.Text)) < end {
+		p.Text = append(p.Text, isa.Nop())
+		p.Lines = append(p.Lines, st.line)
+	}
+}
+
+func (a *assembler) emitPseudo(p *Program, st *stmt, base string, secure bool) {
+	switch base {
+	case "nop":
+		if !a.wantArgs(st, 0) {
+			a.pad(p, st)
+			return
+		}
+		a.push(p, st, isa.Nop())
+	case "move":
+		if !a.wantArgs(st, 2) {
+			a.pad(p, st)
+			return
+		}
+		a.push(p, st, isa.Inst{Op: isa.OpAddu, Secure: secure,
+			Rd: a.reg(st, st.args[0]), Rs: a.reg(st, st.args[1]), Rt: isa.Zero})
+	case "not":
+		if !a.wantArgs(st, 2) {
+			a.pad(p, st)
+			return
+		}
+		a.push(p, st, isa.Inst{Op: isa.OpNor, Secure: secure,
+			Rd: a.reg(st, st.args[0]), Rs: a.reg(st, st.args[1]), Rt: isa.Zero})
+	case "neg":
+		if !a.wantArgs(st, 2) {
+			a.pad(p, st)
+			return
+		}
+		a.push(p, st, isa.Inst{Op: isa.OpSubu, Secure: secure,
+			Rd: a.reg(st, st.args[0]), Rs: isa.Zero, Rt: a.reg(st, st.args[1])})
+	case "li":
+		if !a.wantArgs(st, 2) {
+			a.pad(p, st)
+			return
+		}
+		rt := a.reg(st, st.args[0])
+		v, err := parseNum(st.args[1])
+		if err != nil {
+			a.errorf(st.line, "li immediate %q: %v", st.args[1], err)
+			a.pad(p, st)
+			return
+		}
+		for _, step := range liExpansion(int32(v)) {
+			in := isa.Inst{Op: step.op, Secure: secure, Imm: step.imm}
+			switch step.op {
+			case isa.OpLui:
+				in.Rt = rt
+			case isa.OpSll:
+				in.Rd, in.Rt = rt, rt
+			default: // addiu/ori
+				in.Rt = rt
+				if step.useRt {
+					in.Rs = rt
+				} else {
+					in.Rs = isa.Zero
+				}
+			}
+			a.push(p, st, in)
+		}
+	case "la":
+		if !a.wantArgs(st, 2) {
+			a.pad(p, st)
+			return
+		}
+		rt := a.reg(st, st.args[0])
+		addr, ok := a.symbols[st.args[1]]
+		if !ok {
+			if v, err := parseNum(st.args[1]); err == nil {
+				addr = uint32(v)
+			} else {
+				a.errorf(st.line, "undefined symbol %q", st.args[1])
+				a.pad(p, st)
+				return
+			}
+		}
+		hi, lo := splitAddrForOri(addr)
+		a.push(p, st, isa.Inst{Op: isa.OpLui, Rt: rt, Imm: hi, Secure: secure})
+		a.push(p, st, isa.Inst{Op: isa.OpOri, Rt: rt, Rs: rt, Imm: lo, Secure: secure})
+	case "b":
+		if !a.wantArgs(st, 1) {
+			a.pad(p, st)
+			return
+		}
+		a.push(p, st, isa.Inst{Op: isa.OpBeq, Rs: isa.Zero, Rt: isa.Zero,
+			Imm: a.branchDisp(p, st, st.args[0])})
+	case "beqz", "bnez":
+		if !a.wantArgs(st, 2) {
+			a.pad(p, st)
+			return
+		}
+		op := isa.OpBeq
+		if base == "bnez" {
+			op = isa.OpBne
+		}
+		a.push(p, st, isa.Inst{Op: op, Rs: a.reg(st, st.args[0]), Rt: isa.Zero,
+			Imm: a.branchDisp(p, st, st.args[1])})
+	case "blt", "bge", "bgt", "ble":
+		if !a.wantArgs(st, 3) {
+			a.pad(p, st)
+			return
+		}
+		rs, rt := a.reg(st, st.args[0]), a.reg(st, st.args[1])
+		// blt: slt $at,rs,rt ; bne $at,$0  — bgt/ble swap operands.
+		if base == "bgt" || base == "ble" {
+			rs, rt = rt, rs
+		}
+		a.push(p, st, isa.Inst{Op: isa.OpSlt, Rd: isa.AT, Rs: rs, Rt: rt})
+		bop := isa.OpBne
+		if base == "bge" || base == "ble" {
+			bop = isa.OpBeq
+		}
+		a.push(p, st, isa.Inst{Op: bop, Rs: isa.AT, Rt: isa.Zero,
+			Imm: a.branchDisp(p, st, st.args[2])})
+	default:
+		a.errorf(st.line, "unknown pseudo-instruction %q", base)
+		a.pad(p, st)
+	}
+}

@@ -1,0 +1,455 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"desmask/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAssemble(t, `
+		.text
+main:
+		addu $t0, $t1, $t2
+		xor  $s0, $s1, $s2
+		halt
+	`)
+	if len(p.Text) != 3 {
+		t.Fatalf("got %d instructions, want 3", len(p.Text))
+	}
+	want := []isa.Inst{
+		{Op: isa.OpAddu, Rd: isa.T0, Rs: isa.T1, Rt: isa.T2},
+		{Op: isa.OpXor, Rd: isa.S0, Rs: isa.S1, Rt: isa.S2},
+		{Op: isa.OpHalt},
+	}
+	for i, w := range want {
+		if p.Text[i] != w {
+			t.Errorf("inst %d = %v, want %v", i, p.Text[i], w)
+		}
+	}
+	if p.Entry != p.Symbols["main"] {
+		t.Errorf("entry %#x != main %#x", p.Entry, p.Symbols["main"])
+	}
+}
+
+func TestSecureMnemonics(t *testing.T) {
+	p := mustAssemble(t, `
+		slw   $t0, 0($t1)
+		lw.s  $t0, 4($t1)
+		ssw   $t0, 0($t1)
+		sxor  $t0, $t1, $t2
+		xor.s $t0, $t1, $t2
+		smove $t0, $t1
+		ssll  $t0, $t1, 3
+		lw    $t0, 0($t1)
+	`)
+	secure := []bool{true, true, true, true, true, true, true, false}
+	if len(p.Text) != len(secure) {
+		t.Fatalf("got %d instructions, want %d", len(p.Text), len(secure))
+	}
+	for i, want := range secure {
+		if p.Text[i].Secure != want {
+			t.Errorf("inst %d (%v) secure = %v, want %v", i, p.Text[i], p.Text[i].Secure, want)
+		}
+	}
+	// smove expands to secure addu with $zero.
+	if in := p.Text[5]; in.Op != isa.OpAddu || in.Rt != isa.Zero || !in.Secure {
+		t.Errorf("smove = %v, want secure addu rd, rs, $zero", in)
+	}
+}
+
+func TestSecureMnemonicAmbiguity(t *testing.T) {
+	// "sll", "slt", "sra", "srl", "sw", "subu" must parse as base ops, not
+	// secure "ll"/"lt"/"ra"/"rl"/"w"/"ubu".
+	p := mustAssemble(t, `
+		sll  $t0, $t1, 1
+		slt  $t0, $t1, $t2
+		sra  $t0, $t1, 1
+		srl  $t0, $t1, 1
+		sw   $t0, 0($sp)
+		subu $t0, $t1, $t2
+	`)
+	for i, in := range p.Text {
+		if in.Secure {
+			t.Errorf("inst %d (%v) wrongly parsed as secure", i, in)
+		}
+	}
+	if p.Text[0].Op != isa.OpSll || p.Text[1].Op != isa.OpSlt {
+		t.Error("sll/slt misresolved")
+	}
+}
+
+func TestBranchesAndLabels(t *testing.T) {
+	p := mustAssemble(t, `
+main:	beq  $t0, $zero, done
+		addu $t1, $t1, $t2
+loop:	bne  $t0, $t1, loop
+		b    main
+done:	halt
+	`)
+	// beq at word 0: done is word 4; disp = 4 - (0+1) = 3.
+	if p.Text[0].Imm != 3 {
+		t.Errorf("forward branch disp = %d, want 3", p.Text[0].Imm)
+	}
+	// bne at word 2 targeting itself: disp = 2 - 3 = -1.
+	if p.Text[2].Imm != -1 {
+		t.Errorf("self branch disp = %d, want -1", p.Text[2].Imm)
+	}
+	// b main at word 3: disp = 0 - 4 = -4, as beq $0,$0.
+	if in := p.Text[3]; in.Op != isa.OpBeq || in.Rs != isa.Zero || in.Imm != -4 {
+		t.Errorf("b pseudo = %v, want beq $zero,$zero,-4", in)
+	}
+}
+
+func TestJumpTargets(t *testing.T) {
+	p := mustAssemble(t, `
+		j    end
+		jal  end
+		nop
+end:	jr   $ra
+	`)
+	if p.Text[0].Imm != 3 || p.Text[1].Imm != 3 {
+		t.Errorf("jump targets = %d, %d; want word index 3", p.Text[0].Imm, p.Text[1].Imm)
+	}
+}
+
+func TestDataSegment(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+tab:	.word 1, 2, 0x10, -1
+buf:	.space 8
+ptr:	.word tab
+		.text
+main:	la $t0, tab
+		halt
+	`)
+	if got := p.Symbols["tab"]; got != DefaultDataBase {
+		t.Errorf("tab at %#x, want %#x", got, DefaultDataBase)
+	}
+	if got := p.Symbols["buf"]; got != DefaultDataBase+16 {
+		t.Errorf("buf at %#x, want %#x", got, DefaultDataBase+16)
+	}
+	if got := p.Symbols["ptr"]; got != DefaultDataBase+24 {
+		t.Errorf("ptr at %#x, want %#x", got, DefaultDataBase+24)
+	}
+	wantData := []uint32{1, 2, 0x10, 0xffffffff, 0, 0, DefaultDataBase}
+	if len(p.Data) != len(wantData) {
+		t.Fatalf("data = %v, want %v", p.Data, wantData)
+	}
+	for i, w := range wantData {
+		if p.Data[i] != w {
+			t.Errorf("data[%d] = %#x, want %#x", i, p.Data[i], w)
+		}
+	}
+	// la expands to lui+ori producing the symbol address.
+	lui, ori := p.Text[0], p.Text[1]
+	if lui.Op != isa.OpLui || ori.Op != isa.OpOri {
+		t.Fatalf("la expansion = %v; %v", lui, ori)
+	}
+	addr := uint32(lui.Imm)<<15 | uint32(ori.Imm)
+	if addr != DefaultDataBase {
+		t.Errorf("la materialises %#x, want %#x", addr, DefaultDataBase)
+	}
+}
+
+func TestDirectSymbolLoadStore(t *testing.T) {
+	// The paper's Figure 4 uses `lw $2, i` and `sw $3, i` forms.
+	p := mustAssemble(t, `
+		.data
+i:		.word 42
+		.text
+main:	lw  $v0, i
+		sw  $v1, i
+		slw $t0, i
+		halt
+	`)
+	// Each direct form is lui $at + mem op.
+	if len(p.Text) != 7 {
+		t.Fatalf("got %d instructions, want 7", len(p.Text))
+	}
+	if p.Text[0].Op != isa.OpLui || p.Text[0].Rt != isa.AT {
+		t.Errorf("direct lw prefix = %v, want lui $at", p.Text[0])
+	}
+	if in := p.Text[1]; in.Op != isa.OpLw || in.Rs != isa.AT {
+		t.Errorf("direct lw = %v", in)
+	}
+	addr := uint32(p.Text[0].Imm)<<15 + uint32(p.Text[1].Imm)
+	if addr != p.Symbols["i"] {
+		t.Errorf("direct lw address %#x, want %#x", addr, p.Symbols["i"])
+	}
+	// Secure direct load: the lui (address formation) stays insecure, the
+	// lw carries the secure bit.
+	if p.Text[4].Secure {
+		t.Error("address-forming lui must not be secure")
+	}
+	if !p.Text[5].Secure || p.Text[5].Op != isa.OpLw {
+		t.Errorf("slw direct = %v, want secure lw", p.Text[5])
+	}
+}
+
+func TestLiExpansions(t *testing.T) {
+	cases := []struct {
+		val  int64
+		size int
+	}{
+		{0, 1}, {1, 1}, {-1, 1}, {isa.MaxImm, 1}, {isa.MinImm, 1},
+		{isa.MaxImm + 1, 1}, // still single ori (unsigned)
+		{isa.MaxUImm, 1},
+		{isa.MaxUImm + 1, 2},
+		{1 << 29, 2},
+		{1<<30 - 1, 2},
+		{1 << 30, 5},
+		{-2147483648, 5},
+		{-40000, 5},
+	}
+	for _, c := range cases {
+		src := "li $t0, " + itoa(c.val) + "\nhalt\n"
+		p := mustAssemble(t, src)
+		if got := len(p.Text) - 1; got != c.size {
+			t.Errorf("li %d expanded to %d instructions, want %d", c.val, got, c.size)
+		}
+	}
+}
+
+func itoa(v int64) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}
+
+func TestConditionalBranchPseudos(t *testing.T) {
+	p := mustAssemble(t, `
+main:	blt $t0, $t1, out
+		bge $t0, $t1, out
+		bgt $t0, $t1, out
+		ble $t0, $t1, out
+out:	halt
+	`)
+	if len(p.Text) != 9 {
+		t.Fatalf("got %d instructions, want 9", len(p.Text))
+	}
+	// blt: slt $at, $t0, $t1 ; bne $at, $zero
+	if in := p.Text[0]; in.Op != isa.OpSlt || in.Rd != isa.AT || in.Rs != isa.T0 || in.Rt != isa.T1 {
+		t.Errorf("blt slt = %v", in)
+	}
+	if in := p.Text[1]; in.Op != isa.OpBne {
+		t.Errorf("blt branch = %v", in)
+	}
+	// bgt swaps: slt $at, $t1, $t0 ; bne
+	if in := p.Text[4]; in.Rs != isa.T1 || in.Rt != isa.T0 {
+		t.Errorf("bgt slt = %v", in)
+	}
+	// bge: slt ; beq
+	if in := p.Text[3]; in.Op != isa.OpBeq {
+		t.Errorf("bge branch = %v", in)
+	}
+}
+
+func TestComments(t *testing.T) {
+	p := mustAssemble(t, `
+		# full line comment
+		addu $t0, $t1, $t2   # trailing
+		xor $t0, $t1, $t2    // c++ style
+	`)
+	if len(p.Text) != 2 {
+		t.Fatalf("got %d instructions, want 2", len(p.Text))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown mnemonic", "frob $t0", "unknown mnemonic"},
+		{"bad register", "addu $t0, $zz, $t1", "bad register"},
+		{"duplicate label", "x: nop\nx: nop", "duplicate label"},
+		{"undefined branch", "beq $t0, $t1, nowhere", "undefined branch target"},
+		{"undefined symbol", "la $t0, nowhere", "undefined symbol"},
+		{"word in text", ".text\n.word 5", "data directive"},
+		{"instruction in data", ".data\naddu $t0, $t1, $t2", "instruction"},
+		{"arity", "addu $t0, $t1", "needs 3 operands"},
+		{"shift range", "sll $t0, $t1, 32", "shift amount out of range"},
+		{"secure branch", "sbeq $t0, $t1, 0", "unknown mnemonic"},
+		{"bad directive", ".frobnicate 1", "unknown directive"},
+		{"bad space", ".data\n.space -1", "bad .space size"},
+		{"empty word", ".data\n.word", ".word needs at least one value"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src)
+			if err == nil {
+				t.Fatalf("Assemble succeeded, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestLinesMapping(t *testing.T) {
+	p := mustAssemble(t, "nop\n\nnop\nli $t0, 99999\n")
+	if len(p.Lines) != len(p.Text) {
+		t.Fatalf("lines %d != text %d", len(p.Lines), len(p.Text))
+	}
+	if p.Lines[0] != 1 || p.Lines[1] != 3 {
+		t.Errorf("lines = %v", p.Lines[:2])
+	}
+	// li expansion shares one source line.
+	for _, l := range p.Lines[2:] {
+		if l != 4 {
+			t.Errorf("li expansion line = %d, want 4", l)
+		}
+	}
+}
+
+func TestSymbolAt(t *testing.T) {
+	p := mustAssemble(t, `
+main:	nop
+		nop
+sub:	nop
+	`)
+	if n, ok := p.SymbolAt(p.Symbols["main"] + 4); !ok || n != "main" {
+		t.Errorf("SymbolAt(main+4) = %q, %v", n, ok)
+	}
+	if n, ok := p.SymbolAt(p.Symbols["sub"]); !ok || n != "sub" {
+		t.Errorf("SymbolAt(sub) = %q, %v", n, ok)
+	}
+}
+
+func TestListingAndSortedSymbols(t *testing.T) {
+	p := mustAssemble(t, `
+main:	addu $t0, $t1, $t2
+loop:	halt
+	`)
+	l := p.Listing()
+	for _, want := range []string{"main:", "loop:", "addu $t0, $t1, $t2", "halt"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("listing missing %q:\n%s", want, l)
+		}
+	}
+	syms := p.SortedSymbols()
+	if len(syms) != 2 || syms[0].Name != "main" || syms[1].Name != "loop" {
+		t.Errorf("sorted symbols = %v", syms)
+	}
+}
+
+func TestEncodableOutput(t *testing.T) {
+	// Everything the assembler emits must be encodable.
+	p := mustAssemble(t, `
+		.data
+v:		.word 7
+		.text
+main:	la   $gp, v
+		lw   $t0, 0($gp)
+		slw  $t1, 0($gp)
+		sxor $t2, $t0, $t1
+		ssw  $t2, 0($gp)
+		li   $t3, 123456789
+		blt  $t3, $t2, main
+		jal  main
+		jr   $ra
+		halt
+	`)
+	for i, in := range p.Text {
+		w, err := isa.Encode(in)
+		if err != nil {
+			t.Errorf("inst %d (%v): %v", i, in, err)
+			continue
+		}
+		back, err := isa.Decode(w)
+		if err != nil || back != in {
+			t.Errorf("inst %d round trip: %v -> %v (%v)", i, in, back, err)
+		}
+	}
+}
+
+func TestInstAtAndBounds(t *testing.T) {
+	p := mustAssemble(t, "main: nop\nhalt\n")
+	if in, err := p.InstAt(p.TextBase); err != nil || !in.IsNop() {
+		t.Errorf("InstAt(base) = %v, %v", in, err)
+	}
+	if _, err := p.InstAt(p.TextEnd()); err == nil {
+		t.Error("InstAt(end) succeeded, want error")
+	}
+	if _, err := p.InstAt(p.TextBase + 2); err == nil {
+		t.Error("InstAt(unaligned) succeeded, want error")
+	}
+}
+
+func TestCustomBases(t *testing.T) {
+	p, err := AssembleWith(".data\nv: .word 1\n.text\nmain: la $t0, v\nhalt\n",
+		Options{TextBase: 0x1000, DataBase: 0x8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TextBase != 0x1000 || p.Symbols["main"] != 0x1000 {
+		t.Errorf("text base/main = %#x/%#x", p.TextBase, p.Symbols["main"])
+	}
+	if p.Symbols["v"] != 0x8000 {
+		t.Errorf("v = %#x, want 0x8000", p.Symbols["v"])
+	}
+	if _, err := AssembleWith("nop", Options{TextBase: 2, DataBase: 0x8000}); err == nil {
+		t.Error("unaligned base accepted")
+	}
+}
+
+// TestDisassembleReassembleProperty: every instruction the assembler can emit
+// disassembles (via Inst.String) to text the assembler parses back to the
+// identical instruction — branches and jumps excepted (their rendering uses
+// resolved numeric targets, which reassemble relative to a different
+// location).
+func TestDisassembleReassembleProperty(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+v:		.word 1, 2, 3
+		.text
+main:	la    $gp, v
+		lw    $t0, 0($gp)
+		slw   $t1, 4($gp)
+		sxor  $t2, $t0, $t1
+		saddu $t3, $t2, $t0
+		ssll  $t4, $t3, 7
+		ssw   $t4, 8($gp)
+		sltiu $t5, $t4, 100
+		nor   $t6, $t5, $zero
+		srav  $t7, $t6, $t0
+		mul   $s0, $t7, $t0
+		lui   $s1, 5
+		ori   $s1, $s1, 9
+		andi  $s2, $s1, 255
+		xori  $s3, $s2, 15
+		subu  $s4, $s3, $s2
+		halt
+	`)
+	for i, in := range p.Text {
+		if in.Op.IsBranch() || in.Op.IsJump() {
+			continue
+		}
+		text := in.String()
+		p2, err := Assemble("main: " + text + "\nhalt\n")
+		if err != nil {
+			t.Errorf("inst %d: reassembling %q: %v", i, text, err)
+			continue
+		}
+		if p2.Text[0] != in {
+			t.Errorf("inst %d: %v -> %q -> %v", i, in, text, p2.Text[0])
+		}
+	}
+}

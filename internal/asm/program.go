@@ -1,0 +1,109 @@
+// Package asm implements a two-pass assembler for the desmask ISA, including
+// the paper's secure-instruction mnemonics (both the "slw"/"ssw" spelling used
+// in Figure 4 of the paper and the canonical "lw.s"/"sw.s" suffix form), the
+// usual MIPS-flavoured pseudo-instructions, and .text/.data layout.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"desmask/internal/isa"
+)
+
+// Default segment bases. Text at zero, data on a separate 8 KiB boundary,
+// both well inside the 15-bit immediate reach of a single ori so that `la`
+// stays cheap for small images.
+const (
+	DefaultTextBase uint32 = 0x0000_0000
+	DefaultDataBase uint32 = 0x0000_4000
+)
+
+// Program is the assembled, loadable image.
+type Program struct {
+	TextBase uint32
+	Text     []isa.Inst // one entry per word at TextBase+4*i
+	DataBase uint32
+	Data     []uint32 // one entry per word at DataBase+4*i
+
+	// Symbols maps every label to its byte address (text or data).
+	Symbols map[string]uint32
+
+	// Entry is the byte address execution starts at: the `main` label when
+	// defined, otherwise TextBase.
+	Entry uint32
+
+	// Lines maps a text word index to the 1-based source line that produced
+	// it, for diagnostics and trace annotation.
+	Lines []int
+}
+
+// SymbolAt returns the label with the highest address not exceeding addr
+// within the segment that contains addr, for annotating traces. ok is false
+// when no label precedes addr.
+func (p *Program) SymbolAt(addr uint32) (name string, ok bool) {
+	best := ""
+	var bestAddr uint32
+	for n, a := range p.Symbols {
+		if a <= addr && (best == "" || a > bestAddr || (a == bestAddr && n < best)) {
+			best, bestAddr = n, a
+		}
+	}
+	return best, best != ""
+}
+
+// SortedSymbols returns the symbol table as (name, address) pairs ordered by
+// address then name, for deterministic listings.
+func (p *Program) SortedSymbols() []Symbol {
+	out := make([]Symbol, 0, len(p.Symbols))
+	for n, a := range p.Symbols {
+		out = append(out, Symbol{Name: n, Addr: a})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Symbol is one entry of a sorted symbol listing.
+type Symbol struct {
+	Name string
+	Addr uint32
+}
+
+// TextEnd returns the first byte address past the text segment.
+func (p *Program) TextEnd() uint32 { return p.TextBase + uint32(4*len(p.Text)) }
+
+// DataEnd returns the first byte address past the data segment.
+func (p *Program) DataEnd() uint32 { return p.DataBase + uint32(4*len(p.Data)) }
+
+// InstAt returns the instruction at byte address addr.
+func (p *Program) InstAt(addr uint32) (isa.Inst, error) {
+	if addr < p.TextBase || addr >= p.TextEnd() || addr%4 != 0 {
+		return isa.Inst{}, fmt.Errorf("asm: address %#x outside text segment", addr)
+	}
+	return p.Text[(addr-p.TextBase)/4], nil
+}
+
+// Listing renders a human-readable disassembly listing with labels.
+func (p *Program) Listing() string {
+	byAddr := map[uint32][]string{}
+	for n, a := range p.Symbols {
+		byAddr[a] = append(byAddr[a], n)
+	}
+	for _, ns := range byAddr {
+		sort.Strings(ns)
+	}
+	var b []byte
+	for i, in := range p.Text {
+		addr := p.TextBase + uint32(4*i)
+		for _, n := range byAddr[addr] {
+			b = append(b, fmt.Sprintf("%s:\n", n)...)
+		}
+		b = append(b, fmt.Sprintf("  %#06x  %v\n", addr, in)...)
+	}
+	return string(b)
+}

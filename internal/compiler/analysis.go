@@ -1,0 +1,535 @@
+// Package compiler is the optimizing masking compiler of the paper: it takes
+// MiniC source in which the programmer has annotated critical variables with
+// the `secure` qualifier, determines — by forward slicing [11] over def-use
+// relations and control dependences — every variable and operation whose
+// value depends on those seeds, and emits assembly in which exactly the
+// affected loads, stores, ALU operations and table-index computations use the
+// secure (dual-rail) instruction variants. Blanket policies (no protection,
+// all loads/stores, everything) are provided as the paper's comparison
+// points.
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"desmask/internal/minic"
+)
+
+// varID uniquely names a variable: globals by name, locals and parameters as
+// "function/name".
+type varID string
+
+func globalID(name string) varID    { return varID(name) }
+func localID(fn, name string) varID { return varID(fn + "/" + name) }
+func (v varID) String() string      { return string(v) }
+
+// Analysis holds the results of semantic analysis and taint propagation.
+type Analysis struct {
+	File *minic.File
+
+	// vars maps each function name to its local scope (params + locals).
+	locals map[string]map[string]*minic.VarDecl
+
+	// Tainted is the forward slice: every variable whose value may depend on
+	// a secure seed.
+	Tainted map[varID]bool
+	// ReturnTainted marks functions whose return value may be tainted.
+	ReturnTainted map[string]bool
+	// Seeds are the `secure`-annotated declarations.
+	Seeds []varID
+	// TaintedBranches lists source positions of branch conditions whose
+	// value depends on a seed. Instruction-level masking cannot hide
+	// control flow, so these are timing/SPA channels the paper's scheme
+	// does not cover (it defers to code restructuring, §1 ref [3]); the
+	// compiler surfaces them as warnings.
+	TaintedBranches []minic.Pos
+}
+
+// Analyze runs semantic checks and the forward-slicing fixpoint.
+func Analyze(f *minic.File) (*Analysis, error) {
+	a := &Analysis{
+		File:          f,
+		locals:        map[string]map[string]*minic.VarDecl{},
+		Tainted:       map[varID]bool{},
+		ReturnTainted: map[string]bool{},
+	}
+	if err := a.resolve(); err != nil {
+		return nil, err
+	}
+	a.seed()
+	a.propagate()
+	a.findTaintedBranches()
+	return a, nil
+}
+
+// findTaintedBranches scans for secret-dependent control flow once the
+// taint fixpoint is stable.
+func (a *Analysis) findTaintedBranches() {
+	var walk func(fn *minic.FuncDecl, s minic.Stmt)
+	walk = func(fn *minic.FuncDecl, s minic.Stmt) {
+		switch st := s.(type) {
+		case *minic.Block:
+			for _, inner := range st.Stmts {
+				walk(fn, inner)
+			}
+		case *minic.IfStmt:
+			if a.ExprTainted(fn, st.Cond) {
+				a.TaintedBranches = append(a.TaintedBranches, st.Pos)
+			}
+			walk(fn, st.Then)
+			if st.Else != nil {
+				walk(fn, st.Else)
+			}
+		case *minic.WhileStmt:
+			if a.ExprTainted(fn, st.Cond) {
+				a.TaintedBranches = append(a.TaintedBranches, st.Pos)
+			}
+			walk(fn, st.Body)
+		case *minic.ForStmt:
+			if st.Cond != nil && a.ExprTainted(fn, st.Cond) {
+				a.TaintedBranches = append(a.TaintedBranches, st.Pos)
+			}
+			walk(fn, st.Body)
+		}
+	}
+	for _, fn := range a.File.Funcs {
+		walk(fn, fn.Body)
+	}
+}
+
+// errf builds a positioned error.
+func errf(pos minic.Pos, format string, args ...interface{}) error {
+	return &minic.Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// resolve builds scopes and performs the semantic checks.
+func (a *Analysis) resolve() error {
+	for _, fn := range a.File.Funcs {
+		scope := map[string]*minic.VarDecl{}
+		for _, p := range fn.Params {
+			if _, dup := scope[p.Name]; dup {
+				return errf(p.Pos, "duplicate parameter %q in %q", p.Name, fn.Name)
+			}
+			scope[p.Name] = p
+		}
+		if err := a.collectLocals(fn, fn.Body, scope); err != nil {
+			return err
+		}
+		a.locals[fn.Name] = scope
+	}
+	for _, fn := range a.File.Funcs {
+		if err := a.checkBlock(fn, fn.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectLocals flattens every declaration in the function into one scope
+// (MiniC blocks do not open new scopes).
+func (a *Analysis) collectLocals(fn *minic.FuncDecl, b *minic.Block, scope map[string]*minic.VarDecl) error {
+	for _, s := range b.Stmts {
+		switch st := s.(type) {
+		case *minic.DeclStmt:
+			d := st.Decl
+			if _, dup := scope[d.Name]; dup {
+				return errf(d.Pos, "duplicate local %q in %q", d.Name, fn.Name)
+			}
+			if d.IsArray && len(d.Init) > 0 {
+				return errf(d.Pos, "local array %q cannot have an initializer; assign elements instead", d.Name)
+			}
+			scope[d.Name] = d
+		case *minic.Block:
+			if err := a.collectLocals(fn, st, scope); err != nil {
+				return err
+			}
+		case *minic.IfStmt:
+			if err := a.collectLocals(fn, st.Then, scope); err != nil {
+				return err
+			}
+			if st.Else != nil {
+				if err := a.collectLocals(fn, st.Else, scope); err != nil {
+					return err
+				}
+			}
+		case *minic.WhileStmt:
+			if err := a.collectLocals(fn, st.Body, scope); err != nil {
+				return err
+			}
+		case *minic.ForStmt:
+			if err := a.collectLocals(fn, st.Body, scope); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// lookup resolves a name in fn's scope, then globals.
+func (a *Analysis) lookup(fn *minic.FuncDecl, name string) (*minic.VarDecl, bool) {
+	if d, ok := a.locals[fn.Name][name]; ok {
+		return d, true
+	}
+	if d := a.File.FindGlobal(name); d != nil {
+		return d, true
+	}
+	return nil, false
+}
+
+// id returns the varID of name as seen from fn.
+func (a *Analysis) id(fn *minic.FuncDecl, name string) varID {
+	if _, ok := a.locals[fn.Name][name]; ok {
+		return localID(fn.Name, name)
+	}
+	return globalID(name)
+}
+
+func (a *Analysis) checkBlock(fn *minic.FuncDecl, b *minic.Block) error {
+	for _, s := range b.Stmts {
+		if err := a.checkStmt(fn, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *Analysis) checkStmt(fn *minic.FuncDecl, s minic.Stmt) error {
+	switch st := s.(type) {
+	case *minic.Block:
+		return a.checkBlock(fn, st)
+	case *minic.DeclStmt:
+		return nil
+	case *minic.AssignStmt:
+		if err := a.checkLValue(fn, st.LHS); err != nil {
+			return err
+		}
+		return a.checkExpr(fn, st.RHS)
+	case *minic.IfStmt:
+		if err := a.checkExpr(fn, st.Cond); err != nil {
+			return err
+		}
+		if err := a.checkBlock(fn, st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return a.checkBlock(fn, st.Else)
+		}
+		return nil
+	case *minic.WhileStmt:
+		if err := a.checkExpr(fn, st.Cond); err != nil {
+			return err
+		}
+		return a.checkBlock(fn, st.Body)
+	case *minic.ForStmt:
+		if st.Init != nil {
+			if err := a.checkStmt(fn, st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := a.checkExpr(fn, st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := a.checkStmt(fn, st.Post); err != nil {
+				return err
+			}
+		}
+		return a.checkBlock(fn, st.Body)
+	case *minic.ReturnStmt:
+		if fn.ReturnsInt && st.Value == nil {
+			return errf(st.Pos, "function %q must return a value", fn.Name)
+		}
+		if !fn.ReturnsInt && st.Value != nil {
+			return errf(st.Pos, "void function %q cannot return a value", fn.Name)
+		}
+		if st.Value != nil {
+			return a.checkExpr(fn, st.Value)
+		}
+		return nil
+	case *minic.ExprStmt:
+		return a.checkExpr(fn, st.X)
+	}
+	return fmt.Errorf("compiler: unknown statement %T", s)
+}
+
+func (a *Analysis) checkLValue(fn *minic.FuncDecl, e minic.Expr) error {
+	switch lv := e.(type) {
+	case *minic.VarRef:
+		d, ok := a.lookup(fn, lv.Name)
+		if !ok {
+			return errf(lv.Pos, "undefined variable %q", lv.Name)
+		}
+		if d.IsArray {
+			return errf(lv.Pos, "cannot assign to array %q without an index", lv.Name)
+		}
+		return nil
+	case *minic.IndexExpr:
+		d, ok := a.lookup(fn, lv.Name)
+		if !ok {
+			return errf(lv.Pos, "undefined variable %q", lv.Name)
+		}
+		if !d.IsArray {
+			return errf(lv.Pos, "indexing non-array %q", lv.Name)
+		}
+		return a.checkExpr(fn, lv.Index)
+	}
+	return errf(e.Position(), "invalid assignment target")
+}
+
+func (a *Analysis) checkExpr(fn *minic.FuncDecl, e minic.Expr) error {
+	switch x := e.(type) {
+	case *minic.NumLit:
+		return nil
+	case *minic.VarRef:
+		d, ok := a.lookup(fn, x.Name)
+		if !ok {
+			return errf(x.Pos, "undefined variable %q", x.Name)
+		}
+		if d.IsArray {
+			return errf(x.Pos, "array %q used as a value", x.Name)
+		}
+		return nil
+	case *minic.IndexExpr:
+		d, ok := a.lookup(fn, x.Name)
+		if !ok {
+			return errf(x.Pos, "undefined variable %q", x.Name)
+		}
+		if !d.IsArray {
+			return errf(x.Pos, "indexing non-array %q", x.Name)
+		}
+		return a.checkExpr(fn, x.Index)
+	case *minic.BinaryExpr:
+		if err := a.checkExpr(fn, x.X); err != nil {
+			return err
+		}
+		return a.checkExpr(fn, x.Y)
+	case *minic.UnaryExpr:
+		return a.checkExpr(fn, x.X)
+	case *minic.CallExpr:
+		if x.Name == "public" {
+			// Declassification intrinsic: the paper's output-inverse-
+			// permutation exception — data that is about to be revealed in
+			// the ciphertext needs no masking (§4.1).
+			if a.File.FindFunc("public") != nil {
+				return errf(x.Pos, "the name %q is reserved for the declassification intrinsic", x.Name)
+			}
+			if len(x.Args) != 1 {
+				return errf(x.Pos, "public() takes exactly one argument")
+			}
+			return a.checkExpr(fn, x.Args[0])
+		}
+		callee := a.File.FindFunc(x.Name)
+		if callee == nil {
+			return errf(x.Pos, "undefined function %q", x.Name)
+		}
+		if len(x.Args) != len(callee.Params) {
+			return errf(x.Pos, "call to %q with %d arguments, want %d", x.Name, len(x.Args), len(callee.Params))
+		}
+		for _, arg := range x.Args {
+			if err := a.checkExpr(fn, arg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("compiler: unknown expression %T", e)
+}
+
+// seed collects the secure-annotated declarations.
+func (a *Analysis) seed() {
+	for _, g := range a.File.Globals {
+		if g.Secure {
+			a.Seeds = append(a.Seeds, globalID(g.Name))
+		}
+	}
+	for _, fn := range a.File.Funcs {
+		for name, d := range a.locals[fn.Name] {
+			if d.Secure {
+				a.Seeds = append(a.Seeds, localID(fn.Name, name))
+			}
+		}
+	}
+	sort.Slice(a.Seeds, func(i, j int) bool { return a.Seeds[i] < a.Seeds[j] })
+	for _, s := range a.Seeds {
+		a.Tainted[s] = true
+	}
+}
+
+// propagate runs the forward-slicing fixpoint: any variable assigned a value
+// that depends (through data flow, array indexing, calls, or a tainted
+// enclosing branch condition) on a tainted variable becomes tainted itself.
+func (a *Analysis) propagate() {
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range a.File.Funcs {
+			if a.propagateBlock(fn, fn.Body, false) {
+				changed = true
+			}
+		}
+	}
+}
+
+func (a *Analysis) taint(v varID) bool {
+	if !a.Tainted[v] {
+		a.Tainted[v] = true
+		return true
+	}
+	return false
+}
+
+func (a *Analysis) propagateBlock(fn *minic.FuncDecl, b *minic.Block, ctlTaint bool) bool {
+	changed := false
+	for _, s := range b.Stmts {
+		if a.propagateStmt(fn, s, ctlTaint) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (a *Analysis) propagateStmt(fn *minic.FuncDecl, s minic.Stmt, ctlTaint bool) bool {
+	switch st := s.(type) {
+	case *minic.Block:
+		return a.propagateBlock(fn, st, ctlTaint)
+	case *minic.DeclStmt:
+		if len(st.Decl.Init) > 0 && ctlTaint {
+			return a.taint(a.id(fn, st.Decl.Name))
+		}
+		return false
+	case *minic.AssignStmt:
+		return a.propagateAssign(fn, st, ctlTaint)
+	case *minic.IfStmt:
+		inner := ctlTaint || a.ExprTainted(fn, st.Cond)
+		changed := a.propagateBlock(fn, st.Then, inner)
+		if st.Else != nil {
+			if a.propagateBlock(fn, st.Else, inner) {
+				changed = true
+			}
+		}
+		return changed
+	case *minic.WhileStmt:
+		inner := ctlTaint || a.ExprTainted(fn, st.Cond)
+		return a.propagateBlock(fn, st.Body, inner)
+	case *minic.ForStmt:
+		changed := false
+		if st.Init != nil && a.propagateAssign(fn, st.Init, ctlTaint) {
+			changed = true
+		}
+		inner := ctlTaint
+		if st.Cond != nil {
+			inner = inner || a.ExprTainted(fn, st.Cond)
+		}
+		if st.Post != nil && a.propagateAssign(fn, st.Post, inner) {
+			changed = true
+		}
+		if a.propagateBlock(fn, st.Body, inner) {
+			changed = true
+		}
+		return changed
+	case *minic.ReturnStmt:
+		if st.Value != nil && (ctlTaint || a.ExprTainted(fn, st.Value)) {
+			if !a.ReturnTainted[fn.Name] {
+				a.ReturnTainted[fn.Name] = true
+				return true
+			}
+		}
+		return false
+	case *minic.ExprStmt:
+		return a.propagateCallEffects(fn, st.X)
+	}
+	return false
+}
+
+func (a *Analysis) propagateAssign(fn *minic.FuncDecl, st *minic.AssignStmt, ctlTaint bool) bool {
+	changed := a.propagateCallEffects(fn, st.RHS)
+	tainted := ctlTaint || a.ExprTainted(fn, st.RHS)
+	switch lv := st.LHS.(type) {
+	case *minic.VarRef:
+		if tainted && a.taint(a.id(fn, lv.Name)) {
+			changed = true
+		}
+	case *minic.IndexExpr:
+		if a.propagateCallEffects(fn, lv.Index) {
+			changed = true
+		}
+		// Writing a tainted value — or writing at a tainted index, which
+		// encodes secret bits in *where* data lands — taints the array.
+		if (tainted || a.ExprTainted(fn, lv.Index)) && a.taint(a.id(fn, lv.Name)) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// propagateCallEffects pushes argument taint into callee parameters for every
+// call inside e.
+func (a *Analysis) propagateCallEffects(fn *minic.FuncDecl, e minic.Expr) bool {
+	changed := false
+	switch x := e.(type) {
+	case *minic.BinaryExpr:
+		if a.propagateCallEffects(fn, x.X) {
+			changed = true
+		}
+		if a.propagateCallEffects(fn, x.Y) {
+			changed = true
+		}
+	case *minic.UnaryExpr:
+		changed = a.propagateCallEffects(fn, x.X)
+	case *minic.IndexExpr:
+		changed = a.propagateCallEffects(fn, x.Index)
+	case *minic.CallExpr:
+		if x.Name == "public" {
+			return a.propagateCallEffects(fn, x.Args[0])
+		}
+		callee := a.File.FindFunc(x.Name)
+		for i, arg := range x.Args {
+			if a.propagateCallEffects(fn, arg) {
+				changed = true
+			}
+			if a.ExprTainted(fn, arg) {
+				if a.taint(localID(callee.Name, callee.Params[i].Name)) {
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// ExprTainted reports whether the value of e may depend on a secure seed,
+// under the current taint state.
+func (a *Analysis) ExprTainted(fn *minic.FuncDecl, e minic.Expr) bool {
+	switch x := e.(type) {
+	case *minic.NumLit:
+		return false
+	case *minic.VarRef:
+		return a.Tainted[a.id(fn, x.Name)]
+	case *minic.IndexExpr:
+		// A read from a tainted array, or at a tainted index (the value
+		// selected is determined by secret bits — the S-box case).
+		return a.Tainted[a.id(fn, x.Name)] || a.ExprTainted(fn, x.Index)
+	case *minic.BinaryExpr:
+		return a.ExprTainted(fn, x.X) || a.ExprTainted(fn, x.Y)
+	case *minic.UnaryExpr:
+		return a.ExprTainted(fn, x.X)
+	case *minic.CallExpr:
+		if x.Name == "public" {
+			return false // declassified by construction
+		}
+		return a.ReturnTainted[x.Name]
+	}
+	return false
+}
+
+// TaintedVars lists the forward slice in sorted order.
+func (a *Analysis) TaintedVars() []string {
+	out := make([]string, 0, len(a.Tainted))
+	for v := range a.Tainted {
+		out = append(out, string(v))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,228 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"desmask/internal/minic"
+)
+
+// The optimizer implements the "optimizing" in the paper's "optimizing
+// compiler" while preserving the masking contract:
+//
+//   - constant folding on the AST (taint-neutral: literals are never
+//     tainted, so folding can only remove insecure instructions), and
+//   - a store-to-load forwarding peephole on the emitted assembly: a load
+//     that immediately follows a store to the same stack slot becomes a
+//     register move. The rewrite is one-for-one (layout, labels and branch
+//     displacements are untouched) and carries the load's secure marker
+//     over to the move, so a masked slot stays masked.
+
+// foldConstants rewrites constant subexpressions in place and returns how
+// many folds were applied.
+func foldConstants(f *minic.File) int {
+	n := 0
+	var foldExpr func(e minic.Expr) minic.Expr
+	foldExpr = func(e minic.Expr) minic.Expr {
+		switch x := e.(type) {
+		case *minic.BinaryExpr:
+			x.X = foldExpr(x.X)
+			x.Y = foldExpr(x.Y)
+			l, lok := x.X.(*minic.NumLit)
+			r, rok := x.Y.(*minic.NumLit)
+			if lok && rok {
+				if v, ok := evalBinOp(x.Op, int32(uint32(l.Val)), int32(uint32(r.Val))); ok {
+					n++
+					return &minic.NumLit{Pos: x.Pos, Val: int64(v)}
+				}
+			}
+			return x
+		case *minic.UnaryExpr:
+			x.X = foldExpr(x.X)
+			if l, ok := x.X.(*minic.NumLit); ok {
+				v := int32(uint32(l.Val))
+				n++
+				switch x.Op {
+				case minic.OpNeg:
+					return &minic.NumLit{Pos: x.Pos, Val: int64(-v)}
+				case minic.OpInv:
+					return &minic.NumLit{Pos: x.Pos, Val: int64(^v)}
+				case minic.OpNot:
+					if v == 0 {
+						return &minic.NumLit{Pos: x.Pos, Val: 1}
+					}
+					return &minic.NumLit{Pos: x.Pos, Val: 0}
+				}
+				n--
+			}
+			return x
+		case *minic.IndexExpr:
+			x.Index = foldExpr(x.Index)
+			return x
+		case *minic.CallExpr:
+			for i := range x.Args {
+				x.Args[i] = foldExpr(x.Args[i])
+			}
+			return x
+		}
+		return e
+	}
+	var foldStmt func(s minic.Stmt)
+	foldBlock := func(b *minic.Block) {
+		for _, s := range b.Stmts {
+			foldStmt(s)
+		}
+	}
+	foldStmt = func(s minic.Stmt) {
+		switch st := s.(type) {
+		case *minic.Block:
+			foldBlock(st)
+		case *minic.AssignStmt:
+			st.LHS = foldExpr(st.LHS)
+			st.RHS = foldExpr(st.RHS)
+		case *minic.IfStmt:
+			st.Cond = foldExpr(st.Cond)
+			foldBlock(st.Then)
+			if st.Else != nil {
+				foldBlock(st.Else)
+			}
+		case *minic.WhileStmt:
+			st.Cond = foldExpr(st.Cond)
+			foldBlock(st.Body)
+		case *minic.ForStmt:
+			if st.Init != nil {
+				foldStmt(st.Init)
+			}
+			if st.Cond != nil {
+				st.Cond = foldExpr(st.Cond)
+			}
+			if st.Post != nil {
+				foldStmt(st.Post)
+			}
+			foldBlock(st.Body)
+		case *minic.ReturnStmt:
+			if st.Value != nil {
+				st.Value = foldExpr(st.Value)
+			}
+		case *minic.ExprStmt:
+			st.X = foldExpr(st.X)
+		}
+	}
+	for _, fn := range f.Funcs {
+		foldBlock(fn.Body)
+	}
+	return n
+}
+
+// evalBinOp computes a constant binary operation with the target's 32-bit
+// semantics. Comparison results are C-style 0/1.
+func evalBinOp(op minic.BinOp, a, b int32) (int32, bool) {
+	boolTo := func(c bool) (int32, bool) {
+		if c {
+			return 1, true
+		}
+		return 0, true
+	}
+	switch op {
+	case minic.OpAdd:
+		return a + b, true
+	case minic.OpSub:
+		return a - b, true
+	case minic.OpMul:
+		return a * b, true
+	case minic.OpXor:
+		return a ^ b, true
+	case minic.OpAnd:
+		return a & b, true
+	case minic.OpOr:
+		return a | b, true
+	case minic.OpShl:
+		return int32(uint32(a) << (uint32(b) & 31)), true
+	case minic.OpShr:
+		return a >> (uint32(b) & 31), true
+	case minic.OpShrU:
+		return int32(uint32(a) >> (uint32(b) & 31)), true
+	case minic.OpLt:
+		return boolTo(a < b)
+	case minic.OpLe:
+		return boolTo(a <= b)
+	case minic.OpGt:
+		return boolTo(a > b)
+	case minic.OpGe:
+		return boolTo(a >= b)
+	case minic.OpEq:
+		return boolTo(a == b)
+	case minic.OpNe:
+		return boolTo(a != b)
+	}
+	return 0, false
+}
+
+// peephole applies store-to-load forwarding to the generated assembly and
+// returns the rewritten text plus the number of rewrites. Only exact
+// adjacent `sw X, off($sp)` / `lw Y, off($sp)` pairs with no intervening
+// label are rewritten; the load becomes `move Y, X` with the load's secure
+// marker.
+func peephole(asmText string) (string, int) {
+	lines := strings.Split(asmText, "\n")
+	rewrites := 0
+	for i := 0; i+1 < len(lines); i++ {
+		sOp, sSec, sReg, sOff, ok := parseSPMem(lines[i], "sw")
+		if !ok || sOp != "sw" {
+			continue
+		}
+		lOp, lSec, lReg, lOff, ok := parseSPMem(lines[i+1], "lw")
+		if !ok || lOp != "lw" || lOff != sOff {
+			continue
+		}
+		_ = sSec
+		sec := ""
+		if lSec {
+			sec = ".s"
+		}
+		if lReg == sReg {
+			// Reloading into the same register: the move would be a no-op;
+			// keep it for secure slots (the masked transfer must still
+			// happen) but it can be elided for insecure ones.
+			if !lSec {
+				lines[i+1] = "\tnop" + peepholeTag
+				rewrites++
+				continue
+			}
+		}
+		lines[i+1] = fmt.Sprintf("\tmove%s %s, %s%s", sec, lReg, sReg, peepholeTag)
+		rewrites++
+	}
+	return strings.Join(lines, "\n"), rewrites
+}
+
+// peepholeTag marks rewritten lines in listings.
+const peepholeTag = " # peephole: store-to-load forward"
+
+// parseSPMem matches "\t(sw|lw)[.s] $reg, off($sp)" lines.
+func parseSPMem(line, want string) (op string, secure bool, reg string, off string, ok bool) {
+	s := strings.TrimPrefix(line, "\t")
+	if s == line {
+		return "", false, "", "", false
+	}
+	if i := strings.Index(s, " #"); i >= 0 {
+		s = s[:i]
+	}
+	fields := strings.Fields(strings.ReplaceAll(s, ",", " "))
+	if len(fields) != 3 {
+		return "", false, "", "", false
+	}
+	m := fields[0]
+	if strings.HasSuffix(m, ".s") {
+		secure = true
+		m = strings.TrimSuffix(m, ".s")
+	}
+	if m != want {
+		return "", false, "", "", false
+	}
+	memOp := fields[2]
+	if !strings.HasSuffix(memOp, "($sp)") {
+		return "", false, "", "", false
+	}
+	return m, secure, fields[1], strings.TrimSuffix(memOp, "($sp)"), true
+}

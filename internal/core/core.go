@@ -1,0 +1,209 @@
+// Package core is the top-level API of the desmask library: it ties together
+// the masking compiler (package compiler), the secure-instruction processor
+// simulator (packages isa/asm/cpu/energy/mem), the DES workload (package
+// desprog) and the analysis tooling (packages trace/dpa) behind a small
+// surface that mirrors how the paper uses its system — pick a protection
+// policy, encrypt on the simulated smart card, and inspect energy behaviour.
+package core
+
+import (
+	"fmt"
+
+	"desmask/internal/compiler"
+	"desmask/internal/cpu"
+	"desmask/internal/des"
+	"desmask/internal/desprog"
+	"desmask/internal/energy"
+	"desmask/internal/trace"
+)
+
+// System is a compiled DES smart-card system at one protection policy.
+type System struct {
+	policy  compiler.Policy
+	cfg     energy.Config
+	machine *desprog.Machine
+}
+
+// NewSystem compiles the DES program under the given policy with the
+// default (paper) energy configuration.
+func NewSystem(policy compiler.Policy) (*System, error) {
+	return NewSystemWithConfig(policy, energy.DefaultConfig())
+}
+
+// NewSystemWithConfig uses an explicit energy-model configuration, enabling
+// the architectural ablations (no precharge, no clock gating, inter-wire
+// coupling).
+func NewSystemWithConfig(policy compiler.Policy, cfg energy.Config) (*System, error) {
+	m, err := desprog.NewWithConfig(policy, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{policy: policy, cfg: cfg, machine: m}, nil
+}
+
+// Policy returns the system's protection policy.
+func (s *System) Policy() compiler.Policy { return s.policy }
+
+// Machine exposes the underlying compiled machine for window lookups and
+// attack-trace collection.
+func (s *System) Machine() *desprog.Machine { return s.machine }
+
+// Report returns the compiler's protection report (seeds, forward slice,
+// secured-operation counts).
+func (s *System) Report() compiler.Report { return s.machine.Res.Report }
+
+// EncryptResult is the outcome of one simulated encryption.
+type EncryptResult struct {
+	Cipher uint64
+	Stats  cpu.Stats
+}
+
+// TotalUJ returns the run's total energy in microjoules.
+func (r EncryptResult) TotalUJ() float64 { return r.Stats.EnergyPJ / 1e6 }
+
+// Encrypt runs one block encryption on the simulator.
+func (s *System) Encrypt(key, plaintext uint64) (EncryptResult, error) {
+	cipher, stats, done, err := s.machine.Encrypt(key, plaintext, nil, 0)
+	if err != nil {
+		return EncryptResult{}, err
+	}
+	if !done {
+		return EncryptResult{}, fmt.Errorf("core: encryption did not complete")
+	}
+	return EncryptResult{Cipher: cipher, Stats: stats}, nil
+}
+
+// EncryptWithTrace runs one encryption capturing the full per-cycle energy
+// trace.
+func (s *System) EncryptWithTrace(key, plaintext uint64) (EncryptResult, *trace.Trace, error) {
+	var rec trace.Recorder
+	cipher, stats, done, err := s.machine.Encrypt(key, plaintext, &rec, 0)
+	if err != nil {
+		return EncryptResult{}, nil, err
+	}
+	if !done {
+		return EncryptResult{}, nil, fmt.Errorf("core: encryption did not complete")
+	}
+	return EncryptResult{Cipher: cipher, Stats: stats}, &rec.T, nil
+}
+
+// Verify encrypts on the simulator and checks the result against the
+// reference DES implementation.
+func (s *System) Verify(key, plaintext uint64) error {
+	res, err := s.Encrypt(key, plaintext)
+	if err != nil {
+		return err
+	}
+	if want := des.Encrypt(key, plaintext); res.Cipher != want {
+		return fmt.Errorf("core: simulated cipher %#016x != reference %#016x", res.Cipher, want)
+	}
+	return nil
+}
+
+// PolicyEnergy is one row of the policy comparison (the paper's §4.3
+// totals: 46.4 / 52.6 / 63.6 / 83.5 µJ).
+type PolicyEnergy struct {
+	Policy     compiler.Policy
+	TotalUJ    float64
+	AvgPJCycle float64
+	Cycles     uint64
+	SecureInst uint64
+	Insts      uint64
+}
+
+// EnergyReport compares the protection policies on one workload.
+type EnergyReport struct {
+	Rows []PolicyEnergy
+}
+
+// Row returns the row for a policy.
+func (r *EnergyReport) Row(p compiler.Policy) (PolicyEnergy, bool) {
+	for _, row := range r.Rows {
+		if row.Policy == p {
+			return row, true
+		}
+	}
+	return PolicyEnergy{}, false
+}
+
+// Overhead returns a policy's additional energy over the unprotected run,
+// in µJ.
+func (r *EnergyReport) Overhead(p compiler.Policy) float64 {
+	base, ok1 := r.Row(compiler.PolicyNone)
+	row, ok2 := r.Row(p)
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return row.TotalUJ - base.TotalUJ
+}
+
+// HeadlineSavings returns the paper's abstract claim: the fraction of the
+// full-dual-rail additional energy that selective masking avoids
+// (1 − overhead(selective)/overhead(all-secure) ≈ 0.83).
+func (r *EnergyReport) HeadlineSavings() float64 {
+	all := r.Overhead(compiler.PolicyAllSecure)
+	if all == 0 {
+		return 0
+	}
+	return 1 - r.Overhead(compiler.PolicySelective)/all
+}
+
+// ComparePolicies encrypts the same block under each policy and tabulates
+// energy.
+func ComparePolicies(key, plaintext uint64, policies []compiler.Policy) (*EnergyReport, error) {
+	rep := &EnergyReport{}
+	for _, pol := range policies {
+		s, err := NewSystem(pol)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Encrypt(key, plaintext)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, PolicyEnergy{
+			Policy:     pol,
+			TotalUJ:    res.TotalUJ(),
+			AvgPJCycle: res.Stats.AvgPJPerCycle(),
+			Cycles:     res.Stats.Cycles,
+			SecureInst: res.Stats.SecureInst,
+			Insts:      res.Stats.Insts,
+		})
+	}
+	return rep, nil
+}
+
+// DifferentialSummary quantifies how much two runs' energy profiles differ
+// inside a window — the flatness criterion of Figures 8-11.
+type DifferentialSummary struct {
+	Window trace.Window
+	Stats  trace.Stats
+	// Flat is true when no cycle in the window differs beyond numerical
+	// noise: the masked condition.
+	Flat bool
+}
+
+// DifferentialTrace runs the system twice (two keys or two plaintexts) and
+// summarises the differential profile over the given window. A nil window
+// means the whole run.
+func (s *System) DifferentialTrace(k1, p1, k2, p2 uint64, w *trace.Window) ([]float64, DifferentialSummary, error) {
+	_, t1, err := s.EncryptWithTrace(k1, p1)
+	if err != nil {
+		return nil, DifferentialSummary{}, err
+	}
+	_, t2, err := s.EncryptWithTrace(k2, p2)
+	if err != nil {
+		return nil, DifferentialSummary{}, err
+	}
+	d, err := trace.Diff(t1.Totals, t2.Totals)
+	if err != nil {
+		return nil, DifferentialSummary{}, err
+	}
+	win := trace.Window{Start: 0, End: len(d)}
+	if w != nil {
+		win = *w
+	}
+	seg := d[win.Start:win.End]
+	st := trace.Summarize(seg)
+	return d, DifferentialSummary{Window: win, Stats: st, Flat: st.MaxAbs < 1e-9}, nil
+}

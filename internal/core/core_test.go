@@ -1,0 +1,185 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"desmask/internal/compiler"
+	"desmask/internal/des"
+	"desmask/internal/energy"
+	"desmask/internal/trace"
+)
+
+const (
+	key   = 0x133457799BBCDFF1
+	key2  = 0x133457799BBCDFF1 ^ (1 << 62)
+	plain = 0x0123456789ABCDEF
+)
+
+var (
+	sysOnce sync.Once
+	systems map[compiler.Policy]*System
+)
+
+func sys(t *testing.T, p compiler.Policy) *System {
+	t.Helper()
+	sysOnce.Do(func() {
+		systems = map[compiler.Policy]*System{}
+		for _, pol := range compiler.Policies() {
+			s, err := NewSystem(pol)
+			if err != nil {
+				panic(err)
+			}
+			systems[pol] = s
+		}
+	})
+	return systems[p]
+}
+
+func TestVerifyAgainstReference(t *testing.T) {
+	for _, pol := range compiler.Policies() {
+		if err := sys(t, pol).Verify(key, plain); err != nil {
+			t.Errorf("%v: %v", pol, err)
+		}
+	}
+}
+
+func TestEncryptResult(t *testing.T) {
+	s := sys(t, compiler.PolicyNone)
+	res, err := s.Encrypt(key, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cipher != des.Encrypt(key, plain) {
+		t.Error("wrong ciphertext")
+	}
+	if res.TotalUJ() <= 0 || res.Stats.Cycles == 0 {
+		t.Errorf("implausible result: %+v", res)
+	}
+}
+
+func TestEncryptWithTrace(t *testing.T) {
+	s := sys(t, compiler.PolicyNone)
+	res, tr, err := s.EncryptWithTrace(key, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(tr.Len()) != res.Stats.Cycles {
+		t.Errorf("trace length %d != cycles %d", tr.Len(), res.Stats.Cycles)
+	}
+	if trace.TotalPJ(tr.Totals) <= 0 {
+		t.Error("empty trace")
+	}
+}
+
+func TestComparePolicies(t *testing.T) {
+	rep, err := ComparePolicies(key, plain, []compiler.Policy{
+		compiler.PolicyNone, compiler.PolicySelective,
+		compiler.PolicyNaiveLoadStore, compiler.PolicyAllSecure,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	var prev float64
+	for i, row := range rep.Rows {
+		if i > 0 && row.TotalUJ <= prev {
+			t.Errorf("%v (%.2f µJ) not above previous (%.2f µJ)", row.Policy, row.TotalUJ, prev)
+		}
+		prev = row.TotalUJ
+	}
+	// The paper's headline: selective avoids ~83% of the dual-rail
+	// overhead. Accept the 70-90% band for shape.
+	hs := rep.HeadlineSavings()
+	if hs < 0.70 || hs > 0.90 {
+		t.Errorf("headline savings = %.1f%%, want ~83%%", 100*hs)
+	}
+	// All-secure roughly doubles the original (paper: 83.5/46.4 = 1.80).
+	noneRow, _ := rep.Row(compiler.PolicyNone)
+	allRow, _ := rep.Row(compiler.PolicyAllSecure)
+	ratio := allRow.TotalUJ / noneRow.TotalUJ
+	if ratio < 1.6 || ratio > 2.1 {
+		t.Errorf("all-secure/none = %.2f, want ~1.8", ratio)
+	}
+	if _, ok := rep.Row(compiler.PolicySeedsOnly); ok {
+		t.Error("Row returned a policy that was not compared")
+	}
+}
+
+func TestDifferentialMaskedFlat(t *testing.T) {
+	s := sys(t, compiler.PolicySelective)
+	// Window: everything before the output permutation.
+	_, tr, err := s.EncryptWithTrace(key, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := s.Machine().EntryPC("output_permutation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := tr.Len()
+	for i, pc := range tr.PCs {
+		if pc == entry {
+			end = i
+			break
+		}
+	}
+	w := trace.Window{Start: 0, End: end}
+	_, sum, err := s.DifferentialTrace(key, plain, key2, plain, &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Flat {
+		t.Errorf("masked differential not flat: %+v", sum.Stats)
+	}
+}
+
+func TestDifferentialUnmaskedNotFlat(t *testing.T) {
+	s := sys(t, compiler.PolicyNone)
+	_, sum, err := s.DifferentialTrace(key, plain, key2, plain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Flat {
+		t.Error("unmasked differential is flat; key leak expected")
+	}
+	if sum.Stats.MaxAbs < 1 {
+		t.Errorf("unmasked differential suspiciously small: %+v", sum.Stats)
+	}
+}
+
+func TestAblationConfig(t *testing.T) {
+	cfg := energy.DefaultConfig()
+	cfg.DualRailPrecharge = false
+	s, err := NewSystemWithConfig(compiler.PolicySelective, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(key, plain); err != nil {
+		t.Fatal(err)
+	}
+	// Without precharge the masked differential must NOT be flat.
+	_, sum, err := s.DifferentialTrace(key, plain, key2, plain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Flat {
+		t.Error("no-precharge ablation should leak")
+	}
+}
+
+func TestReportAndPolicyAccessors(t *testing.T) {
+	s := sys(t, compiler.PolicySelective)
+	if s.Policy() != compiler.PolicySelective {
+		t.Error("wrong policy")
+	}
+	rep := s.Report()
+	if rep.SecuredOps == 0 || rep.SecuredOps >= rep.TotalOps {
+		t.Errorf("selective report implausible: %+v", rep)
+	}
+	if len(rep.Seeds) != 1 || rep.Seeds[0] != "key" {
+		t.Errorf("seeds = %v", rep.Seeds)
+	}
+}

@@ -1,0 +1,480 @@
+// Package cpu implements the cycle-accurate simulator of the five-stage
+// pipelined smart-card processor the paper targets: in-order IF/ID/EX/MEM/WB,
+// full ALU forwarding, a one-cycle load-use stall, branches resolved in EX
+// with a two-cycle flush, and the secure-instruction extension that runs the
+// marked instruction on the precharged dual-rail datapath.
+//
+// Energy is accounted every cycle through an energy.Model; per-cycle results
+// are streamed to a CycleSink so callers can capture full traces, windows, or
+// totals without the simulator deciding storage policy.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"desmask/internal/asm"
+	"desmask/internal/energy"
+	"desmask/internal/isa"
+	"desmask/internal/mem"
+)
+
+// CycleInfo describes one simulated clock cycle.
+type CycleInfo struct {
+	Cycle  uint64
+	Energy energy.CycleEnergy
+	// ExecPC and ExecInst describe the instruction occupying EX this cycle;
+	// ExecValid is false for bubbles.
+	ExecPC    uint32
+	ExecInst  isa.Inst
+	ExecValid bool
+}
+
+// CycleSink receives every simulated cycle.
+type CycleSink interface {
+	OnCycle(CycleInfo)
+}
+
+// SinkFunc adapts a function to CycleSink.
+type SinkFunc func(CycleInfo)
+
+// OnCycle implements CycleSink.
+func (f SinkFunc) OnCycle(c CycleInfo) { f(c) }
+
+// Stats summarises a finished run.
+type Stats struct {
+	Cycles     uint64
+	Insts      uint64 // instructions retired
+	SecureInst uint64 // retired instructions that ran dual-rail
+	Stalls     uint64 // load-use stall cycles
+	Flushes    uint64 // instructions squashed by taken branches/jumps
+	EnergyPJ   float64
+	ByComp     [energy.NumComponents]float64
+}
+
+// AvgPJPerCycle returns the mean per-cycle energy.
+func (s Stats) AvgPJPerCycle() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return s.EnergyPJ / float64(s.Cycles)
+}
+
+// ErrMaxCycles reports that Run hit its cycle budget before halting.
+var ErrMaxCycles = errors.New("cpu: maximum cycle count reached before halt")
+
+// CPU is one simulated core. Create with New.
+type CPU struct {
+	prog  *asm.Program
+	words []uint32 // encoded text, index = (pc-TextBase)/4
+	mem   *mem.Memory
+	model *energy.Model
+	sink  CycleSink
+
+	regs [isa.NumRegs]uint32
+	pc   uint32
+
+	ifid  ifidLatch
+	idex  idexLatch
+	exmem exmemLatch
+	memwb memwbLatch
+
+	draining bool // halt decoded; stop fetching
+	halted   bool
+	stats    Stats
+}
+
+type ifidLatch struct {
+	valid bool
+	pc    uint32
+	inst  isa.Inst
+	word  uint32
+}
+
+type idexLatch struct {
+	valid bool
+	pc    uint32
+	inst  isa.Inst
+	a, b  uint32 // register operands as read in ID (pre-forwarding)
+}
+
+type exmemLatch struct {
+	valid    bool
+	pc       uint32
+	inst     isa.Inst
+	aluOut   uint32
+	storeVal uint32
+}
+
+type memwbLatch struct {
+	valid bool
+	pc    uint32
+	inst  isa.Inst
+	value uint32
+}
+
+// New builds a CPU with the program loaded: text is placed in a Harvard-style
+// instruction store, the data image is copied into memory, and the stack
+// pointer is initialised to the top of a 4 KiB stack above the data segment.
+func New(p *asm.Program, m *mem.Memory, model *energy.Model) (*CPU, error) {
+	if len(p.Text) == 0 {
+		return nil, errors.New("cpu: empty program")
+	}
+	c := &CPU{prog: p, mem: m, model: model, pc: p.Entry}
+	c.words = make([]uint32, len(p.Text))
+	for i, in := range p.Text {
+		w, err := isa.Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("cpu: text word %d: %w", i, err)
+		}
+		c.words[i] = w
+	}
+	if err := m.LoadImage(p.DataBase, p.Data); err != nil {
+		return nil, err
+	}
+	c.regs[isa.SP] = p.DataEnd() + 4096
+	c.regs[isa.GP] = p.DataBase
+	return c, nil
+}
+
+// SetSink installs the per-cycle listener (may be nil).
+func (c *CPU) SetSink(s CycleSink) { c.sink = s }
+
+// Reg returns the current architectural value of r.
+func (c *CPU) Reg(r isa.Reg) uint32 { return c.regs[r] }
+
+// SetReg sets an architectural register (test and loader use).
+func (c *CPU) SetReg(r isa.Reg, v uint32) {
+	if r != isa.Zero {
+		c.regs[r] = v
+	}
+}
+
+// PC returns the current fetch PC.
+func (c *CPU) PC() uint32 { return c.pc }
+
+// Halted reports whether a halt instruction has retired.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Stats returns the accumulated run statistics.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// Mem returns the data memory.
+func (c *CPU) Mem() *mem.Memory { return c.mem }
+
+// Run simulates until halt or maxCycles. It returns ErrMaxCycles when the
+// budget expires first.
+func (c *CPU) Run(maxCycles uint64) error {
+	for !c.halted {
+		if c.stats.Cycles >= maxCycles {
+			return ErrMaxCycles
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step advances the pipeline by one clock cycle.
+func (c *CPU) Step() error {
+	if c.halted {
+		return errors.New("cpu: stepping a halted core")
+	}
+	c.model.BeginCycle()
+
+	// Snapshot the latches: all stages observe start-of-cycle state.
+	oldIFID, oldIDEX, oldEXMEM, oldMEMWB := c.ifid, c.idex, c.exmem, c.memwb
+
+	info := CycleInfo{Cycle: c.stats.Cycles}
+
+	// ---- WB ------------------------------------------------------------
+	if oldMEMWB.valid {
+		in := oldMEMWB.inst
+		c.model.Writeback(oldMEMWB.value, in.Secure)
+		if d, ok := in.Dest(); ok {
+			c.regs[d] = oldMEMWB.value
+			c.model.RegWrite()
+		}
+		c.stats.Insts++
+		if in.Secure {
+			c.stats.SecureInst++
+		}
+		if in.Op == isa.OpHalt {
+			c.halted = true
+		}
+	}
+
+	// ---- MEM -----------------------------------------------------------
+	var newMEMWB memwbLatch
+	if oldEXMEM.valid {
+		in := oldEXMEM.inst
+		value := oldEXMEM.aluOut
+		switch {
+		case in.Op.IsLoad():
+			v, err := c.mem.LoadWord(oldEXMEM.aluOut)
+			if err != nil {
+				return fmt.Errorf("cpu: pc %#x: %w", oldEXMEM.pc, err)
+			}
+			c.model.MemAccess(oldEXMEM.aluOut, v, in.Secure)
+			value = v
+		case in.Op.IsStore():
+			if err := c.mem.StoreWord(oldEXMEM.aluOut, oldEXMEM.storeVal); err != nil {
+				return fmt.Errorf("cpu: pc %#x: %w", oldEXMEM.pc, err)
+			}
+			c.model.MemAccess(oldEXMEM.aluOut, oldEXMEM.storeVal, in.Secure)
+		}
+		newMEMWB = memwbLatch{valid: true, pc: oldEXMEM.pc, inst: in, value: value}
+	}
+
+	// ---- EX ------------------------------------------------------------
+	var newEXMEM exmemLatch
+	redirect := false
+	var redirectPC uint32
+	if oldIDEX.valid {
+		in := oldIDEX.inst
+		a, b := c.forward(oldIDEX, oldEXMEM, oldMEMWB)
+		info.ExecPC, info.ExecInst, info.ExecValid = oldIDEX.pc, in, true
+
+		c.model.OperandLatch(a, b, in.Secure)
+		res, target, taken, err := execInst(in, oldIDEX.pc, a, b)
+		if err != nil {
+			return err
+		}
+		c.model.ALUOp(a, b, res, in.Op == isa.OpXor || in.Op == isa.OpXori, in.Secure)
+		c.model.Result(res, in.Secure)
+
+		newEXMEM = exmemLatch{valid: true, pc: oldIDEX.pc, inst: in, aluOut: res, storeVal: b}
+		if taken {
+			redirect, redirectPC = true, target
+		}
+	}
+
+	// ---- ID ------------------------------------------------------------
+	var newIDEX idexLatch
+	stall := false
+	if oldIFID.valid {
+		in := oldIFID.inst
+		// Load-use hazard: the load's value is only available after MEM.
+		if oldIDEX.valid && oldIDEX.inst.Op.IsLoad() {
+			if d, ok := oldIDEX.inst.Dest(); ok {
+				for _, s := range in.Sources() {
+					if s == d {
+						stall = true
+						break
+					}
+				}
+			}
+		}
+		if !stall {
+			c.model.Decode()
+			srcs := in.Sources()
+			c.model.RegRead(len(srcs))
+			var a, b uint32
+			switch in.Op.Format() {
+			case isa.FmtR:
+				a, b = c.regs[in.Rs], c.regs[in.Rt]
+			case isa.FmtRShift:
+				a, b = c.regs[in.Rt], uint32(in.Imm)
+			case isa.FmtRJump:
+				a = c.regs[in.Rs]
+			case isa.FmtI:
+				a, b = c.regs[in.Rs], uint32(in.Imm)
+			case isa.FmtILui:
+				b = uint32(in.Imm)
+			case isa.FmtIMem:
+				a = c.regs[in.Rs]
+				if in.Op.IsStore() {
+					b = c.regs[in.Rt] // store value; loads do not read rt
+				}
+			case isa.FmtIBranch:
+				a, b = c.regs[in.Rs], c.regs[in.Rt]
+			}
+			newIDEX = idexLatch{valid: true, pc: oldIFID.pc, inst: in, a: a, b: b}
+			if in.Op == isa.OpHalt {
+				c.draining = true
+			}
+		} else {
+			c.stats.Stalls++
+		}
+	}
+
+	// ---- IF ------------------------------------------------------------
+	newIFID := oldIFID
+	fetchFault := false
+	if stall {
+		// Freeze IF/ID and PC; bubble already inserted into EX.
+	} else {
+		newIFID = ifidLatch{}
+		if !c.draining {
+			idx := (c.pc - c.prog.TextBase) / 4
+			if c.pc < c.prog.TextBase || int(idx) >= len(c.words) || c.pc%4 != 0 {
+				// Fetch may legitimately run past a not-yet-resolved jump
+				// (wrong-path fetch); stall the fetch unit and fault only if
+				// no redirect ever arrives (checked below once the pipeline
+				// drains).
+				fetchFault = true
+			} else {
+				word := c.words[idx]
+				c.model.Fetch(word)
+				newIFID = ifidLatch{valid: true, pc: c.pc, inst: c.prog.Text[idx], word: word}
+				c.pc += 4
+			}
+		}
+	}
+
+	// ---- control redirect ----------------------------------------------
+	if redirect {
+		// Squash the two younger instructions (in ID and IF this cycle).
+		if newIDEX.valid {
+			c.stats.Flushes++
+		}
+		if newIFID.valid {
+			c.stats.Flushes++
+		}
+		newIDEX = idexLatch{}
+		newIFID = ifidLatch{}
+		c.pc = redirectPC
+		c.draining = false // a jump may legitimately leave a halt shadow
+	}
+
+	// A fetch fault is fatal only once the pipeline has drained without any
+	// in-flight instruction that could still redirect control flow.
+	if fetchFault && !redirect && !c.draining &&
+		!newIFID.valid && !newIDEX.valid && !newEXMEM.valid && !newMEMWB.valid {
+		return fmt.Errorf("cpu: instruction fetch outside text segment at pc %#x", c.pc)
+	}
+
+	// ---- commit latches --------------------------------------------------
+	c.ifid, c.idex, c.exmem, c.memwb = newIFID, newIDEX, newEXMEM, newMEMWB
+
+	info.Energy = c.model.EndCycle()
+	c.stats.Cycles++
+	c.stats.EnergyPJ += info.Energy.Total
+	for i, v := range info.Energy.By {
+		c.stats.ByComp[i] += v
+	}
+	if c.sink != nil {
+		c.sink.OnCycle(info)
+	}
+	return nil
+}
+
+// forward resolves the EX-stage operand values using the standard forwarding
+// paths: EX/MEM (one instruction ahead, ALU results only — load-use pairs
+// are separated by the ID stall) and MEM/WB (two ahead, including load data).
+func (c *CPU) forward(id idexLatch, exm exmemLatch, mwb memwbLatch) (a, b uint32) {
+	a, b = id.a, id.b
+	pick := func(r isa.Reg, cur uint32) uint32 {
+		if r == isa.Zero {
+			return cur
+		}
+		// MEM/WB first so the younger EX/MEM result can override it.
+		if mwb.valid {
+			if d, ok := mwb.inst.Dest(); ok && d == r {
+				cur = mwb.value
+			}
+		}
+		if exm.valid && !exm.inst.Op.IsLoad() {
+			if d, ok := exm.inst.Dest(); ok && d == r {
+				cur = exm.aluOut
+			}
+		}
+		return cur
+	}
+	in := id.inst
+	switch in.Op.Format() {
+	case isa.FmtR:
+		a, b = pick(in.Rs, a), pick(in.Rt, b)
+	case isa.FmtRShift:
+		a = pick(in.Rt, a)
+	case isa.FmtRJump:
+		a = pick(in.Rs, a)
+	case isa.FmtI:
+		a = pick(in.Rs, a)
+	case isa.FmtIMem:
+		a = pick(in.Rs, a)
+		if in.Op.IsStore() {
+			b = pick(in.Rt, b)
+		}
+	case isa.FmtIBranch:
+		a, b = pick(in.Rs, a), pick(in.Rt, b)
+	}
+	return a, b
+}
+
+// execInst computes the EX-stage result of one instruction: the ALU output
+// (or memory address), plus branch/jump resolution. It is shared by the
+// pipelined CPU and the RefModel golden model so that co-simulation isolates
+// pipeline-control bugs.
+func execInst(in isa.Inst, pc, a, b uint32) (res, target uint32, taken bool, err error) {
+	switch in.Op {
+	case isa.OpAddu, isa.OpAddiu:
+		res = a + b
+	case isa.OpSubu:
+		res = a - b
+	case isa.OpAnd, isa.OpAndi:
+		res = a & b
+	case isa.OpOr, isa.OpOri:
+		res = a | b
+	case isa.OpXor, isa.OpXori:
+		res = a ^ b
+	case isa.OpNor:
+		res = ^(a | b)
+	case isa.OpSll, isa.OpSllv:
+		// ID places the shifted value in a and the count (immediate or rt)
+		// in b for both fixed and variable shifts.
+		res = a << (b & 31)
+	case isa.OpSrl, isa.OpSrlv:
+		res = a >> (b & 31)
+	case isa.OpSra, isa.OpSrav:
+		res = uint32(int32(a) >> (b & 31))
+	case isa.OpSlt, isa.OpSlti:
+		if int32(a) < int32(b) {
+			res = 1
+		}
+	case isa.OpSltu, isa.OpSltiu:
+		if a < b {
+			res = 1
+		}
+	case isa.OpMul:
+		res = a * b
+	case isa.OpLui:
+		res = b << 15
+	case isa.OpLw, isa.OpSw:
+		res = a + uint32(in.Imm) // address; b carries the store value
+	case isa.OpBeq:
+		res = a - b
+		if a == b {
+			target, taken = pc+4+uint32(in.Imm)*4, true
+		}
+	case isa.OpBne:
+		res = a - b
+		if a != b {
+			target, taken = pc+4+uint32(in.Imm)*4, true
+		}
+	case isa.OpBlez:
+		if int32(a) <= 0 {
+			target, taken = pc+4+uint32(in.Imm)*4, true
+		}
+	case isa.OpBgtz:
+		if int32(a) > 0 {
+			target, taken = pc+4+uint32(in.Imm)*4, true
+		}
+	case isa.OpJ:
+		target, taken = uint32(in.Imm)*4, true
+	case isa.OpJal:
+		res = pc + 4
+		target, taken = uint32(in.Imm)*4, true
+	case isa.OpJr:
+		target, taken = a, true
+		if target%4 != 0 {
+			return 0, 0, false, fmt.Errorf("cpu: jr to misaligned address %#x at pc %#x", target, pc)
+		}
+	case isa.OpHalt:
+		// no datapath effect
+	default:
+		return 0, 0, false, fmt.Errorf("cpu: unimplemented opcode %v at pc %#x", in.Op, pc)
+	}
+	return res, target, taken, nil
+}

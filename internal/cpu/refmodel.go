@@ -1,0 +1,137 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"desmask/internal/asm"
+	"desmask/internal/isa"
+	"desmask/internal/mem"
+)
+
+// RefModel is a functional, one-instruction-at-a-time golden model of the
+// ISA with no pipeline. It shares the EX-stage semantics with the pipelined
+// CPU, so co-simulating the two validates exactly the machinery that can go
+// wrong in the pipeline: operand bypassing, load-use stalls, control-flow
+// flushes, and writeback ordering.
+type RefModel struct {
+	prog *asm.Program
+	mem  *mem.Memory
+	regs [isa.NumRegs]uint32
+	pc   uint32
+
+	halted bool
+	insts  uint64
+}
+
+// NewRef builds a reference model with the program's data image loaded and
+// the same initial register state the pipelined CPU uses.
+func NewRef(p *asm.Program, m *mem.Memory) (*RefModel, error) {
+	if len(p.Text) == 0 {
+		return nil, errors.New("cpu: empty program")
+	}
+	r := &RefModel{prog: p, mem: m, pc: p.Entry}
+	if err := m.LoadImage(p.DataBase, p.Data); err != nil {
+		return nil, err
+	}
+	r.regs[isa.SP] = p.DataEnd() + 4096
+	r.regs[isa.GP] = p.DataBase
+	return r, nil
+}
+
+// Reg returns an architectural register value.
+func (r *RefModel) Reg(reg isa.Reg) uint32 { return r.regs[reg] }
+
+// SetReg sets an architectural register.
+func (r *RefModel) SetReg(reg isa.Reg, v uint32) {
+	if reg != isa.Zero {
+		r.regs[reg] = v
+	}
+}
+
+// Mem returns the data memory.
+func (r *RefModel) Mem() *mem.Memory { return r.mem }
+
+// Halted reports whether a halt instruction retired.
+func (r *RefModel) Halted() bool { return r.halted }
+
+// Insts returns the number of executed instructions.
+func (r *RefModel) Insts() uint64 { return r.insts }
+
+// Run executes until halt or maxInsts instructions.
+func (r *RefModel) Run(maxInsts uint64) error {
+	for !r.halted {
+		if r.insts >= maxInsts {
+			return ErrMaxCycles
+		}
+		if err := r.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step executes one instruction.
+func (r *RefModel) Step() error {
+	if r.halted {
+		return errors.New("cpu: stepping a halted reference model")
+	}
+	idx := (r.pc - r.prog.TextBase) / 4
+	if r.pc < r.prog.TextBase || int(idx) >= len(r.prog.Text) || r.pc%4 != 0 {
+		return fmt.Errorf("cpu: ref fetch outside text segment at pc %#x", r.pc)
+	}
+	in := r.prog.Text[idx]
+	r.insts++
+
+	// Operand selection mirrors the pipelined ID stage.
+	var a, b uint32
+	switch in.Op.Format() {
+	case isa.FmtR:
+		a, b = r.regs[in.Rs], r.regs[in.Rt]
+	case isa.FmtRShift:
+		a, b = r.regs[in.Rt], uint32(in.Imm)
+	case isa.FmtRJump:
+		a = r.regs[in.Rs]
+	case isa.FmtI:
+		a, b = r.regs[in.Rs], uint32(in.Imm)
+	case isa.FmtILui:
+		b = uint32(in.Imm)
+	case isa.FmtIMem:
+		a = r.regs[in.Rs]
+		if in.Op.IsStore() {
+			b = r.regs[in.Rt]
+		}
+	case isa.FmtIBranch:
+		a, b = r.regs[in.Rs], r.regs[in.Rt]
+	}
+
+	res, target, taken, err := execInst(in, r.pc, a, b)
+	if err != nil {
+		return err
+	}
+
+	value := res
+	switch {
+	case in.Op.IsLoad():
+		v, lerr := r.mem.LoadWord(res)
+		if lerr != nil {
+			return fmt.Errorf("cpu: ref pc %#x: %w", r.pc, lerr)
+		}
+		value = v
+	case in.Op.IsStore():
+		if serr := r.mem.StoreWord(res, b); serr != nil {
+			return fmt.Errorf("cpu: ref pc %#x: %w", r.pc, serr)
+		}
+	case in.Op == isa.OpHalt:
+		r.halted = true
+	}
+	if d, ok := in.Dest(); ok {
+		r.regs[d] = value
+	}
+	if taken {
+		r.pc = target
+	} else {
+		r.pc += 4
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+// Package des is the reference implementation of the Data Encryption
+// Standard (FIPS 46-3) used as the correctness oracle for the simulated,
+// compiler-masked DES program, and as the prediction model for the DPA
+// attack. It deliberately exposes internals a library user normally would
+// not need — sub-keys, per-round state, first-round S-box outputs — because
+// the attack framework and the experiments consume them.
+package des
+
+// permute applies a 1-based, MSB-first permutation table to the low `width`
+// bits of v, producing len(table) output bits.
+func permute(v uint64, width int, table []int) uint64 {
+	var out uint64
+	for _, pos := range table {
+		out <<= 1
+		out |= v >> (width - pos) & 1
+	}
+	return out
+}
+
+// rotl28 rotates a 28-bit value left by n.
+func rotl28(v uint64, n int) uint64 {
+	return (v<<n | v>>(28-n)) & 0xfffffff
+}
+
+// Subkeys derives the sixteen 48-bit round keys from a 64-bit key (the 8
+// parity bits are ignored, as in the standard).
+func Subkeys(key uint64) [16]uint64 {
+	var ks [16]uint64
+	cd := permute(key, 64, PC1)
+	c, d := cd>>28, cd&0xfffffff
+	for r := 0; r < 16; r++ {
+		c, d = rotl28(c, Shifts[r]), rotl28(d, Shifts[r])
+		ks[r] = permute(c<<28|d, 56, PC2)
+	}
+	return ks
+}
+
+// Feistel computes the DES round function f(R, K) for a 32-bit half block R
+// and 48-bit round key K.
+func Feistel(r uint64, k uint64) uint64 {
+	x := permute(r, 32, E) ^ k
+	var s uint64
+	for box := 0; box < 8; box++ {
+		six := uint32(x >> (42 - 6*box) & 0x3f)
+		s = s<<4 | uint64(SBoxAt(box, six))
+	}
+	return permute(s, 32, P)
+}
+
+// RoundState is the (L, R) pair after a given round, exposed for validating
+// the simulated implementation round by round.
+type RoundState struct {
+	L, R uint32
+}
+
+// EncryptTrace encrypts one block and returns the ciphertext together with
+// the (L, R) state after every round.
+func EncryptTrace(key, plaintext uint64) (uint64, [16]RoundState) {
+	ks := Subkeys(key)
+	ip := permute(plaintext, 64, IP)
+	l, r := ip>>32, ip&0xffffffff
+	var states [16]RoundState
+	for i := 0; i < 16; i++ {
+		l, r = r, l^Feistel(r, ks[i])
+		states[i] = RoundState{L: uint32(l), R: uint32(r)}
+	}
+	// The final swap: pre-output is R16 || L16.
+	return permute(r<<32|l, 64, FP), states
+}
+
+// Encrypt enciphers one 64-bit block.
+func Encrypt(key, plaintext uint64) uint64 {
+	c, _ := EncryptTrace(key, plaintext)
+	return c
+}
+
+// Decrypt deciphers one 64-bit block.
+func Decrypt(key, ciphertext uint64) uint64 {
+	ks := Subkeys(key)
+	ip := permute(ciphertext, 64, IP)
+	l, r := ip>>32, ip&0xffffffff
+	for i := 15; i >= 0; i-- {
+		l, r = r, l^Feistel(r, ks[i])
+	}
+	return permute(r<<32|l, 64, FP)
+}
+
+// FirstRoundSBoxInput returns the 6-bit input of S-box `box` in round 1 for
+// the given plaintext, before keying: E(R0) bits for that box. XOR with the
+// 6 relevant key bits to obtain the actual S-box input.
+func FirstRoundSBoxInput(plaintext uint64, box int) uint32 {
+	ip := permute(plaintext, 64, IP)
+	r0 := ip & 0xffffffff
+	x := permute(r0, 32, E)
+	return uint32(x >> (42 - 6*box) & 0x3f)
+}
+
+// FirstRoundSBoxOutput returns the 4-bit output of S-box `box` in round 1
+// given the plaintext and a guess of the 6 sub-key bits feeding that box —
+// the DPA selection function of Kocher et al. [7] as used by Goubin-Patarin
+// [5].
+func FirstRoundSBoxOutput(plaintext uint64, box int, subkey6 uint32) uint8 {
+	return SBoxAt(box, FirstRoundSBoxInput(plaintext, box)^(subkey6&0x3f))
+}
+
+// SubkeySixBits extracts the 6 bits of round-1 sub-key K1 that feed S-box
+// `box`, for checking attack results against ground truth.
+func SubkeySixBits(key uint64, box int) uint32 {
+	k1 := Subkeys(key)[0]
+	return uint32(k1 >> (42 - 6*box) & 0x3f)
+}

@@ -1,0 +1,279 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Classic worked example (Grabbe/FIPS walkthrough).
+const (
+	classicKey    = 0x133457799BBCDFF1
+	classicPlain  = 0x0123456789ABCDEF
+	classicCipher = 0x85E813540F0AB405
+)
+
+func TestKnownVectors(t *testing.T) {
+	vectors := []struct {
+		key, plain, cipher uint64
+	}{
+		{classicKey, classicPlain, classicCipher},
+		// NBS/industry vectors.
+		{0x0E329232EA6D0D73, 0x8787878787878787, 0x0000000000000000},
+		{0x0101010101010101, 0x0000000000000000, 0x8CA64DE9C1B123A7},
+		{0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0x7359B2163E4EDC58},
+		{0x3000000000000000, 0x1000000000000001, 0x958E6E627A05557B},
+		{0x1111111111111111, 0x1111111111111111, 0xF40379AB9E0EC533},
+		{0x0123456789ABCDEF, 0x1111111111111111, 0x17668DFC7292532D},
+		{0xFEDCBA9876543210, 0x0123456789ABCDEF, 0xED39D950FA74BCC4},
+	}
+	for _, v := range vectors {
+		if got := Encrypt(v.key, v.plain); got != v.cipher {
+			t.Errorf("Encrypt(%#016x, %#016x) = %#016x, want %#016x", v.key, v.plain, got, v.cipher)
+		}
+		if got := Decrypt(v.key, v.cipher); got != v.plain {
+			t.Errorf("Decrypt(%#016x, %#016x) = %#016x, want %#016x", v.key, v.cipher, got, v.plain)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(key, plain uint64) bool {
+		return Decrypt(key, Encrypt(key, plain)) == plain
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComplementationProperty(t *testing.T) {
+	// DES(^k, ^p) == ^DES(k, p).
+	f := func(key, plain uint64) bool {
+		return Encrypt(^key, ^plain) == ^Encrypt(key, plain)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParityBitsIgnored(t *testing.T) {
+	// Flipping any parity bit (LSB of each key byte) must not change the
+	// ciphertext.
+	base := Encrypt(classicKey, classicPlain)
+	for i := 0; i < 8; i++ {
+		k := classicKey ^ (1 << (8 * i))
+		if got := Encrypt(uint64(k), classicPlain); got != base {
+			t.Errorf("parity bit %d affected ciphertext", i)
+		}
+	}
+}
+
+func TestSubkeysClassic(t *testing.T) {
+	// Round keys of the classic walkthrough.
+	ks := Subkeys(classicKey)
+	want := map[int]uint64{
+		0:  0x1B02EFFC7072,
+		1:  0x79AED9DBC9E5,
+		15: 0xCB3D8B0E17F5,
+	}
+	for r, k := range want {
+		if ks[r] != k {
+			t.Errorf("K%d = %#012x, want %#012x", r+1, ks[r], k)
+		}
+	}
+}
+
+func TestEncryptTraceStates(t *testing.T) {
+	// Round-1 state of the classic walkthrough: L1 = R0, R1 = ...
+	_, st := EncryptTrace(classicKey, classicPlain)
+	if st[0].L != 0xF0AAF0AA {
+		t.Errorf("L1 = %#08x, want F0AAF0AA", st[0].L)
+	}
+	if st[0].R != 0xEF4A6544 {
+		t.Errorf("R1 = %#08x, want EF4A6544", st[0].R)
+	}
+	// Final state consistency: FP(R16||L16) == ciphertext.
+	c, st := EncryptTrace(classicKey, classicPlain)
+	pre := uint64(st[15].R)<<32 | uint64(st[15].L)
+	if permute(pre, 64, FP) != c {
+		t.Error("EncryptTrace final state inconsistent with ciphertext")
+	}
+}
+
+func TestPermuteInverses(t *testing.T) {
+	f := func(v uint64) bool {
+		return permute(permute(v, 64, IP), 64, FP) == v &&
+			permute(permute(v, 64, FP), 64, IP) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		tab  []int
+		n    int
+		max  int
+	}{
+		{"IP", IP, 64, 64}, {"FP", FP, 64, 64}, {"E", E, 48, 32},
+		{"P", P, 32, 32}, {"PC1", PC1, 56, 64}, {"PC2", PC2, 48, 56},
+	}
+	for _, c := range cases {
+		if len(c.tab) != c.n {
+			t.Errorf("%s has %d entries, want %d", c.name, len(c.tab), c.n)
+		}
+		for _, v := range c.tab {
+			if v < 1 || v > c.max {
+				t.Errorf("%s entry %d out of range 1..%d", c.name, v, c.max)
+			}
+		}
+	}
+	if len(Shifts) != 16 {
+		t.Errorf("Shifts has %d entries", len(Shifts))
+	}
+	total := 0
+	for _, s := range Shifts {
+		total += s
+	}
+	if total != 28 {
+		t.Errorf("total rotation %d, want 28 (full cycle)", total)
+	}
+}
+
+func TestSBoxRows(t *testing.T) {
+	// Each S-box row must be a permutation of 0..15 (FIPS property).
+	for b, box := range SBox {
+		for row := 0; row < 4; row++ {
+			var seen [16]bool
+			for col := 0; col < 16; col++ {
+				v := box[row*16+col]
+				if v > 15 || seen[v] {
+					t.Errorf("S%d row %d is not a permutation", b+1, row)
+					break
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestSBoxAtConvention(t *testing.T) {
+	// Input 0b011011 to S1: row = 0b01 = 1, col = 0b1101 = 13 -> 5 (FIPS
+	// worked example).
+	if got := SBoxAt(0, 0b011011); got != 5 {
+		t.Errorf("S1(011011) = %d, want 5", got)
+	}
+}
+
+func TestFirstRoundSBoxOutputMatchesFeistel(t *testing.T) {
+	// Predicting with the true key bits must match the real round function.
+	f := func(key, plain uint64) bool {
+		ks := Subkeys(key)
+		ip := permute(plain, 64, IP)
+		r0 := ip & 0xffffffff
+		x := permute(r0, 32, E) ^ ks[0]
+		for box := 0; box < 8; box++ {
+			want := SBoxAt(box, uint32(x>>(42-6*box)&0x3f))
+			got := FirstRoundSBoxOutput(plain, box, SubkeySixBits(key, box))
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubkeySixBitsRange(t *testing.T) {
+	for box := 0; box < 8; box++ {
+		if SubkeySixBits(classicKey, box) > 63 {
+			t.Errorf("box %d subkey bits out of range", box)
+		}
+	}
+}
+
+func TestFeistelKnown(t *testing.T) {
+	// From the classic walkthrough: f(R0, K1) with R0 = F0AAF0AA.
+	ks := Subkeys(classicKey)
+	got := Feistel(0xF0AAF0AA, ks[0])
+	if got != 0x234AA9BB {
+		t.Errorf("f(R0,K1) = %#08x, want 234AA9BB", got)
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Encrypt(classicKey, classicPlain)
+	}
+}
+
+func TestK1BitToKeyBitConsistency(t *testing.T) {
+	// Pushing the true key through the mapping must reproduce K1.
+	f := func(key uint64) bool {
+		k1 := Subkeys(key)[0]
+		for i := 0; i < 48; i++ {
+			want := k1 >> (47 - i) & 1
+			got := key >> (63 - K1BitToKeyBit(i)) & 1
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnresolvedKeyBits(t *testing.T) {
+	free := UnresolvedKeyBits()
+	if len(free) != 8 {
+		t.Fatalf("unresolved bits = %d, want 8", len(free))
+	}
+	seen := map[int]bool{}
+	for _, pos := range free {
+		if pos < 0 || pos > 63 || pos%8 == 7 {
+			t.Errorf("unresolved bit %d invalid (parity bits are never PC-1 selected)", pos)
+		}
+		if seen[pos] {
+			t.Errorf("duplicate unresolved bit %d", pos)
+		}
+		seen[pos] = true
+	}
+}
+
+func TestRecoverKeyRoundTrip(t *testing.T) {
+	f := func(key, plaintext uint64) bool {
+		ct := Encrypt(key, plaintext)
+		var chunks [8]uint32
+		for box := 0; box < 8; box++ {
+			chunks[box] = SubkeySixBits(key, box)
+		}
+		rec, ok := RecoverKey(chunks, plaintext, ct)
+		if !ok {
+			return false
+		}
+		// The recovered key must be encryption-equivalent and match the
+		// true key up to parity bits.
+		return Encrypt(rec, plaintext) == ct && StripParity(rec) == StripParity(key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecoverKeyRejectsWrongChunks(t *testing.T) {
+	key, pt := uint64(classicKey), uint64(classicPlain)
+	ct := Encrypt(key, pt)
+	var chunks [8]uint32
+	for box := 0; box < 8; box++ {
+		chunks[box] = SubkeySixBits(key, box)
+	}
+	chunks[3] ^= 0x15 // corrupt one chunk
+	if _, ok := RecoverKey(chunks, pt, ct); ok {
+		t.Error("RecoverKey accepted corrupted chunks")
+	}
+}

@@ -1,0 +1,85 @@
+package des
+
+// Key-schedule inversion for the DPA attack: the 48 bits of round key K1
+// pin down 48 of the 56 effective key bits; the remaining 8 are found by
+// trial encryption. These helpers live here (rather than in package dpa)
+// because they are pure key-schedule algebra.
+
+// K1BitToKeyBit maps a bit position in K1 (0 = MSB of the 48-bit round key)
+// to the corresponding bit position in the original 64-bit key (0 = MSB).
+//
+// K1 = PC2(rotl1(PC1(key))): invert PC-2, undo the single left rotation of
+// the C and D halves, and invert PC-1.
+func K1BitToKeyBit(k1Bit int) int {
+	cdPos := PC2[k1Bit] - 1 // 0-based position in the rotated C||D
+	// Undo rotl-by-1 within each 28-bit half.
+	var pre int
+	if cdPos < 28 {
+		pre = (cdPos + 1) % 28
+	} else {
+		pre = 28 + (cdPos-28+1)%28
+	}
+	return PC1[pre] - 1 // 0-based position in the 64-bit key
+}
+
+// UnresolvedKeyBits returns the 0-based positions (MSB-first) of the
+// PC-1-selected key bits that K1 does not determine. DES uses 56 effective
+// bits; PC-2 drops 8 of them per round, so exactly 8 remain unknown after a
+// first-round attack.
+func UnresolvedKeyBits() []int {
+	covered := map[int]bool{}
+	for i := 0; i < 48; i++ {
+		covered[K1BitToKeyBit(i)] = true
+	}
+	var out []int
+	for _, pos := range PC1 {
+		if !covered[pos-1] {
+			out = append(out, pos-1)
+		}
+	}
+	return out
+}
+
+// AssembleKeyFromK1 builds the partial 64-bit key implied by a recovered K1
+// (given as eight 6-bit chunks, chunk 0 feeding S-box 1). Parity bits and
+// the unresolved bits are left zero.
+func AssembleKeyFromK1(chunks [8]uint32) uint64 {
+	var key uint64
+	for i := 0; i < 48; i++ {
+		bit := chunks[i/6] >> (5 - i%6) & 1
+		if bit == 1 {
+			key |= 1 << (63 - K1BitToKeyBit(i))
+		}
+	}
+	return key
+}
+
+// RecoverKey completes a first-round sub-key attack into the full DES key:
+// the 48 recovered K1 bits fix 48 effective key bits, and the remaining 8
+// are brute-forced against one known plaintext/ciphertext pair. The
+// returned key has zero parity bits (DES ignores them). ok is false when no
+// candidate reproduces the ciphertext — i.e. some recovered chunk was
+// wrong.
+func RecoverKey(chunks [8]uint32, plaintext, ciphertext uint64) (uint64, bool) {
+	base := AssembleKeyFromK1(chunks)
+	free := UnresolvedKeyBits()
+	for mask := 0; mask < 1<<len(free); mask++ {
+		key := base
+		for j, pos := range free {
+			if mask>>j&1 == 1 {
+				key |= 1 << (63 - pos)
+			}
+		}
+		if Encrypt(key, plaintext) == ciphertext {
+			return key, true
+		}
+	}
+	return 0, false
+}
+
+// StripParity zeroes the 8 parity bits (LSB of each byte), the canonical
+// form RecoverKey produces — useful for comparing recovered keys with the
+// true key.
+func StripParity(key uint64) uint64 {
+	return key &^ 0x0101010101010101
+}

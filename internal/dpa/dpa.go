@@ -1,0 +1,251 @@
+// Package dpa implements the power-analysis attacks the paper defends
+// against: Simple Power Analysis (SPA — reading program structure such as
+// the 16 DES rounds straight off the energy profile, Figure 6) and Kocher-
+// style Differential Power Analysis (DPA [7], as described by Goubin-Patarin
+// [5]): collect energy traces for many known plaintexts, guess 6 bits of the
+// first-round sub-key feeding one S-box, split the traces by a predicted
+// S-box output bit, and test whether the two groups' mean traces diverge.
+// A correct guess produces a differential spike; on a masked implementation
+// every guess stays flat.
+package dpa
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"desmask/internal/des"
+	"desmask/internal/desprog"
+	"desmask/internal/trace"
+)
+
+// Config parameterises trace collection.
+type Config struct {
+	// NumTraces is the number of (plaintext, trace) samples to gather.
+	NumTraces int
+	// Seed drives the plaintext generator, for reproducibility.
+	Seed int64
+	// MaxCycles truncates each run; covering the first round suffices for
+	// the first-round sub-key attack and keeps collection fast.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns a configuration comparable to the paper's reference
+// [5], scaled down because simulated traces are noise-free.
+func DefaultConfig() Config {
+	return Config{NumTraces: 100, Seed: 1, MaxCycles: 40_000}
+}
+
+// TraceSet is a batch of energy traces with known plaintexts, all collected
+// under the same (unknown to the attacker) key.
+type TraceSet struct {
+	Plaintexts []uint64
+	Traces     [][]float64
+	// Window is the analysis window within each trace (defaults to all).
+	Window trace.Window
+}
+
+// Len returns the number of traces.
+func (ts *TraceSet) Len() int { return len(ts.Traces) }
+
+// Collect gathers cfg.NumTraces first-round energy traces from the machine
+// under the given key, using uniformly random plaintexts.
+func Collect(m *desprog.Machine, key uint64, cfg Config) (*TraceSet, error) {
+	if cfg.NumTraces <= 0 {
+		return nil, fmt.Errorf("dpa: NumTraces must be positive")
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = DefaultConfig().MaxCycles
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ts := &TraceSet{}
+	minLen := -1
+	for i := 0; i < cfg.NumTraces; i++ {
+		pt := rng.Uint64()
+		var rec trace.Recorder
+		_, _, _, err := m.Encrypt(key, pt, &rec, cfg.MaxCycles)
+		if err != nil {
+			return nil, err
+		}
+		ts.Plaintexts = append(ts.Plaintexts, pt)
+		ts.Traces = append(ts.Traces, rec.T.Totals)
+		if minLen < 0 || rec.T.Len() < minLen {
+			minLen = rec.T.Len()
+		}
+	}
+	// Runs are cycle-aligned by construction; clamp to the shortest anyway.
+	for i := range ts.Traces {
+		ts.Traces[i] = ts.Traces[i][:minLen]
+	}
+	ts.Window = trace.Window{Start: 0, End: minLen}
+	return ts, nil
+}
+
+// DifferenceOfMeans computes the DPA differential trace for one guess of the
+// 6 sub-key bits feeding S-box box: traces are partitioned by the predicted
+// output bit (0-3, MSB first) of that S-box in round 1, and the pointwise
+// difference of the two group means is returned.
+func DifferenceOfMeans(ts *TraceSet, box, bit int, guess uint32) []float64 {
+	n := ts.Window.End - ts.Window.Start
+	sum1 := make([]float64, n)
+	sum0 := make([]float64, n)
+	n1, n0 := 0, 0
+	for i, tr := range ts.Traces {
+		out := des.FirstRoundSBoxOutput(ts.Plaintexts[i], box, guess)
+		b := out >> (3 - bit) & 1
+		seg := tr[ts.Window.Start:ts.Window.End]
+		if b == 1 {
+			n1++
+			for j, v := range seg {
+				sum1[j] += v
+			}
+		} else {
+			n0++
+			for j, v := range seg {
+				sum0[j] += v
+			}
+		}
+	}
+	out := make([]float64, n)
+	if n1 == 0 || n0 == 0 {
+		return out // degenerate partition carries no signal
+	}
+	for j := range out {
+		out[j] = sum1[j]/float64(n1) - sum0[j]/float64(n0)
+	}
+	return out
+}
+
+// GuessScore is the peak differential magnitude of one sub-key guess.
+type GuessScore struct {
+	Guess uint32
+	Peak  float64
+}
+
+// BoxResult is the outcome of attacking one S-box.
+type BoxResult struct {
+	Box       int
+	Bit       int
+	Best      GuessScore
+	RunnerUp  GuessScore
+	AllScores [64]float64
+}
+
+// Margin returns Best.Peak / RunnerUp.Peak — the attack's confidence. A
+// margin near 1 (or a tiny best peak) means the attack failed.
+func (r BoxResult) Margin() float64 {
+	if r.RunnerUp.Peak == 0 {
+		return math.Inf(1)
+	}
+	return r.Best.Peak / r.RunnerUp.Peak
+}
+
+// AttackSBox runs the difference-of-means attack on every 6-bit guess for
+// one S-box, scoring each guess by its peak |DoM|.
+func AttackSBox(ts *TraceSet, box, bit int) BoxResult {
+	res := BoxResult{Box: box, Bit: bit, Best: GuessScore{Peak: -1}, RunnerUp: GuessScore{Peak: -1}}
+	for guess := uint32(0); guess < 64; guess++ {
+		dom := DifferenceOfMeans(ts, box, bit, guess)
+		peak := 0.0
+		for _, v := range dom {
+			if a := math.Abs(v); a > peak {
+				peak = a
+			}
+		}
+		res.AllScores[guess] = peak
+		switch {
+		case peak > res.Best.Peak:
+			res.RunnerUp = res.Best
+			res.Best = GuessScore{Guess: guess, Peak: peak}
+		case peak > res.RunnerUp.Peak:
+			res.RunnerUp = GuessScore{Guess: guess, Peak: peak}
+		}
+	}
+	return res
+}
+
+// AttackAll attacks all eight S-boxes using output bit `bit`.
+func AttackAll(ts *TraceSet, bit int) [8]BoxResult {
+	var out [8]BoxResult
+	for box := 0; box < 8; box++ {
+		out[box] = AttackSBox(ts, box, bit)
+	}
+	return out
+}
+
+// Verify compares attack results against the true key, returning how many of
+// the eight 6-bit sub-key chunks were recovered.
+func Verify(results [8]BoxResult, key uint64) (recovered int, detail [8]bool) {
+	for box, r := range results {
+		truth := des.SubkeySixBits(key, box)
+		if r.Best.Guess == truth {
+			recovered++
+			detail[box] = true
+		}
+	}
+	return recovered, detail
+}
+
+// SPAResult summarises simple power analysis of a full trace.
+type SPAResult struct {
+	// Period is the dominant repetition period, in buckets.
+	Period int
+	// Strength is the normalised autocorrelation at Period (0..1).
+	Strength float64
+	// Rounds estimates how many repetitions fit in the analysed region.
+	Rounds int
+}
+
+// SPA detects periodic structure (the 16 DES rounds of Figure 6) in a
+// bucketed energy profile via normalised autocorrelation. bucket is the
+// aggregation width in cycles; minPeriod/maxPeriod bound the search in
+// buckets.
+func SPA(totals []float64, bucket, minPeriod, maxPeriod int) SPAResult {
+	series := trace.Bucket(totals, bucket)
+	n := len(series)
+	if n == 0 || minPeriod < 1 || maxPeriod <= minPeriod {
+		return SPAResult{}
+	}
+	mean := 0.0
+	for _, v := range series {
+		mean += v
+	}
+	mean /= float64(n)
+	var variance float64
+	for _, v := range series {
+		variance += (v - mean) * (v - mean)
+	}
+	if variance == 0 {
+		return SPAResult{}
+	}
+	corr := make([]float64, 0, maxPeriod-minPeriod+1)
+	maxR := 0.0
+	for lag := minPeriod; lag <= maxPeriod && lag < n; lag++ {
+		var acc float64
+		for i := 0; i+lag < n; i++ {
+			acc += (series[i] - mean) * (series[i+lag] - mean)
+		}
+		r := acc / variance
+		corr = append(corr, r)
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if maxR <= 0 {
+		return SPAResult{}
+	}
+	// Harmonic disambiguation: multiples of the true period correlate about
+	// as well as the period itself, so take the smallest lag within 95% of
+	// the global maximum.
+	best := SPAResult{}
+	for i, r := range corr {
+		if r >= 0.95*maxR {
+			best = SPAResult{Period: minPeriod + i, Strength: r}
+			break
+		}
+	}
+	if best.Period > 0 {
+		best.Rounds = n / best.Period
+	}
+	return best
+}

@@ -1,0 +1,369 @@
+package dpa
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"desmask/internal/compiler"
+	"desmask/internal/des"
+	"desmask/internal/desprog"
+	"desmask/internal/kernels"
+	"desmask/internal/trace"
+)
+
+const attackKey = 0x133457799BBCDFF1
+
+var (
+	setupOnce   sync.Once
+	unmaskedSet *TraceSet
+	maskedSet   *TraceSet
+	roundWin    trace.Window
+)
+
+// setup collects one shared pair of trace sets (expensive).
+func setup(t *testing.T) {
+	t.Helper()
+	setupOnce.Do(func() {
+		cfg := Config{NumTraces: 128, Seed: 42, MaxCycles: 25_000}
+		mNone, err := desprog.New(compiler.PolicyNone)
+		if err != nil {
+			panic(err)
+		}
+		mSel, err := desprog.New(compiler.PolicySelective)
+		if err != nil {
+			panic(err)
+		}
+		unmaskedSet, err = Collect(mNone, attackKey, cfg)
+		if err != nil {
+			panic(err)
+		}
+		maskedSet, err = Collect(mSel, attackKey, cfg)
+		if err != nil {
+			panic(err)
+		}
+		// Analyse the round region only (the attacker skips the plaintext-
+		// dependent initial permutation).
+		roundWin = trace.Window{Start: 7_000, End: 25_000}
+		unmaskedSet.Window = roundWin
+		maskedSet.Window = roundWin
+	})
+}
+
+func TestCollectShapeAndDeterminism(t *testing.T) {
+	setup(t)
+	if unmaskedSet.Len() != 128 {
+		t.Fatalf("collected %d traces", unmaskedSet.Len())
+	}
+	for _, tr := range unmaskedSet.Traces {
+		if len(tr) != 25_000 {
+			t.Fatalf("trace length %d, want 25000", len(tr))
+		}
+	}
+	// Same seed twice gives the same plaintexts.
+	m, err := desprog.New(compiler.PolicyNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2, err := Collect(m, attackKey, Config{NumTraces: 3, Seed: 42, MaxCycles: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if ts2.Plaintexts[i] != unmaskedSet.Plaintexts[i] {
+			t.Fatal("plaintext generation not deterministic")
+		}
+	}
+}
+
+func TestCollectRejectsBadConfig(t *testing.T) {
+	m, err := desprog.New(compiler.PolicyNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(m, attackKey, Config{NumTraces: 0}); err == nil {
+		t.Error("zero traces accepted")
+	}
+}
+
+func TestDPARecoversSubkeyUnmasked(t *testing.T) {
+	setup(t)
+	// Boxes with comfortable margins at 128 traces; the experiments binary
+	// demonstrates full 8/8 recovery with 256.
+	for _, box := range []int{0, 1, 3, 5} {
+		r := AttackSBox(unmaskedSet, box, 0)
+		truth := des.SubkeySixBits(attackKey, box)
+		if r.Best.Guess != truth {
+			t.Errorf("box %d: recovered %d, want %d (peak %.3f, margin %.2f)",
+				box, r.Best.Guess, truth, r.Best.Peak, r.Margin())
+		}
+		if r.Best.Peak <= 0 {
+			t.Errorf("box %d: no differential signal", box)
+		}
+	}
+}
+
+func TestDPAFailsMasked(t *testing.T) {
+	setup(t)
+	recovered := 0
+	for box := 0; box < 8; box++ {
+		r := AttackSBox(maskedSet, box, 0)
+		// Masked round region is identical across plaintexts: the DoM is
+		// exactly zero for every guess.
+		if r.Best.Peak > 1e-9 {
+			t.Errorf("box %d: masked traces show differential peak %.6f", box, r.Best.Peak)
+		}
+		if r.Best.Guess == des.SubkeySixBits(attackKey, box) {
+			recovered++
+		}
+	}
+	if recovered > 2 {
+		t.Errorf("masked attack 'recovered' %d/8 chunks; should be chance level", recovered)
+	}
+}
+
+func TestDifferenceOfMeansProperties(t *testing.T) {
+	setup(t)
+	dom := DifferenceOfMeans(unmaskedSet, 0, 0, des.SubkeySixBits(attackKey, 0))
+	if len(dom) != roundWin.Len() {
+		t.Fatalf("DoM length %d, want %d", len(dom), roundWin.Len())
+	}
+	peak := 0.0
+	for _, v := range dom {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	if peak <= 0 {
+		t.Error("true-key DoM shows no peak")
+	}
+}
+
+func TestDegeneratePartition(t *testing.T) {
+	// All-identical plaintexts put every trace in one group.
+	ts := &TraceSet{
+		Plaintexts: []uint64{5, 5, 5},
+		Traces:     [][]float64{{1, 2}, {1, 2}, {1, 2}},
+		Window:     trace.Window{Start: 0, End: 2},
+	}
+	dom := DifferenceOfMeans(ts, 0, 0, 0)
+	for _, v := range dom {
+		if v != 0 {
+			t.Error("degenerate partition must produce zero DoM")
+		}
+	}
+}
+
+func TestVerify(t *testing.T) {
+	var results [8]BoxResult
+	for box := 0; box < 8; box++ {
+		results[box] = BoxResult{Box: box, Best: GuessScore{Guess: des.SubkeySixBits(attackKey, box)}}
+	}
+	n, detail := Verify(results, attackKey)
+	if n != 8 {
+		t.Errorf("Verify = %d, want 8", n)
+	}
+	for i, ok := range detail {
+		if !ok {
+			t.Errorf("box %d not verified", i)
+		}
+	}
+	results[0].Best.Guess ^= 1
+	if n, _ := Verify(results, attackKey); n != 7 {
+		t.Errorf("Verify after corruption = %d, want 7", n)
+	}
+}
+
+func TestMarginInf(t *testing.T) {
+	r := BoxResult{Best: GuessScore{Peak: 1}, RunnerUp: GuessScore{Peak: 0}}
+	if !math.IsInf(r.Margin(), 1) {
+		t.Error("margin with zero runner-up should be +Inf")
+	}
+}
+
+func TestSPAFindsRoundPeriod(t *testing.T) {
+	m, err := desprog.New(compiler.PolicyNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec trace.Recorder
+	_, _, done, err := m.Encrypt(attackKey, 0x0123456789ABCDEF, &rec, 0)
+	if err != nil || !done {
+		t.Fatalf("run: %v done=%v", err, done)
+	}
+	// Ground truth round length from the symbol table.
+	starts := func() []int {
+		entry, err := m.EntryPC(desprog.FuncKeyGeneration)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s []int
+		for i, pc := range rec.T.PCs {
+			if pc == entry {
+				s = append(s, i)
+			}
+		}
+		return s
+	}()
+	if len(starts) != 16 {
+		t.Fatalf("found %d rounds", len(starts))
+	}
+	roundLen := starts[1] - starts[0]
+
+	const bucket = 100
+	res := SPA(rec.T.Totals, bucket, 20, 400)
+	if res.Strength < 0.3 {
+		t.Errorf("SPA autocorrelation too weak: %.3f", res.Strength)
+	}
+	got := res.Period * bucket
+	if math.Abs(float64(got-roundLen)) > 0.1*float64(roundLen) {
+		t.Errorf("SPA period %d cycles, true round length %d", got, roundLen)
+	}
+	if res.Rounds < 14 || res.Rounds > 20 {
+		t.Errorf("SPA round estimate %d, want ~16", res.Rounds)
+	}
+}
+
+func TestSPAEdgeCases(t *testing.T) {
+	if r := SPA(nil, 10, 1, 5); r.Period != 0 {
+		t.Error("empty input should yield zero result")
+	}
+	flat := make([]float64, 1000)
+	for i := range flat {
+		flat[i] = 7
+	}
+	if r := SPA(flat, 10, 1, 50); r.Strength != 0 {
+		t.Error("zero-variance input should yield zero strength")
+	}
+	if r := SPA([]float64{1, 2}, 1, 5, 4); r.Period != 0 {
+		t.Error("bad period bounds should yield zero result")
+	}
+}
+
+func TestCPARecoversSubkeyUnmasked(t *testing.T) {
+	setup(t)
+	recovered := 0
+	for box := 0; box < 8; box++ {
+		r := CPAAttackSBox(unmaskedSet, box)
+		if r.Best.Guess == des.SubkeySixBits(attackKey, box) {
+			recovered++
+		}
+		if r.Best.Peak <= 0 || r.Best.Peak > 1+1e-9 {
+			t.Errorf("box %d: correlation peak %.3f out of (0,1]", box, r.Best.Peak)
+		}
+	}
+	// CPA should do at least as well as single-bit DoM at the same trace
+	// count; require a solid majority.
+	if recovered < 5 {
+		t.Errorf("CPA recovered only %d/8 at 128 traces", recovered)
+	}
+}
+
+func TestCPAFailsMasked(t *testing.T) {
+	setup(t)
+	for box := 0; box < 8; box++ {
+		r := CPAAttackSBox(maskedSet, box)
+		if r.Best.Peak > 1e-9 {
+			t.Errorf("box %d: masked traces show correlation %.6f", box, r.Best.Peak)
+		}
+	}
+}
+
+func TestCorrelationTraceProperties(t *testing.T) {
+	setup(t)
+	corr := CorrelationTrace(unmaskedSet, 0, des.SubkeySixBits(attackKey, 0))
+	if len(corr) != roundWin.Len() {
+		t.Fatalf("length %d, want %d", len(corr), roundWin.Len())
+	}
+	for i, v := range corr {
+		if v < -1.0000001 || v > 1.0000001 {
+			t.Fatalf("cycle %d: correlation %.4f outside [-1,1]", i, v)
+		}
+	}
+	// Degenerate inputs.
+	if CorrelationTrace(&TraceSet{}, 0, 0) != nil {
+		t.Error("empty trace set should yield nil")
+	}
+	ts := &TraceSet{
+		Plaintexts: []uint64{7, 7},
+		Traces:     [][]float64{{1, 2}, {3, 4}},
+		Window:     trace.Window{Start: 0, End: 2},
+	}
+	for _, v := range CorrelationTrace(ts, 0, 0) {
+		if v != 0 {
+			t.Error("constant predictions must produce zero correlation")
+		}
+	}
+}
+
+func TestAESCPARecoversKeyBytes(t *testing.T) {
+	mNone, err := kernels.BuildSimple(kernels.AES128(), compiler.PolicyNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := make([]uint32, 16)
+	for i := range key {
+		key[i] = uint32((i*37 + 11) & 0xff)
+	}
+	// SubBytes of round 1 happens early; 12k cycles cover key expansion +
+	// round 1 comfortably.
+	ts, err := CollectAES(mNone, key, 80, 7, 12_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := 0
+	for _, byteIdx := range []int{0, 5, 10, 15} {
+		best, _, peak, _ := AESCPAByte(ts, byteIdx)
+		if best == key[byteIdx] {
+			recovered++
+		}
+		if peak <= 0 {
+			t.Errorf("byte %d: no correlation signal", byteIdx)
+		}
+	}
+	if recovered < 3 {
+		t.Errorf("AES CPA recovered only %d/4 sampled key bytes", recovered)
+	}
+}
+
+func TestAESCPAFailsMasked(t *testing.T) {
+	mSel, err := kernels.BuildSimple(kernels.AES128(), compiler.PolicySelective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := make([]uint32, 16)
+	for i := range key {
+		key[i] = uint32((i * 13) & 0xff)
+	}
+	ts, err := CollectAES(mSel, key, 40, 7, 12_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The insecure plaintext-copy region still correlates with the power
+	// model for every guess (it is plaintext-dependent by design, like
+	// DES's initial permutation), but those correlations carry no key
+	// information: recovery must collapse to chance.
+	recovered := 0
+	for _, byteIdx := range []int{0, 5, 10, 15} {
+		best, _, _, _ := AESCPAByte(ts, byteIdx)
+		if best == key[byteIdx] {
+			recovered++
+		}
+	}
+	if recovered > 1 {
+		t.Errorf("masked AES CPA recovered %d/4 key bytes; should be chance", recovered)
+	}
+}
+
+func TestAESCPAEdgeCases(t *testing.T) {
+	if _, _, peak, _ := AESCPAByte(&AESTraceSet{}, 0); peak != 0 {
+		t.Error("empty trace set should yield zero peak")
+	}
+	m, err := kernels.BuildSimple(kernels.AES128(), compiler.PolicyNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CollectAES(m, make([]uint32, 16), 0, 1, 0); err == nil {
+		t.Error("zero traces accepted")
+	}
+}

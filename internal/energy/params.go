@@ -1,0 +1,107 @@
+// Package energy implements the transition-sensitive energy model of the
+// simulated processor — the role SimplePower [16] plays in the paper. Energy
+// is accounted per cycle, in picojoules, broken down by component. Datapath
+// buses, pipeline latches and functional units consume energy proportional to
+// their bit-level switching activity (Hamming distance between consecutive
+// values); memory arrays and the register file are data-independent, matching
+// the paper's observations. Instructions carrying the secure bit execute on a
+// precharged dual-rail datapath whose per-cycle energy is constant and
+// therefore independent of operand values.
+package energy
+
+// Params holds the technology calibration constants, all in picojoules.
+//
+// The headline constants come straight from the paper (0.25 µm, 2.5 V):
+// a 1 pF wire at 2.5 V costs CV² = 6.25 pJ per full swing (the paper's
+// example of the worst-case per-bit difference on a heavily loaded line),
+// and the 32-bit XOR unit costs 0.6 pJ in secure mode versus a 0.3 pJ
+// average in normal mode. Internal datapath lines are far lighter than the
+// 1 pF example wire; the remaining constants are calibrated so that an
+// unmasked DES encryption averages ≈165 pJ/cycle and selective masking adds
+// ≈45 pJ/cycle during the first key permutation, the two operating points
+// the paper reports.
+type Params struct {
+	// ClockPJ is the per-cycle clock tree + control overhead.
+	ClockPJ float64
+	// IFetchArrayPJ is the constant instruction-store read cost.
+	IFetchArrayPJ float64
+	// FetchLinePJ is the per-line toggle cost of the instruction bus.
+	FetchLinePJ float64
+	// DecodePJ is the per-instruction decode cost.
+	DecodePJ float64
+	// RegReadPJ / RegWritePJ are per-port register file access costs
+	// (data-independent; the register file is a memory array).
+	RegReadPJ  float64
+	RegWritePJ float64
+	// AluOpPJ is the base cost of an ALU operation; ALUTogglePJ is added per
+	// toggled input/output bit.
+	AluOpPJ     float64
+	ALUTogglePJ float64
+	// XorUnitPJ is the full-activity cost of the dedicated 32-bit XOR unit:
+	// 0.6 pJ secure-mode constant, toggles/32 × 0.6 pJ in normal mode
+	// (averaging 0.3 pJ), per the paper §4.2.
+	XorUnitPJ float64
+	// OpBusLinePJ / ResultBusLinePJ are per-line toggle costs of the operand
+	// and result buses.
+	OpBusLinePJ     float64
+	ResultBusLinePJ float64
+	// LatchBitPJ is the per-bit toggle cost of a pipeline register.
+	LatchBitPJ float64
+	// MemAddrLinePJ / MemDataLinePJ are per-line toggle costs of the memory
+	// address and data buses.
+	MemAddrLinePJ float64
+	MemDataLinePJ float64
+	// MemArrayPJ is the constant memory array access cost.
+	MemArrayPJ float64
+	// CouplingPJ is the per-adjacent-pair cost of inter-wire coupling, used
+	// only by the InterWireCoupling ablation (paper §5 limitation, ref [8]).
+	CouplingPJ float64
+}
+
+// DefaultParams returns the calibrated 0.25 µm / 2.5 V parameter set.
+func DefaultParams() Params {
+	return Params{
+		ClockPJ:         98,
+		IFetchArrayPJ:   15,
+		FetchLinePJ:     1.0,
+		DecodePJ:        8,
+		RegReadPJ:       7,
+		RegWritePJ:      10,
+		AluOpPJ:         5.8,
+		ALUTogglePJ:     0.175,
+		XorUnitPJ:       0.6,
+		OpBusLinePJ:     0.66,
+		ResultBusLinePJ: 0.66,
+		LatchBitPJ:      0.51,
+		MemAddrLinePJ:   0.73,
+		MemDataLinePJ:   1.31,
+		MemArrayPJ:      23,
+		CouplingPJ:      0.12,
+	}
+}
+
+// Config selects architectural variants. The zero value is NOT the paper's
+// configuration; use DefaultConfig.
+type Config struct {
+	Params Params
+	// DualRailPrecharge enables the precharged dual-rail datapath for secure
+	// instructions (the paper's design). When false — an ablation — secure
+	// instructions still drive complementary rails but without precharging,
+	// which balances the static count of ones yet leaves energy dependent on
+	// transition counts ("this is not sufficient", §4.2).
+	DualRailPrecharge bool
+	// ClockGating gates the complementary datapath off during normal-mode
+	// instructions (the paper's design). When false — an ablation — every
+	// instruction pays the complementary-rail cost, approaching the naive
+	// full dual-rail design point.
+	ClockGating bool
+	// InterWireCoupling adds an adjacent-line coupling term that the
+	// dual-rail scheme does not mask — the paper's stated limitation (§5).
+	InterWireCoupling bool
+}
+
+// DefaultConfig returns the paper's architecture: precharged dual rail with
+// clock gating, no coupling modeling.
+func DefaultConfig() Config {
+	return Config{Params: DefaultParams(), DualRailPrecharge: true, ClockGating: true}
+}

@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"desmask/internal/compiler"
+	"desmask/internal/des"
+)
+
+func TestFigure6ShowsSixteenRounds(t *testing.T) {
+	f6, err := Figure6(DefaultKey, DefaultPlain, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f6.RoundStarts) != 16 {
+		t.Errorf("round starts = %d, want 16", len(f6.RoundStarts))
+	}
+	if f6.SPA.Strength < 0.3 {
+		t.Errorf("SPA strength %.2f too weak to reveal round structure", f6.SPA.Strength)
+	}
+	if f6.SPA.Rounds < 14 || f6.SPA.Rounds > 20 {
+		t.Errorf("SPA round estimate %d, want ~16", f6.SPA.Rounds)
+	}
+	if len(f6.Series) == 0 || f6.TotalUJ <= 0 {
+		t.Error("empty profile")
+	}
+}
+
+func TestFigure7And8LeakKeyBit(t *testing.T) {
+	f7, err := Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f7.Flat || f7.Stats.MaxAbs < 1 {
+		t.Errorf("figure 7 differential too small: %+v", f7.Stats)
+	}
+	f8, err := Figure8(DefaultKey, DefaultKey^0x40100, DefaultPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f8.Flat {
+		t.Error("figure 8 should show key-dependent differences")
+	}
+}
+
+func TestFigure9Masked(t *testing.T) {
+	f9, err := Figure9(DefaultKey, DefaultKeyBit1, DefaultPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f9.Flat {
+		t.Errorf("figure 9 must be flat after masking: max %.6f pJ", f9.Stats.MaxAbs)
+	}
+}
+
+func TestFigure10And11Plaintexts(t *testing.T) {
+	f10, err := Figure10(DefaultKey, DefaultPlain, DefaultPlain2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f10.Flat {
+		t.Error("figure 10 should show plaintext-dependent differences")
+	}
+	f11, err := Figure11(DefaultKey, DefaultPlain, DefaultPlain2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f11.IP.Flat {
+		t.Error("figure 11: the insecure initial permutation should still differ")
+	}
+	if !f11.Round1.Flat {
+		t.Errorf("figure 11: masked round 1 must be flat, max %.6f", f11.Round1.Stats.MaxAbs)
+	}
+}
+
+func TestFigure12Overhead(t *testing.T) {
+	f12, err := Figure12(DefaultKey, DefaultPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f12.MeanOverheadPJ <= 5 {
+		t.Errorf("masking overhead %.1f pJ/cyc too small", f12.MeanOverheadPJ)
+	}
+	if f12.MeanOverheadPJ > 100 {
+		t.Errorf("masking overhead %.1f pJ/cyc implausibly large", f12.MeanOverheadPJ)
+	}
+	if f12.BaselinePJ < 140 || f12.BaselinePJ > 190 {
+		t.Errorf("baseline %.1f pJ/cyc outside the calibrated ~165 band", f12.BaselinePJ)
+	}
+	// Overhead must be non-negative in essentially every cycle (masking
+	// only ever adds energy).
+	neg := 0
+	for _, v := range f12.Overhead {
+		if v < -1e-9 {
+			neg++
+		}
+	}
+	if neg > 0 {
+		t.Errorf("%d cycles with negative masking overhead", neg)
+	}
+}
+
+func TestTableTotalsShape(t *testing.T) {
+	tbl, err := TableTotals(DefaultKey, DefaultPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tbl.Report.Rows
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TotalUJ <= rows[i-1].TotalUJ {
+			t.Errorf("ordering violated at %v", rows[i].Policy)
+		}
+	}
+	none, _ := tbl.Report.Row(compiler.PolicyNone)
+	all, _ := tbl.Report.Row(compiler.PolicyAllSecure)
+	if r := all.TotalUJ / none.TotalUJ; r < 1.6 || r > 2.1 {
+		t.Errorf("all/none = %.2f, want ~1.80 (paper 83.5/46.4)", r)
+	}
+	if hs := tbl.HeadlineSavings(); hs < 0.70 || hs > 0.90 {
+		t.Errorf("headline savings %.2f, want ~0.83", hs)
+	}
+	// Paper reference values present for all policies.
+	for _, row := range rows {
+		if tbl.PaperUJ[row.Policy] == 0 {
+			t.Errorf("no paper value for %v", row.Policy)
+		}
+	}
+}
+
+func TestFigure4Selective(t *testing.T) {
+	f4, err := Figure4CodeGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f4.SecureLoads == 0 || f4.SecureLoads >= f4.TotalLoads {
+		t.Errorf("loads secured %d/%d; selective should secure a strict subset",
+			f4.SecureLoads, f4.TotalLoads)
+	}
+	if !strings.Contains(f4.Asm, "lw.s") || !strings.Contains(f4.Asm, "sw.s") {
+		t.Error("missing secure memory ops in Figure 4 output")
+	}
+	slice := strings.Join(f4.Report.Tainted, ",")
+	for _, v := range []string{"key", "oldR", "newL"} {
+		if !strings.Contains(slice, v) {
+			t.Errorf("forward slice missing %q", v)
+		}
+	}
+}
+
+func TestDPAAttackSmall(t *testing.T) {
+	att, err := DPAAttack(DefaultKey, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.RecoveredUnmasked < 1 {
+		t.Error("unmasked attack recovered nothing even at 48 traces")
+	}
+	if att.MaskedPeak > 1e-9 {
+		t.Errorf("masked traces show differential %.6f", att.MaskedPeak)
+	}
+	if att.RecoveredMasked > 2 {
+		t.Errorf("masked attack recovered %d/8; should be chance", att.RecoveredMasked)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	rows, err := Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"selective (paper design)":        false,
+		"seeds-only (no forward slicing)": true,
+		"no-precharge dual rail":          true,
+		"no clock gating":                 false,
+		"no secure indexing":              true,
+		"inter-wire coupling":             true,
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d ablations, want %d", len(rows), len(want))
+	}
+	var selTotal, noGateTotal float64
+	for _, r := range rows {
+		expect, ok := want[r.Name]
+		if !ok {
+			t.Errorf("unexpected ablation %q", r.Name)
+			continue
+		}
+		if r.Leaks != expect {
+			t.Errorf("%s: leaks=%v, want %v (max|diff|=%.3f)", r.Name, r.Leaks, expect, r.MaxAbs)
+		}
+		switch r.Name {
+		case "selective (paper design)":
+			selTotal = r.TotalUJ
+		case "no clock gating":
+			noGateTotal = r.TotalUJ
+		}
+	}
+	if noGateTotal <= selTotal {
+		t.Errorf("no-gating (%.1f µJ) should cost more than gated selective (%.1f µJ)", noGateTotal, selTotal)
+	}
+}
+
+func TestRunAllProducesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report is slow")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf, 32); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 6", "Figure 7", "Figure 8", "Figure 9", "Figure 10",
+		"Figure 11", "Figure 12", "Table (sec 4.3)", "Figure 4",
+		"DPA attack", "Ablations", "headline",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestWorkloadsGenerality(t *testing.T) {
+	rows, err := Workloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, row := range rows {
+		if !row.MaskedFlat {
+			t.Errorf("%s: selective masking not flat", row.Name)
+		}
+		none := row.UJ[compiler.PolicyNone]
+		sel := row.UJ[compiler.PolicySelective]
+		all := row.UJ[compiler.PolicyAllSecure]
+		if !(none < sel && sel < all) {
+			t.Errorf("%s: energy ordering violated: %.2f / %.2f / %.2f", row.Name, none, sel, all)
+		}
+		ratio := all / none
+		if ratio < 1.3 || ratio > 2.2 {
+			t.Errorf("%s: all/none = %.2f outside plausible band", row.Name, ratio)
+		}
+	}
+}
+
+func TestDPAAttackIncludesCPA(t *testing.T) {
+	att, err := DPAAttack(DefaultKey, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.CPAMaskedPeak > 1e-9 {
+		t.Errorf("CPA masked peak %.6f, want 0", att.CPAMaskedPeak)
+	}
+	if att.CPARecoveredUnmasked < 1 {
+		t.Error("CPA recovered nothing on unmasked traces")
+	}
+}
+
+func TestComponentBreakdown(t *testing.T) {
+	rows, err := ComponentBreakdown(DefaultKey, DefaultPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		var sum float64
+		for _, v := range row.ByComp {
+			sum += v
+		}
+		if diff := sum - row.Total; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("%v: component sum %.4f != total %.4f", row.Policy, sum, row.Total)
+		}
+	}
+	// The complementary-rail component must grow monotonically with
+	// protection and be zero for the unprotected run.
+	if rows[0].ByComp["complementary"] != 0 {
+		t.Error("unprotected run charged the complementary rail")
+	}
+	if !(rows[0].ByComp["complementary"] < rows[1].ByComp["complementary"] &&
+		rows[1].ByComp["complementary"] < rows[2].ByComp["complementary"]) {
+		t.Error("complementary energy should grow with protection level")
+	}
+}
+
+func TestPeakPowerSweep(t *testing.T) {
+	rows, err := PeakPowerSweep(DefaultKey, DefaultPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPol := map[compiler.Policy]PeakPower{}
+	for _, r := range rows {
+		if r.PeakPJ < r.AvgPJ {
+			t.Errorf("%v: peak %.1f below average %.1f", r.Policy, r.PeakPJ, r.AvgPJ)
+		}
+		byPol[r.Policy] = r
+	}
+	if byPol[compiler.PolicyAllSecure].PeakPJ <= byPol[compiler.PolicyNone].PeakPJ {
+		t.Error("full dual-rail should raise the peak draw")
+	}
+}
+
+func TestVerifyLeaks(t *testing.T) {
+	rows, err := VerifyLeaks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPol := map[compiler.Policy]LeakVerification{}
+	for _, r := range rows {
+		byPol[r.Policy] = r
+	}
+	if byPol[compiler.PolicySelective].SitesOutsideDeclass != 0 {
+		t.Errorf("selective leaks at %d sites outside declassification",
+			byPol[compiler.PolicySelective].SitesOutsideDeclass)
+	}
+	if byPol[compiler.PolicyAllSecure].SitesOutsideDeclass != 0 {
+		t.Error("all-secure must not leak")
+	}
+	for _, pol := range []compiler.Policy{compiler.PolicyNone, compiler.PolicySeedsOnly, compiler.PolicyNaiveLoadStore} {
+		if byPol[pol].SitesOutsideDeclass == 0 {
+			t.Errorf("%v should leak outside declassification", pol)
+		}
+	}
+}
+
+func TestFullKeyRecoveryAt256Traces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-trace attack is slow")
+	}
+	att, err := DPAAttack(DefaultKey, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.RecoveredUnmasked != 8 {
+		t.Fatalf("recovered %d/8 chunks at 256 traces", att.RecoveredUnmasked)
+	}
+	if !att.FullKeyRecovered {
+		t.Fatal("full key not recovered despite 8/8 chunks")
+	}
+	if des.StripParity(att.RecoveredKey) != des.StripParity(DefaultKey) {
+		t.Errorf("recovered %016X, true %016X", att.RecoveredKey, DefaultKey)
+	}
+}

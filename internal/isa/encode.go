@@ -1,0 +1,173 @@
+package isa
+
+import "fmt"
+
+// Binary layout (32-bit word):
+//
+//	[31:26] opcode (6 bits)
+//	[25]    secure bit
+//	R-type:      [24:20] rd  [19:15] rs  [14:10] rt  [9:5] shamt  [4:0] 0
+//	I-type:      [24:20] rt  [19:15] rs  [14:0]  imm (sign-extended;
+//	             lui treats it as unsigned and fills bits 29:15)
+//	J-type:      [24:0]  target word index
+//
+// The 15-bit immediate keeps the secure bit orthogonal to every format,
+// mirroring the paper's choice of "augmenting the original opcodes with an
+// additional secure bit" to minimise decoder impact. Address-space
+// consequences (±16 KiB displacements, 25-bit jump region) are comfortably
+// sufficient for smart-card firmware images.
+
+const (
+	// ImmBits is the width of the signed I-type immediate field.
+	ImmBits = 15
+	// MaxImm and MinImm bound the signed immediate.
+	MaxImm = 1<<(ImmBits-1) - 1
+	MinImm = -(1 << (ImmBits - 1))
+	// MaxUImm bounds the unsigned interpretation (lui, andi, ori, xori).
+	MaxUImm = 1<<ImmBits - 1
+	// JumpBits is the width of the J-type word-target field.
+	JumpBits = 25
+	// MaxJumpTarget bounds the jump target word index.
+	MaxJumpTarget = 1<<JumpBits - 1
+)
+
+const (
+	opShift     = 26
+	secureBit   = 1 << 25
+	fieldAShift = 20 // rd (R) / rt (I)
+	fieldBShift = 15 // rs
+	fieldCShift = 10 // rt (R)
+	shamtShift  = 5
+	regMask     = 0x1f
+	immMask     = 1<<ImmBits - 1
+	jumpMask    = 1<<JumpBits - 1
+)
+
+// EncodeError reports an instruction whose fields do not fit the binary
+// format.
+type EncodeError struct {
+	Inst   Inst
+	Reason string
+}
+
+func (e *EncodeError) Error() string {
+	return fmt.Sprintf("isa: cannot encode %v: %s", e.Inst, e.Reason)
+}
+
+// usesUnsignedImm reports whether the opcode's immediate is zero-extended.
+func usesUnsignedImm(op Opcode) bool {
+	switch op {
+	case OpAndi, OpOri, OpXori, OpLui:
+		return true
+	}
+	return false
+}
+
+// Encode packs the instruction into its 32-bit binary form.
+func Encode(i Inst) (uint32, error) {
+	if !i.Op.Valid() {
+		return 0, &EncodeError{i, "invalid opcode"}
+	}
+	if i.Secure && !i.Op.Securable() {
+		return 0, &EncodeError{i, "no secure variant exists for this opcode"}
+	}
+	w := uint32(i.Op) << opShift
+	if i.Secure {
+		w |= secureBit
+	}
+	reg := func(r Reg) (uint32, bool) { return uint32(r), r < NumRegs }
+	switch i.Op.Format() {
+	case FmtR:
+		rd, ok1 := reg(i.Rd)
+		rs, ok2 := reg(i.Rs)
+		rt, ok3 := reg(i.Rt)
+		if !ok1 || !ok2 || !ok3 {
+			return 0, &EncodeError{i, "register out of range"}
+		}
+		w |= rd<<fieldAShift | rs<<fieldBShift | rt<<fieldCShift
+	case FmtRShift:
+		rd, ok1 := reg(i.Rd)
+		rt, ok2 := reg(i.Rt)
+		if !ok1 || !ok2 {
+			return 0, &EncodeError{i, "register out of range"}
+		}
+		if i.Imm < 0 || i.Imm > 31 {
+			return 0, &EncodeError{i, "shift amount out of range"}
+		}
+		w |= rd<<fieldAShift | rt<<fieldCShift | uint32(i.Imm)<<shamtShift
+	case FmtRJump:
+		rs, ok := reg(i.Rs)
+		if !ok {
+			return 0, &EncodeError{i, "register out of range"}
+		}
+		w |= rs << fieldBShift
+	case FmtI, FmtIMem, FmtIBranch, FmtILui:
+		rt, ok1 := reg(i.Rt)
+		rs, ok2 := reg(i.Rs)
+		if !ok1 || !ok2 {
+			return 0, &EncodeError{i, "register out of range"}
+		}
+		if usesUnsignedImm(i.Op) {
+			if i.Imm < 0 || i.Imm > MaxUImm {
+				return 0, &EncodeError{i, fmt.Sprintf("unsigned immediate %d out of range [0,%d]", i.Imm, MaxUImm)}
+			}
+		} else if i.Imm < MinImm || i.Imm > MaxImm {
+			return 0, &EncodeError{i, fmt.Sprintf("immediate %d out of range [%d,%d]", i.Imm, MinImm, MaxImm)}
+		}
+		w |= rt<<fieldAShift | rs<<fieldBShift | uint32(i.Imm)&immMask
+	case FmtJ:
+		if i.Imm < 0 || i.Imm > MaxJumpTarget {
+			return 0, &EncodeError{i, "jump target out of range"}
+		}
+		w |= uint32(i.Imm) & jumpMask
+	case FmtNone:
+		// opcode + secure bit only
+	default:
+		return 0, &EncodeError{i, "unknown format"}
+	}
+	return w, nil
+}
+
+// Decode unpacks a 32-bit binary instruction word. Unknown opcodes yield an
+// Inst with Op == OpInvalid and a non-nil error.
+func Decode(w uint32) (Inst, error) {
+	op := Opcode(w >> opShift)
+	if !op.Valid() {
+		return Inst{Op: OpInvalid}, fmt.Errorf("isa: invalid opcode %d in word %#08x", uint8(op), w)
+	}
+	i := Inst{Op: op, Secure: w&secureBit != 0}
+	if i.Secure && !op.Securable() {
+		return Inst{Op: OpInvalid}, fmt.Errorf("isa: secure bit set on non-securable opcode %v in word %#08x", op, w)
+	}
+	switch op.Format() {
+	case FmtR:
+		i.Rd = Reg(w >> fieldAShift & regMask)
+		i.Rs = Reg(w >> fieldBShift & regMask)
+		i.Rt = Reg(w >> fieldCShift & regMask)
+	case FmtRShift:
+		i.Rd = Reg(w >> fieldAShift & regMask)
+		i.Rt = Reg(w >> fieldCShift & regMask)
+		i.Imm = int32(w >> shamtShift & regMask)
+	case FmtRJump:
+		i.Rs = Reg(w >> fieldBShift & regMask)
+	case FmtI, FmtIMem, FmtIBranch, FmtILui:
+		i.Rt = Reg(w >> fieldAShift & regMask)
+		i.Rs = Reg(w >> fieldBShift & regMask)
+		raw := w & immMask
+		if usesUnsignedImm(op) {
+			i.Imm = int32(raw)
+		} else {
+			i.Imm = signExtend15(raw)
+		}
+	case FmtJ:
+		i.Imm = int32(w & jumpMask)
+	case FmtNone:
+		// nothing further
+	}
+	return i, nil
+}
+
+// signExtend15 sign-extends a 15-bit field to 32 bits.
+func signExtend15(v uint32) int32 {
+	return int32(v<<(32-ImmBits)) >> (32 - ImmBits)
+}

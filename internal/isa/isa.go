@@ -1,0 +1,396 @@
+// Package isa defines the instruction set architecture of the simulated
+// smart-card processor: a 32-bit in-order integer RISC core in the
+// SimpleScalar/MIPS tradition, representative of embedded cores such as the
+// ARM7-TDMI, augmented with the paper's security extension — a per-instruction
+// secure bit that activates the dual-rail, precharged datapath for that
+// instruction so its energy consumption becomes independent of operand data.
+//
+// The package provides the opcode space, instruction formats, register file
+// naming, binary encoding/decoding, and disassembly. Assembly parsing lives in
+// package asm; execution semantics live in package cpu.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the 32 general-purpose registers. Register 0 is
+// hardwired to zero, as in MIPS.
+type Reg uint8
+
+// NumRegs is the size of the architectural register file.
+const NumRegs = 32
+
+// Conventional register assignments (MIPS o32-flavoured). The compiler and
+// assembler use these roles; the hardware treats all registers (except Zero)
+// uniformly.
+const (
+	Zero Reg = 0 // hardwired zero
+	AT   Reg = 1 // assembler temporary
+	V0   Reg = 2 // function results
+	V1   Reg = 3
+	A0   Reg = 4 // function arguments
+	A1   Reg = 5
+	A2   Reg = 6
+	A3   Reg = 7
+	T0   Reg = 8 // caller-saved temporaries
+	T1   Reg = 9
+	T2   Reg = 10
+	T3   Reg = 11
+	T4   Reg = 12
+	T5   Reg = 13
+	T6   Reg = 14
+	T7   Reg = 15
+	S0   Reg = 16 // callee-saved
+	S1   Reg = 17
+	S2   Reg = 18
+	S3   Reg = 19
+	S4   Reg = 20
+	S5   Reg = 21
+	S6   Reg = 22
+	S7   Reg = 23
+	T8   Reg = 24
+	T9   Reg = 25
+	K0   Reg = 26 // reserved
+	K1   Reg = 27
+	GP   Reg = 28 // global pointer
+	SP   Reg = 29 // stack pointer
+	FP   Reg = 30 // frame pointer
+	RA   Reg = 31 // return address
+)
+
+var regNames = [NumRegs]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// String returns the conventional ABI name, e.g. "$t0".
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return "$" + regNames[r]
+	}
+	return fmt.Sprintf("$?%d", uint8(r))
+}
+
+// RegByName resolves either an ABI name ("$t0", "t0") or a numeric name
+// ("$8", "8") to a register.
+func RegByName(name string) (Reg, bool) {
+	if len(name) > 0 && name[0] == '$' {
+		name = name[1:]
+	}
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	// Numeric form.
+	var v int
+	if _, err := fmt.Sscanf(name, "%d", &v); err == nil && v >= 0 && v < NumRegs {
+		return Reg(v), true
+	}
+	return 0, false
+}
+
+// Opcode enumerates the machine operations. The numeric value is the 6-bit
+// opcode field of the binary encoding.
+type Opcode uint8
+
+// Machine opcodes. The zero value is reserved as invalid so that an
+// all-zeroes word does not decode to a legal instruction.
+const (
+	OpInvalid Opcode = iota
+
+	// R-type ALU, three registers: rd <- rs OP rt.
+	OpAddu
+	OpSubu
+	OpAnd
+	OpOr
+	OpXor
+	OpNor
+	OpSllv // rd <- rs << (rt & 31)
+	OpSrlv
+	OpSrav
+	OpSlt
+	OpSltu
+	OpMul // low 32 bits of rs*rt
+
+	// R-type shifts by immediate amount: rd <- rt SHIFT shamt.
+	OpSll
+	OpSrl
+	OpSra
+
+	// R-type jumps.
+	OpJr // PC <- rs
+
+	// I-type ALU: rt <- rs OP imm.
+	OpAddiu
+	OpAndi
+	OpOri
+	OpXori
+	OpSlti
+	OpSltiu
+	OpLui // rt <- imm << 15 (so lui+ori tile a 30-bit space with 15-bit fields)
+
+	// Memory: address rs+imm.
+	OpLw // rt <- mem[rs+imm]
+	OpSw // mem[rs+imm] <- rt
+
+	// Branches: PC-relative, imm counts words from the delay-free next PC.
+	OpBeq
+	OpBne
+	OpBlez // rs <= 0
+	OpBgtz // rs > 0
+
+	// J-type.
+	OpJ
+	OpJal
+
+	// System.
+	OpHalt // stop simulation; v0 holds exit status
+
+	numOpcodes // must be last; encoding uses 6 bits (max 64)
+)
+
+// Format describes how an instruction's operand fields are laid out and
+// printed.
+type Format uint8
+
+const (
+	FmtUnknown Format = iota
+	FmtR              // op rd, rs, rt
+	FmtRShift         // op rd, rt, shamt
+	FmtRJump          // op rs
+	FmtI              // op rt, rs, imm
+	FmtILui           // op rt, imm
+	FmtIMem           // op rt, imm(rs)
+	FmtIBranch        // op rs, rt, label   (blez/bgtz: op rs, label)
+	FmtJ              // op target
+	FmtNone           // op
+)
+
+type opInfo struct {
+	name   string
+	format Format
+	// securable reports whether hardware honours the secure bit for this
+	// opcode (i.e. whether a dual-rail variant exists). The paper defines
+	// secure load, store, XOR, shift, assignment (move = addu) and indexing
+	// (address-forming addu + lw); we let every datapath op be securable and
+	// leave policy to the compiler.
+	securable bool
+}
+
+var opTable = [numOpcodes]opInfo{
+	OpInvalid: {"invalid", FmtNone, false},
+	OpAddu:    {"addu", FmtR, true},
+	OpSubu:    {"subu", FmtR, true},
+	OpAnd:     {"and", FmtR, true},
+	OpOr:      {"or", FmtR, true},
+	OpXor:     {"xor", FmtR, true},
+	OpNor:     {"nor", FmtR, true},
+	OpSllv:    {"sllv", FmtR, true},
+	OpSrlv:    {"srlv", FmtR, true},
+	OpSrav:    {"srav", FmtR, true},
+	OpSlt:     {"slt", FmtR, true},
+	OpSltu:    {"sltu", FmtR, true},
+	OpMul:     {"mul", FmtR, true},
+	OpSll:     {"sll", FmtRShift, true},
+	OpSrl:     {"srl", FmtRShift, true},
+	OpSra:     {"sra", FmtRShift, true},
+	OpJr:      {"jr", FmtRJump, false},
+	OpAddiu:   {"addiu", FmtI, true},
+	OpAndi:    {"andi", FmtI, true},
+	OpOri:     {"ori", FmtI, true},
+	OpXori:    {"xori", FmtI, true},
+	OpSlti:    {"slti", FmtI, true},
+	OpSltiu:   {"sltiu", FmtI, true},
+	OpLui:     {"lui", FmtILui, true},
+	OpLw:      {"lw", FmtIMem, true},
+	OpSw:      {"sw", FmtIMem, true},
+	OpBeq:     {"beq", FmtIBranch, false},
+	OpBne:     {"bne", FmtIBranch, false},
+	OpBlez:    {"blez", FmtIBranch, false},
+	OpBgtz:    {"bgtz", FmtIBranch, false},
+	OpJ:       {"j", FmtJ, false},
+	OpJal:     {"jal", FmtJ, false},
+	OpHalt:    {"halt", FmtNone, false},
+}
+
+// Valid reports whether op names a real machine operation.
+func (op Opcode) Valid() bool { return op > OpInvalid && op < numOpcodes }
+
+// String returns the base mnemonic, e.g. "addu".
+func (op Opcode) String() string {
+	if op < numOpcodes {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op?%d", uint8(op))
+}
+
+// Format returns the operand layout of the opcode.
+func (op Opcode) Format() Format {
+	if op < numOpcodes {
+		return opTable[op].format
+	}
+	return FmtUnknown
+}
+
+// Securable reports whether a dual-rail secure variant of op exists in
+// hardware.
+func (op Opcode) Securable() bool {
+	if op < numOpcodes {
+		return opTable[op].securable
+	}
+	return false
+}
+
+// OpcodeByName resolves a base mnemonic (no secure prefix/suffix).
+func OpcodeByName(name string) (Opcode, bool) {
+	for op := OpInvalid + 1; op < numOpcodes; op++ {
+		if opTable[op].name == name {
+			return op, true
+		}
+	}
+	return OpInvalid, false
+}
+
+// IsBranch reports whether op is a conditional branch.
+func (op Opcode) IsBranch() bool {
+	switch op {
+	case OpBeq, OpBne, OpBlez, OpBgtz:
+		return true
+	}
+	return false
+}
+
+// IsJump reports whether op unconditionally redirects control flow.
+func (op Opcode) IsJump() bool {
+	switch op {
+	case OpJ, OpJal, OpJr:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether op reads data memory.
+func (op Opcode) IsLoad() bool { return op == OpLw }
+
+// IsStore reports whether op writes data memory.
+func (op Opcode) IsStore() bool { return op == OpSw }
+
+// IsMem reports whether op accesses data memory.
+func (op Opcode) IsMem() bool { return op.IsLoad() || op.IsStore() }
+
+// Inst is a decoded instruction. It is the exchange type between the
+// assembler, the encoder and the pipeline.
+type Inst struct {
+	Op     Opcode
+	Secure bool // execute on the dual-rail precharged datapath
+	Rd     Reg  // destination (R-type)
+	Rs     Reg  // first source / base / branch lhs
+	Rt     Reg  // second source / I-type destination / branch rhs
+	Imm    int32
+	// Imm holds, depending on format: the sign-extended 15-bit immediate
+	// (FmtI, FmtIMem, FmtIBranch displacement in words), the unsigned 15-bit
+	// upper immediate (FmtILui), the 5-bit shift amount (FmtRShift), or the
+	// 25-bit absolute word target (FmtJ).
+}
+
+// Mnemonic returns the full mnemonic including the secure marker, e.g.
+// "lw.s". The assembler also accepts the paper's "slw"/"ssw" spellings.
+func (i Inst) Mnemonic() string {
+	m := i.Op.String()
+	if i.Secure {
+		m += ".s"
+	}
+	return m
+}
+
+// Nop returns the canonical no-operation instruction (sll $zero,$zero,0).
+func Nop() Inst { return Inst{Op: OpSll, Rd: Zero, Rt: Zero, Imm: 0} }
+
+// IsNop reports whether i has no architectural effect.
+func (i Inst) IsNop() bool {
+	return i.Op == OpSll && i.Rd == Zero && i.Rt == Zero && i.Imm == 0
+}
+
+// Dest returns the register written by the instruction and whether it writes
+// one at all. Writes to $zero are reported as no write.
+func (i Inst) Dest() (Reg, bool) {
+	var d Reg
+	switch i.Op.Format() {
+	case FmtR, FmtRShift:
+		d = i.Rd
+	case FmtI, FmtILui, FmtIMem:
+		if i.Op.IsStore() {
+			return 0, false
+		}
+		d = i.Rt
+	case FmtJ:
+		if i.Op == OpJal {
+			return RA, true
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+	if d == Zero {
+		return 0, false
+	}
+	return d, true
+}
+
+// Sources returns the registers read by the instruction.
+func (i Inst) Sources() []Reg {
+	switch i.Op.Format() {
+	case FmtR:
+		return []Reg{i.Rs, i.Rt}
+	case FmtRShift:
+		return []Reg{i.Rt}
+	case FmtRJump:
+		return []Reg{i.Rs}
+	case FmtI:
+		return []Reg{i.Rs}
+	case FmtILui:
+		return nil
+	case FmtIMem:
+		if i.Op.IsStore() {
+			return []Reg{i.Rs, i.Rt}
+		}
+		return []Reg{i.Rs}
+	case FmtIBranch:
+		if i.Op == OpBlez || i.Op == OpBgtz {
+			return []Reg{i.Rs}
+		}
+		return []Reg{i.Rs, i.Rt}
+	}
+	return nil
+}
+
+// String disassembles the instruction with numeric branch/jump targets.
+func (i Inst) String() string {
+	m := i.Mnemonic()
+	switch i.Op.Format() {
+	case FmtR:
+		return fmt.Sprintf("%s %s, %s, %s", m, i.Rd, i.Rs, i.Rt)
+	case FmtRShift:
+		return fmt.Sprintf("%s %s, %s, %d", m, i.Rd, i.Rt, i.Imm)
+	case FmtRJump:
+		return fmt.Sprintf("%s %s", m, i.Rs)
+	case FmtI:
+		return fmt.Sprintf("%s %s, %s, %d", m, i.Rt, i.Rs, i.Imm)
+	case FmtILui:
+		return fmt.Sprintf("%s %s, %d", m, i.Rt, i.Imm)
+	case FmtIMem:
+		return fmt.Sprintf("%s %s, %d(%s)", m, i.Rt, i.Imm, i.Rs)
+	case FmtIBranch:
+		if i.Op == OpBlez || i.Op == OpBgtz {
+			return fmt.Sprintf("%s %s, %+d", m, i.Rs, i.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s, %+d", m, i.Rs, i.Rt, i.Imm)
+	case FmtJ:
+		return fmt.Sprintf("%s 0x%x", m, uint32(i.Imm)<<2)
+	case FmtNone:
+		return m
+	}
+	return m + " ???"
+}

@@ -1,0 +1,353 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{
+		Zero: "$zero", AT: "$at", V0: "$v0", A0: "$a0",
+		T0: "$t0", S7: "$s7", SP: "$sp", RA: "$ra",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestRegByName(t *testing.T) {
+	for i := 0; i < NumRegs; i++ {
+		r := Reg(i)
+		got, ok := RegByName(r.String())
+		if !ok || got != r {
+			t.Errorf("RegByName(%q) = %v, %v; want %v, true", r.String(), got, ok, r)
+		}
+	}
+	// Numeric aliases.
+	if r, ok := RegByName("$8"); !ok || r != T0 {
+		t.Errorf("RegByName($8) = %v, %v; want $t0, true", r, ok)
+	}
+	if r, ok := RegByName("31"); !ok || r != RA {
+		t.Errorf("RegByName(31) = %v, %v; want $ra, true", r, ok)
+	}
+	if _, ok := RegByName("$bogus"); ok {
+		t.Error("RegByName($bogus) succeeded, want failure")
+	}
+	if _, ok := RegByName("$32"); ok {
+		t.Error("RegByName($32) succeeded, want failure")
+	}
+}
+
+func TestOpcodeByNameRoundTrip(t *testing.T) {
+	for op := OpInvalid + 1; op < numOpcodes; op++ {
+		got, ok := OpcodeByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpcodeByName(%q) = %v, %v; want %v, true", op.String(), got, ok, op)
+		}
+	}
+	if _, ok := OpcodeByName("frobnicate"); ok {
+		t.Error("OpcodeByName(frobnicate) succeeded, want failure")
+	}
+}
+
+func TestOpcodeClassPredicates(t *testing.T) {
+	if !OpBeq.IsBranch() || OpJ.IsBranch() || OpAddu.IsBranch() {
+		t.Error("IsBranch misclassifies")
+	}
+	if !OpJ.IsJump() || !OpJal.IsJump() || !OpJr.IsJump() || OpBne.IsJump() {
+		t.Error("IsJump misclassifies")
+	}
+	if !OpLw.IsLoad() || OpSw.IsLoad() {
+		t.Error("IsLoad misclassifies")
+	}
+	if !OpSw.IsStore() || OpLw.IsStore() {
+		t.Error("IsStore misclassifies")
+	}
+	if !OpLw.IsMem() || !OpSw.IsMem() || OpXor.IsMem() {
+		t.Error("IsMem misclassifies")
+	}
+}
+
+func TestNop(t *testing.T) {
+	n := Nop()
+	if !n.IsNop() {
+		t.Fatal("Nop() is not IsNop")
+	}
+	w, err := Encode(n)
+	if err != nil {
+		t.Fatalf("Encode(Nop): %v", err)
+	}
+	d, err := Decode(w)
+	if err != nil {
+		t.Fatalf("Decode(Nop): %v", err)
+	}
+	if !d.IsNop() {
+		t.Errorf("decoded nop = %v, not a nop", d)
+	}
+	if Nop().Secure {
+		t.Error("Nop must not be secure")
+	}
+	other := Inst{Op: OpSll, Rd: T0, Rt: T1, Imm: 2}
+	if other.IsNop() {
+		t.Error("real shift classified as nop")
+	}
+}
+
+func TestDest(t *testing.T) {
+	cases := []struct {
+		in    Inst
+		reg   Reg
+		write bool
+	}{
+		{Inst{Op: OpAddu, Rd: T0, Rs: T1, Rt: T2}, T0, true},
+		{Inst{Op: OpAddu, Rd: Zero, Rs: T1, Rt: T2}, 0, false},
+		{Inst{Op: OpSll, Rd: S0, Rt: T2, Imm: 4}, S0, true},
+		{Inst{Op: OpLw, Rt: T3, Rs: SP, Imm: 8}, T3, true},
+		{Inst{Op: OpSw, Rt: T3, Rs: SP, Imm: 8}, 0, false},
+		{Inst{Op: OpLui, Rt: A0, Imm: 1}, A0, true},
+		{Inst{Op: OpBeq, Rs: T0, Rt: T1, Imm: 4}, 0, false},
+		{Inst{Op: OpJ, Imm: 16}, 0, false},
+		{Inst{Op: OpJal, Imm: 16}, RA, true},
+		{Inst{Op: OpJr, Rs: RA}, 0, false},
+		{Inst{Op: OpHalt}, 0, false},
+	}
+	for _, c := range cases {
+		r, ok := c.in.Dest()
+		if ok != c.write || (ok && r != c.reg) {
+			t.Errorf("%v.Dest() = %v, %v; want %v, %v", c.in, r, ok, c.reg, c.write)
+		}
+	}
+}
+
+func TestSources(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want []Reg
+	}{
+		{Inst{Op: OpAddu, Rd: T0, Rs: T1, Rt: T2}, []Reg{T1, T2}},
+		{Inst{Op: OpSll, Rd: T0, Rt: T2, Imm: 3}, []Reg{T2}},
+		{Inst{Op: OpJr, Rs: RA}, []Reg{RA}},
+		{Inst{Op: OpAddiu, Rt: T0, Rs: T1, Imm: 4}, []Reg{T1}},
+		{Inst{Op: OpLui, Rt: T0, Imm: 4}, nil},
+		{Inst{Op: OpLw, Rt: T0, Rs: SP, Imm: 0}, []Reg{SP}},
+		{Inst{Op: OpSw, Rt: T0, Rs: SP, Imm: 0}, []Reg{SP, T0}},
+		{Inst{Op: OpBeq, Rs: T0, Rt: T1, Imm: 2}, []Reg{T0, T1}},
+		{Inst{Op: OpBlez, Rs: T0, Imm: 2}, []Reg{T0}},
+		{Inst{Op: OpJ, Imm: 0}, nil},
+	}
+	for _, c := range cases {
+		got := c.in.Sources()
+		if len(got) != len(c.want) {
+			t.Errorf("%v.Sources() = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%v.Sources() = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeExamples(t *testing.T) {
+	cases := []Inst{
+		{Op: OpAddu, Rd: T0, Rs: T1, Rt: T2},
+		{Op: OpXor, Rd: S0, Rs: S1, Rt: S2, Secure: true},
+		{Op: OpSll, Rd: T0, Rt: T1, Imm: 31},
+		{Op: OpSra, Rd: T0, Rt: T1, Imm: 0, Secure: true},
+		{Op: OpJr, Rs: RA},
+		{Op: OpAddiu, Rt: T0, Rs: Zero, Imm: -1},
+		{Op: OpAddiu, Rt: T0, Rs: Zero, Imm: MaxImm},
+		{Op: OpAddiu, Rt: T0, Rs: Zero, Imm: MinImm},
+		{Op: OpOri, Rt: T0, Rs: Zero, Imm: MaxUImm},
+		{Op: OpLui, Rt: GP, Imm: 0x4000},
+		{Op: OpLw, Rt: V0, Rs: SP, Imm: -4, Secure: true},
+		{Op: OpSw, Rt: V0, Rs: SP, Imm: 4, Secure: true},
+		{Op: OpBeq, Rs: T0, Rt: Zero, Imm: -10},
+		{Op: OpBgtz, Rs: A0, Imm: 100},
+		{Op: OpJ, Imm: MaxJumpTarget},
+		{Op: OpJal, Imm: 12},
+		{Op: OpHalt},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", in, err)
+			continue
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Errorf("Decode(Encode(%v)): %v", in, err)
+			continue
+		}
+		if out != in {
+			t.Errorf("round trip %v -> %#08x -> %v", in, w, out)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	cases := []Inst{
+		{Op: OpInvalid},
+		{Op: numOpcodes},
+		{Op: OpBeq, Secure: true, Rs: T0, Rt: T1, Imm: 0}, // branch not securable
+		{Op: OpJ, Secure: true, Imm: 0},                   // jump not securable
+		{Op: OpAddu, Rd: 40, Rs: T0, Rt: T1},              // bad register
+		{Op: OpSll, Rd: T0, Rt: T1, Imm: 32},              // shamt too big
+		{Op: OpSll, Rd: T0, Rt: T1, Imm: -1},              // negative shamt
+		{Op: OpAddiu, Rt: T0, Rs: T1, Imm: MaxImm + 1},    // imm overflow
+		{Op: OpAddiu, Rt: T0, Rs: T1, Imm: MinImm - 1},    // imm underflow
+		{Op: OpOri, Rt: T0, Rs: T1, Imm: -5},              // unsigned imm negative
+		{Op: OpOri, Rt: T0, Rs: T1, Imm: MaxUImm + 1},     // unsigned overflow
+		{Op: OpJ, Imm: MaxJumpTarget + 1},                 // target overflow
+		{Op: OpJ, Imm: -1},                                // negative target
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	// All-zero word: OpInvalid.
+	if _, err := Decode(0); err == nil {
+		t.Error("Decode(0) succeeded, want error")
+	}
+	// Opcode beyond table.
+	if _, err := Decode(uint32(numOpcodes) << 26); err == nil {
+		t.Error("Decode(bad opcode) succeeded, want error")
+	}
+	// Secure bit on a branch.
+	w, err := Encode(Inst{Op: OpBeq, Rs: T0, Rt: T1, Imm: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(w | 1<<25); err == nil {
+		t.Error("Decode(secure branch) succeeded, want error")
+	}
+}
+
+// randomValidInst builds a random encodable instruction for property testing.
+func randomValidInst(r *rand.Rand) Inst {
+	for {
+		op := Opcode(1 + r.Intn(int(numOpcodes)-1))
+		in := Inst{Op: op}
+		if op.Securable() && r.Intn(2) == 1 {
+			in.Secure = true
+		}
+		reg := func() Reg { return Reg(r.Intn(NumRegs)) }
+		switch op.Format() {
+		case FmtR:
+			in.Rd, in.Rs, in.Rt = reg(), reg(), reg()
+		case FmtRShift:
+			in.Rd, in.Rt, in.Imm = reg(), reg(), int32(r.Intn(32))
+		case FmtRJump:
+			in.Rs = reg()
+		case FmtI, FmtIMem, FmtIBranch:
+			in.Rt, in.Rs = reg(), reg()
+			if usesUnsignedImm(op) {
+				in.Imm = int32(r.Intn(MaxUImm + 1))
+			} else {
+				in.Imm = int32(r.Intn(MaxImm-MinImm+1)) + MinImm
+			}
+		case FmtILui:
+			in.Rt = reg()
+			in.Imm = int32(r.Intn(MaxUImm + 1))
+		case FmtJ:
+			in.Imm = int32(r.Intn(MaxJumpTarget + 1))
+		}
+		return in
+	}
+}
+
+// TestEncodeDecodeProperty checks Decode(Encode(x)) == x over random valid
+// instructions.
+func TestEncodeDecodeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		in := randomValidInst(r)
+		w, err := Encode(in)
+		if err != nil {
+			t.Logf("Encode(%v): %v", in, err)
+			return false
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Logf("Decode(%#08x): %v", w, err)
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeNeverPanics feeds arbitrary words to Decode.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return in.Op == OpInvalid
+		}
+		// Re-encoding a successfully decoded word must reproduce it modulo
+		// don't-care bits; at minimum it must succeed.
+		_, err = Encode(in)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpAddu, Rd: T0, Rs: T1, Rt: T2}, "addu $t0, $t1, $t2"},
+		{Inst{Op: OpXor, Rd: T0, Rs: T1, Rt: T2, Secure: true}, "xor.s $t0, $t1, $t2"},
+		{Inst{Op: OpSll, Rd: T0, Rt: T1, Imm: 2}, "sll $t0, $t1, 2"},
+		{Inst{Op: OpLw, Rt: V0, Rs: SP, Imm: -8}, "lw $v0, -8($sp)"},
+		{Inst{Op: OpLw, Rt: V0, Rs: SP, Imm: -8, Secure: true}, "lw.s $v0, -8($sp)"},
+		{Inst{Op: OpBeq, Rs: T0, Rt: Zero, Imm: 3}, "beq $t0, $zero, +3"},
+		{Inst{Op: OpBlez, Rs: T0, Imm: -2}, "blez $t0, -2"},
+		{Inst{Op: OpJr, Rs: RA}, "jr $ra"},
+		{Inst{Op: OpJ, Imm: 4}, "j 0x10"},
+		{Inst{Op: OpHalt}, "halt"},
+		{Inst{Op: OpLui, Rt: GP, Imm: 3}, "lui $gp, 3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestMnemonicSecureSuffix(t *testing.T) {
+	i := Inst{Op: OpLw, Rt: T0, Rs: SP, Secure: true}
+	if !strings.HasSuffix(i.Mnemonic(), ".s") {
+		t.Errorf("secure mnemonic %q lacks .s suffix", i.Mnemonic())
+	}
+}
+
+func TestSecurableCoversPaperOps(t *testing.T) {
+	// The paper requires secure variants of: load, store, XOR, shifts, and
+	// the ops composing secure assignment and secure indexing (addu).
+	for _, op := range []Opcode{OpLw, OpSw, OpXor, OpSll, OpSrl, OpSllv, OpSrlv, OpAddu} {
+		if !op.Securable() {
+			t.Errorf("%v must be securable per the paper", op)
+		}
+	}
+	for _, op := range []Opcode{OpBeq, OpBne, OpJ, OpJal, OpJr, OpHalt} {
+		if op.Securable() {
+			t.Errorf("%v must not be securable (control flow leaks by design are out of scope)", op)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"desmask/internal/aes"
+)
+
+// AES128 is AES-128 encryption in MiniC (byte-per-word state, FIPS input
+// byte order), generated from the reference tables in package aes. It
+// exercises every protected-operation class heavily: the S-box and xtime
+// lookups are secure-indexed, MixColumns is a dense tainted-XOR kernel, and
+// the key schedule keeps the whole round-key array in the forward slice.
+func AES128() Kernel {
+	var b strings.Builder
+	b.WriteString(`// AES-128 encryption for the desmask masking compiler.
+secure int key[16];   // input: key bytes
+int pt[16];           // input: plaintext bytes (FIPS order)
+int ct[16];           // output: ciphertext bytes
+
+`)
+	writeTable := func(name string, vals []int) {
+		fmt.Fprintf(&b, "int %s[%d] = {", name, len(vals))
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if i%16 == 0 && i > 0 {
+				b.WriteString("\n\t")
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+		b.WriteString("};\n")
+	}
+	sbox := make([]int, 256)
+	xt := make([]int, 256)
+	for i := 0; i < 256; i++ {
+		sbox[i] = int(aes.SBox[i])
+		xt[i] = int(aes.Xtime(byte(i)))
+	}
+	rcon := make([]int, 10)
+	for i, v := range aes.Rcon {
+		rcon[i] = int(v)
+	}
+	writeTable("SBOX", sbox)
+	writeTable("XT", xt)
+	writeTable("RCON", rcon)
+
+	b.WriteString(`
+int rk[176];
+int st[16];
+int tmp[16];
+
+void expand_key() {
+	int r; int i; int j;
+	for (i = 0; i < 16; i = i + 1) { rk[i] = key[i]; }
+	for (r = 1; r <= 10; r = r + 1) {
+		i = r * 16;
+		rk[i] = (rk[i - 16] ^ SBOX[rk[i - 3]]) ^ RCON[r - 1];
+		rk[i + 1] = rk[i - 15] ^ SBOX[rk[i - 2]];
+		rk[i + 2] = rk[i - 14] ^ SBOX[rk[i - 1]];
+		rk[i + 3] = rk[i - 13] ^ SBOX[rk[i - 4]];
+		for (j = 4; j < 16; j = j + 1) {
+			rk[i + j] = rk[i + j - 16] ^ rk[i + j - 4];
+		}
+	}
+}
+
+void add_round_key(int r) {
+	int i;
+	for (i = 0; i < 16; i = i + 1) { st[i] = st[i] ^ rk[r * 16 + i]; }
+}
+
+void sub_bytes() {
+	int i;
+	for (i = 0; i < 16; i = i + 1) { st[i] = SBOX[st[i]]; }
+}
+
+void shift_rows() {
+	int r; int c;
+	for (c = 0; c < 4; c = c + 1) {
+		for (r = 0; r < 4; r = r + 1) {
+			tmp[4 * c + r] = st[4 * ((c + r) & 3) + r];
+		}
+	}
+	for (c = 0; c < 16; c = c + 1) { st[c] = tmp[c]; }
+}
+
+void mix_columns() {
+	int c; int a0; int a1; int a2; int a3;
+	for (c = 0; c < 4; c = c + 1) {
+		a0 = st[4 * c];
+		a1 = st[4 * c + 1];
+		a2 = st[4 * c + 2];
+		a3 = st[4 * c + 3];
+		st[4 * c] = ((XT[a0] ^ XT[a1]) ^ a1) ^ (a2 ^ a3);
+		st[4 * c + 1] = ((a0 ^ XT[a1]) ^ XT[a2]) ^ (a2 ^ a3);
+		st[4 * c + 2] = ((a0 ^ a1) ^ XT[a2]) ^ (XT[a3] ^ a3);
+		st[4 * c + 3] = ((XT[a0] ^ a0) ^ a1) ^ (a2 ^ XT[a3]);
+	}
+}
+
+void emit_output() {
+	int i;
+	for (i = 0; i < 16; i = i + 1) { ct[i] = public(st[i]); }
+}
+
+void main() {
+	int r; int i;
+	expand_key();
+	for (i = 0; i < 16; i = i + 1) { st[i] = pt[i]; }
+	add_round_key(0);
+	for (r = 1; r <= 9; r = r + 1) {
+		sub_bytes();
+		shift_rows();
+		mix_columns();
+		add_round_key(r);
+	}
+	sub_bytes();
+	shift_rows();
+	add_round_key(10);
+	emit_output();
+}
+`)
+	return Kernel{
+		Name:         "aes128",
+		Source:       b.String(),
+		SecretGlobal: "key",
+		PublicGlobal: "pt",
+		OutputGlobal: "ct",
+		OutputLen:    16,
+	}
+}
+
+// AESReference is the oracle: word-slice adapter over package aes.
+func AESReference(key, pt []uint32) []uint32 {
+	var k, p [16]byte
+	for i := 0; i < 16; i++ {
+		k[i] = byte(key[i])
+		p[i] = byte(pt[i])
+	}
+	ct := aes.Encrypt(k, p)
+	out := make([]uint32, 16)
+	for i, v := range ct {
+		out[i] = uint32(v)
+	}
+	return out
+}

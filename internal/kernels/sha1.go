@@ -1,0 +1,114 @@
+package kernels
+
+// SHA1 is the Secure Hash Standard compression function (FIPS 180-1 — the
+// paper's reference [10]) in MiniC, masked in the HMAC configuration: the
+// chaining state entering the compression is secret (as the inner/outer
+// HMAC states are key-derived), the message block is public, and the digest
+// is declassified output. It exercises rotation-heavy tainted dataflow with
+// zero table lookups.
+func SHA1() Kernel {
+	return Kernel{
+		Name:         "sha1",
+		SecretGlobal: "state",
+		PublicGlobal: "block",
+		OutputGlobal: "digest",
+		OutputLen:    5,
+		Source: `
+// SHA-1 compression with a secret chaining state (HMAC inner state).
+secure int state[5];   // input: secret chaining variables h0..h4
+int block[16];         // input: public 512-bit message block (16 words)
+int digest[5];         // output: updated chaining value
+
+int K_TAB[4] = { 0x5A827999, 0x6ED9EBA1, -0x70E44324, -0x359D3E2A };
+
+int W[80];
+int r0; int r1; int r2; int r3; int r4;
+
+int rotl(int x, int n) {
+	return (x << n) | (x >>> (32 - n));
+}
+
+void expand() {
+	int t;
+	for (t = 0; t < 16; t = t + 1) { W[t] = block[t]; }
+	for (t = 16; t < 80; t = t + 1) {
+		W[t] = rotl(((W[t - 3] ^ W[t - 8]) ^ W[t - 14]) ^ W[t - 16], 1);
+	}
+}
+
+void emit_output() {
+	digest[0] = public(r0);
+	digest[1] = public(r1);
+	digest[2] = public(r2);
+	digest[3] = public(r3);
+	digest[4] = public(r4);
+}
+
+void main() {
+	int a; int b; int c; int d; int e;
+	int t; int f; int k; int tmp;
+	expand();
+	a = state[0];
+	b = state[1];
+	c = state[2];
+	d = state[3];
+	e = state[4];
+	for (t = 0; t < 80; t = t + 1) {
+		if (t < 20) {
+			f = (b & c) | (~b & d);
+			k = K_TAB[0];
+		} else if (t < 40) {
+			f = (b ^ c) ^ d;
+			k = K_TAB[1];
+		} else if (t < 60) {
+			f = ((b & c) | (b & d)) | (c & d);
+			k = K_TAB[2];
+		} else {
+			f = (b ^ c) ^ d;
+			k = K_TAB[3];
+		}
+		tmp = (((rotl(a, 5) + f) + e) + k) + W[t];
+		e = d;
+		d = c;
+		c = rotl(b, 30);
+		b = a;
+		a = tmp;
+	}
+	r0 = state[0] + a;
+	r1 = state[1] + b;
+	r2 = state[2] + c;
+	r3 = state[3] + d;
+	r4 = state[4] + e;
+	emit_output();
+}
+`,
+	}
+}
+
+// SHA1Reference is the oracle: one FIPS 180-1 compression of a 16-word
+// block into a 5-word chaining state.
+func SHA1Reference(state [5]uint32, block [16]uint32) [5]uint32 {
+	var w [80]uint32
+	copy(w[:16], block[:])
+	for t := 16; t < 80; t++ {
+		x := w[t-3] ^ w[t-8] ^ w[t-14] ^ w[t-16]
+		w[t] = x<<1 | x>>31
+	}
+	a, b, c, d, e := state[0], state[1], state[2], state[3], state[4]
+	for t := 0; t < 80; t++ {
+		var f, k uint32
+		switch {
+		case t < 20:
+			f, k = (b&c)|(^b&d), 0x5A827999
+		case t < 40:
+			f, k = b^c^d, 0x6ED9EBA1
+		case t < 60:
+			f, k = (b&c)|(b&d)|(c&d), 0x8F1BBCDC
+		default:
+			f, k = b^c^d, 0xCA62C1D6
+		}
+		tmp := (a<<5 | a>>27) + f + e + k + w[t]
+		e, d, c, b, a = d, c, b<<30|b>>2, a, tmp
+	}
+	return [5]uint32{state[0] + a, state[1] + b, state[2] + c, state[3] + d, state[4] + e}
+}

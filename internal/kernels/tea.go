@@ -1,0 +1,56 @@
+package kernels
+
+// TEA is the Tiny Encryption Algorithm (Wheeler & Needham, 1994): 32 cycles
+// of adds, shifts and XORs over a 128-bit secure key and a 64-bit block. It
+// exercises the masking compiler's ALU-heavy path (no S-box tables at all —
+// every protected operation is arithmetic).
+func TEA() Kernel {
+	return Kernel{
+		Name:         "tea",
+		SecretGlobal: "key",
+		PublicGlobal: "v",
+		OutputGlobal: "out",
+		OutputLen:    2,
+		Source: `
+// TEA encryption, 32 rounds, delta = 0x9E3779B9.
+secure int key[4];
+int v[2];
+int out[2];
+int r0;
+int r1;
+
+void emit_output() {
+	out[0] = public(r0);
+	out[1] = public(r1);
+}
+
+void main() {
+	int v0; int v1; int sum; int i;
+	v0 = v[0];
+	v1 = v[1];
+	sum = 0;
+	for (i = 0; i < 32; i = i + 1) {
+		sum = sum + 0x9E3779B9;
+		v0 = v0 + ((((v1 << 4) + key[0]) ^ (v1 + sum)) ^ ((v1 >>> 5) + key[1]));
+		v1 = v1 + ((((v0 << 4) + key[2]) ^ (v0 + sum)) ^ ((v0 >>> 5) + key[3]));
+	}
+	r0 = v0;
+	r1 = v1;
+	emit_output();
+}
+`,
+	}
+}
+
+// TEAReference is the oracle implementation.
+func TEAReference(key [4]uint32, v [2]uint32) [2]uint32 {
+	v0, v1 := v[0], v[1]
+	var sum uint32
+	const delta = 0x9e3779b9
+	for i := 0; i < 32; i++ {
+		sum += delta
+		v0 += ((v1 << 4) + key[0]) ^ (v1 + sum) ^ ((v1 >> 5) + key[1])
+		v1 += ((v0 << 4) + key[2]) ^ (v0 + sum) ^ ((v0 >> 5) + key[3])
+	}
+	return [2]uint32{v0, v1}
+}

@@ -1,0 +1,262 @@
+package leakcheck
+
+import (
+	"testing"
+
+	"desmask/internal/asm"
+	"desmask/internal/compiler"
+	"desmask/internal/desprog"
+	"desmask/internal/kernels"
+)
+
+// checkDES compiles DES at a policy, taints the key, runs the checker and
+// returns the report plus the declassification region.
+func checkDES(t *testing.T, policy compiler.Policy) (*Report, uint32, uint32) {
+	t.Helper()
+	m, err := desprog.New(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := m.Res.Program
+	c, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyAddr := prog.Symbols[compiler.GlobalLabel("key")]
+	ptAddr := prog.Symbols[compiler.GlobalLabel("plaintext")]
+	for i := 0; i < 64; i++ {
+		if err := c.SetWord(keyAddr+uint32(4*i), uint32(i&1), true); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetWord(ptAddr+uint32(4*i), uint32((i>>1)&1), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := prog.Symbols["f_output_permutation"]
+	hi := prog.Symbols["f_main"]
+	if lo == 0 || hi == 0 || hi <= lo {
+		t.Fatalf("bad declassification region [%#x, %#x)", lo, hi)
+	}
+	return rep, lo, hi
+}
+
+func TestSelectiveDESLeaksOnlyAtDeclassification(t *testing.T) {
+	rep, lo, hi := checkDES(t, compiler.PolicySelective)
+	outside := rep.LeaksOutsideRegion(lo, hi)
+	if len(outside) != 0 {
+		for _, l := range outside {
+			t.Errorf("leak outside output permutation: pc %#x %v (%d times)", l.PC, l.Inst, l.Count)
+		}
+	}
+	// The declassified output permutation must be the only leaky region,
+	// and it must actually appear (public() emits insecure ops over
+	// dynamically tainted data by design).
+	if rep.LeakCount() == 0 {
+		t.Error("expected declassification leaks in the output permutation")
+	}
+	// Conservatism: some secure instructions run on clean data (e.g. the
+	// first-round left-side copy before R is key-dependent... which it is;
+	// rather: masked ops over equal-for-all-keys data).
+	if rep.Insts == 0 {
+		t.Error("no instructions executed")
+	}
+}
+
+func TestUnprotectedDESLeaksEverywhere(t *testing.T) {
+	rep, lo, hi := checkDES(t, compiler.PolicyNone)
+	outside := rep.LeaksOutsideRegion(lo, hi)
+	if len(outside) < 10 {
+		t.Errorf("unprotected DES shows only %d leaky PCs outside output permutation", len(outside))
+	}
+}
+
+func TestSeedsOnlyDESLeaks(t *testing.T) {
+	rep, lo, hi := checkDES(t, compiler.PolicySeedsOnly)
+	if len(rep.LeaksOutsideRegion(lo, hi)) == 0 {
+		t.Error("seeds-only must leak through derived values")
+	}
+}
+
+func TestNaiveLoadStoreDESStillLeaks(t *testing.T) {
+	// All loads/stores secure, but tainted ALU traffic leaks.
+	rep, lo, hi := checkDES(t, compiler.PolicyNaiveLoadStore)
+	outside := rep.LeaksOutsideRegion(lo, hi)
+	if len(outside) == 0 {
+		t.Error("naive load/store masking must leak through ALU operations")
+	}
+	for _, l := range outside {
+		if l.Inst.Op.IsMem() {
+			t.Errorf("naive policy leaked through a memory op: %v at %#x", l.Inst, l.PC)
+		}
+	}
+}
+
+func TestAllSecureDESNeverLeaks(t *testing.T) {
+	rep, _, _ := checkDES(t, compiler.PolicyAllSecure)
+	if rep.LeakCount() != 0 {
+		t.Errorf("all-secure leaked %d times: %+v", rep.LeakCount(), rep.Leaks)
+	}
+	if rep.SecureInsecureData == 0 {
+		t.Error("all-secure should waste masking on clean data")
+	}
+}
+
+func TestKernelsLeakFree(t *testing.T) {
+	for _, k := range []kernels.Kernel{kernels.TEA(), kernels.AES128()} {
+		m, err := kernels.BuildSimple(k, compiler.PolicySelective)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := m.Res.Program
+		c, err := New(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secretLen := 4
+		if k.Name == "aes128" {
+			secretLen = 16
+		}
+		addr := prog.Symbols[compiler.GlobalLabel(k.SecretGlobal)]
+		for i := 0; i < secretLen; i++ {
+			if err := c.SetWord(addr+uint32(4*i), uint32(i+3), true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := prog.Symbols["f_emit_output"]
+		hi := prog.Symbols["f_main"]
+		outside := rep.LeaksOutsideRegion(lo, hi)
+		if len(outside) != 0 {
+			for _, l := range outside {
+				t.Errorf("%s: leak at pc %#x: %v (%d times)", k.Name, l.PC, l.Inst, l.Count)
+			}
+		}
+	}
+}
+
+func TestTaintPropagationBasics(t *testing.T) {
+	// Hand-written program: taint flows load -> alu -> store; the middle is
+	// insecure so three leaks are expected.
+	p, err := asm.Assemble(`
+		.data
+secret:	.word 0
+out:	.word 0
+		.text
+main:	la   $t9, secret
+		la   $t8, out
+		lw   $t0, 0($t9)      # leak 1: insecure tainted load
+		addu $t1, $t0, $t0    # leak 2: insecure tainted alu
+		sw   $t1, 0($t8)      # leak 3: insecure tainted store
+		lw.s $t2, 0($t9)      # secure: no leak
+		xor.s $t3, $t2, $t2   # secure: no leak
+		sw.s $t3, 0($t8)      # secure: no leak
+		li   $t4, 7           # clean: no leak
+		addu $t5, $t4, $t4    # clean: no leak
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.TaintWords(p.Symbols["secret"], 1)
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Leaks) != 3 {
+		t.Fatalf("leaks = %+v, want 3 distinct PCs", rep.Leaks)
+	}
+	wantOps := map[int]bool{}
+	for _, l := range rep.Leaks {
+		wantOps[int(l.Inst.Op)] = true
+	}
+	if len(wantOps) != 3 {
+		t.Errorf("expected load+alu+store leak variety, got %+v", rep.Leaks)
+	}
+}
+
+func TestTaintedBranchIsALeak(t *testing.T) {
+	p, err := asm.Assemble(`
+		.data
+secret:	.word 1
+		.text
+main:	la   $t9, secret
+		lw.s $t0, 0($t9)
+		beq  $t0, $zero, done  # timing leak: condition is tainted
+done:	halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.TaintWords(p.Symbols["secret"], 1)
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range rep.Leaks {
+		if l.Inst.Op.IsBranch() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tainted branch not reported: %+v", rep.Leaks)
+	}
+}
+
+func TestStoreClearsStaleTaint(t *testing.T) {
+	// Overwriting a tainted cell with clean data must clear its taint.
+	p, err := asm.Assemble(`
+		.data
+cell:	.word 0
+out:	.word 0
+		.text
+main:	la    $t9, cell
+		li    $t0, 5
+		sw    $t0, 0($t9)     # clean store clears taint
+		lw    $t1, 0($t9)     # clean load: no leak
+		sw    $t1, 4($t9)
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.TaintWords(p.Symbols["cell"], 1)
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LeakCount() != 0 {
+		t.Errorf("stale taint not cleared: %+v", rep.Leaks)
+	}
+}
+
+func TestCheckerErrors(t *testing.T) {
+	if _, err := New(&asm.Program{}); err == nil {
+		t.Error("empty program accepted")
+	}
+	p, _ := asm.Assemble("main: j main\nhalt\n")
+	c, _ := New(p)
+	c.maxInsts = 100
+	if _, err := c.Run(); err == nil {
+		t.Error("runaway program should fail")
+	}
+}

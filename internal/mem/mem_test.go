@@ -1,0 +1,121 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New()
+	if err := m.StoreWord(0x4000, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.LoadWord(0x4000)
+	if err != nil || v != 0xdeadbeef {
+		t.Fatalf("LoadWord = %#x, %v", v, err)
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	m := New()
+	v, err := m.LoadWord(0x1_0000)
+	if err != nil || v != 0 {
+		t.Fatalf("uninitialised load = %#x, %v; want 0, nil", v, err)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Memory
+	if err := m.StoreWord(8, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.LoadWord(8); v != 7 {
+		t.Fatalf("zero-value Memory store/load = %d", v)
+	}
+	var m2 Memory
+	if v, err := m2.LoadWord(8); err != nil || v != 0 {
+		t.Fatalf("zero-value Memory load = %d, %v", v, err)
+	}
+}
+
+func TestMisaligned(t *testing.T) {
+	m := New()
+	if _, err := m.LoadWord(2); err == nil {
+		t.Error("misaligned load succeeded")
+	}
+	if err := m.StoreWord(5, 1); err == nil {
+		t.Error("misaligned store succeeded")
+	}
+	if err := m.LoadImage(1, []uint32{1}); err == nil {
+		t.Error("misaligned image succeeded")
+	}
+}
+
+func TestAccessCounters(t *testing.T) {
+	m := New()
+	_ = m.StoreWord(0, 1)
+	_, _ = m.LoadWord(0)
+	_, _ = m.LoadWord(4)
+	if m.Writes != 1 || m.Reads != 2 {
+		t.Errorf("counters = %d writes, %d reads; want 1, 2", m.Writes, m.Reads)
+	}
+	if err := m.LoadImage(0x100, []uint32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Writes != 1 {
+		t.Errorf("image load counted as traffic: %d writes", m.Writes)
+	}
+	if _, err := m.ReadWords(0x100, 3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reads != 2 {
+		t.Errorf("ReadWords counted as traffic: %d reads", m.Reads)
+	}
+}
+
+func TestLoadImageAndReadWords(t *testing.T) {
+	m := New()
+	img := []uint32{10, 20, 30, 40}
+	if err := m.LoadImage(0x2000, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadWords(0x2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range img {
+		if got[i] != w {
+			t.Errorf("word %d = %d, want %d", i, got[i], w)
+		}
+	}
+}
+
+func TestPageBoundaries(t *testing.T) {
+	m := New()
+	// Straddle a page boundary (pages are 1024 words = 4096 bytes).
+	for _, addr := range []uint32{4092, 4096, 4100} {
+		if err := m.StoreWord(addr, addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, addr := range []uint32{4092, 4096, 4100} {
+		if v, _ := m.LoadWord(addr); v != addr {
+			t.Errorf("word at %#x = %#x", addr, v)
+		}
+	}
+}
+
+func TestStoreLoadProperty(t *testing.T) {
+	m := New()
+	f := func(addr, v uint32) bool {
+		addr &^= 3
+		if err := m.StoreWord(addr, v); err != nil {
+			return false
+		}
+		got, err := m.LoadWord(addr)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,218 @@
+package minic
+
+// File is a parsed translation unit.
+type File struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// FindFunc returns the function with the given name, or nil.
+func (f *File) FindFunc(name string) *FuncDecl {
+	for _, fn := range f.Funcs {
+		if fn.Name == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// FindGlobal returns the global with the given name, or nil.
+func (f *File) FindGlobal(name string) *VarDecl {
+	for _, g := range f.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// VarDecl declares a scalar or array variable, global or local.
+type VarDecl struct {
+	Pos    Pos
+	Name   string
+	Secure bool // declared with the `secure` qualifier (a taint seed)
+	// ArrayLen is the element count for arrays, or 0 for scalars.
+	ArrayLen int
+	IsArray  bool
+	// Init holds the initializer: one value for scalars, up to ArrayLen
+	// values for arrays (the rest are zero).
+	Init []int64
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Pos        Pos
+	Name       string
+	ReturnsInt bool // false for void
+	Params     []*VarDecl
+	Body       *Block
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// AssignStmt assigns RHS to an lvalue.
+type AssignStmt struct {
+	Pos Pos
+	LHS Expr // *VarRef or *IndexExpr
+	RHS Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *Block
+}
+
+// ForStmt is a C-style for loop with assignment init/post clauses.
+type ForStmt struct {
+	Pos  Pos
+	Init *AssignStmt // may be nil
+	Cond Expr        // may be nil (infinite)
+	Post *AssignStmt // may be nil
+	Body *Block
+}
+
+// ReturnStmt returns from a function, with optional value.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // nil for void return
+}
+
+// ExprStmt evaluates an expression for its side effects (a call).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (*Block) stmtNode()      {}
+func (*DeclStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	// Position returns the source position of the expression.
+	Position() Pos
+}
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Pos Pos
+	Val int64
+}
+
+// VarRef references a scalar variable (or names an array in an IndexExpr).
+type VarRef struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr is arr[index].
+type IndexExpr struct {
+	Pos   Pos
+	Name  string
+	Index Expr
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpXor
+	OpAnd
+	OpOr
+	OpShl
+	OpShr
+	OpShrU // logical (unsigned) right shift
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpEq
+	OpNe
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpXor: "^", OpAnd: "&", OpOr: "|",
+	OpShl: "<<", OpShr: ">>", OpShrU: ">>>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpEq: "==", OpNe: "!=",
+}
+
+// String renders the operator.
+func (op BinOp) String() string { return binOpNames[op] }
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   BinOp
+	X, Y Expr
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNeg UnOp = iota // -
+	OpNot             // ! (logical)
+	OpInv             // ~ (bitwise)
+)
+
+// UnaryExpr applies a unary operator.
+type UnaryExpr struct {
+	Pos Pos
+	Op  UnOp
+	X   Expr
+}
+
+// CallExpr calls a function.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+func (*NumLit) exprNode()     {}
+func (*VarRef) exprNode()     {}
+func (*IndexExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+
+// Position implements Expr.
+func (e *NumLit) Position() Pos     { return e.Pos }
+func (e *VarRef) Position() Pos     { return e.Pos }
+func (e *IndexExpr) Position() Pos  { return e.Pos }
+func (e *BinaryExpr) Position() Pos { return e.Pos }
+func (e *UnaryExpr) Position() Pos  { return e.Pos }
+func (e *CallExpr) Position() Pos   { return e.Pos }

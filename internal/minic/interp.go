@@ -1,0 +1,320 @@
+package minic
+
+import "fmt"
+
+// Interp is a direct AST interpreter for MiniC with the simulated
+// processor's 32-bit semantics. It exists as an independent third
+// implementation of the language (beside the compiler+pipeline and the
+// compiler+golden-model paths) so differential tests can catch bugs shared
+// by the code generator and the ISA executors.
+type Interp struct {
+	file    *File
+	globals map[string][]uint32
+	steps   int
+	// MaxSteps bounds execution (default 10M statements/expressions).
+	MaxSteps int
+}
+
+// NewInterp prepares an interpreter with zero-initialised globals (array
+// initializers applied).
+func NewInterp(f *File) *Interp {
+	in := &Interp{file: f, globals: map[string][]uint32{}, MaxSteps: 10_000_000}
+	for _, g := range f.Globals {
+		n := 1
+		if g.IsArray {
+			n = g.ArrayLen
+		}
+		vals := make([]uint32, n)
+		for i, v := range g.Init {
+			vals[i] = uint32(v)
+		}
+		in.globals[g.Name] = vals
+	}
+	return in
+}
+
+// SetGlobal pokes a global scalar or array prefix.
+func (in *Interp) SetGlobal(name string, vals []uint32) error {
+	g, ok := in.globals[name]
+	if !ok {
+		return fmt.Errorf("minic: no global %q", name)
+	}
+	if len(vals) > len(g) {
+		return fmt.Errorf("minic: %d values for global %q of length %d", len(vals), name, len(g))
+	}
+	copy(g, vals)
+	return nil
+}
+
+// Global reads a global's current contents.
+func (in *Interp) Global(name string) ([]uint32, error) {
+	g, ok := in.globals[name]
+	if !ok {
+		return nil, fmt.Errorf("minic: no global %q", name)
+	}
+	out := make([]uint32, len(g))
+	copy(out, g)
+	return out, nil
+}
+
+// frame is one function activation.
+type frame struct {
+	vars map[string][]uint32
+}
+
+// returnSignal unwinds a function body via panic/recover.
+type returnSignal struct{ value uint32 }
+
+type interpError struct{ err error }
+
+// Run executes main to completion.
+func (in *Interp) Run() (err error) {
+	main := in.file.FindFunc("main")
+	if main == nil {
+		return fmt.Errorf("minic: no main function")
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if ie, ok := r.(interpError); ok {
+				err = ie.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	in.callFunc(main, nil)
+	return nil
+}
+
+func (in *Interp) fail(pos Pos, format string, args ...interface{}) {
+	panic(interpError{&Error{pos, fmt.Sprintf(format, args...)}})
+}
+
+func (in *Interp) tick(pos Pos) {
+	in.steps++
+	if in.steps > in.MaxSteps {
+		in.fail(pos, "execution exceeded %d steps", in.MaxSteps)
+	}
+}
+
+// callFunc runs fn and returns its result (0 for void).
+func (in *Interp) callFunc(fn *FuncDecl, args []uint32) (ret uint32) {
+	fr := &frame{vars: map[string][]uint32{}}
+	for i, p := range fn.Params {
+		fr.vars[p.Name] = []uint32{args[i]}
+	}
+	// Pre-declare locals so flat function scoping matches the compiler.
+	var declare func(b *Block)
+	declare = func(b *Block) {
+		for _, s := range b.Stmts {
+			switch st := s.(type) {
+			case *DeclStmt:
+				n := 1
+				if st.Decl.IsArray {
+					n = st.Decl.ArrayLen
+				}
+				fr.vars[st.Decl.Name] = make([]uint32, n)
+			case *Block:
+				declare(st)
+			case *IfStmt:
+				declare(st.Then)
+				if st.Else != nil {
+					declare(st.Else)
+				}
+			case *WhileStmt:
+				declare(st.Body)
+			case *ForStmt:
+				declare(st.Body)
+			}
+		}
+	}
+	declare(fn.Body)
+
+	defer func() {
+		if r := recover(); r != nil {
+			if rs, ok := r.(returnSignal); ok {
+				ret = rs.value
+				return
+			}
+			panic(r)
+		}
+	}()
+	in.execBlock(fn, fr, fn.Body)
+	return 0
+}
+
+func (in *Interp) execBlock(fn *FuncDecl, fr *frame, b *Block) {
+	for _, s := range b.Stmts {
+		in.execStmt(fn, fr, s)
+	}
+}
+
+func (in *Interp) execStmt(fn *FuncDecl, fr *frame, s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		in.execBlock(fn, fr, st)
+	case *DeclStmt:
+		in.tick(st.Decl.Pos)
+		if !st.Decl.IsArray && len(st.Decl.Init) == 1 {
+			fr.vars[st.Decl.Name][0] = uint32(st.Decl.Init[0])
+		}
+	case *AssignStmt:
+		in.tick(st.Pos)
+		val := in.eval(fn, fr, st.RHS)
+		in.assign(fn, fr, st.LHS, val)
+	case *IfStmt:
+		in.tick(st.Pos)
+		if in.eval(fn, fr, st.Cond) != 0 {
+			in.execBlock(fn, fr, st.Then)
+		} else if st.Else != nil {
+			in.execBlock(fn, fr, st.Else)
+		}
+	case *WhileStmt:
+		for {
+			in.tick(st.Pos)
+			if in.eval(fn, fr, st.Cond) == 0 {
+				break
+			}
+			in.execBlock(fn, fr, st.Body)
+		}
+	case *ForStmt:
+		if st.Init != nil {
+			in.execStmt(fn, fr, st.Init)
+		}
+		for {
+			in.tick(st.Pos)
+			if st.Cond != nil && in.eval(fn, fr, st.Cond) == 0 {
+				break
+			}
+			in.execBlock(fn, fr, st.Body)
+			if st.Post != nil {
+				in.execStmt(fn, fr, st.Post)
+			}
+		}
+	case *ReturnStmt:
+		var v uint32
+		if st.Value != nil {
+			v = in.eval(fn, fr, st.Value)
+		}
+		panic(returnSignal{v})
+	case *ExprStmt:
+		in.tick(st.Pos)
+		in.eval(fn, fr, st.X)
+	default:
+		in.fail(Pos{}, "unknown statement %T", s)
+	}
+}
+
+// slot resolves a variable to its storage.
+func (in *Interp) slot(fn *FuncDecl, fr *frame, name string, pos Pos) []uint32 {
+	if v, ok := fr.vars[name]; ok {
+		return v
+	}
+	if v, ok := in.globals[name]; ok {
+		return v
+	}
+	in.fail(pos, "undefined variable %q", name)
+	return nil
+}
+
+func (in *Interp) assign(fn *FuncDecl, fr *frame, lhs Expr, val uint32) {
+	switch lv := lhs.(type) {
+	case *VarRef:
+		in.slot(fn, fr, lv.Name, lv.Pos)[0] = val
+	case *IndexExpr:
+		arr := in.slot(fn, fr, lv.Name, lv.Pos)
+		idx := in.eval(fn, fr, lv.Index)
+		if int(idx) >= len(arr) {
+			in.fail(lv.Pos, "index %d out of range for %q (len %d)", idx, lv.Name, len(arr))
+		}
+		arr[idx] = val
+	default:
+		in.fail(lhs.Position(), "invalid assignment target")
+	}
+}
+
+func (in *Interp) eval(fn *FuncDecl, fr *frame, e Expr) uint32 {
+	in.tick(e.Position())
+	switch x := e.(type) {
+	case *NumLit:
+		return uint32(x.Val)
+	case *VarRef:
+		return in.slot(fn, fr, x.Name, x.Pos)[0]
+	case *IndexExpr:
+		arr := in.slot(fn, fr, x.Name, x.Pos)
+		idx := in.eval(fn, fr, x.Index)
+		if int(idx) >= len(arr) {
+			in.fail(x.Pos, "index %d out of range for %q (len %d)", idx, x.Name, len(arr))
+		}
+		return arr[idx]
+	case *UnaryExpr:
+		v := in.eval(fn, fr, x.X)
+		switch x.Op {
+		case OpNeg:
+			return -v
+		case OpInv:
+			return ^v
+		case OpNot:
+			if v == 0 {
+				return 1
+			}
+			return 0
+		}
+	case *BinaryExpr:
+		a := in.eval(fn, fr, x.X)
+		b := in.eval(fn, fr, x.Y)
+		boolTo := func(c bool) uint32 {
+			if c {
+				return 1
+			}
+			return 0
+		}
+		switch x.Op {
+		case OpAdd:
+			return a + b
+		case OpSub:
+			return a - b
+		case OpMul:
+			return a * b
+		case OpXor:
+			return a ^ b
+		case OpAnd:
+			return a & b
+		case OpOr:
+			return a | b
+		case OpShl:
+			return a << (b & 31)
+		case OpShr:
+			return uint32(int32(a) >> (b & 31))
+		case OpShrU:
+			return a >> (b & 31)
+		case OpLt:
+			return boolTo(int32(a) < int32(b))
+		case OpLe:
+			return boolTo(int32(a) <= int32(b))
+		case OpGt:
+			return boolTo(int32(a) > int32(b))
+		case OpGe:
+			return boolTo(int32(a) >= int32(b))
+		case OpEq:
+			return boolTo(a == b)
+		case OpNe:
+			return boolTo(a != b)
+		}
+	case *CallExpr:
+		if x.Name == "public" {
+			return in.eval(fn, fr, x.Args[0])
+		}
+		callee := in.file.FindFunc(x.Name)
+		if callee == nil {
+			in.fail(x.Pos, "undefined function %q", x.Name)
+		}
+		args := make([]uint32, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = in.eval(fn, fr, a)
+		}
+		return in.callFunc(callee, args)
+	}
+	in.fail(e.Position(), "unknown expression %T", e)
+	return 0
+}

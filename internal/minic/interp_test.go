@@ -1,0 +1,112 @@
+package minic
+
+import "testing"
+
+func interpRun(t *testing.T, src string, pokes map[string][]uint32) *Interp {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp(f)
+	for name, vals := range pokes {
+		if err := in.SetGlobal(name, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestInterpArithmetic(t *testing.T) {
+	in := interpRun(t, `
+		int out[6];
+		void main() {
+			int a; int b;
+			a = 21; b = 3;
+			out[0] = a + b * 2;
+			out[1] = a ^ b;
+			out[2] = (a << 2) | (a >>> 1);
+			out[3] = -1 >> 31;
+			out[4] = a < b;
+			out[5] = !b + ~0;
+		}
+	`, nil)
+	out, _ := in.Global("out")
+	want := []uint32{27, 22, 84 | 10, 0xffffffff, 0, 0xffffffff}
+	for i, w := range want {
+		if out[i] != w {
+			t.Errorf("out[%d] = %#x, want %#x", i, out[i], w)
+		}
+	}
+}
+
+func TestInterpControlFlowAndCalls(t *testing.T) {
+	in := interpRun(t, `
+		int out[3];
+		int fib(int n) {
+			if (n < 2) { return n; }
+			return fib(n - 1) + fib(n - 2);
+		}
+		void main() {
+			int i; int sum;
+			sum = 0;
+			for (i = 1; i <= 10; i = i + 1) { sum = sum + i; }
+			out[0] = sum;
+			out[1] = fib(10);
+			i = 0;
+			while (i < 7) { i = i + 2; }
+			out[2] = i;
+		}
+	`, nil)
+	out, _ := in.Global("out")
+	if out[0] != 55 || out[1] != 55 || out[2] != 8 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestInterpGlobalsAndPublic(t *testing.T) {
+	in := interpRun(t, `
+		secure int key[2];
+		int tab[4] = {10, 20, 30, 40};
+		int out;
+		void main() {
+			out = public(tab[key[0] & 3] + key[1]);
+		}
+	`, map[string][]uint32{"key": {2, 5}})
+	out, _ := in.Global("out")
+	if out[0] != 35 {
+		t.Errorf("out = %d, want 35", out[0])
+	}
+}
+
+func TestInterpErrors(t *testing.T) {
+	f, err := Parse(`
+		int a[2];
+		void main() { a[5] = 1; }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewInterp(f).Run(); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	f2, _ := Parse("int x; void main() { while (1) { x = x + 1; } }")
+	in2 := NewInterp(f2)
+	in2.MaxSteps = 1000
+	if err := in2.Run(); err == nil {
+		t.Error("runaway loop should hit MaxSteps")
+	}
+	f3, _ := Parse("int x;")
+	if err := NewInterp(f3).Run(); err == nil {
+		t.Error("missing main should fail")
+	}
+	if err := NewInterp(f2).SetGlobal("nope", nil); err == nil {
+		t.Error("unknown global accepted")
+	}
+	if _, err := NewInterp(f2).Global("nope"); err == nil {
+		t.Error("unknown global read accepted")
+	}
+}

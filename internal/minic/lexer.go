@@ -1,0 +1,212 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Lexer tokenises MiniC source.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() Pos { return Pos{l.line, l.col} }
+
+func isLetter(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// skipSpace consumes whitespace and comments.
+func (l *Lexer) skipSpace() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &Error{start, "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: p}, nil
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		start := l.off
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: p}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: p}, nil
+	case isDigit(c):
+		start := l.off
+		if c == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+			l.advance()
+			l.advance()
+			for l.off < len(l.src) && isHexDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		text := l.src[start:l.off]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return Token{}, &Error{p, fmt.Sprintf("bad number %q", text)}
+		}
+		return Token{Kind: TokNumber, Text: text, Val: v, Pos: p}, nil
+	}
+	l.advance()
+	two := func(second byte, twoKind, oneKind TokenKind) Token {
+		if l.peek() == second {
+			l.advance()
+			return Token{Kind: twoKind, Pos: p}
+		}
+		return Token{Kind: oneKind, Pos: p}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: p}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: p}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: p}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: p}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: p}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: p}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: p}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: p}, nil
+	case '+':
+		return Token{Kind: TokPlus, Pos: p}, nil
+	case '-':
+		return Token{Kind: TokMinus, Pos: p}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: p}, nil
+	case '^':
+		return Token{Kind: TokCaret, Pos: p}, nil
+	case '&':
+		return Token{Kind: TokAmp, Pos: p}, nil
+	case '|':
+		return Token{Kind: TokPipe, Pos: p}, nil
+	case '~':
+		return Token{Kind: TokTilde, Pos: p}, nil
+	case '=':
+		return two('=', TokEq, TokAssign), nil
+	case '!':
+		return two('=', TokNe, TokNot), nil
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return Token{Kind: TokShl, Pos: p}, nil
+		}
+		return two('=', TokLe, TokLt), nil
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			if l.peek() == '>' {
+				l.advance()
+				return Token{Kind: TokShrU, Pos: p}, nil
+			}
+			return Token{Kind: TokShr, Pos: p}, nil
+		}
+		return two('=', TokGe, TokGt), nil
+	}
+	return Token{}, &Error{p, fmt.Sprintf("unexpected character %q", string(c))}
+}
+
+// LexAll tokenises the entire source (testing convenience).
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

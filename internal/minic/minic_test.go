@@ -1,0 +1,324 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("secure int key[64]; // c\n/* block */ x = a ^ 0x1F;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{
+		TokSecure, TokInt, TokIdent, TokLBracket, TokNumber, TokRBracket, TokSemi,
+		TokIdent, TokAssign, TokIdent, TokCaret, TokNumber, TokSemi, TokEOF,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[4].Val != 64 || toks[11].Val != 0x1f {
+		t.Errorf("numbers = %d, %d", toks[4].Val, toks[11].Val)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := LexAll("<< >> <= >= == != < > = ! ~ & | ^ + - *")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokShl, TokShr, TokLe, TokGe, TokEq, TokNe, TokLt, TokGt,
+		TokAssign, TokNot, TokTilde, TokAmp, TokPipe, TokCaret,
+		TokPlus, TokMinus, TokStar, TokEOF,
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := LexAll("a @ b"); err == nil {
+		t.Error("bad character accepted")
+	}
+	if _, err := LexAll("/* unterminated"); err == nil {
+		t.Error("unterminated comment accepted")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestParseGlobals(t *testing.T) {
+	f, err := Parse(`
+		secure int key[64];
+		int tab[4] = { 1, 2, -3, 0x10 };
+		int x = 5;
+		int a, b[2];
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Globals) != 5 {
+		t.Fatalf("globals = %d, want 5", len(f.Globals))
+	}
+	key := f.FindGlobal("key")
+	if key == nil || !key.Secure || !key.IsArray || key.ArrayLen != 64 {
+		t.Errorf("key = %+v", key)
+	}
+	tab := f.FindGlobal("tab")
+	if tab == nil || len(tab.Init) != 4 || tab.Init[2] != -3 || tab.Init[3] != 16 {
+		t.Errorf("tab = %+v", tab)
+	}
+	x := f.FindGlobal("x")
+	if x == nil || x.IsArray || len(x.Init) != 1 || x.Init[0] != 5 {
+		t.Errorf("x = %+v", x)
+	}
+	if f.FindGlobal("a") == nil || f.FindGlobal("b") == nil {
+		t.Error("comma declaration lost a variable")
+	}
+	if !f.FindGlobal("b").IsArray {
+		t.Error("b should be an array")
+	}
+}
+
+func TestParseFunction(t *testing.T) {
+	f, err := Parse(`
+		int add(int a, int b) {
+			return a + b;
+		}
+		void main() {
+			int i;
+			i = add(1, 2);
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := f.FindFunc("add")
+	if add == nil || !add.ReturnsInt || len(add.Params) != 2 {
+		t.Fatalf("add = %+v", add)
+	}
+	main := f.FindFunc("main")
+	if main == nil || main.ReturnsInt {
+		t.Fatalf("main = %+v", main)
+	}
+	if len(main.Body.Stmts) != 2 {
+		t.Fatalf("main body = %d statements", len(main.Body.Stmts))
+	}
+	if _, ok := main.Body.Stmts[0].(*DeclStmt); !ok {
+		t.Error("first statement should be a declaration")
+	}
+	as, ok := main.Body.Stmts[1].(*AssignStmt)
+	if !ok {
+		t.Fatal("second statement should be an assignment")
+	}
+	if _, ok := as.RHS.(*CallExpr); !ok {
+		t.Error("rhs should be a call")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f, err := Parse("void main() { x = 1 + 2 * 3 ^ 4; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := f.Funcs[0].Body.Stmts[0].(*AssignStmt)
+	// ^ binds loosest: (1 + (2*3)) ^ 4
+	top := as.RHS.(*BinaryExpr)
+	if top.Op != OpXor {
+		t.Fatalf("top op = %v, want ^", top.Op)
+	}
+	add := top.X.(*BinaryExpr)
+	if add.Op != OpAdd {
+		t.Fatalf("left op = %v, want +", add.Op)
+	}
+	mul := add.Y.(*BinaryExpr)
+	if mul.Op != OpMul {
+		t.Fatalf("inner op = %v, want *", mul.Op)
+	}
+}
+
+func TestParseShiftPrecedence(t *testing.T) {
+	f, err := Parse("void main() { x = a << 2 + 1; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := f.Funcs[0].Body.Stmts[0].(*AssignStmt)
+	top := as.RHS.(*BinaryExpr)
+	// + binds tighter than <<: a << (2+1)
+	if top.Op != OpShl {
+		t.Fatalf("top = %v", top.Op)
+	}
+	if y, ok := top.Y.(*BinaryExpr); !ok || y.Op != OpAdd {
+		t.Fatal("shift rhs should be the addition")
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	f, err := Parse(`
+		void main() {
+			int i;
+			for (i = 0; i < 32; i = i + 1) {
+				L[i] = R[i];
+			}
+			while (i > 0) { i = i - 1; }
+			if (i == 0) { i = 1; } else if (i == 1) { i = 2; } else { i = 3; }
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.Funcs[0].Body.Stmts
+	fs, ok := body[1].(*ForStmt)
+	if !ok || fs.Init == nil || fs.Cond == nil || fs.Post == nil {
+		t.Fatalf("for = %+v", body[1])
+	}
+	if as, ok := fs.Body.Stmts[0].(*AssignStmt); !ok {
+		t.Error("for body should assign")
+	} else if ix, ok := as.LHS.(*IndexExpr); !ok || ix.Name != "L" {
+		t.Errorf("lhs = %+v", as.LHS)
+	}
+	if _, ok := body[2].(*WhileStmt); !ok {
+		t.Error("missing while")
+	}
+	is, ok := body[3].(*IfStmt)
+	if !ok || is.Else == nil {
+		t.Fatal("missing if/else")
+	}
+	if _, ok := is.Else.Stmts[0].(*IfStmt); !ok {
+		t.Error("else-if not chained")
+	}
+}
+
+func TestParseUnary(t *testing.T) {
+	f, err := Parse("void main() { x = -a + ~b; y = !c; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := f.Funcs[0].Body.Stmts[0].(*AssignStmt)
+	bin := as.RHS.(*BinaryExpr)
+	if u, ok := bin.X.(*UnaryExpr); !ok || u.Op != OpNeg {
+		t.Error("missing negation")
+	}
+	if u, ok := bin.Y.(*UnaryExpr); !ok || u.Op != OpInv {
+		t.Error("missing bitwise not")
+	}
+}
+
+func TestParseSecureLocalAndParam(t *testing.T) {
+	f, err := Parse(`
+		void g(secure int s, int t) {
+			secure int local;
+			local = s;
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := f.Funcs[0]
+	if !g.Params[0].Secure || g.Params[1].Secure {
+		t.Error("param secure flags wrong")
+	}
+	d := g.Body.Stmts[0].(*DeclStmt)
+	if !d.Decl.Secure {
+		t.Error("local secure flag lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"secure func", "secure int f() { }", "functions cannot be declared secure"},
+		{"void var", "void x;", "variables must have type int"},
+		{"too many params", "void f(int a, int b, int c, int d, int e) { }", "at most 4"},
+		{"redeclared func", "void f() { } void f() { }", "redeclared"},
+		{"redeclared global", "int x; int x;", "redeclared"},
+		{"bad lhs", "void main() { 1 = 2; }", "left side of assignment"},
+		{"bare expr", "void main() { a + b; }", "must be a call or assignment"},
+		{"unterminated block", "void main() { ", "unterminated block"},
+		{"array len", "int a[0];", "array length"},
+		{"too many inits", "int a[2] = {1,2,3};", "initializers"},
+		{"for init", "void main() { for (f(); 1; ) { } }", "for-init must be an assignment"},
+		{"missing semi", "void main() { x = 1 }", "expected ';'"},
+		{"bad expr", "void main() { x = ; }", "expected expression"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("parse succeeded, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q missing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestErrorsCarryPositions(t *testing.T) {
+	_, err := Parse("void main() {\n  x = ;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.HasPrefix(err.Error(), "2:") {
+		t.Errorf("error %q should carry line 2", err)
+	}
+}
+
+func TestBinOpString(t *testing.T) {
+	if OpXor.String() != "^" || OpShl.String() != "<<" {
+		t.Error("operator names wrong")
+	}
+}
+
+func TestVoidParamList(t *testing.T) {
+	f, err := Parse("void main(void) { }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Funcs[0].Params) != 0 {
+		t.Error("void parameter list should be empty")
+	}
+}
+
+func TestLogicalShiftRight(t *testing.T) {
+	f, err := Parse("void main() { x = a >>> 5; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := f.Funcs[0].Body.Stmts[0].(*AssignStmt)
+	bin := as.RHS.(*BinaryExpr)
+	if bin.Op != OpShrU {
+		t.Fatalf("op = %v, want >>>", bin.Op)
+	}
+	// >> followed by > must still lex as shift + compare.
+	toks, err := LexAll("a >> b > c >>> d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokIdent, TokShr, TokIdent, TokGt, TokIdent, TokShrU, TokIdent, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}

@@ -1,0 +1,604 @@
+package minic
+
+import "fmt"
+
+// Parser builds the AST via recursive descent with precedence climbing.
+type Parser struct {
+	lex *Lexer
+	tok Token
+}
+
+// Parse parses a complete translation unit.
+func Parse(src string) (*File, error) {
+	p := &Parser{lex: NewLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	f := &File{}
+	for p.tok.Kind != TokEOF {
+		if err := p.parseTopLevel(f); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) next() error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) errorf(pos Pos, format string, args ...interface{}) error {
+	return &Error{pos, fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(k TokenKind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, p.errorf(p.tok.Pos, "expected %v, found %v", k, p.tok.Kind)
+	}
+	t := p.tok
+	return t, p.next()
+}
+
+// parseTopLevel handles `[secure] int name ...` (variable or function) and
+// `void name(...)`.
+func (p *Parser) parseTopLevel(f *File) error {
+	secure := false
+	if p.tok.Kind == TokSecure {
+		secure = true
+		if err := p.next(); err != nil {
+			return err
+		}
+	}
+	isVoid := false
+	switch p.tok.Kind {
+	case TokInt:
+	case TokVoid:
+		isVoid = true
+	default:
+		return p.errorf(p.tok.Pos, "expected 'int' or 'void', found %v", p.tok.Kind)
+	}
+	if err := p.next(); err != nil {
+		return err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	if p.tok.Kind == TokLParen {
+		if secure {
+			return p.errorf(name.Pos, "functions cannot be declared secure; annotate variables instead")
+		}
+		fn, err := p.parseFuncRest(name, !isVoid)
+		if err != nil {
+			return err
+		}
+		if f.FindFunc(fn.Name) != nil {
+			return p.errorf(name.Pos, "function %q redeclared", fn.Name)
+		}
+		f.Funcs = append(f.Funcs, fn)
+		return nil
+	}
+	if isVoid {
+		return p.errorf(name.Pos, "variables must have type int")
+	}
+	for {
+		d, err := p.parseVarRest(name, secure)
+		if err != nil {
+			return err
+		}
+		if f.FindGlobal(d.Name) != nil {
+			return p.errorf(d.Pos, "global %q redeclared", d.Name)
+		}
+		f.Globals = append(f.Globals, d)
+		if p.tok.Kind != TokComma {
+			break
+		}
+		if err := p.next(); err != nil {
+			return err
+		}
+		name, err = p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+	}
+	_, err = p.expect(TokSemi)
+	return err
+}
+
+// parseVarRest parses the declarator after the name: optional [len] and
+// optional initializer.
+func (p *Parser) parseVarRest(name Token, secure bool) (*VarDecl, error) {
+	d := &VarDecl{Pos: name.Pos, Name: name.Text, Secure: secure}
+	if p.tok.Kind == TokLBracket {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		n, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		if n.Val <= 0 || n.Val > 1<<20 {
+			return nil, p.errorf(n.Pos, "array length %d out of range", n.Val)
+		}
+		d.IsArray = true
+		d.ArrayLen = int(n.Val)
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.Kind == TokAssign {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if d.IsArray {
+			if _, err := p.expect(TokLBrace); err != nil {
+				return nil, err
+			}
+			for p.tok.Kind != TokRBrace {
+				v, err := p.parseConst()
+				if err != nil {
+					return nil, err
+				}
+				d.Init = append(d.Init, v)
+				if p.tok.Kind != TokComma {
+					break
+				}
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+			}
+			if len(d.Init) > d.ArrayLen {
+				return nil, p.errorf(d.Pos, "%d initializers for array of %d", len(d.Init), d.ArrayLen)
+			}
+			if _, err := p.expect(TokRBrace); err != nil {
+				return nil, err
+			}
+		} else {
+			v, err := p.parseConst()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = []int64{v}
+		}
+	}
+	return d, nil
+}
+
+// parseConst parses an optionally negated integer literal.
+func (p *Parser) parseConst() (int64, error) {
+	neg := false
+	if p.tok.Kind == TokMinus {
+		neg = true
+		if err := p.next(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := p.expect(TokNumber)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -n.Val, nil
+	}
+	return n.Val, nil
+}
+
+func (p *Parser) parseFuncRest(name Token, returnsInt bool) (*FuncDecl, error) {
+	fn := &FuncDecl{Pos: name.Pos, Name: name.Text, ReturnsInt: returnsInt}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == TokVoid {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	for p.tok.Kind != TokRParen {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(TokComma); err != nil {
+				return nil, err
+			}
+		}
+		secure := false
+		if p.tok.Kind == TokSecure {
+			secure = true
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokInt); err != nil {
+			return nil, err
+		}
+		pn, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, &VarDecl{Pos: pn.Pos, Name: pn.Text, Secure: secure})
+	}
+	if err := p.next(); err != nil { // consume )
+		return nil, err
+	}
+	if len(fn.Params) > 4 {
+		return nil, p.errorf(name.Pos, "function %q has %d parameters; the calling convention supports at most 4", fn.Name, len(fn.Params))
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*Block, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: lb.Pos}
+	for p.tok.Kind != TokRBrace {
+		if p.tok.Kind == TokEOF {
+			return nil, p.errorf(lb.Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, p.next()
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.tok.Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokSecure, TokInt:
+		secure := false
+		if p.tok.Kind == TokSecure {
+			secure = true
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if p.tok.Kind != TokInt {
+				return nil, p.errorf(p.tok.Pos, "expected 'int' after 'secure'")
+			}
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.parseVarRest(name, secure)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: d}, nil
+	case TokIf:
+		return p.parseIf()
+	case TokWhile:
+		return p.parseWhile()
+	case TokFor:
+		return p.parseFor()
+	case TokReturn:
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r := &ReturnStmt{Pos: pos}
+		if p.tok.Kind != TokSemi {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.Value = v
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return r, nil
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// parseSimpleStmt parses an assignment or a call expression statement
+// (without the trailing semicolon, so it can serve as a for-clause).
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	pos := p.tok.Pos
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == TokAssign {
+		switch x.(type) {
+		case *VarRef, *IndexExpr:
+		default:
+			return nil, p.errorf(pos, "left side of assignment must be a variable or array element")
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: pos, LHS: x, RHS: rhs}, nil
+	}
+	if _, ok := x.(*CallExpr); !ok {
+		return nil, p.errorf(pos, "expression statement must be a call or assignment")
+	}
+	return &ExprStmt{Pos: pos, X: x}, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	pos := p.tok.Pos
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: pos, Cond: cond, Then: then}
+	if p.tok.Kind == TokElse {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokIf {
+			inner, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = &Block{Pos: p.tok.Pos, Stmts: []Stmt{inner}}
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	pos := p.tok.Pos
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	pos := p.tok.Pos
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: pos}
+	if p.tok.Kind != TokSemi {
+		init, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		a, ok := init.(*AssignStmt)
+		if !ok {
+			return nil, p.errorf(pos, "for-init must be an assignment")
+		}
+		s.Init = a
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokSemi {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokRParen {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		a, ok := post.(*AssignStmt)
+		if !ok {
+			return nil, p.errorf(pos, "for-post must be an assignment")
+		}
+		s.Post = a
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Operator precedence, loosest first.
+var precedence = map[TokenKind]int{
+	TokPipe:  1,
+	TokCaret: 2,
+	TokAmp:   3,
+	TokEq:    4, TokNe: 4,
+	TokLt: 5, TokLe: 5, TokGt: 5, TokGe: 5,
+	TokShl: 6, TokShr: 6, TokShrU: 6,
+	TokPlus: 7, TokMinus: 7,
+	TokStar: 8,
+}
+
+var tokToBinOp = map[TokenKind]BinOp{
+	TokPipe: OpOr, TokCaret: OpXor, TokAmp: OpAnd,
+	TokEq: OpEq, TokNe: OpNe,
+	TokLt: OpLt, TokLe: OpLe, TokGt: OpGt, TokGe: OpGe,
+	TokShl: OpShl, TokShr: OpShr, TokShrU: OpShrU,
+	TokPlus: OpAdd, TokMinus: OpSub, TokStar: OpMul,
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := precedence[p.tok.Kind]
+		if !ok || prec < minPrec {
+			return x, nil
+		}
+		op := tokToBinOp[p.tok.Kind]
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		y, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos: pos, Op: op, X: x, Y: y}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokMinus:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: pos, Op: OpNeg, X: x}, nil
+	case TokNot:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: pos, Op: OpNot, X: x}, nil
+	case TokTilde:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: pos, Op: OpInv, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.tok.Kind {
+	case TokNumber:
+		e := &NumLit{Pos: p.tok.Pos, Val: p.tok.Val}
+		return e, p.next()
+	case TokLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case TokIdent:
+		name := p.tok
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		switch p.tok.Kind {
+		case TokLBracket:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Pos: name.Pos, Name: name.Text, Index: idx}, nil
+		case TokLParen:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			c := &CallExpr{Pos: name.Pos, Name: name.Text}
+			for p.tok.Kind != TokRParen {
+				if len(c.Args) > 0 {
+					if _, err := p.expect(TokComma); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				c.Args = append(c.Args, a)
+			}
+			return c, p.next()
+		}
+		return &VarRef{Pos: name.Pos, Name: name.Text}, nil
+	}
+	return nil, p.errorf(p.tok.Pos, "expected expression, found %v", p.tok.Kind)
+}

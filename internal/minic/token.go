@@ -1,0 +1,111 @@
+// Package minic implements the front end of the masking compiler: a lexer,
+// parser and AST for a small C dialect with the paper's `secure` storage
+// qualifier, which annotates the critical variables (e.g. the DES key) whose
+// forward slice the compiler must protect with secure instructions.
+//
+// The dialect covers what smart-card crypto kernels need: 32-bit ints,
+// one-dimensional arrays with initializers, functions, for/while/if control
+// flow, and C's integer operators.
+package minic
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+
+	// Keywords.
+	TokInt
+	TokVoid
+	TokSecure
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+
+	// Punctuation and operators.
+	TokLParen   // (
+	TokRParen   // )
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLBracket // [
+	TokRBracket // ]
+	TokComma    // ,
+	TokSemi     // ;
+	TokAssign   // =
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokCaret    // ^
+	TokAmp      // &
+	TokPipe     // |
+	TokShl      // <<
+	TokShr      // >>
+	TokShrU     // >>> (logical right shift)
+	TokLt       // <
+	TokGt       // >
+	TokLe       // <=
+	TokGe       // >=
+	TokEq       // ==
+	TokNe       // !=
+	TokNot      // !
+	TokTilde    // ~
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokNumber: "number",
+	TokInt: "'int'", TokVoid: "'void'", TokSecure: "'secure'",
+	TokIf: "'if'", TokElse: "'else'", TokWhile: "'while'",
+	TokFor: "'for'", TokReturn: "'return'",
+	TokLParen: "'('", TokRParen: "')'", TokLBrace: "'{'", TokRBrace: "'}'",
+	TokLBracket: "'['", TokRBracket: "']'", TokComma: "','", TokSemi: "';'",
+	TokAssign: "'='", TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'",
+	TokCaret: "'^'", TokAmp: "'&'", TokPipe: "'|'",
+	TokShl: "'<<'", TokShr: "'>>'", TokShrU: "'>>>'", TokLt: "'<'", TokGt: "'>'",
+	TokLe: "'<='", TokGe: "'>='", TokEq: "'=='", TokNe: "'!='",
+	TokNot: "'!'", TokTilde: "'~'",
+}
+
+// String names the token kind for diagnostics.
+func (k TokenKind) String() string {
+	if n, ok := tokenNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token?%d", int(k))
+}
+
+var keywords = map[string]TokenKind{
+	"int": TokInt, "void": TokVoid, "secure": TokSecure,
+	"if": TokIf, "else": TokElse, "while": TokWhile,
+	"for": TokFor, "return": TokReturn,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string // identifier or number text
+	Val  int64  // numeric value for TokNumber
+	Pos  Pos
+}
+
+// Error is a front-end diagnostic with position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }

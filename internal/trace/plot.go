@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders a series as a fixed-size ASCII chart — enough to eyeball the
+// paper's figures (the 16-round periodicity of Figure 6, the spikes of
+// Figures 7-8, the flatness of Figure 9) straight from a terminal.
+func Plot(series []float64, width, height int) string {
+	if len(series) == 0 || width <= 0 || height <= 0 {
+		return "(empty series)\n"
+	}
+	cols := downsample(series, width)
+	lo, hi := cols[0], cols[0]
+	for _, v := range cols {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	span := hi - lo
+	flat := span <= 1e-12
+	var b strings.Builder
+	for row := height - 1; row >= 0; row-- {
+		switch row {
+		case height - 1:
+			fmt.Fprintf(&b, "%10.2f |", hi)
+		case 0:
+			fmt.Fprintf(&b, "%10.2f |", lo)
+		default:
+			b.WriteString(strings.Repeat(" ", 10) + " |")
+		}
+		for _, v := range cols {
+			level := 0
+			if !flat {
+				level = int(math.Round((v - lo) / span * float64(height-1)))
+			}
+			if level >= row {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", len(cols)) + "\n")
+	fmt.Fprintf(&b, "%11s 0%s%d samples\n", "",
+		strings.Repeat(" ", maxInt(1, len(cols)-len(fmt.Sprint(len(series)))-1)), len(series))
+	return b.String()
+}
+
+// downsample averages the series into n columns.
+func downsample(series []float64, n int) []float64 {
+	if n >= len(series) {
+		out := make([]float64, len(series))
+		copy(out, series)
+		return out
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		start := i * len(series) / n
+		end := (i + 1) * len(series) / n
+		if end <= start {
+			end = start + 1
+		}
+		var sum float64
+		for _, v := range series[start:end] {
+			sum += v
+		}
+		out[i] = sum / float64(end-start)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

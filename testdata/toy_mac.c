@@ -1,0 +1,24 @@
+// A toy keyed checksum for trying out the maskcc and leakcheck tools:
+//   maskcc -policy selective -slice testdata/toy_mac.c
+//   leakcheck -policy selective testdata/toy_mac.c
+//   leakcheck -policy seeds-only testdata/toy_mac.c   (reports leaks)
+secure int key[4];
+int msg[16];
+int tag;
+
+int mix(int acc, secure int k, int m) {
+	int t;
+	t = (acc ^ k) + m;
+	t = (t << 3) | ((t >>> 29) & 7);
+	return t;
+}
+
+void main() {
+	int i;
+	int acc;
+	acc = 0;
+	for (i = 0; i < 16; i = i + 1) {
+		acc = mix(acc, key[i & 3], msg[i]);
+	}
+	tag = public(acc);
+}
