@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench experiments csv verify fmt vet clean
+.PHONY: all build test test-short bench bench-json experiments csv verify fmt vet clean
 
 all: build test
 
@@ -17,6 +17,11 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Sequential vs parallel batch trace acquisition (traces/sec + bit-identity),
+# written as JSON.
+bench-json:
+	$(GO) run ./cmd/simbench -traces 64 -o BENCH_parallel_traces.json
 
 # Regenerate every figure and table of the paper (text report + plots).
 experiments:

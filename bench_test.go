@@ -306,6 +306,39 @@ func BenchmarkTraceCollection(b *testing.B) {
 	}
 }
 
+// benchCollectWorkers measures batch trace acquisition (the dpa.Collect
+// replacement built on sim.RunBatch) at a fixed worker count, reporting
+// traces per second. Sequential (1) vs parallel (GOMAXPROCS) quantifies the
+// session layer's speedup; both produce bit-identical trace sets.
+func benchCollectWorkers(b *testing.B, workers int) {
+	b.Helper()
+	m, err := desprog.New(compiler.PolicyNone)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dpa.Config{NumTraces: 32, Seed: 42, MaxCycles: 25_000, Workers: workers}
+	// Warm the session's worker pool and trace-size hint.
+	if _, err := dpa.Collect(m, benchKey, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dpa.Collect(m, benchKey, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cfg.NumTraces*b.N)/b.Elapsed().Seconds(), "traces/s")
+}
+
+// BenchmarkCollectTraces_Sequential acquires the DPA trace batch on one
+// worker — the pre-session baseline.
+func BenchmarkCollectTraces_Sequential(b *testing.B) { benchCollectWorkers(b, 1) }
+
+// BenchmarkCollectTraces_Parallel acquires the same batch across GOMAXPROCS
+// workers; on a 4+-core machine this shows the >=3x batch speedup.
+func BenchmarkCollectTraces_Parallel(b *testing.B) { benchCollectWorkers(b, 0) }
+
 // BenchmarkDifferenceOfMeans measures one DPA guess evaluation.
 func BenchmarkDifferenceOfMeans(b *testing.B) {
 	m, err := desprog.New(compiler.PolicyNone)

@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	experiments [-traces N] [-csv dir]
+//	experiments [-traces N] [-workers N] [-csv dir]
 //
 // -traces controls the DPA trace count (default 256, full key recovery).
+// -workers bounds the simulation worker pools (default GOMAXPROCS); results
+// are bit-identical for every worker count.
 // -csv, when set, additionally writes the Figure 6-12 series as CSV files
 // into the given directory.
 package main
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"desmask/internal/experiments"
 	"desmask/internal/trace"
@@ -24,9 +27,16 @@ import (
 
 func main() {
 	traces := flag.Int("traces", 256, "number of DPA traces to collect per system")
+	workers := flag.Int("workers", 0, "simulation worker pool size; <= 0 uses GOMAXPROCS")
 	csvDir := flag.String("csv", "", "directory to write figure CSV series into (optional)")
 	plot := flag.Bool("plot", false, "render ASCII charts of Figures 6, 8 and 9")
 	flag.Parse()
+
+	if *workers > 0 {
+		// The batch layers size their pools from GOMAXPROCS; clamping it
+		// here bounds every pool in the run at once.
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	if err := experiments.RunAll(os.Stdout, *traces); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -1,0 +1,134 @@
+// Command simbench measures the throughput of batch trace acquisition —
+// the workload behind DPA trace collection — sequentially (workers=1) and
+// in parallel (GOMAXPROCS workers) on the same simulation session, verifies
+// the two trace sets are bit-identical, and writes the result as JSON.
+//
+// Usage:
+//
+//	simbench [-traces N] [-max N] [-policy none] [-o BENCH_parallel_traces.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"desmask/internal/compiler"
+	"desmask/internal/desprog"
+	"desmask/internal/dpa"
+)
+
+// Result is the benchmark record emitted as JSON.
+type Result struct {
+	Policy            string  `json:"policy"`
+	Traces            int     `json:"traces"`
+	MaxCycles         uint64  `json:"max_cycles"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	SequentialPerSec  float64 `json:"sequential_traces_per_sec"`
+	ParallelPerSec    float64 `json:"parallel_traces_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	BitIdentical      bool    `json:"bit_identical"`
+	SequentialWorkers int     `json:"sequential_workers"`
+	ParallelWorkers   int     `json:"parallel_workers"`
+}
+
+func main() {
+	traces := flag.Int("traces", 64, "traces to collect per configuration")
+	maxCycles := flag.Uint64("max", 25_000, "cycle budget per trace (first-round window)")
+	policyStr := flag.String("policy", "none", "protection policy to benchmark")
+	out := flag.String("o", "BENCH_parallel_traces.json", "output JSON file")
+	flag.Parse()
+
+	var policy compiler.Policy
+	found := false
+	for _, p := range compiler.Policies() {
+		if p.String() == *policyStr {
+			policy, found = p, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "simbench: unknown policy %q\n", *policyStr)
+		os.Exit(2)
+	}
+	m, err := desprog.New(policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	collect := func(workers int) (*dpa.TraceSet, float64, error) {
+		cfg := dpa.Config{NumTraces: *traces, Seed: 42, MaxCycles: *maxCycles, Workers: workers}
+		start := time.Now()
+		ts, err := dpa.Collect(m, 0x133457799BBCDFF1, cfg)
+		return ts, time.Since(start).Seconds(), err
+	}
+	// Warm the session's worker pool and trace-size hint so both timed runs
+	// see the same steady state.
+	if _, _, err := collect(0); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	seqTS, seqSec, err := collect(1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	parWorkers := runtime.GOMAXPROCS(0)
+	parTS, parSec, err := collect(parWorkers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+
+	identical := len(seqTS.Traces) == len(parTS.Traces)
+	for i := 0; identical && i < len(seqTS.Traces); i++ {
+		if seqTS.Plaintexts[i] != parTS.Plaintexts[i] || len(seqTS.Traces[i]) != len(parTS.Traces[i]) {
+			identical = false
+			break
+		}
+		for j := range seqTS.Traces[i] {
+			if seqTS.Traces[i][j] != parTS.Traces[i][j] {
+				identical = false
+				break
+			}
+		}
+	}
+
+	res := Result{
+		Policy:            policy.String(),
+		Traces:            *traces,
+		MaxCycles:         *maxCycles,
+		GOMAXPROCS:        parWorkers,
+		SequentialSeconds: seqSec,
+		ParallelSeconds:   parSec,
+		SequentialPerSec:  float64(*traces) / seqSec,
+		ParallelPerSec:    float64(*traces) / parSec,
+		Speedup:           seqSec / parSec,
+		BitIdentical:      identical,
+		SequentialWorkers: 1,
+		ParallelWorkers:   parWorkers,
+	}
+	fmt.Printf("policy=%s traces=%d max=%d\n", res.Policy, res.Traces, res.MaxCycles)
+	fmt.Printf("sequential: %6.2f traces/s (%.2fs, 1 worker)\n", res.SequentialPerSec, seqSec)
+	fmt.Printf("parallel:   %6.2f traces/s (%.2fs, %d workers)\n", res.ParallelPerSec, parSec, parWorkers)
+	fmt.Printf("speedup: %.2fx  bit-identical: %v\n", res.Speedup, res.BitIdentical)
+	if !identical {
+		fmt.Fprintln(os.Stderr, "simbench: FAIL: parallel trace set diverged from sequential")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -1,6 +1,6 @@
 // Command simrun assembles a .s file for the desmask ISA and executes it on
-// the cycle-accurate simulator, optionally dumping the per-cycle energy
-// trace as CSV.
+// the cycle-accurate simulator through a simulation session, optionally
+// dumping the per-cycle energy trace as CSV.
 //
 // Usage:
 //
@@ -16,7 +16,7 @@ import (
 	"desmask/internal/cpu"
 	"desmask/internal/energy"
 	"desmask/internal/isa"
-	"desmask/internal/mem"
+	"desmask/internal/sim"
 	"desmask/internal/trace"
 )
 
@@ -45,40 +45,36 @@ func main() {
 	if *listing {
 		fmt.Print(prog.Listing())
 	}
-	c, err := cpu.New(prog, mem.New(), energy.NewModel(energy.DefaultConfig()))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "simrun:", err)
-		os.Exit(1)
-	}
-	var rec trace.Recorder
-	if *traceOut != "" {
-		c.SetSink(&rec)
-	}
-	runErr := c.Run(*maxCycles)
-	st := c.Stats()
+	runner := sim.NewRunner(prog, energy.DefaultConfig())
+	res := runner.Run(sim.Job{MaxCycles: *maxCycles, Trace: *traceOut != ""})
+	st := res.Stats
 	fmt.Printf("halted=%v cycles=%d insts=%d secure-insts=%d stalls=%d flushes=%d\n",
-		c.Halted(), st.Cycles, st.Insts, st.SecureInst, st.Stalls, st.Flushes)
+		res.Done, st.Cycles, st.Insts, st.SecureInst, st.Stalls, st.Flushes)
 	fmt.Printf("energy=%.3f uJ avg=%.2f pJ/cycle\n", st.EnergyPJ/1e6, st.AvgPJPerCycle())
-	fmt.Printf("exit status ($v0) = %d\n", int32(c.Reg(isa.V0)))
+	fmt.Printf("exit status ($v0) = %d\n", int32(res.Regs[isa.V0]))
+	runErr := res.Err
+	if runErr == nil && !res.Done {
+		runErr = cpu.ErrMaxCycles
+	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "simrun:", runErr)
 	}
 	if *regs {
 		for r := isa.Reg(0); r < isa.NumRegs; r++ {
-			fmt.Printf("%-6s %#08x\n", r, c.Reg(r))
+			fmt.Printf("%-6s %#08x\n", r, res.Regs[r])
 		}
 	}
-	if *traceOut != "" {
+	if *traceOut != "" && res.Trace != nil {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simrun:", err)
 			os.Exit(1)
 		}
 		defer f.Close()
-		series := rec.T.Totals
+		series := res.Trace.Totals
 		width := 1
 		if *bucket > 1 {
-			series = trace.Bucket(rec.T.Totals, *bucket)
+			series = trace.Bucket(res.Trace.Totals, *bucket)
 			width = *bucket
 		}
 		if err := trace.WriteCSV(f, []string{"cycle", "pj"},

@@ -13,9 +13,8 @@ import (
 	"strings"
 
 	"desmask/internal/compiler"
-	"desmask/internal/cpu"
 	"desmask/internal/energy"
-	"desmask/internal/mem"
+	"desmask/internal/sim"
 )
 
 const src = `
@@ -43,38 +42,20 @@ void main() {
 }
 `
 
-func run(res *compiler.Result, keyVals [4]uint32) ([]float64, []uint32, uint32, error) {
-	c, err := cpu.New(res.Program, mem.New(), energy.NewModel(energy.DefaultConfig()))
-	if err != nil {
-		return nil, nil, 0, err
-	}
+// job assembles one run of the MAC kernel as a batch job: key and message
+// poked in fixed order, the tag read back, the full trace captured.
+func job(res *compiler.Result, keyVals [4]uint32) sim.Job {
+	j := sim.Job{MaxCycles: 1_000_000, Trace: true}
 	keyAddr := res.Program.Symbols[compiler.GlobalLabel("key")]
 	msgAddr := res.Program.Symbols[compiler.GlobalLabel("msg")]
 	for i, v := range keyVals {
-		if err := c.Mem().StoreWord(keyAddr+uint32(4*i), v); err != nil {
-			return nil, nil, 0, err
-		}
+		j.Writes = append(j.Writes, sim.Write{Addr: keyAddr + uint32(4*i), Val: v})
 	}
 	for i := 0; i < 16; i++ {
-		if err := c.Mem().StoreWord(msgAddr+uint32(4*i), uint32(0x1000+i)); err != nil {
-			return nil, nil, 0, err
-		}
+		j.Writes = append(j.Writes, sim.Write{Addr: msgAddr + uint32(4*i), Val: uint32(0x1000 + i)})
 	}
-	var totals []float64
-	var pcs []uint32
-	c.SetSink(cpu.SinkFunc(func(ci cpu.CycleInfo) {
-		totals = append(totals, ci.Energy.Total)
-		pc := uint32(0xffffffff)
-		if ci.ExecValid {
-			pc = ci.ExecPC
-		}
-		pcs = append(pcs, pc)
-	}))
-	if err := c.Run(1_000_000); err != nil {
-		return nil, nil, 0, err
-	}
-	tag, err := c.Mem().LoadWord(res.Program.Symbols[compiler.GlobalLabel("tag")])
-	return totals, pcs, tag, err
+	j.Reads = []sim.Read{{Addr: res.Program.Symbols[compiler.GlobalLabel("tag")], Words: 1}}
+	return j
 }
 
 func main() {
@@ -98,15 +79,19 @@ func main() {
 	// Two different secrets: every cycle until the tag is declassified and
 	// emitted must be energy-identical. The tag-emission tail legitimately
 	// differs — the tag is public output, exactly like the paper's output
-	// inverse permutation.
-	t1, pcs, tag1, err := run(res, [4]uint32{0x00000000, 0x11111111, 0x22222222, 0x33333333})
+	// inverse permutation. The two runs go through one simulation session as
+	// a parallel batch.
+	runner := sim.NewRunner(res.Program, energy.DefaultConfig())
+	results, err := runner.RunBatch([]sim.Job{
+		job(res, [4]uint32{0x00000000, 0x11111111, 0x22222222, 0x33333333}),
+		job(res, [4]uint32{0xdeadbeef, 0xcafef00d, 0x8badf00d, 0xfeedface}),
+	}, sim.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	t2, _, tag2, err := run(res, [4]uint32{0xdeadbeef, 0xcafef00d, 0x8badf00d, 0xfeedface})
-	if err != nil {
-		log.Fatal(err)
-	}
+	t1, t2 := results[0].Trace.Totals, results[1].Trace.Totals
+	pcs := results[0].Trace.PCs
+	tag1, tag2 := results[0].Mem[0][0], results[1].Mem[0][0]
 	fmt.Printf("\ntags: %08x vs %08x (different, as they should be)\n", tag1, tag2)
 
 	// The masked region ends when the last mix() call returns; everything

@@ -22,9 +22,12 @@ import (
 func main() {
 	numTraces := flag.Int("traces", 256, "energy traces to collect per system")
 	key := flag.Uint64("key", 0x133457799BBCDFF1, "the secret key under attack")
+	workers := flag.Int("workers", 0, "trace-acquisition worker pool size; <= 0 uses GOMAXPROCS")
 	flag.Parse()
 
-	cfg := dpa.Config{NumTraces: *numTraces, Seed: 42, MaxCycles: 25_000}
+	// Acquisition fans out across the simulation session; the collected
+	// trace set is bit-identical for every worker count.
+	cfg := dpa.Config{NumTraces: *numTraces, Seed: 42, MaxCycles: 25_000, Workers: *workers}
 	window := trace.Window{Start: 7_000, End: 25_000} // skip the plaintext-dependent IP
 
 	for _, pol := range []compiler.Policy{compiler.PolicyNone, compiler.PolicySelective} {

@@ -14,6 +14,7 @@ import (
 	"desmask/internal/des"
 	"desmask/internal/desprog"
 	"desmask/internal/energy"
+	"desmask/internal/sim"
 	"desmask/internal/trace"
 )
 
@@ -76,16 +77,16 @@ func (s *System) Encrypt(key, plaintext uint64) (EncryptResult, error) {
 // EncryptWithTrace runs one encryption capturing the full per-cycle energy
 // trace.
 func (s *System) EncryptWithTrace(key, plaintext uint64) (EncryptResult, *trace.Trace, error) {
-	var rec trace.Recorder
-	cipher, stats, done, err := s.machine.Encrypt(key, plaintext, &rec, 0)
+	tr, cipher, stats, err := s.machine.TraceRun(key, plaintext)
 	if err != nil {
 		return EncryptResult{}, nil, err
 	}
-	if !done {
-		return EncryptResult{}, nil, fmt.Errorf("core: encryption did not complete")
-	}
-	return EncryptResult{Cipher: cipher, Stats: stats}, &rec.T, nil
+	return EncryptResult{Cipher: cipher, Stats: stats}, tr, nil
 }
+
+// Runner exposes the system's simulation session, the entry point for batch
+// execution (sim.RunBatch) against this compiled system.
+func (s *System) Runner() *sim.Runner { return s.machine.Runner() }
 
 // Verify encrypts on the simulator and checks the result against the
 // reference DES implementation.
@@ -149,28 +150,33 @@ func (r *EnergyReport) HeadlineSavings() float64 {
 }
 
 // ComparePolicies encrypts the same block under each policy and tabulates
-// energy.
+// energy. Policies compile and run in parallel; rows come back in policy
+// order.
 func ComparePolicies(key, plaintext uint64, policies []compiler.Policy) (*EnergyReport, error) {
-	rep := &EnergyReport{}
-	for _, pol := range policies {
-		s, err := NewSystem(pol)
+	rows := make([]PolicyEnergy, len(policies))
+	err := sim.ForEach(len(policies), 0, func(i int) error {
+		s, err := NewSystem(policies[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := s.Encrypt(key, plaintext)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rep.Rows = append(rep.Rows, PolicyEnergy{
-			Policy:     pol,
+		rows[i] = PolicyEnergy{
+			Policy:     policies[i],
 			TotalUJ:    res.TotalUJ(),
 			AvgPJCycle: res.Stats.AvgPJPerCycle(),
 			Cycles:     res.Stats.Cycles,
 			SecureInst: res.Stats.SecureInst,
 			Insts:      res.Stats.Insts,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rep, nil
+	return &EnergyReport{Rows: rows}, nil
 }
 
 // DifferentialSummary quantifies how much two runs' energy profiles differ
@@ -183,18 +189,16 @@ type DifferentialSummary struct {
 	Flat bool
 }
 
-// DifferentialTrace runs the system twice (two keys or two plaintexts) and
-// summarises the differential profile over the given window. A nil window
-// means the whole run.
+// DifferentialTrace runs the system twice (two keys or two plaintexts) —
+// both runs in parallel through the session — and summarises the
+// differential profile over the given window. A nil window means the whole
+// run.
 func (s *System) DifferentialTrace(k1, p1, k2, p2 uint64, w *trace.Window) ([]float64, DifferentialSummary, error) {
-	_, t1, err := s.EncryptWithTrace(k1, p1)
+	traces, _, err := s.machine.TraceBatch([]desprog.Input{{Key: k1, Plaintext: p1}, {Key: k2, Plaintext: p2}}, sim.Options{})
 	if err != nil {
 		return nil, DifferentialSummary{}, err
 	}
-	_, t2, err := s.EncryptWithTrace(k2, p2)
-	if err != nil {
-		return nil, DifferentialSummary{}, err
-	}
+	t1, t2 := traces[0], traces[1]
 	d, err := trace.Diff(t1.Totals, t2.Totals)
 	if err != nil {
 		return nil, DifferentialSummary{}, err

@@ -140,6 +140,27 @@ func New(p *asm.Program, m *mem.Memory, model *energy.Model) (*CPU, error) {
 // SetSink installs the per-cycle listener (may be nil).
 func (c *CPU) SetSink(s CycleSink) { c.sink = s }
 
+// Reset returns the core to its post-New state so it can run another job
+// without reallocating: memory is cleared and the data image reloaded,
+// architectural registers, pipeline latches and statistics are zeroed, and
+// the energy model's rail history is reset. The encoded text and the
+// installed sink are retained. A reset core is bit-identical to a fresh one.
+func (c *CPU) Reset() error {
+	c.mem.Reset()
+	if err := c.mem.LoadImage(c.prog.DataBase, c.prog.Data); err != nil {
+		return err
+	}
+	c.regs = [isa.NumRegs]uint32{}
+	c.regs[isa.SP] = c.prog.DataEnd() + 4096
+	c.regs[isa.GP] = c.prog.DataBase
+	c.pc = c.prog.Entry
+	c.ifid, c.idex, c.exmem, c.memwb = ifidLatch{}, idexLatch{}, exmemLatch{}, memwbLatch{}
+	c.draining, c.halted = false, false
+	c.stats = Stats{}
+	c.model.Reset()
+	return nil
+}
+
 // Reg returns the current architectural value of r.
 func (c *CPU) Reg(r isa.Reg) uint32 { return c.regs[r] }
 

@@ -14,12 +14,13 @@ package desprog
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"desmask/internal/compiler"
 	"desmask/internal/cpu"
 	"desmask/internal/des"
 	"desmask/internal/energy"
-	"desmask/internal/mem"
+	"desmask/internal/sim"
 	"desmask/internal/trace"
 )
 
@@ -246,6 +247,9 @@ type Machine struct {
 	Cfg    energy.Config
 	// Decrypt marks a machine built from SourceDecrypt.
 	Decrypt bool
+
+	runnerOnce sync.Once
+	runner     *sim.Runner
 }
 
 // New compiles the DES program under the given policy with the default
@@ -321,61 +325,161 @@ func (m *Machine) EntryPC(fn string) (uint32, error) {
 	return addr, nil
 }
 
-// Encrypt runs one encryption on a fresh simulated core. sink may be nil.
-// maxCycles <= 0 uses MaxCycles; when the budget expires before completion
-// (useful for first-round-only attack traces) the partial result is returned
-// with done == false.
-func (m *Machine) Encrypt(key, plaintext uint64, sink cpu.CycleSink, maxCycles uint64) (cipherText uint64, stats cpu.Stats, done bool, err error) {
-	c, err := cpu.New(m.Res.Program, mem.New(), energy.NewModel(m.Cfg))
-	if err != nil {
-		return 0, cpu.Stats{}, false, err
-	}
-	c.SetSink(sink)
-	for name, v := range map[string]uint64{"key": key, "plaintext": plaintext} {
-		addr, aerr := m.globalAddr(name)
-		if aerr != nil {
-			return 0, cpu.Stats{}, false, aerr
+// Runner returns the machine's simulation session (created on first use):
+// the single path from the compiled DES program to the simulator, and the
+// entry point for parallel batch execution.
+func (m *Machine) Runner() *sim.Runner {
+	m.runnerOnce.Do(func() {
+		m.runner = sim.NewRunner(m.Res.Program, m.Cfg)
+		m.runner.MaxCycles = MaxCycles
+	})
+	return m.runner
+}
+
+// EncryptJob assembles the sim.Job of one encryption: the key and plaintext
+// bits are poked into their input globals in a fixed order (key first, then
+// plaintext) so simulation setup is fully deterministic, and the ciphertext
+// global is read back.
+func (m *Machine) EncryptJob(key, plaintext uint64, maxCycles uint64, capture bool) (sim.Job, error) {
+	job := sim.Job{MaxCycles: maxCycles, Trace: capture}
+	for _, in := range []struct {
+		name string
+		v    uint64
+	}{{"key", key}, {"plaintext", plaintext}} {
+		addr, err := m.globalAddr(in.name)
+		if err != nil {
+			return sim.Job{}, err
 		}
-		for i, w := range spreadBits(v) {
-			if serr := c.Mem().StoreWord(addr+uint32(4*i), w); serr != nil {
-				return 0, cpu.Stats{}, false, serr
-			}
+		for i, w := range spreadBits(in.v) {
+			job.Writes = append(job.Writes, sim.Write{Addr: addr + uint32(4*i), Val: w})
 		}
-	}
-	if maxCycles <= 0 {
-		maxCycles = MaxCycles
-	}
-	runErr := c.Run(maxCycles)
-	switch runErr {
-	case nil:
-		done = true
-	case cpu.ErrMaxCycles:
-		done = false
-	default:
-		return 0, cpu.Stats{}, false, runErr
 	}
 	addr, err := m.globalAddr("cipher")
 	if err != nil {
-		return 0, cpu.Stats{}, false, err
+		return sim.Job{}, err
 	}
-	words, err := c.Mem().ReadWords(addr, 64)
+	job.Reads = []sim.Read{{Addr: addr, Words: 64}}
+	return job, nil
+}
+
+// Encrypt runs one encryption through the simulation session. sink may be
+// nil. maxCycles <= 0 uses MaxCycles; when the budget expires before
+// completion (useful for first-round-only attack traces) the partial result
+// is returned with done == false.
+func (m *Machine) Encrypt(key, plaintext uint64, sink cpu.CycleSink, maxCycles uint64) (cipherText uint64, stats cpu.Stats, done bool, err error) {
+	if maxCycles <= 0 {
+		maxCycles = MaxCycles
+	}
+	job, err := m.EncryptJob(key, plaintext, maxCycles, false)
 	if err != nil {
 		return 0, cpu.Stats{}, false, err
 	}
-	return gatherBits(words), c.Stats(), done, nil
+	job.Sink = sink
+	res := m.Runner().Run(job)
+	if res.Err != nil {
+		return 0, cpu.Stats{}, false, res.Err
+	}
+	return gatherBits(res.Mem[0]), res.Stats, res.Done, nil
+}
+
+// EncryptBatch runs one encryption per plaintext under the same key across
+// the session's worker pool, returning results in plaintext order. capture
+// records each run's full per-cycle trace. maxCycles <= 0 uses MaxCycles.
+func (m *Machine) EncryptBatch(key uint64, plaintexts []uint64, maxCycles uint64, capture bool, opts sim.Options) ([]sim.Result, error) {
+	if maxCycles <= 0 {
+		maxCycles = MaxCycles
+	}
+	jobs := make([]sim.Job, len(plaintexts))
+	for i, pt := range plaintexts {
+		job, err := m.EncryptJob(key, pt, maxCycles, capture)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = job
+	}
+	return m.Runner().RunBatch(jobs, opts)
+}
+
+// Input is one (key, plaintext) pair of a trace batch.
+type Input struct {
+	Key       uint64
+	Plaintext uint64
+}
+
+// TraceBatch captures full per-cycle traces for several inputs in parallel,
+// returning traces and ciphertexts in input order.
+func (m *Machine) TraceBatch(inputs []Input, opts sim.Options) ([]*trace.Trace, []uint64, error) {
+	jobs := make([]sim.Job, len(inputs))
+	for i, in := range inputs {
+		job, err := m.EncryptJob(in.Key, in.Plaintext, 0, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		jobs[i] = job
+	}
+	results, err := m.Runner().RunBatch(jobs, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	traces := make([]*trace.Trace, len(results))
+	ciphers := make([]uint64, len(results))
+	for i, r := range results {
+		if !r.Done {
+			return nil, nil, fmt.Errorf("desprog: encryption %d exceeded %d cycles", i, uint64(MaxCycles))
+		}
+		traces[i] = r.Trace
+		ciphers[i] = gatherBits(r.Mem[0])
+	}
+	return traces, ciphers, nil
+}
+
+// CipherBatch encrypts several (key, plaintext) pairs in parallel without
+// capturing traces — the cheap path for batch verification — returning
+// ciphertexts in input order.
+func (m *Machine) CipherBatch(inputs []Input, opts sim.Options) ([]uint64, error) {
+	jobs := make([]sim.Job, len(inputs))
+	for i, in := range inputs {
+		job, err := m.EncryptJob(in.Key, in.Plaintext, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = job
+	}
+	results, err := m.Runner().RunBatch(jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	ciphers := make([]uint64, len(results))
+	for i, r := range results {
+		if !r.Done {
+			return nil, fmt.Errorf("desprog: encryption %d exceeded %d cycles", i, uint64(MaxCycles))
+		}
+		ciphers[i] = gatherBits(r.Mem[0])
+	}
+	return ciphers, nil
+}
+
+// TraceRun runs one full encryption capturing the complete per-cycle trace
+// along with the run statistics.
+func (m *Machine) TraceRun(key, plaintext uint64) (*trace.Trace, uint64, cpu.Stats, error) {
+	job, err := m.EncryptJob(key, plaintext, 0, true)
+	if err != nil {
+		return nil, 0, cpu.Stats{}, err
+	}
+	res := m.Runner().Run(job)
+	if res.Err != nil {
+		return nil, 0, cpu.Stats{}, res.Err
+	}
+	if !res.Done {
+		return nil, 0, cpu.Stats{}, fmt.Errorf("desprog: encryption exceeded %d cycles", uint64(MaxCycles))
+	}
+	return res.Trace, gatherBits(res.Mem[0]), res.Stats, nil
 }
 
 // Trace runs one full encryption capturing the complete per-cycle trace.
 func (m *Machine) Trace(key, plaintext uint64) (*trace.Trace, uint64, error) {
-	var rec trace.Recorder
-	cipherText, _, done, err := m.Encrypt(key, plaintext, &rec, 0)
-	if err != nil {
-		return nil, 0, err
-	}
-	if !done {
-		return nil, 0, fmt.Errorf("desprog: encryption exceeded %d cycles", uint64(MaxCycles))
-	}
-	return &rec.T, cipherText, nil
+	tr, cipherText, _, err := m.TraceRun(key, plaintext)
+	return tr, cipherText, err
 }
 
 // RoundStarts returns the cycle at which each of the 16 rounds begins: the

@@ -8,6 +8,7 @@ import (
 
 	"desmask/internal/aes"
 	"desmask/internal/kernels"
+	"desmask/internal/sim"
 	"desmask/internal/trace"
 )
 
@@ -24,30 +25,35 @@ type AESTraceSet struct {
 }
 
 // CollectAES gathers n AES-kernel energy traces under one key with random
-// plaintext bytes.
+// plaintext bytes. The plaintexts are drawn up front from the seeded
+// generator and the runs fan out across the kernel's simulation session, so
+// the trace set is byte-identical regardless of worker count.
 func CollectAES(m *kernels.Machine, key []uint32, n int, seed int64, maxCycles int) (*AESTraceSet, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("dpa: trace count must be positive")
 	}
 	rng := rand.New(rand.NewSource(seed))
-	ts := &AESTraceSet{}
-	minLen := -1
-	for i := 0; i < n; i++ {
+	plaintexts := make([][]uint32, n)
+	for i := range plaintexts {
 		pt := make([]uint32, 16)
 		for j := range pt {
 			pt[j] = uint32(rng.Intn(256))
 		}
-		var rec trace.Recorder
-		// kernels.Machine.Run runs to halt; truncate afterwards — AES is
-		// short enough (~42k cycles) that full runs stay cheap.
-		if _, _, err := m.Run(key, pt, &rec); err != nil {
-			return nil, err
-		}
-		totals := rec.T.Totals
+		plaintexts[i] = pt
+	}
+	// The kernel runs to halt; truncate afterwards — AES is short enough
+	// (~42k cycles) that full runs stay cheap.
+	results, err := m.RunBatch(key, plaintexts, true, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ts := &AESTraceSet{Plaintexts: plaintexts}
+	minLen := -1
+	for _, r := range results {
+		totals := r.Trace.Totals
 		if maxCycles > 0 && len(totals) > maxCycles {
 			totals = totals[:maxCycles]
 		}
-		ts.Plaintexts = append(ts.Plaintexts, pt)
 		ts.Traces = append(ts.Traces, totals)
 		if minLen < 0 || len(totals) < minLen {
 			minLen = len(totals)

@@ -16,6 +16,7 @@ import (
 
 	"desmask/internal/des"
 	"desmask/internal/desprog"
+	"desmask/internal/sim"
 	"desmask/internal/trace"
 )
 
@@ -28,6 +29,9 @@ type Config struct {
 	// MaxCycles truncates each run; covering the first round suffices for
 	// the first-round sub-key attack and keeps collection fast.
 	MaxCycles uint64
+	// Workers sizes the acquisition worker pool; <= 0 uses GOMAXPROCS.
+	// Collected trace sets are bit-identical for every worker count.
+	Workers int
 }
 
 // DefaultConfig returns a configuration comparable to the paper's reference
@@ -49,7 +53,10 @@ type TraceSet struct {
 func (ts *TraceSet) Len() int { return len(ts.Traces) }
 
 // Collect gathers cfg.NumTraces first-round energy traces from the machine
-// under the given key, using uniformly random plaintexts.
+// under the given key, using uniformly random plaintexts. Acquisition fans
+// out across the machine's simulation session (cfg.Workers); the plaintext
+// sequence is drawn up front from the seeded generator, so the resulting
+// trace set is byte-identical regardless of worker count.
 func Collect(m *desprog.Machine, key uint64, cfg Config) (*TraceSet, error) {
 	if cfg.NumTraces <= 0 {
 		return nil, fmt.Errorf("dpa: NumTraces must be positive")
@@ -58,19 +65,20 @@ func Collect(m *desprog.Machine, key uint64, cfg Config) (*TraceSet, error) {
 		cfg.MaxCycles = DefaultConfig().MaxCycles
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	ts := &TraceSet{}
+	plaintexts := make([]uint64, cfg.NumTraces)
+	for i := range plaintexts {
+		plaintexts[i] = rng.Uint64()
+	}
+	results, err := m.EncryptBatch(key, plaintexts, cfg.MaxCycles, true, sim.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	ts := &TraceSet{Plaintexts: plaintexts}
 	minLen := -1
-	for i := 0; i < cfg.NumTraces; i++ {
-		pt := rng.Uint64()
-		var rec trace.Recorder
-		_, _, _, err := m.Encrypt(key, pt, &rec, cfg.MaxCycles)
-		if err != nil {
-			return nil, err
-		}
-		ts.Plaintexts = append(ts.Plaintexts, pt)
-		ts.Traces = append(ts.Traces, rec.T.Totals)
-		if minLen < 0 || rec.T.Len() < minLen {
-			minLen = rec.T.Len()
+	for _, r := range results {
+		ts.Traces = append(ts.Traces, r.Trace.Totals)
+		if minLen < 0 || r.Trace.Len() < minLen {
+			minLen = r.Trace.Len()
 		}
 	}
 	// Runs are cycle-aligned by construction; clamp to the shortest anyway.

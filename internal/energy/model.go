@@ -161,6 +161,23 @@ func NewModel(cfg Config) *Model {
 // Config returns the model's configuration.
 func (m *Model) Config() Config { return m.cfg }
 
+// Reset returns every rail, latch and history register to its power-on
+// state so the model can account a fresh run. A reset model produces
+// bit-identical energy series to a newly constructed one, which is what lets
+// pooled simulation workers reuse models across batch jobs.
+func (m *Model) Reset() {
+	m.acc = CycleEnergy{}
+	for _, r := range []*rail{
+		&m.fetchBus, &m.opBusA, &m.opBusB, &m.resultBus,
+		&m.memAddr, &m.memData,
+		&m.latchA, &m.latchB, &m.latchR, &m.latchW,
+	} {
+		r.prev = 0
+	}
+	m.aluPrevA, m.aluPrevB, m.aluPrevR = 0, 0, 0
+	m.xorPrevR = 0
+}
+
 // BeginCycle opens a new accounting period and charges the constant clock
 // energy.
 func (m *Model) BeginCycle() {

@@ -25,6 +25,7 @@ import (
 	"desmask/internal/energy"
 	"desmask/internal/kernels"
 	"desmask/internal/leakcheck"
+	"desmask/internal/sim"
 	"desmask/internal/trace"
 )
 
@@ -94,22 +95,21 @@ type DifferentialResult struct {
 	Flat bool
 }
 
-// differential runs two (key, plaintext) pairs under one policy and
-// extracts the differential over a window selected by sel.
+// differential runs two (key, plaintext) pairs under one policy — as one
+// batch through the system's simulation session — and extracts the
+// differential over a window selected by sel.
 func differential(policy compiler.Policy, k1, p1, k2, p2 uint64,
 	sel func(m *desprog.Machine, tr *trace.Trace) (trace.Window, error)) (*DifferentialResult, error) {
 	s, err := core.NewSystem(policy)
 	if err != nil {
 		return nil, err
 	}
-	_, t1, err := s.EncryptWithTrace(k1, p1)
+	traces, _, err := s.Machine().TraceBatch(
+		[]desprog.Input{{Key: k1, Plaintext: p1}, {Key: k2, Plaintext: p2}}, sim.Options{})
 	if err != nil {
 		return nil, err
 	}
-	_, t2, err := s.EncryptWithTrace(k2, p2)
-	if err != nil {
-		return nil, err
-	}
+	t1, t2 := traces[0], traces[1]
 	d, err := trace.Diff(t1.Totals, t2.Totals)
 	if err != nil {
 		return nil, err
@@ -209,22 +209,27 @@ type Figure12Result struct {
 // Figure12 reproduces Figure 12: the additional energy consumed by masking
 // during the first key permutation.
 func Figure12(key, plaintext uint64) (*Figure12Result, error) {
-	sNone, err := core.NewSystem(compiler.PolicyNone)
+	// The two policies run in parallel: each system owns its own session, so
+	// the pair of traced runs fans out with sim.ForEach.
+	systems := make([]*core.System, 2)
+	traces := make([]*trace.Trace, 2)
+	for i, pol := range []compiler.Policy{compiler.PolicyNone, compiler.PolicySelective} {
+		s, err := core.NewSystem(pol)
+		if err != nil {
+			return nil, err
+		}
+		systems[i] = s
+	}
+	err := sim.ForEach(2, 0, func(i int) error {
+		_, tr, err := systems[i].EncryptWithTrace(key, plaintext)
+		traces[i] = tr
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	sSel, err := core.NewSystem(compiler.PolicySelective)
-	if err != nil {
-		return nil, err
-	}
-	_, tN, err := sNone.EncryptWithTrace(key, plaintext)
-	if err != nil {
-		return nil, err
-	}
-	_, tS, err := sSel.EncryptWithTrace(key, plaintext)
-	if err != nil {
-		return nil, err
-	}
+	sSel := systems[1]
+	tN, tS := traces[0], traces[1]
 	// The two policies compile to the same instruction sequence (secure
 	// bits only), so cycles align and the windows agree.
 	w, err := sSel.Machine().PhaseWindow(tS, desprog.FuncKeyPermutation, desprog.FuncKeyGeneration)
@@ -349,16 +354,23 @@ func DPAAttack(key uint64, numTraces int) (*DPAResult, error) {
 		return nil, err
 	}
 	win := trace.Window{Start: 7_000, End: 25_000} // round region
-	tsN, err := dpa.Collect(mNone, key, cfg)
-	if err != nil {
+	// Each Collect already fans out across its machine's session; the two
+	// machines are independent, so the masked and unmasked acquisitions
+	// overlap too.
+	machines := []*desprog.Machine{mNone, mSel}
+	sets := make([]*dpa.TraceSet, 2)
+	if err := sim.ForEach(2, 2, func(i int) error {
+		ts, err := dpa.Collect(machines[i], key, cfg)
+		if err != nil {
+			return err
+		}
+		ts.Window = win
+		sets[i] = ts
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	tsN.Window = win
-	tsS, err := dpa.Collect(mSel, key, cfg)
-	if err != nil {
-		return nil, err
-	}
-	tsS.Window = win
+	tsN, tsS := sets[0], sets[1]
 	out := &DPAResult{NumTraces: numTraces}
 	out.Unmasked = dpa.AttackAll(tsN, 0)
 	out.Masked = dpa.AttackAll(tsS, 0)
@@ -427,7 +439,12 @@ func Workloads() ([]WorkloadRow, error) {
 	desRow.MaskedFlat = f9.Flat
 	rows = append(rows, desRow)
 
-	for _, k := range []kernels.Kernel{kernels.AES128(), kernels.TEA(), kernels.SHA1()} {
+	// The kernel rows are independent of each other and of the DES row;
+	// each runs its policies in sequence but the rows fan out in parallel.
+	ks := []kernels.Kernel{kernels.AES128(), kernels.TEA(), kernels.SHA1()}
+	kernelRows := make([]WorkloadRow, len(ks))
+	err = sim.ForEach(len(ks), 0, func(ki int) error {
+		k := ks[ki]
 		row := WorkloadRow{Name: k.Name, UJ: map[compiler.Policy]float64{}}
 		secretLen, publicLen := 16, 16
 		switch k.Name {
@@ -449,11 +466,11 @@ func Workloads() ([]WorkloadRow, error) {
 		for _, pol := range pols {
 			m, err := kernels.BuildSimple(k, pol)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			_, stats, err := m.Run(s1, pub, nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row.Cycles = stats.Cycles
 			row.UJ[pol] = stats.EnergyPJ / 1e6
@@ -461,19 +478,19 @@ func Workloads() ([]WorkloadRow, error) {
 		// Flatness check on the selective build.
 		m, err := kernels.BuildSimple(k, compiler.PolicySelective)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		_, t1, err := m.Trace(s1, pub)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		_, t2, err := m.Trace(s2, pub)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		end, err := m.MaskedRegionEnd(t1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.MaskedFlat = true
 		for i := 0; i < end; i++ {
@@ -482,8 +499,13 @@ func Workloads() ([]WorkloadRow, error) {
 				break
 			}
 		}
-		rows = append(rows, row)
+		kernelRows[ki] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	rows = append(rows, kernelRows...)
 	return rows, nil
 }
 
@@ -503,14 +525,13 @@ func ablationDiff(name string, opt compiler.Options, cfg energy.Config) (*Ablati
 	if err != nil {
 		return nil, err
 	}
-	t1, _, err := m.Trace(DefaultKey, DefaultPlain)
+	traces, _, err := m.TraceBatch(
+		[]desprog.Input{{Key: DefaultKey, Plaintext: DefaultPlain}, {Key: DefaultKeyBit1, Plaintext: DefaultPlain}},
+		sim.Options{})
 	if err != nil {
 		return nil, err
 	}
-	t2, _, err := m.Trace(DefaultKeyBit1, DefaultPlain)
-	if err != nil {
-		return nil, err
-	}
+	t1, t2 := traces[0], traces[1]
 	d, err := trace.Diff(t1.Totals, t2.Totals)
 	if err != nil {
 		return nil, err
@@ -572,13 +593,16 @@ func Ablations() ([]*AblationResult, error) {
 		{"no secure indexing", compiler.Options{Policy: compiler.PolicySelective, DisableSecureIndexing: true}, base},
 		{"inter-wire coupling", sel, coupling},
 	}
-	var out []*AblationResult
-	for _, r := range rows {
-		res, err := ablationDiff(r.name, r.opt, r.cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
+	// Each ablation is an independent compile-and-measure; fan the grid out
+	// across the worker pool, rows staying in declaration order.
+	out := make([]*AblationResult, len(rows))
+	err := sim.ForEach(len(rows), 0, func(i int) error {
+		res, err := ablationDiff(rows[i].name, rows[i].opt, rows[i].cfg)
+		out[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -767,36 +791,47 @@ type LeakVerification struct {
 // execution (package leakcheck) — the energy-model-independent soundness
 // check of the masking.
 func VerifyLeaks() ([]LeakVerification, error) {
-	var rows []LeakVerification
-	for _, pol := range compiler.Policies() {
-		m, err := desprog.New(pol)
-		if err != nil {
-			return nil, err
-		}
+	pols := compiler.Policies()
+	machines := make([]*desprog.Machine, len(pols))
+	if err := sim.ForEach(len(pols), 0, func(i int) error {
+		m, err := desprog.New(pols[i])
+		machines[i] = m
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	jobs := make([]leakcheck.CheckJob, len(pols))
+	for i, m := range machines {
 		prog := m.Res.Program
-		c, err := leakcheck.New(prog)
-		if err != nil {
-			return nil, err
-		}
 		keyAddr := prog.Symbols[compiler.GlobalLabel("key")]
-		for i := 0; i < 64; i++ {
-			if err := c.SetWord(keyAddr+uint32(4*i), uint32(i&1), true); err != nil {
-				return nil, err
-			}
+		jobs[i] = leakcheck.CheckJob{
+			Prog: prog,
+			Setup: func(c *leakcheck.Checker) error {
+				for j := 0; j < 64; j++ {
+					if err := c.SetWord(keyAddr+uint32(4*j), uint32(j&1), true); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
 		}
-		rep, err := c.Run()
-		if err != nil {
-			return nil, err
-		}
+	}
+	reports, err := leakcheck.RunBatch(jobs, 0)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]LeakVerification, len(pols))
+	for i, rep := range reports {
+		prog := machines[i].Res.Program
 		lo := prog.Symbols["f_output_permutation"]
 		hi := prog.Symbols["f_main"]
 		outside := rep.LeaksOutsideRegion(lo, hi)
-		rows = append(rows, LeakVerification{
-			Policy:              pol,
+		rows[i] = LeakVerification{
+			Policy:              pols[i],
 			SitesOutsideDeclass: len(outside),
 			SitesInDeclass:      len(rep.Leaks) - len(outside),
 			Insts:               rep.Insts,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -812,23 +847,28 @@ type ComponentRow struct {
 // ComponentBreakdown runs DES under each comparison policy and splits the
 // energy by processor component.
 func ComponentBreakdown(key, plaintext uint64) ([]ComponentRow, error) {
-	var rows []ComponentRow
-	for _, pol := range []compiler.Policy{
+	pols := []compiler.Policy{
 		compiler.PolicyNone, compiler.PolicySelective, compiler.PolicyAllSecure,
-	} {
-		m, err := desprog.New(pol)
+	}
+	rows := make([]ComponentRow, len(pols))
+	err := sim.ForEach(len(pols), 0, func(i int) error {
+		m, err := desprog.New(pols[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		_, stats, _, err := m.Encrypt(key, plaintext, nil, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := ComponentRow{Policy: pol, Total: stats.EnergyPJ / 1e6, ByComp: map[string]float64{}}
+		row := ComponentRow{Policy: pols[i], Total: stats.EnergyPJ / 1e6, ByComp: map[string]float64{}}
 		for c := energy.Component(0); c < energy.NumComponents; c++ {
 			row.ByComp[c.String()] = stats.ByComp[c] / 1e6
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -845,11 +885,14 @@ type PeakPower struct {
 
 // PeakPowerSweep measures the per-cycle peak for each policy.
 func PeakPowerSweep(key, plaintext uint64) ([]PeakPower, error) {
-	var rows []PeakPower
-	for _, pol := range compiler.Policies() {
-		m, err := desprog.New(pol)
+	pols := compiler.Policies()
+	rows := make([]PeakPower, len(pols))
+	// One machine (and session) per policy; the per-policy sink is local to
+	// its goroutine, so the sweep parallelises without shared state.
+	err := sim.ForEach(len(pols), 0, func(i int) error {
+		m, err := desprog.New(pols[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		peak := 0.0
 		sink := cpu.SinkFunc(func(ci cpu.CycleInfo) {
@@ -859,9 +902,13 @@ func PeakPowerSweep(key, plaintext uint64) ([]PeakPower, error) {
 		})
 		_, stats, _, err := m.Encrypt(key, plaintext, sink, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, PeakPower{Policy: pol, PeakPJ: peak, AvgPJ: stats.AvgPJPerCycle()})
+		rows[i] = PeakPower{Policy: pols[i], PeakPJ: peak, AvgPJ: stats.AvgPJPerCycle()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

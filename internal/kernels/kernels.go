@@ -9,11 +9,12 @@ package kernels
 
 import (
 	"fmt"
+	"sync"
 
 	"desmask/internal/compiler"
 	"desmask/internal/cpu"
 	"desmask/internal/energy"
-	"desmask/internal/mem"
+	"desmask/internal/sim"
 	"desmask/internal/trace"
 )
 
@@ -37,6 +38,9 @@ type Machine struct {
 	Kernel Kernel
 	Res    *compiler.Result
 	Cfg    energy.Config
+
+	runnerOnce sync.Once
+	runner     *sim.Runner
 }
 
 // Build compiles the kernel under the given options and energy
@@ -57,55 +61,88 @@ func BuildSimple(k Kernel, policy compiler.Policy) (*Machine, error) {
 // MaxCycles bounds one kernel run.
 const MaxCycles = 4_000_000
 
-// Run executes the kernel on a fresh core with the secret and public inputs
-// poked into their global arrays, returning the output array and run
-// statistics. sink may be nil.
-func (m *Machine) Run(secret, public []uint32, sink cpu.CycleSink) ([]uint32, cpu.Stats, error) {
-	c, err := cpu.New(m.Res.Program, mem.New(), energy.NewModel(m.Cfg))
-	if err != nil {
-		return nil, cpu.Stats{}, err
-	}
-	c.SetSink(sink)
-	poke := func(name string, vals []uint32) error {
-		addr, ok := m.Res.Program.Symbols[compiler.GlobalLabel(name)]
+// Runner returns the kernel's simulation session (created on first use).
+func (m *Machine) Runner() *sim.Runner {
+	m.runnerOnce.Do(func() {
+		m.runner = sim.NewRunner(m.Res.Program, m.Cfg)
+		m.runner.MaxCycles = MaxCycles
+	})
+	return m.runner
+}
+
+// Job assembles the sim.Job of one kernel run: secret then public inputs
+// poked into their global arrays (fixed order), output array read back.
+func (m *Machine) Job(secret, public []uint32, capture bool) (sim.Job, error) {
+	job := sim.Job{Trace: capture}
+	for _, in := range []struct {
+		name string
+		vals []uint32
+	}{{m.Kernel.SecretGlobal, secret}, {m.Kernel.PublicGlobal, public}} {
+		addr, ok := m.Res.Program.Symbols[compiler.GlobalLabel(in.name)]
 		if !ok {
-			return fmt.Errorf("kernels: %s: no global %q", m.Kernel.Name, name)
+			return sim.Job{}, fmt.Errorf("kernels: %s: no global %q", m.Kernel.Name, in.name)
 		}
-		for i, v := range vals {
-			if err := c.Mem().StoreWord(addr+uint32(4*i), v); err != nil {
-				return err
-			}
+		for i, v := range in.vals {
+			job.Writes = append(job.Writes, sim.Write{Addr: addr + uint32(4*i), Val: v})
 		}
-		return nil
-	}
-	if err := poke(m.Kernel.SecretGlobal, secret); err != nil {
-		return nil, cpu.Stats{}, err
-	}
-	if err := poke(m.Kernel.PublicGlobal, public); err != nil {
-		return nil, cpu.Stats{}, err
-	}
-	if err := c.Run(MaxCycles); err != nil {
-		return nil, cpu.Stats{}, fmt.Errorf("kernels: %s: %w", m.Kernel.Name, err)
 	}
 	addr, ok := m.Res.Program.Symbols[compiler.GlobalLabel(m.Kernel.OutputGlobal)]
 	if !ok {
-		return nil, cpu.Stats{}, fmt.Errorf("kernels: %s: no output global %q", m.Kernel.Name, m.Kernel.OutputGlobal)
+		return sim.Job{}, fmt.Errorf("kernels: %s: no output global %q", m.Kernel.Name, m.Kernel.OutputGlobal)
 	}
-	out, err := c.Mem().ReadWords(addr, m.Kernel.OutputLen)
+	job.Reads = []sim.Read{{Addr: addr, Words: m.Kernel.OutputLen}}
+	return job, nil
+}
+
+// output unpacks one job result into the kernel's (output, stats) shape.
+func (m *Machine) output(res sim.Result) ([]uint32, cpu.Stats, error) {
+	if res.Err != nil {
+		return nil, res.Stats, fmt.Errorf("kernels: %s: %w", m.Kernel.Name, res.Err)
+	}
+	if !res.Done {
+		return nil, res.Stats, fmt.Errorf("kernels: %s: %w", m.Kernel.Name, cpu.ErrMaxCycles)
+	}
+	return res.Mem[0], res.Stats, nil
+}
+
+// Run executes the kernel through the simulation session with the secret
+// and public inputs poked into their global arrays, returning the output
+// array and run statistics. sink may be nil.
+func (m *Machine) Run(secret, public []uint32, sink cpu.CycleSink) ([]uint32, cpu.Stats, error) {
+	job, err := m.Job(secret, public, false)
 	if err != nil {
 		return nil, cpu.Stats{}, err
 	}
-	return out, c.Stats(), nil
+	job.Sink = sink
+	return m.output(m.Runner().Run(job))
+}
+
+// RunBatch executes one kernel run per public input under the same secret
+// across the session's worker pool, returning results in input order.
+func (m *Machine) RunBatch(secret []uint32, publics [][]uint32, capture bool, opts sim.Options) ([]sim.Result, error) {
+	jobs := make([]sim.Job, len(publics))
+	for i, pub := range publics {
+		job, err := m.Job(secret, pub, capture)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = job
+	}
+	return m.Runner().RunBatch(jobs, opts)
 }
 
 // Trace runs the kernel capturing the full per-cycle energy trace.
 func (m *Machine) Trace(secret, public []uint32) ([]uint32, *trace.Trace, error) {
-	var rec trace.Recorder
-	out, _, err := m.Run(secret, public, &rec)
+	job, err := m.Job(secret, public, true)
 	if err != nil {
 		return nil, nil, err
 	}
-	return out, &rec.T, nil
+	res := m.Runner().Run(job)
+	out, _, err := m.output(res)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, res.Trace, nil
 }
 
 // MaskedRegionEnd returns the cycle at which the kernel's output emission

@@ -19,6 +19,7 @@ import (
 	"desmask/internal/asm"
 	"desmask/internal/isa"
 	"desmask/internal/mem"
+	"desmask/internal/sim"
 )
 
 // Leak is one insecure instruction observed processing tainted data.
@@ -60,6 +61,43 @@ func (r *Report) LeaksOutsideRegion(lo, hi uint32) []Leak {
 		}
 	}
 	return out
+}
+
+// CheckJob is one independent leak check: a compiled program plus the taint
+// setup that pokes and marks its secret inputs.
+type CheckJob struct {
+	Prog *asm.Program
+	// Setup marks secrets (SetWord/TaintWords) on the fresh checker; nil
+	// runs the program with nothing tainted.
+	Setup func(c *Checker) error
+}
+
+// RunBatch executes independent leak checks across a worker pool
+// (workers <= 0 uses GOMAXPROCS), returning reports in job order. Each job
+// gets its own checker, so reports are identical for every worker count.
+func RunBatch(jobs []CheckJob, workers int) ([]*Report, error) {
+	reports := make([]*Report, len(jobs))
+	err := sim.ForEach(len(jobs), workers, func(i int) error {
+		c, err := New(jobs[i].Prog)
+		if err != nil {
+			return err
+		}
+		if jobs[i].Setup != nil {
+			if err := jobs[i].Setup(c); err != nil {
+				return err
+			}
+		}
+		rep, err := c.Run()
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reports, nil
 }
 
 // Checker executes with shadow taint. Create with New, mark secrets with

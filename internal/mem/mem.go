@@ -23,6 +23,16 @@ func New() *Memory {
 	return &Memory{pages: map[uint32]*[pageWords]uint32{}}
 }
 
+// Reset clears every word back to zero while retaining page allocations, so
+// a pooled simulation worker can reuse the memory without reallocating, and
+// zeroes the access counters.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		*p = [pageWords]uint32{}
+	}
+	m.Reads, m.Writes = 0, 0
+}
+
 // AlignmentError reports a non-word-aligned access.
 type AlignmentError struct {
 	Addr uint32

@@ -1,0 +1,339 @@
+// Package sim is the session layer between the workloads and the
+// cycle-accurate simulator: a Runner owns one compiled program plus one
+// energy configuration and is the single way the rest of the system reaches
+// package cpu. Runner.Run executes one job; Runner.RunBatch fans N
+// independent jobs across a worker pool with per-worker reuse of the CPU,
+// memory and trace buffers, so multi-trace workloads (DPA trace collection,
+// leak-check sweeps, policy comparisons) scale with cores instead of paying
+// per-run wiring and allocation.
+//
+// Determinism contract: a job's result depends only on the job — every
+// worker starts from an identical power-on core (cpu.Reset), jobs never
+// share mutable state, and per-job randomness must be derived with
+// DeriveSeed(base, index), never drawn from a shared stream during the
+// batch. RunBatch therefore returns bit-identical results (traces, energy
+// totals, statistics, memory read-backs) in job order regardless of worker
+// count or scheduling.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"desmask/internal/asm"
+	"desmask/internal/cpu"
+	"desmask/internal/energy"
+	"desmask/internal/isa"
+	"desmask/internal/mem"
+	"desmask/internal/trace"
+)
+
+// DefaultMaxCycles bounds a job that sets no explicit budget (and whose
+// runner sets none); it generously covers one full encryption of any of the
+// shipped workloads.
+const DefaultMaxCycles = 4_000_000
+
+// Write pokes one word into data memory before a run. Writes are applied in
+// slice order, so job setup is fully deterministic.
+type Write struct {
+	Addr uint32
+	Val  uint32
+}
+
+// Read names a memory range to copy out after the run.
+type Read struct {
+	Addr  uint32
+	Words int
+}
+
+// Job is one independent simulation: input pokes, a cycle budget, and what
+// to capture.
+type Job struct {
+	// Writes are applied to data memory, in order, before the first cycle.
+	Writes []Write
+	// Reads are copied out of data memory after the run, into Result.Mem.
+	Reads []Read
+	// MaxCycles truncates the run; 0 uses the runner default.
+	MaxCycles uint64
+	// Trace captures the full per-cycle energy trace into Result.Trace.
+	Trace bool
+	// Sink optionally streams cycles to a custom listener. It is honored by
+	// Run only; RunBatch rejects jobs with sinks because a shared listener
+	// would race across workers and break the determinism contract.
+	Sink cpu.CycleSink
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	// Stats accumulates the run's cycle/instruction/energy accounting. On
+	// error it holds whatever had accumulated when the fault hit.
+	Stats cpu.Stats
+	// Done reports that the program halted within the cycle budget; false
+	// with a nil Err means the budget expired first (a partial run, used
+	// deliberately for first-round attack traces).
+	Done bool
+	// Trace is the captured per-cycle trace (Job.Trace), including EX-stage
+	// PCs for window location.
+	Trace *trace.Trace
+	// Mem holds one slice per Job.Reads entry, in order.
+	Mem [][]uint32
+	// Regs is the architectural register file after the run.
+	Regs [isa.NumRegs]uint32
+	// Err is the job's failure, if any.
+	Err error
+}
+
+// Options configures batch execution.
+type Options struct {
+	// Workers sizes the worker pool; <= 0 uses GOMAXPROCS.
+	Workers int
+}
+
+// resolve returns the effective worker count for n jobs.
+func (o Options) resolve(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// DeriveSeed expands a base seed into the independent seed of job index i
+// (SplitMix64 over base+i), so randomized per-job inputs depend only on the
+// base seed and the job's position — never on worker count or scheduling
+// order.
+func DeriveSeed(base int64, i int) int64 {
+	z := uint64(base) + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Runner is a simulation session: one compiled program, one energy
+// configuration, and a pool of reusable workers. It is safe for concurrent
+// use.
+type Runner struct {
+	prog *asm.Program
+	cfg  energy.Config
+
+	// MaxCycles is the budget applied to jobs that set none; 0 means
+	// DefaultMaxCycles. Set it once at construction time — it is read
+	// concurrently by batch workers.
+	MaxCycles uint64
+
+	pool sync.Pool // *worker
+	// traceHint remembers the previous captured run length so batch
+	// recorders pre-size their buffers instead of regrowing per cycle.
+	traceHint atomic.Int64
+}
+
+// NewRunner builds a session for the compiled program under the given
+// energy configuration.
+func NewRunner(prog *asm.Program, cfg energy.Config) *Runner {
+	return &Runner{prog: prog, cfg: cfg}
+}
+
+// Program returns the session's compiled program.
+func (r *Runner) Program() *asm.Program { return r.prog }
+
+// Config returns the session's energy configuration.
+func (r *Runner) Config() energy.Config { return r.cfg }
+
+// worker bundles the per-worker reusable simulator state.
+type worker struct {
+	c   *cpu.CPU
+	rec trace.Recorder
+}
+
+func (r *Runner) getWorker() (*worker, error) {
+	if w, ok := r.pool.Get().(*worker); ok {
+		return w, nil
+	}
+	c, err := cpu.New(r.prog, mem.New(), energy.NewModel(r.cfg))
+	if err != nil {
+		return nil, err
+	}
+	return &worker{c: c}, nil
+}
+
+// budget returns the effective cycle budget of a job.
+func (r *Runner) budget(job Job) uint64 {
+	if job.MaxCycles > 0 {
+		return job.MaxCycles
+	}
+	if r.MaxCycles > 0 {
+		return r.MaxCycles
+	}
+	return DefaultMaxCycles
+}
+
+// reserveHint sizes a batch recorder: the previous captured length when
+// known, otherwise the job's cycle budget, capped so a generous budget does
+// not balloon a worker's buffers.
+func (r *Runner) reserveHint(budget uint64) int {
+	const maxReserve = 1 << 20
+	hint := int(r.traceHint.Load())
+	if hint <= 0 || uint64(hint) > budget {
+		hint = int(budget)
+	}
+	if hint > maxReserve {
+		hint = maxReserve
+	}
+	return hint
+}
+
+// runOn executes one job on a worker. The worker is reset to power-on state
+// first, so results are independent of whatever the worker ran before.
+func (r *Runner) runOn(w *worker, job Job) Result {
+	var res Result
+	if err := w.c.Reset(); err != nil {
+		res.Err = err
+		return res
+	}
+	for _, wr := range job.Writes {
+		if err := w.c.Mem().StoreWord(wr.Addr, wr.Val); err != nil {
+			res.Err = err
+			return res
+		}
+	}
+	budget := r.budget(job)
+	sink := job.Sink
+	if job.Trace {
+		w.rec.Reset()
+		w.rec.Reserve(r.reserveHint(budget))
+		sink = &w.rec
+	}
+	w.c.SetSink(sink)
+
+	runErr := w.c.Run(budget)
+	res.Stats = w.c.Stats()
+	for reg := isa.Reg(0); reg < isa.NumRegs; reg++ {
+		res.Regs[reg] = w.c.Reg(reg)
+	}
+	switch {
+	case runErr == nil:
+		res.Done = true
+	case errors.Is(runErr, cpu.ErrMaxCycles):
+		res.Done = false
+	default:
+		res.Err = runErr
+		return res
+	}
+	if job.Trace {
+		res.Trace = w.rec.Snapshot(true)
+		r.traceHint.Store(int64(res.Trace.Len()))
+	}
+	for _, rd := range job.Reads {
+		words, err := w.c.Mem().ReadWords(rd.Addr, rd.Words)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Mem = append(res.Mem, words)
+	}
+	return res
+}
+
+// Run executes one job on a pooled worker.
+func (r *Runner) Run(job Job) Result {
+	w, err := r.getWorker()
+	if err != nil {
+		return Result{Err: err}
+	}
+	defer r.pool.Put(w)
+	return r.runOn(w, job)
+}
+
+// RunBatch executes every job across the worker pool and returns results in
+// job order. The returned error is the lowest-index job error (all results
+// are still returned, each carrying its own Err), so error reporting is as
+// deterministic as the results themselves.
+func (r *Runner) RunBatch(jobs []Job, opts Options) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	for i := range jobs {
+		if jobs[i].Sink != nil {
+			return nil, fmt.Errorf("sim: job %d: custom sinks are not supported in batches", i)
+		}
+	}
+	workers := opts.resolve(len(jobs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, err := r.getWorker()
+			if err != nil {
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= len(jobs) {
+						return
+					}
+					results[i] = Result{Err: err}
+				}
+			}
+			defer r.pool.Put(w)
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(jobs) {
+					return
+				}
+				results[i] = r.runOn(w, jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("sim: job %d: %w", i, results[i].Err)
+		}
+	}
+	return results, nil
+}
+
+// ForEach runs fn(0), …, fn(n-1) across a worker pool (workers <= 0 uses
+// GOMAXPROCS) and returns the lowest-index error. It is the scheduling
+// primitive for batch work that is not a plain simulator job — compiling
+// machines per policy, leak-check sweeps, ablation grids — with the same
+// deterministic contract: fn must touch only state owned by its index.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	workers = Options{Workers: workers}.resolve(n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -33,6 +33,43 @@ type Recorder struct {
 	T Trace
 }
 
+// Reset drops the recorded trace while keeping the underlying buffer
+// capacity, so a pooled recorder can capture run after run without the
+// per-cycle append regrowing from zero each time.
+func (r *Recorder) Reset() {
+	r.T.Totals = r.T.Totals[:0]
+	r.T.PCs = r.T.PCs[:0]
+}
+
+// Reserve grows the buffers to hold at least n cycles without further
+// allocation — the capacity hint comes from the run's cycle budget or the
+// length of the previous run in a batch.
+func (r *Recorder) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	if cap(r.T.Totals) < n {
+		totals := make([]float64, len(r.T.Totals), n)
+		copy(totals, r.T.Totals)
+		r.T.Totals = totals
+	}
+	if cap(r.T.PCs) < n {
+		pcs := make([]uint32, len(r.T.PCs), n)
+		copy(pcs, r.T.PCs)
+		r.T.PCs = pcs
+	}
+}
+
+// Snapshot copies the recorded trace into exactly-sized slices owned by the
+// caller, leaving the recorder free for reuse.
+func (r *Recorder) Snapshot(withPCs bool) *Trace {
+	t := &Trace{Totals: append([]float64(nil), r.T.Totals...)}
+	if withPCs {
+		t.PCs = append([]uint32(nil), r.T.PCs...)
+	}
+	return t
+}
+
 // OnCycle implements cpu.CycleSink.
 func (r *Recorder) OnCycle(ci cpu.CycleInfo) {
 	r.T.Totals = append(r.T.Totals, ci.Energy.Total)
