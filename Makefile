@@ -18,10 +18,13 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Sequential vs parallel batch trace acquisition (traces/sec + bit-identity),
-# written as JSON.
+# Machine-readable benchmark artifacts:
+#  - sequential vs parallel batch trace acquisition (traces/sec + bit-identity)
+#  - compiler optimization ablation (per-policy instruction/cycle/energy
+#    counts for DES with and without -O)
 bench-json:
 	$(GO) run ./cmd/simbench -traces 64 -o BENCH_parallel_traces.json
+	$(GO) run ./cmd/optbench -o BENCH_compiler_opt.json
 
 # Regenerate every figure and table of the paper (text report + plots).
 experiments:

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	maskcc [-policy selective] [-o out.s] [-slice] [-no-secure-indexing] prog.c
+//	maskcc [-policy selective] [-O] [-o out.s] [-slice] [-dump-ir] [-no-secure-indexing] prog.c
 package main
 
 import (
@@ -19,7 +19,8 @@ func main() {
 	out := flag.String("o", "", "write assembly to this file (default stdout)")
 	slice := flag.Bool("slice", false, "print the forward-slice report instead of assembly")
 	noIdx := flag.Bool("no-secure-indexing", false, "disable the secure-indexing treatment (ablation)")
-	optimize := flag.Bool("O", false, "enable masking-preserving optimizations (constant folding, store-to-load forwarding)")
+	optimize := flag.Bool("O", false, "enable the taint-sound optimization passes and gp-relative addressing")
+	dumpIR := flag.Bool("dump-ir", false, "print the IR after lowering (and, with -O, after the pass pipeline)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -42,17 +43,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "maskcc: unknown policy %q\n", *policyStr)
 		os.Exit(2)
 	}
-	res, err := compiler.CompileWithOptions(string(src), compiler.Options{
+	opts := compiler.Options{
 		Policy:                policy,
 		DisableSecureIndexing: *noIdx,
 		Optimize:              *optimize,
-	})
+	}
+	if *dumpIR {
+		opts.DumpIR = os.Stdout
+	}
+	res, err := compiler.CompileWithOptions(string(src), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "maskcc:", err)
 		os.Exit(1)
 	}
 	if *slice {
 		fmt.Print(res.Report.String())
+		return
+	}
+	if *dumpIR && *out == "" {
+		// The IR dump was the requested output; suppress the assembly
+		// listing unless -o directs it elsewhere.
 		return
 	}
 	w := os.Stdout

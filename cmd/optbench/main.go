@@ -1,0 +1,138 @@
+// Command optbench measures what the optimizing backend buys on the paper's
+// workload: for every protection policy it compiles the DES program with and
+// without -O, runs one encryption on the cycle-accurate simulator, verifies
+// the two builds agree bit-for-bit, and writes the static instruction counts,
+// simulated cycle counts and energy totals as JSON
+// (BENCH_compiler_opt.json via `make bench-json`).
+//
+// Usage:
+//
+//	optbench [-o BENCH_compiler_opt.json] [-key hex16] [-block hex16]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"desmask/internal/compiler"
+	"desmask/internal/des"
+	"desmask/internal/desprog"
+	"desmask/internal/energy"
+)
+
+// PolicyResult is one policy's with/without-optimizer comparison.
+type PolicyResult struct {
+	Policy string `json:"policy"`
+
+	StaticInstrs    int     `json:"static_instructions"`
+	StaticInstrsOpt int     `json:"static_instructions_opt"`
+	StaticReduction float64 `json:"static_reduction_pct"`
+
+	EncryptCycles    uint64  `json:"encrypt_cycles"`
+	EncryptCyclesOpt uint64  `json:"encrypt_cycles_opt"`
+	CycleReduction   float64 `json:"cycle_reduction_pct"`
+
+	EnergyUJ    float64 `json:"energy_uj"`
+	EnergyUJOpt float64 `json:"energy_uj_opt"`
+
+	Cipher string `json:"cipher"`
+}
+
+// Output is the whole benchmark document.
+type Output struct {
+	Workload  string         `json:"workload"`
+	Key       string         `json:"key"`
+	Plaintext string         `json:"plaintext"`
+	Results   []PolicyResult `json:"results"`
+}
+
+func run(policy compiler.Policy, optimize bool, key, block uint64) (int, uint64, float64, uint64, error) {
+	m, err := desprog.NewFull(compiler.Options{Policy: policy, Optimize: optimize}, energy.DefaultConfig())
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	cipher, stats, done, err := m.Encrypt(key, block, nil, 0)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if !done {
+		return 0, 0, 0, 0, fmt.Errorf("policy %v: encryption did not finish", policy)
+	}
+	return len(m.Res.Program.Text), stats.Cycles, stats.EnergyPJ / 1e6, cipher, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_compiler_opt.json", "output JSON path (- for stdout)")
+	keyHex := flag.String("key", "133457799BBCDFF1", "DES key, 16 hex digits")
+	blockHex := flag.String("block", "0123456789ABCDEF", "plaintext block, 16 hex digits")
+	flag.Parse()
+
+	key, err := strconv.ParseUint(*keyHex, 16, 64)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optbench: bad -key:", err)
+		os.Exit(2)
+	}
+	block, err := strconv.ParseUint(*blockHex, 16, 64)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optbench: bad -block:", err)
+		os.Exit(2)
+	}
+	want := des.Encrypt(key, block)
+
+	doc := Output{
+		Workload:  "des-encrypt",
+		Key:       fmt.Sprintf("%016X", key),
+		Plaintext: fmt.Sprintf("%016X", block),
+	}
+	for _, policy := range compiler.Policies() {
+		instrs, cycles, uj, cipher, err := run(policy, false, key, block)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "optbench:", err)
+			os.Exit(1)
+		}
+		instrsOpt, cyclesOpt, ujOpt, cipherOpt, err := run(policy, true, key, block)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "optbench:", err)
+			os.Exit(1)
+		}
+		if cipher != want || cipherOpt != want {
+			fmt.Fprintf(os.Stderr, "optbench: policy %v: cipher mismatch: plain %016X opt %016X reference %016X\n",
+				policy, cipher, cipherOpt, want)
+			os.Exit(1)
+		}
+		doc.Results = append(doc.Results, PolicyResult{
+			Policy:           policy.String(),
+			StaticInstrs:     instrs,
+			StaticInstrsOpt:  instrsOpt,
+			StaticReduction:  100 * (1 - float64(instrsOpt)/float64(instrs)),
+			EncryptCycles:    cycles,
+			EncryptCyclesOpt: cyclesOpt,
+			CycleReduction:   100 * (1 - float64(cyclesOpt)/float64(cycles)),
+			EnergyUJ:         uj,
+			EnergyUJOpt:      ujOpt,
+			Cipher:           fmt.Sprintf("%016X", cipher),
+		})
+		fmt.Fprintf(os.Stderr, "%-16s instrs %4d -> %4d (%.1f%%)  cycles %7d -> %7d (%.1f%%)  %.2f -> %.2f uJ\n",
+			policy, instrs, instrsOpt, 100*(1-float64(instrsOpt)/float64(instrs)),
+			cycles, cyclesOpt, 100*(1-float64(cyclesOpt)/float64(cycles)), uj, ujOpt)
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "optbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}

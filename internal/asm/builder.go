@@ -1,0 +1,219 @@
+package asm
+
+import (
+	"fmt"
+
+	"desmask/internal/isa"
+)
+
+// Builder constructs a Program directly, without going through assembly text.
+// It is the compiler's backend interface: instructions and data words are
+// appended programmatically, labels bind to the current position, and forward
+// references to text labels (branches, jumps) are patched when Finish is
+// called. Data symbols resolve immediately, so address-forming helpers
+// (LoadAddr, MemDirect) require their symbol to be defined first — the
+// compiler emits the data segment before any text.
+//
+// The pseudo-instruction expansions (li, la, direct-symbol loads/stores)
+// reuse the assembler's exact sizing and encoding rules, so a Builder-built
+// Program matches what assembling the equivalent text would produce.
+type Builder struct {
+	textBase uint32
+	dataBase uint32
+
+	text  []isa.Inst
+	lines []int
+	line  int
+
+	data []uint32
+
+	symbols map[string]uint32
+	fixups  []fixup
+	errs    []string
+}
+
+type fixupKind int
+
+const (
+	fixBranch fixupKind = iota // Imm = word displacement from pc+4
+	fixJump                    // Imm = absolute word index
+)
+
+type fixup struct {
+	idx   int // index into text of the instruction to patch
+	label string
+	kind  fixupKind
+}
+
+// NewBuilder returns an empty builder with the default segment bases.
+func NewBuilder() *Builder {
+	return &Builder{
+		textBase: DefaultTextBase,
+		dataBase: DefaultDataBase,
+		symbols:  map[string]uint32{},
+	}
+}
+
+func (b *Builder) errorf(format string, args ...interface{}) {
+	if len(b.errs) < 20 {
+		b.errs = append(b.errs, fmt.Sprintf(format, args...))
+	}
+}
+
+// SetLine records the 1-based source line attributed to subsequently emitted
+// instructions (mirrors Program.Lines from the text assembler).
+func (b *Builder) SetLine(n int) { b.line = n }
+
+// Label binds a text label at the current end of text.
+func (b *Builder) Label(name string) {
+	if _, dup := b.symbols[name]; dup {
+		b.errorf("duplicate label %q", name)
+		return
+	}
+	b.symbols[name] = b.textBase + uint32(4*len(b.text))
+}
+
+// DataLabel binds a data label at the current end of data and returns its
+// byte offset from the data base.
+func (b *Builder) DataLabel(name string) uint32 {
+	off := uint32(4 * len(b.data))
+	if _, dup := b.symbols[name]; dup {
+		b.errorf("duplicate label %q", name)
+		return off
+	}
+	b.symbols[name] = b.dataBase + off
+	return off
+}
+
+// Words appends initialized data words.
+func (b *Builder) Words(vals ...uint32) { b.data = append(b.data, vals...) }
+
+// Space appends n zero data words.
+func (b *Builder) Space(n int) {
+	for i := 0; i < n; i++ {
+		b.data = append(b.data, 0)
+	}
+}
+
+// Symbol reports a bound symbol's address.
+func (b *Builder) Symbol(name string) (uint32, bool) {
+	a, ok := b.symbols[name]
+	return a, ok
+}
+
+func (b *Builder) push(in isa.Inst) {
+	if _, err := isa.Encode(in); err != nil {
+		b.errorf("%v", err)
+	}
+	b.text = append(b.text, in)
+	b.lines = append(b.lines, b.line)
+}
+
+// Inst appends one machine instruction, validating that it encodes.
+func (b *Builder) Inst(in isa.Inst) { b.push(in) }
+
+// LoadImm materialises a 32-bit constant into rt using the assembler's
+// 1/2/5-word li expansion. Every expansion word carries the secure bit, as
+// with the li.s pseudo-op.
+func (b *Builder) LoadImm(rt isa.Reg, v int32, secure bool) {
+	for _, step := range liExpansion(v) {
+		in := isa.Inst{Op: step.op, Secure: secure, Imm: step.imm}
+		switch step.op {
+		case isa.OpLui:
+			in.Rt = rt
+		case isa.OpSll:
+			in.Rd, in.Rt = rt, rt
+		default: // addiu/ori
+			in.Rt = rt
+			if step.useRt {
+				in.Rs = rt
+			} else {
+				in.Rs = isa.Zero
+			}
+		}
+		b.push(in)
+	}
+}
+
+// LoadAddr loads the address of a bound symbol into rt (the la expansion:
+// lui+ori, both carrying the secure bit).
+func (b *Builder) LoadAddr(rt isa.Reg, sym string, secure bool) {
+	addr, ok := b.symbols[sym]
+	if !ok {
+		b.errorf("LoadAddr: undefined symbol %q", sym)
+		return
+	}
+	hi, lo := splitAddrForOri(addr)
+	b.push(isa.Inst{Op: isa.OpLui, Rt: rt, Imm: hi, Secure: secure})
+	b.push(isa.Inst{Op: isa.OpOri, Rt: rt, Rs: rt, Imm: lo, Secure: secure})
+}
+
+// MemDirect emits a direct-symbol load/store (lui $at, hi; op rt, lo($at)).
+// As in the text assembler, the address-forming lui stays insecure even for
+// secure accesses: the paper does not consider data addresses sensitive, only
+// key-derived ones (which go through secure address formation instead).
+func (b *Builder) MemDirect(op isa.Opcode, rt isa.Reg, sym string, off int32, secure bool) {
+	addr, ok := b.symbols[sym]
+	if !ok {
+		b.errorf("MemDirect: undefined symbol %q", sym)
+		return
+	}
+	hi, lo := splitAddrForMem(addr + uint32(off))
+	b.push(isa.Inst{Op: isa.OpLui, Rt: isa.AT, Imm: hi})
+	b.push(isa.Inst{Op: op, Secure: secure, Rt: rt, Rs: isa.AT, Imm: lo})
+}
+
+// Branch emits a conditional branch to a label, patched at Finish.
+func (b *Builder) Branch(op isa.Opcode, rs, rt isa.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{idx: len(b.text), label: label, kind: fixBranch})
+	// Imm 0 is always encodable; the real displacement is checked on patch.
+	b.push(isa.Inst{Op: op, Rs: rs, Rt: rt})
+}
+
+// Jump emits j/jal to a label, patched at Finish.
+func (b *Builder) Jump(op isa.Opcode, label string) {
+	b.fixups = append(b.fixups, fixup{idx: len(b.text), label: label, kind: fixJump})
+	b.push(isa.Inst{Op: op})
+}
+
+// Finish resolves all pending label references and returns the Program.
+func (b *Builder) Finish() (*Program, error) {
+	for _, fx := range b.fixups {
+		target, ok := b.symbols[fx.label]
+		if !ok {
+			b.errorf("undefined label %q", fx.label)
+			continue
+		}
+		in := b.text[fx.idx]
+		switch fx.kind {
+		case fixBranch:
+			next := b.textBase + uint32(4*fx.idx) + 4
+			in.Imm = (int32(target) - int32(next)) / 4
+		case fixJump:
+			in.Imm = int32(target / 4)
+		}
+		if _, err := isa.Encode(in); err != nil {
+			b.errorf("patching %q: %v", fx.label, err)
+		}
+		b.text[fx.idx] = in
+	}
+	if uint32(4*len(b.text))+b.textBase > b.dataBase {
+		b.errorf("text segment (%d words) overflows into data base %#x", len(b.text), b.dataBase)
+	}
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("asm builder: %s", b.errs[0])
+	}
+	p := &Program{
+		TextBase: b.textBase,
+		Text:     b.text,
+		DataBase: b.dataBase,
+		Data:     b.data,
+		Symbols:  b.symbols,
+		Lines:    b.lines,
+		Entry:    b.textBase,
+	}
+	if addr, ok := p.Symbols["main"]; ok {
+		p.Entry = addr
+	}
+	return p, nil
+}

@@ -1,11 +1,26 @@
+// Package compiler is the optimizing masking compiler of the paper: it takes
+// MiniC source in which the programmer has annotated critical variables with
+// the `secure` qualifier, determines — by forward slicing [11] over def-use
+// relations and control dependences — every variable and operation whose
+// value depends on those seeds, and emits assembly in which exactly the
+// affected loads, stores, ALU operations and table-index computations use the
+// secure (dual-rail) instruction variants. Blanket policies (no protection,
+// all loads/stores, everything) are provided as the paper's comparison
+// points.
+//
+// Compilation pipeline (see DESIGN.md):
+//
+//	parse -> Analyze (forward slice) -> lower to taint-carrying IR
+//	      -> [-O] taint-sound passes -> linear-scan regalloc
+//	      -> asm.Builder -> *asm.Program (+ assembly listing)
 package compiler
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"desmask/internal/asm"
-	"desmask/internal/isa"
 	"desmask/internal/minic"
 )
 
@@ -59,7 +74,9 @@ func Policies() []Policy {
 // program inputs through the symbol table.
 func GlobalLabel(name string) string { return "g_" + name }
 
-// Report summarises what the compiler protected.
+// Report summarises what the compiler protected. The instruction counts are
+// tallied from the final machine program, so they stay exact under
+// optimization.
 type Report struct {
 	Policy  Policy
 	Seeds   []string
@@ -67,23 +84,27 @@ type Report struct {
 	// TimingWarnings lists secret-dependent branch conditions (rendered
 	// source positions): control flow the masking scheme cannot hide.
 	TimingWarnings []string
-	// FoldedConstants and PeepholeRewrites count optimizer work (0 unless
-	// Options.Optimize).
-	FoldedConstants  int
-	PeepholeRewrites int
-	TotalOps         int // securable instructions emitted
-	SecuredOps       int
-	TotalLoads       int
-	SecureLoads      int
-	TotalStores      int
-	SecureStore      int
+	// Optimizer tallies (all zero unless Options.Optimize).
+	FoldedConstants    int
+	ForwardedLoads     int
+	PropagatedCopies   int
+	DeadStores         int
+	DeadInstrs         int
+	SimplifiedBranches int
+	// Machine-instruction counts over the emitted program.
+	TotalOps     int // securable instructions emitted
+	SecuredOps   int
+	TotalLoads   int
+	SecureLoads  int
+	TotalStores  int
+	SecureStores int
 }
 
 // String renders a human-readable summary.
 func (r Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "policy %s: %d/%d securable ops secured (%d/%d loads, %d/%d stores)\n",
-		r.Policy, r.SecuredOps, r.TotalOps, r.SecureLoads, r.TotalLoads, r.SecureStore, r.TotalStores)
+		r.Policy, r.SecuredOps, r.TotalOps, r.SecureLoads, r.TotalLoads, r.SecureStores, r.TotalStores)
 	fmt.Fprintf(&b, "seeds: %s\n", strings.Join(r.Seeds, ", "))
 	fmt.Fprintf(&b, "forward slice: %s\n", strings.Join(r.Tainted, ", "))
 	for _, w := range r.TimingWarnings {
@@ -108,9 +129,12 @@ type Options struct {
 	// formation and secure table loads. This is the ablation showing why
 	// key-derived S-box offsets must be masked.
 	DisableSecureIndexing bool
-	// Optimize enables the masking-preserving optimizations: AST constant
-	// folding and the store-to-load forwarding peephole (see optimize.go).
+	// Optimize enables the taint-sound IR pass pipeline (see passes.go) and
+	// gp-relative global addressing in the backend.
 	Optimize bool
+	// DumpIR, when non-nil, receives the IR after lowering and — under
+	// Optimize — again after the pass pipeline (maskcc -dump-ir).
+	DumpIR io.Writer
 }
 
 // Compile parses, analyses and compiles MiniC source under the given policy.
@@ -134,11 +158,6 @@ func CompileFile(f *minic.File, policy Policy) (*Result, error) {
 
 // CompileFileWithOptions compiles a parsed file with explicit options.
 func CompileFileWithOptions(f *minic.File, opt Options) (*Result, error) {
-	policy := opt.Policy
-	folded := 0
-	if opt.Optimize {
-		folded = foldConstants(f)
-	}
 	a, err := Analyze(f)
 	if err != nil {
 		return nil, err
@@ -150,23 +169,59 @@ func CompileFileWithOptions(f *minic.File, opt Options) (*Result, error) {
 	if main.ReturnsInt || len(main.Params) != 0 {
 		return nil, errf(main.Pos, "main must be void and take no parameters")
 	}
-	g := &codegen{a: a, policy: policy, opt: opt}
-	text, err := g.generate()
+
+	m, err := lower(a, opt)
 	if err != nil {
 		return nil, err
 	}
-	rewrites := 0
+	if opt.DumpIR != nil {
+		fmt.Fprintf(opt.DumpIR, "; IR after lowering (policy %s)\n%s", opt.Policy, m.Dump())
+	}
+	var st passStats
 	if opt.Optimize {
-		text, rewrites = peephole(text)
+		st = runPasses(m, opt)
+		if opt.DumpIR != nil {
+			fmt.Fprintf(opt.DumpIR, "\n; IR after optimization\n%s", m.Dump())
+		}
 	}
-	prog, err := asm.Assemble(text)
+	allocs, err := regalloc(m, opt.Policy)
 	if err != nil {
-		return nil, fmt.Errorf("compiler: internal error assembling output: %w", err)
+		return nil, err
 	}
-	rep := g.report
-	rep.Policy = policy
-	rep.FoldedConstants = folded
-	rep.PeepholeRewrites = rewrites
+	prog, text, err := emitModule(m, opt, allocs)
+	if err != nil {
+		return nil, fmt.Errorf("compiler: internal error emitting program: %w", err)
+	}
+
+	rep := Report{
+		Policy:             opt.Policy,
+		FoldedConstants:    st.Folded,
+		ForwardedLoads:     st.Forwarded,
+		PropagatedCopies:   st.Copies,
+		DeadStores:         st.DeadStores,
+		DeadInstrs:         st.DeadCode,
+		SimplifiedBranches: st.Branches,
+	}
+	for _, in := range prog.Text {
+		if in.Op.Securable() {
+			rep.TotalOps++
+			if in.Secure {
+				rep.SecuredOps++
+			}
+		}
+		switch {
+		case in.Op.IsLoad():
+			rep.TotalLoads++
+			if in.Secure {
+				rep.SecureLoads++
+			}
+		case in.Op.IsStore():
+			rep.TotalStores++
+			if in.Secure {
+				rep.SecureStores++
+			}
+		}
+	}
 	for _, s := range a.Seeds {
 		rep.Seeds = append(rep.Seeds, string(s))
 	}
@@ -175,675 +230,4 @@ func CompileFileWithOptions(f *minic.File, opt Options) (*Result, error) {
 		rep.TimingWarnings = append(rep.TimingWarnings, pos.String())
 	}
 	return &Result{Asm: text, Program: prog, Report: rep, Analysis: a}, nil
-}
-
-// regPool is the temporary register stack used for expression evaluation.
-var regPool = []isa.Reg{
-	isa.T0, isa.T1, isa.T2, isa.T3, isa.T4, isa.T5, isa.T6, isa.T7,
-	isa.T8, isa.T9, isa.S0, isa.S1, isa.S2, isa.S3, isa.S4, isa.S5,
-}
-
-type codegen struct {
-	a      *Analysis
-	policy Policy
-	b      strings.Builder
-	report Report
-
-	opt      Options
-	fn       *minic.FuncDecl
-	frame    map[string]int // local/param name -> sp offset
-	frameLen int            // bytes including saved $ra slot
-	depth    int            // live temporaries
-	taints   [16]bool       // taint of each live temporary slot
-	public   int            // > 0 inside public(...) — taint suppressed
-	label    int
-}
-
-// setTaint records whether the value in r (a pool register) is tainted, so
-// that later moves and caller-save spills of that register stay masked.
-func (g *codegen) setTaint(r isa.Reg, tainted bool) {
-	for i, pr := range regPool {
-		if pr == r {
-			g.taints[i] = tainted
-			return
-		}
-	}
-}
-
-// taintOf reports the recorded taint of a pool register.
-func (g *codegen) taintOf(r isa.Reg) bool {
-	for i, pr := range regPool {
-		if pr == r {
-			return g.taints[i]
-		}
-	}
-	return false
-}
-
-func (g *codegen) errf(pos minic.Pos, format string, args ...interface{}) error {
-	return errf(pos, format, args...)
-}
-
-// emit writes one assembly line.
-func (g *codegen) emit(format string, args ...interface{}) {
-	fmt.Fprintf(&g.b, "\t"+format+"\n", args...)
-}
-
-func (g *codegen) emitLabel(l string) { fmt.Fprintf(&g.b, "%s:\n", l) }
-
-func (g *codegen) newLabel(hint string) string {
-	g.label++
-	return fmt.Sprintf("L%d_%s", g.label, hint)
-}
-
-// push allocates the next temporary register.
-func (g *codegen) push(pos minic.Pos) (isa.Reg, error) {
-	if g.depth >= len(regPool) {
-		return 0, g.errf(pos, "expression too deep (more than %d live temporaries)", len(regPool))
-	}
-	r := regPool[g.depth]
-	g.depth++
-	return r, nil
-}
-
-func (g *codegen) pop() { g.depth-- }
-
-// secOp decides the secure marker of a non-memory securable operation whose
-// operands carry `tainted` data.
-func (g *codegen) secOp(tainted bool) string {
-	g.report.TotalOps++
-	if g.secure(tainted, false) {
-		g.report.SecuredOps++
-		return ".s"
-	}
-	return ""
-}
-
-// secMem decides the secure marker of a load or store.
-func (g *codegen) secMem(tainted, isStore bool) string {
-	g.report.TotalOps++
-	if isStore {
-		g.report.TotalStores++
-	} else {
-		g.report.TotalLoads++
-	}
-	if g.secure(tainted, true) {
-		g.report.SecuredOps++
-		if isStore {
-			g.report.SecureStore++
-		} else {
-			g.report.SecureLoads++
-		}
-		return ".s"
-	}
-	return ""
-}
-
-func (g *codegen) secure(tainted, isMem bool) bool {
-	switch g.policy {
-	case PolicyNone:
-		return false
-	case PolicySeedsOnly, PolicySelective:
-		return tainted
-	case PolicyNaiveLoadStore:
-		return isMem
-	case PolicyAllSecure:
-		return true
-	}
-	return false
-}
-
-// taintedExpr evaluates expression taint under the active policy's notion of
-// the protected set (full slice for Selective, bare seeds for SeedsOnly).
-func (g *codegen) taintedExpr(e minic.Expr) bool {
-	if g.public > 0 {
-		return false
-	}
-	if g.policy == PolicySeedsOnly {
-		return g.seedExprTainted(e)
-	}
-	return g.a.ExprTainted(g.fn, e)
-}
-
-// seedExprTainted checks direct reference to a seed, without propagation.
-func (g *codegen) seedExprTainted(e minic.Expr) bool {
-	seeds := map[varID]bool{}
-	for _, s := range g.a.Seeds {
-		seeds[s] = true
-	}
-	var walk func(minic.Expr) bool
-	walk = func(e minic.Expr) bool {
-		switch x := e.(type) {
-		case *minic.VarRef:
-			return seeds[g.a.id(g.fn, x.Name)]
-		case *minic.IndexExpr:
-			return seeds[g.a.id(g.fn, x.Name)] || walk(x.Index)
-		case *minic.BinaryExpr:
-			return walk(x.X) || walk(x.Y)
-		case *minic.UnaryExpr:
-			return walk(x.X)
-		}
-		return false
-	}
-	return walk(e)
-}
-
-// generate produces the full assembly module.
-func (g *codegen) generate() (string, error) {
-	// Data segment: globals.
-	g.b.WriteString("\t.data\n")
-	for _, d := range g.a.File.Globals {
-		g.emitGlobal(d)
-	}
-	// Text segment: startup stub then functions.
-	g.b.WriteString("\n\t.text\n")
-	g.emitLabel("main")
-	g.emit("jal f_main")
-	g.emit("halt")
-	for _, fn := range g.a.File.Funcs {
-		if err := g.genFunc(fn); err != nil {
-			return "", err
-		}
-	}
-	return g.b.String(), nil
-}
-
-func (g *codegen) emitGlobal(d *minic.VarDecl) {
-	g.emitLabel(GlobalLabel(d.Name))
-	n := 1
-	if d.IsArray {
-		n = d.ArrayLen
-	}
-	if len(d.Init) > 0 {
-		vals := make([]string, len(d.Init))
-		for i, v := range d.Init {
-			vals[i] = fmt.Sprintf("%d", v)
-		}
-		g.emit(".word %s", strings.Join(vals, ", "))
-		n -= len(d.Init)
-	}
-	if n > 0 {
-		g.emit(".space %d", 4*n)
-	}
-}
-
-// genFunc lays out the frame and compiles the body.
-//
-// Frame layout (from $sp upward): parameter slots in order, then locals in
-// declaration order (arrays inline), then the saved $ra in the top slot.
-func (g *codegen) genFunc(fn *minic.FuncDecl) error {
-	g.fn = fn
-	g.frame = map[string]int{}
-	off := 0
-	for _, p := range fn.Params {
-		g.frame[p.Name] = off
-		off += 4
-	}
-	var assign func(b *minic.Block)
-	assign = func(b *minic.Block) {
-		for _, s := range b.Stmts {
-			switch st := s.(type) {
-			case *minic.DeclStmt:
-				d := st.Decl
-				g.frame[d.Name] = off
-				if d.IsArray {
-					off += 4 * d.ArrayLen
-				} else {
-					off += 4
-				}
-			case *minic.Block:
-				assign(st)
-			case *minic.IfStmt:
-				assign(st.Then)
-				if st.Else != nil {
-					assign(st.Else)
-				}
-			case *minic.WhileStmt:
-				assign(st.Body)
-			case *minic.ForStmt:
-				assign(st.Body)
-			}
-		}
-	}
-	assign(fn.Body)
-	raOff := off
-	g.frameLen = off + 4
-
-	g.b.WriteString("\n")
-	g.emitLabel("f_" + fn.Name)
-	g.emit("addiu%s $sp, $sp, %d", g.secOp(false), -g.frameLen)
-	g.emit("sw%s $ra, %d($sp)", g.secMem(false, true), raOff)
-	argRegs := []isa.Reg{isa.A0, isa.A1, isa.A2, isa.A3}
-	for i, p := range fn.Params {
-		// Parameters are memory-homed like every other variable, so that
-		// their later uses compile to (securable) loads. A tainted argument
-		// must be homed with a secure store or the incoming value leaks.
-		taint := g.paramTainted(fn, p)
-		g.emit("sw%s %s, %d($sp)", g.secMem(taint, true), argRegs[i], g.frame[p.Name])
-	}
-	if err := g.genBlock(fn.Body); err != nil {
-		return err
-	}
-	g.emitLabel("f_" + fn.Name + "_ret")
-	g.emit("lw%s $ra, %d($sp)", g.secMem(false, false), raOff)
-	g.emit("addiu%s $sp, $sp, %d", g.secOp(false), g.frameLen)
-	g.emit("jr $ra")
-	return nil
-}
-
-func (g *codegen) genBlock(b *minic.Block) error {
-	for _, s := range b.Stmts {
-		if err := g.genStmt(s); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (g *codegen) genStmt(s minic.Stmt) error {
-	switch st := s.(type) {
-	case *minic.Block:
-		return g.genBlock(st)
-	case *minic.DeclStmt:
-		d := st.Decl
-		if len(d.Init) > 0 && !d.IsArray {
-			return g.genAssign(&minic.AssignStmt{
-				Pos: d.Pos,
-				LHS: &minic.VarRef{Pos: d.Pos, Name: d.Name},
-				RHS: &minic.NumLit{Pos: d.Pos, Val: d.Init[0]},
-			})
-		}
-		return nil
-	case *minic.AssignStmt:
-		return g.genAssign(st)
-	case *minic.IfStmt:
-		return g.genIf(st)
-	case *minic.WhileStmt:
-		return g.genWhile(st)
-	case *minic.ForStmt:
-		return g.genFor(st)
-	case *minic.ReturnStmt:
-		if st.Value != nil {
-			r, err := g.genExpr(st.Value)
-			if err != nil {
-				return err
-			}
-			g.emit("move%s $v0, %s", g.secOp(g.taintOf(r)), r)
-			g.pop()
-		}
-		g.emit("j f_%s_ret", g.fn.Name)
-		return nil
-	case *minic.ExprStmt:
-		call, ok := st.X.(*minic.CallExpr)
-		if !ok {
-			return g.errf(st.Pos, "expression statement must be a call")
-		}
-		if call.Name == "public" {
-			return g.errf(st.Pos, "public() has no effect as a statement")
-		}
-		if err := g.genCall(call); err != nil {
-			return err
-		}
-		return nil
-	}
-	return fmt.Errorf("compiler: unknown statement %T", s)
-}
-
-// genAssign compiles `lhs = rhs`. The store is secure when the data being
-// written is tainted (or the destination already holds tainted data — once
-// an array is in the slice, every write keeps its energy masked).
-func (g *codegen) genAssign(st *minic.AssignStmt) error {
-	val, err := g.genExpr(st.RHS)
-	if err != nil {
-		return err
-	}
-	// A store is secure when the value being written is tainted; writing a
-	// public value into a protected array leaks nothing (and keeps the
-	// paper's initial-permutation loop fully insecure).
-	dataTaint := g.taintedExpr(st.RHS)
-	switch lv := st.LHS.(type) {
-	case *minic.VarRef:
-		g.genStoreVar(lv.Name, val, dataTaint)
-	case *minic.IndexExpr:
-		addr, idxTaint, err := g.genElemAddr(lv)
-		if err != nil {
-			return err
-		}
-		g.emit("sw%s %s, 0(%s)", g.secMem(dataTaint || idxTaint, true), val, addr)
-		g.pop() // addr
-	default:
-		return g.errf(st.Pos, "invalid assignment target")
-	}
-	g.pop() // val
-	return nil
-}
-
-// genStoreVar stores a register into a scalar variable.
-func (g *codegen) genStoreVar(name string, val isa.Reg, tainted bool) {
-	if off, ok := g.frame[name]; ok {
-		g.emit("sw%s %s, %d($sp)", g.secMem(tainted, true), val, off)
-		return
-	}
-	g.emit("sw%s %s, %s", g.secMem(tainted, true), val, GlobalLabel(name))
-}
-
-// genElemAddr computes &arr[idx] into a fresh register and reports whether
-// the index was tainted (the secure-indexing condition: a key-derived index
-// must not leak through the address path, §4.2).
-func (g *codegen) genElemAddr(ix *minic.IndexExpr) (isa.Reg, bool, error) {
-	idx, err := g.genExpr(ix.Index)
-	if err != nil {
-		return 0, false, err
-	}
-	idxTaint := g.taintedExpr(ix.Index)
-	if g.opt.DisableSecureIndexing {
-		idxTaint = false
-	}
-	sec := g.secOp(idxTaint) // index scaling
-	g.emit("sll%s %s, %s, 2", sec, idx, idx)
-	base, err := g.push(ix.Pos)
-	if err != nil {
-		return 0, false, err
-	}
-	if off, ok := g.frame[ix.Name]; ok {
-		g.emit("addiu%s %s, $sp, %d", g.secOp(idxTaint), base, off)
-	} else {
-		g.emit("la%s %s, %s", g.secOp(idxTaint), base, GlobalLabel(ix.Name))
-	}
-	// Address formation: base+offset addition leaks the index unless run
-	// secure (the paper aligns tables and propagates the inverted index;
-	// architecturally this is the secure addu).
-	g.emit("addu%s %s, %s, %s", g.secOp(idxTaint), base, base, idx)
-	// Move the address into the index register slot to free the top.
-	g.emit("move%s %s, %s", g.secOp(idxTaint), idx, base)
-	g.setTaint(idx, idxTaint)
-	g.pop() // base
-	return idx, idxTaint, nil
-}
-
-var binOpAsm = map[minic.BinOp]string{
-	minic.OpAdd: "addu", minic.OpSub: "subu", minic.OpMul: "mul",
-	minic.OpXor: "xor", minic.OpAnd: "and", minic.OpOr: "or",
-}
-
-// genExpr evaluates e into a freshly pushed register.
-func (g *codegen) genExpr(e minic.Expr) (isa.Reg, error) {
-	switch x := e.(type) {
-	case *minic.NumLit:
-		r, err := g.push(x.Pos)
-		if err != nil {
-			return 0, err
-		}
-		if x.Val < -(1<<31) || x.Val > 1<<32-1 {
-			return 0, g.errf(x.Pos, "constant %d does not fit in 32 bits", x.Val)
-		}
-		g.emit("li%s %s, %d", g.secOp(false), r, int32(uint32(x.Val)))
-		g.setTaint(r, false)
-		return r, nil
-
-	case *minic.VarRef:
-		r, err := g.push(x.Pos)
-		if err != nil {
-			return 0, err
-		}
-		tainted := g.taintedExpr(x)
-		if off, ok := g.frame[x.Name]; ok {
-			g.emit("lw%s %s, %d($sp)", g.secMem(tainted, false), r, off)
-		} else {
-			g.emit("lw%s %s, %s", g.secMem(tainted, false), r, GlobalLabel(x.Name))
-		}
-		g.setTaint(r, tainted)
-		return r, nil
-
-	case *minic.IndexExpr:
-		addr, idxTaint, err := g.genElemAddr(x)
-		if err != nil {
-			return 0, err
-		}
-		tainted := g.taintedExpr(x) || idxTaint
-		g.emit("lw%s %s, 0(%s)", g.secMem(tainted, false), addr, addr)
-		g.setTaint(addr, tainted)
-		return addr, nil
-
-	case *minic.UnaryExpr:
-		r, err := g.genExpr(x.X)
-		if err != nil {
-			return 0, err
-		}
-		opTaint := g.taintedExpr(x.X)
-		sec := g.secOp(opTaint)
-		switch x.Op {
-		case minic.OpNeg:
-			g.emit("subu%s %s, $zero, %s", sec, r, r)
-		case minic.OpInv:
-			g.emit("nor%s %s, %s, $zero", sec, r, r)
-		case minic.OpNot:
-			g.emit("sltiu%s %s, %s, 1", sec, r, r)
-		}
-		g.setTaint(r, opTaint)
-		return r, nil
-
-	case *minic.BinaryExpr:
-		return g.genBinary(x)
-
-	case *minic.CallExpr:
-		if x.Name == "public" {
-			g.public++
-			r, err := g.genExpr(x.Args[0])
-			g.public--
-			if err != nil {
-				return 0, err
-			}
-			g.setTaint(r, false)
-			return r, nil
-		}
-		if err := g.genCall(x); err != nil {
-			return 0, err
-		}
-		callee := g.a.File.FindFunc(x.Name)
-		if !callee.ReturnsInt {
-			return 0, g.errf(x.Pos, "void function %q used as a value", x.Name)
-		}
-		r, err := g.push(x.Pos)
-		if err != nil {
-			return 0, err
-		}
-		retTaint := g.a.ReturnTainted[x.Name] && g.policy != PolicySeedsOnly
-		g.emit("move%s %s, $v0", g.secOp(retTaint), r)
-		g.setTaint(r, retTaint)
-		return r, nil
-	}
-	return 0, fmt.Errorf("compiler: unknown expression %T", e)
-}
-
-func (g *codegen) genBinary(x *minic.BinaryExpr) (isa.Reg, error) {
-	// Constant shift amounts use the immediate shift forms.
-	if (x.Op == minic.OpShl || x.Op == minic.OpShr || x.Op == minic.OpShrU) && isSmallConst(x.Y) {
-		r, err := g.genExpr(x.X)
-		if err != nil {
-			return 0, err
-		}
-		sec := g.secOp(g.taintedExpr(x))
-		n := x.Y.(*minic.NumLit).Val
-		if n < 0 || n > 31 {
-			return 0, g.errf(x.Pos, "shift amount %d out of range", n)
-		}
-		switch x.Op {
-		case minic.OpShl:
-			g.emit("sll%s %s, %s, %d", sec, r, r, n)
-		case minic.OpShr:
-			g.emit("sra%s %s, %s, %d", sec, r, r, n)
-		case minic.OpShrU:
-			g.emit("srl%s %s, %s, %d", sec, r, r, n)
-		}
-		g.setTaint(r, g.taintedExpr(x))
-		return r, nil
-	}
-
-	a, err := g.genExpr(x.X)
-	if err != nil {
-		return 0, err
-	}
-	b, err := g.genExpr(x.Y)
-	if err != nil {
-		return 0, err
-	}
-	sec := g.secOp(g.taintedExpr(x))
-	switch x.Op {
-	case minic.OpAdd, minic.OpSub, minic.OpMul, minic.OpXor, minic.OpAnd, minic.OpOr:
-		g.emit("%s%s %s, %s, %s", binOpAsm[x.Op], sec, a, a, b)
-	case minic.OpShl:
-		g.emit("sllv%s %s, %s, %s", sec, a, a, b)
-	case minic.OpShr:
-		g.emit("srav%s %s, %s, %s", sec, a, a, b)
-	case minic.OpShrU:
-		g.emit("srlv%s %s, %s, %s", sec, a, a, b)
-	case minic.OpLt:
-		g.emit("slt%s %s, %s, %s", sec, a, a, b)
-	case minic.OpGt:
-		g.emit("slt%s %s, %s, %s", sec, a, b, a)
-	case minic.OpLe:
-		g.emit("slt%s %s, %s, %s", sec, a, b, a)
-		g.emit("xori%s %s, %s, 1", sec, a, a)
-	case minic.OpGe:
-		g.emit("slt%s %s, %s, %s", sec, a, a, b)
-		g.emit("xori%s %s, %s, 1", sec, a, a)
-	case minic.OpEq:
-		g.emit("subu%s %s, %s, %s", sec, a, a, b)
-		g.emit("sltiu%s %s, %s, 1", sec, a, a)
-	case minic.OpNe:
-		g.emit("subu%s %s, %s, %s", sec, a, a, b)
-		g.emit("sltu%s %s, $zero, %s", sec, a, a)
-	default:
-		return 0, g.errf(x.Pos, "unsupported operator %v", x.Op)
-	}
-	g.pop() // b
-	g.setTaint(a, g.taintedExpr(x))
-	return a, nil
-}
-
-func isSmallConst(e minic.Expr) bool {
-	n, ok := e.(*minic.NumLit)
-	return ok && n.Val >= 0 && n.Val <= 31
-}
-
-// genCall evaluates arguments, saves live temporaries, and emits the call.
-// The result is left in $v0.
-func (g *codegen) genCall(x *minic.CallExpr) error {
-	callee := g.a.File.FindFunc(x.Name)
-	// Evaluate arguments left to right onto the temp stack.
-	argRegs := make([]isa.Reg, len(x.Args))
-	for i, arg := range x.Args {
-		r, err := g.genExpr(arg)
-		if err != nil {
-			return err
-		}
-		argRegs[i] = r
-	}
-	// Live temporaries below the arguments must survive the call.
-	liveBelow := g.depth - len(x.Args)
-	for i := 0; i < liveBelow; i++ {
-		g.emit("addiu%s $sp, $sp, -4", g.secOp(false))
-		g.emit("sw%s %s, 0($sp)", g.secMem(g.taints[i], true), regPool[i])
-	}
-	abi := []isa.Reg{isa.A0, isa.A1, isa.A2, isa.A3}
-	for i, r := range argRegs {
-		g.emit("move%s %s, %s", g.secOp(g.taintOf(r)), abi[i], r)
-	}
-	g.emit("jal f_%s", callee.Name)
-	for i := liveBelow - 1; i >= 0; i-- {
-		g.emit("lw%s %s, 0($sp)", g.secMem(g.taints[i], false), regPool[i])
-		g.emit("addiu%s $sp, $sp, 4", g.secOp(false))
-	}
-	for range x.Args {
-		g.pop()
-	}
-	return nil
-}
-
-// genCondBranch evaluates cond and branches to target when it is false.
-func (g *codegen) genCondBranchFalse(cond minic.Expr, target string) error {
-	r, err := g.genExpr(cond)
-	if err != nil {
-		return err
-	}
-	g.emit("beq %s, $zero, %s", r, target)
-	g.pop()
-	return nil
-}
-
-func (g *codegen) genIf(st *minic.IfStmt) error {
-	elseL := g.newLabel("else")
-	endL := g.newLabel("endif")
-	if err := g.genCondBranchFalse(st.Cond, elseL); err != nil {
-		return err
-	}
-	if err := g.genBlock(st.Then); err != nil {
-		return err
-	}
-	if st.Else != nil {
-		g.emit("j %s", endL)
-	}
-	g.emitLabel(elseL)
-	if st.Else != nil {
-		if err := g.genBlock(st.Else); err != nil {
-			return err
-		}
-		g.emitLabel(endL)
-	}
-	return nil
-}
-
-func (g *codegen) genWhile(st *minic.WhileStmt) error {
-	headL := g.newLabel("while")
-	endL := g.newLabel("endwhile")
-	g.emitLabel(headL)
-	if err := g.genCondBranchFalse(st.Cond, endL); err != nil {
-		return err
-	}
-	if err := g.genBlock(st.Body); err != nil {
-		return err
-	}
-	g.emit("j %s", headL)
-	g.emitLabel(endL)
-	return nil
-}
-
-func (g *codegen) genFor(st *minic.ForStmt) error {
-	if st.Init != nil {
-		if err := g.genAssign(st.Init); err != nil {
-			return err
-		}
-	}
-	headL := g.newLabel("for")
-	endL := g.newLabel("endfor")
-	g.emitLabel(headL)
-	if st.Cond != nil {
-		if err := g.genCondBranchFalse(st.Cond, endL); err != nil {
-			return err
-		}
-	}
-	if err := g.genBlock(st.Body); err != nil {
-		return err
-	}
-	if st.Post != nil {
-		if err := g.genAssign(st.Post); err != nil {
-			return err
-		}
-	}
-	g.emit("j %s", headL)
-	g.emitLabel(endL)
-	return nil
-}
-
-// paramTainted reports whether a parameter is in the protected set under the
-// active policy (drives the security of its prologue homing store).
-func (g *codegen) paramTainted(fn *minic.FuncDecl, p *minic.VarDecl) bool {
-	switch g.policy {
-	case PolicySeedsOnly:
-		return p.Secure
-	case PolicySelective:
-		return g.a.Tainted[localID(fn.Name, p.Name)]
-	}
-	return false
 }

@@ -1,0 +1,290 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"desmask/internal/asm"
+	"desmask/internal/isa"
+)
+
+// The emitter lowers the (optionally optimized) IR to an asm.Program through
+// the programmatic asm.Builder, producing the assembly listing in lockstep —
+// the listing is now a rendering of the Program, not the source of it.
+//
+// Under -O, globals within reach of the 15-bit immediate are addressed
+// relative to $gp (which the CPU, the reference model and the leak checker
+// all initialize to the data base): a direct global access shrinks from the
+// two-word lui+lw/sw expansion to a single gp-relative word, and a global
+// array base from lui+ori to one addiu. Without -O the emitter mirrors the
+// original text codegen's instruction selection exactly.
+
+var binRType = [...]isa.Opcode{
+	binAdd: isa.OpAddu, binSub: isa.OpSubu, binMul: isa.OpMul,
+	binXor: isa.OpXor, binAnd: isa.OpAnd, binOr: isa.OpOr, binNor: isa.OpNor,
+	binShl: isa.OpSllv, binShr: isa.OpSrav, binShrU: isa.OpSrlv,
+	binSlt: isa.OpSlt, binSltU: isa.OpSltu,
+}
+
+var binIType = map[irBin]isa.Opcode{
+	binAdd: isa.OpAddiu, binXor: isa.OpXori, binAnd: isa.OpAndi,
+	binOr: isa.OpOri, binSlt: isa.OpSlti, binSltU: isa.OpSltiu,
+	binShl: isa.OpSll, binShr: isa.OpSra, binShrU: isa.OpSrl,
+}
+
+type emitter struct {
+	opts   Options
+	b      *asm.Builder
+	text   strings.Builder
+	line   int
+	gpOff  map[string]int32 // -O: globals addressable as off($gp)
+	policy Policy
+}
+
+func sfx(secure bool) string {
+	if secure {
+		return ".s"
+	}
+	return ""
+}
+
+// writeLine appends one raw line to the listing.
+func (e *emitter) writeLine(s string) {
+	e.text.WriteString(s)
+	e.text.WriteByte('\n')
+	e.line++
+}
+
+// code appends one instruction line and attributes subsequently built
+// machine words to it.
+func (e *emitter) code(format string, args ...interface{}) {
+	e.writeLine("\t" + fmt.Sprintf(format, args...))
+	e.b.SetLine(e.line)
+}
+
+func (e *emitter) label(name string) {
+	e.writeLine(name + ":")
+	e.b.Label(name)
+}
+
+// emitModule drives emission and returns the Program plus its listing.
+func emitModule(m *irModule, opts Options, allocs map[*irFunc]*allocation) (*asm.Program, string, error) {
+	e := &emitter{opts: opts, b: asm.NewBuilder(), gpOff: map[string]int32{}, policy: opts.Policy}
+
+	e.writeLine("\t.data")
+	for _, d := range m.file.Globals {
+		e.writeLine(GlobalLabel(d.Name) + ":")
+		off := e.b.DataLabel(GlobalLabel(d.Name))
+		if opts.Optimize && off <= uint32(immMax) {
+			e.gpOff[d.Name] = int32(off)
+		}
+		n := 1
+		if d.IsArray {
+			n = d.ArrayLen
+		}
+		if len(d.Init) > 0 {
+			vals := make([]string, len(d.Init))
+			words := make([]uint32, len(d.Init))
+			for i, v := range d.Init {
+				vals[i] = fmt.Sprintf("%d", v)
+				words[i] = uint32(v)
+			}
+			e.writeLine("\t.word " + strings.Join(vals, ", "))
+			e.b.Words(words...)
+			n -= len(d.Init)
+		}
+		if n > 0 {
+			e.writeLine(fmt.Sprintf("\t.space %d", 4*n))
+			e.b.Space(n)
+		}
+	}
+
+	e.writeLine("")
+	e.writeLine("\t.text")
+	e.label("main")
+	e.code("jal f_main")
+	e.b.Jump(isa.OpJal, "f_main")
+	e.code("halt")
+	e.b.Inst(isa.Inst{Op: isa.OpHalt})
+
+	for _, f := range m.funcs {
+		e.emitFunc(f, allocs[f])
+	}
+	prog, err := e.b.Finish()
+	if err != nil {
+		return nil, "", err
+	}
+	return prog, e.text.String(), nil
+}
+
+func (e *emitter) emitFunc(f *irFunc, al *allocation) {
+	spillBase := f.frameSize
+	raOff := f.frameSize + 4*al.spillSlots
+	frameLen := raOff + 4
+
+	e.writeLine("")
+	e.label(f.name)
+	secALU := policySecure(e.policy, false, false)
+	secMem := policySecure(e.policy, false, true)
+	e.code("addiu%s $sp, $sp, %d", sfx(secALU), -frameLen)
+	e.b.Inst(isa.Inst{Op: isa.OpAddiu, Rt: isa.SP, Rs: isa.SP, Imm: int32(-frameLen), Secure: secALU})
+	e.code("sw%s $ra, %d($sp)", sfx(secMem), raOff)
+	e.b.Inst(isa.Inst{Op: isa.OpSw, Rt: isa.RA, Rs: isa.SP, Imm: int32(raOff), Secure: secMem})
+	argRegs := []isa.Reg{isa.A0, isa.A1, isa.A2, isa.A3}
+	for i, p := range f.decl.Params {
+		// Parameters are memory-homed like every other variable, so that
+		// their later uses compile to (securable) loads. A tainted argument
+		// must be homed with a secure store or the incoming value leaks.
+		sec := f.paramSecure[i]
+		e.code("sw%s %s, %d($sp)", sfx(sec), argRegs[i], f.frame[p.Name])
+		e.b.Inst(isa.Inst{Op: isa.OpSw, Rt: argRegs[i], Rs: isa.SP, Imm: int32(f.frame[p.Name]), Secure: sec})
+	}
+
+	for bi, blk := range f.blocks {
+		if bi > 0 {
+			e.label(blk.label)
+		}
+		for i := range blk.instrs {
+			e.emitInstr(f, al, &blk.instrs[i], spillBase)
+		}
+		switch blk.term.Kind {
+		case termJmp:
+			e.code("j %s", blk.term.Target.label)
+			e.b.Jump(isa.OpJ, blk.term.Target.label)
+		case termBrz:
+			r := al.reg(blk.term.Cond)
+			e.code("beq %s, $zero, %s", r, blk.term.Target.label)
+			e.b.Branch(isa.OpBeq, r, isa.Zero, blk.term.Target.label)
+		case termRet:
+			if blk.term.A != noValue {
+				sec := policySecure(e.policy, f.taint[blk.term.A], false)
+				r := al.reg(blk.term.A)
+				e.code("move%s $v0, %s", sfx(sec), r)
+				e.b.Inst(isa.Inst{Op: isa.OpAddu, Rd: isa.V0, Rs: r, Rt: isa.Zero, Secure: sec})
+			}
+			if bi != len(f.blocks)-1 {
+				e.code("j %s_ret", f.name)
+				e.b.Jump(isa.OpJ, f.name+"_ret")
+			}
+		}
+	}
+
+	e.label(f.name + "_ret")
+	e.code("lw%s $ra, %d($sp)", sfx(secMem), raOff)
+	e.b.Inst(isa.Inst{Op: isa.OpLw, Rt: isa.RA, Rs: isa.SP, Imm: int32(raOff), Secure: secMem})
+	e.code("addiu%s $sp, $sp, %d", sfx(secALU), frameLen)
+	e.b.Inst(isa.Inst{Op: isa.OpAddiu, Rt: isa.SP, Rs: isa.SP, Imm: int32(frameLen), Secure: secALU})
+	e.code("jr $ra")
+	e.b.Inst(isa.Inst{Op: isa.OpJr, Rs: isa.RA})
+}
+
+func (e *emitter) emitInstr(f *irFunc, al *allocation, in *irInstr, spillBase int) {
+	switch in.Op {
+	case opConst:
+		r := al.reg(in.Dst)
+		e.code("li%s %s, %d", sfx(in.Secure), r, in.Imm)
+		e.b.LoadImm(r, in.Imm, in.Secure)
+
+	case opCopy:
+		rd, rs := al.reg(in.Dst), al.reg(in.A)
+		if rd == rs && !in.Secure {
+			return // a plain self-move is a no-op; a masked one still transfers
+		}
+		e.code("move%s %s, %s", sfx(in.Secure), rd, rs)
+		e.b.Inst(isa.Inst{Op: isa.OpAddu, Rd: rd, Rs: rs, Rt: isa.Zero, Secure: in.Secure})
+
+	case opAddr:
+		r := al.reg(in.Dst)
+		if off, ok := f.frame[in.Sym]; ok {
+			e.code("addiu%s %s, $sp, %d", sfx(in.Secure), r, off)
+			e.b.Inst(isa.Inst{Op: isa.OpAddiu, Rt: r, Rs: isa.SP, Imm: int32(off), Secure: in.Secure})
+		} else if off, ok := e.gpOff[in.Sym]; ok {
+			e.code("addiu%s %s, $gp, %d", sfx(in.Secure), r, off)
+			e.b.Inst(isa.Inst{Op: isa.OpAddiu, Rt: r, Rs: isa.GP, Imm: off, Secure: in.Secure})
+		} else {
+			e.code("la%s %s, %s", sfx(in.Secure), r, GlobalLabel(in.Sym))
+			e.b.LoadAddr(r, GlobalLabel(in.Sym), in.Secure)
+		}
+
+	case opLoad:
+		r := al.reg(in.Dst)
+		if off, ok := f.frame[in.Sym]; ok {
+			e.code("lw%s %s, %d($sp)", sfx(in.Secure), r, off)
+			e.b.Inst(isa.Inst{Op: isa.OpLw, Rt: r, Rs: isa.SP, Imm: int32(off), Secure: in.Secure})
+		} else if off, ok := e.gpOff[in.Sym]; ok {
+			e.code("lw%s %s, %d($gp)", sfx(in.Secure), r, off)
+			e.b.Inst(isa.Inst{Op: isa.OpLw, Rt: r, Rs: isa.GP, Imm: off, Secure: in.Secure})
+		} else {
+			e.code("lw%s %s, %s", sfx(in.Secure), r, GlobalLabel(in.Sym))
+			e.b.MemDirect(isa.OpLw, r, GlobalLabel(in.Sym), 0, in.Secure)
+		}
+
+	case opStore:
+		r := al.reg(in.A)
+		if off, ok := f.frame[in.Sym]; ok {
+			e.code("sw%s %s, %d($sp)", sfx(in.Secure), r, off)
+			e.b.Inst(isa.Inst{Op: isa.OpSw, Rt: r, Rs: isa.SP, Imm: int32(off), Secure: in.Secure})
+		} else if off, ok := e.gpOff[in.Sym]; ok {
+			e.code("sw%s %s, %d($gp)", sfx(in.Secure), r, off)
+			e.b.Inst(isa.Inst{Op: isa.OpSw, Rt: r, Rs: isa.GP, Imm: off, Secure: in.Secure})
+		} else {
+			e.code("sw%s %s, %s", sfx(in.Secure), r, GlobalLabel(in.Sym))
+			e.b.MemDirect(isa.OpSw, r, GlobalLabel(in.Sym), 0, in.Secure)
+		}
+
+	case opLoadP:
+		rd, ra := al.reg(in.Dst), al.reg(in.A)
+		e.code("lw%s %s, 0(%s)", sfx(in.Secure), rd, ra)
+		e.b.Inst(isa.Inst{Op: isa.OpLw, Rt: rd, Rs: ra, Secure: in.Secure})
+
+	case opStoreP:
+		ra, rb := al.reg(in.A), al.reg(in.B)
+		e.code("sw%s %s, 0(%s)", sfx(in.Secure), rb, ra)
+		e.b.Inst(isa.Inst{Op: isa.OpSw, Rt: rb, Rs: ra, Secure: in.Secure})
+
+	case opBin:
+		op := binRType[in.Bin]
+		rd, ra, rb := al.reg(in.Dst), al.reg(in.A), al.reg(in.B)
+		e.code("%s%s %s, %s, %s", op, sfx(in.Secure), rd, ra, rb)
+		e.b.Inst(isa.Inst{Op: op, Rd: rd, Rs: ra, Rt: rb, Secure: in.Secure})
+
+	case opBinImm:
+		op := binIType[in.Bin]
+		rd, ra := al.reg(in.Dst), al.reg(in.A)
+		e.code("%s%s %s, %s, %d", op, sfx(in.Secure), rd, ra, in.Imm)
+		switch in.Bin {
+		case binShl, binShr, binShrU:
+			e.b.Inst(isa.Inst{Op: op, Rd: rd, Rt: ra, Imm: in.Imm, Secure: in.Secure})
+		default:
+			e.b.Inst(isa.Inst{Op: op, Rt: rd, Rs: ra, Imm: in.Imm, Secure: in.Secure})
+		}
+
+	case opCall:
+		saves := al.saves[in]
+		for _, s := range saves {
+			off := spillBase + 4*s.slot
+			e.code("sw%s %s, %d($sp)", sfx(s.secure), s.reg, off)
+			e.b.Inst(isa.Inst{Op: isa.OpSw, Rt: s.reg, Rs: isa.SP, Imm: int32(off), Secure: s.secure})
+		}
+		abi := []isa.Reg{isa.A0, isa.A1, isa.A2, isa.A3}
+		for i, a := range in.Args {
+			sec := policySecure(e.policy, f.taint[a], false)
+			r := al.reg(a)
+			e.code("move%s %s, %s", sfx(sec), abi[i], r)
+			e.b.Inst(isa.Inst{Op: isa.OpAddu, Rd: abi[i], Rs: r, Rt: isa.Zero, Secure: sec})
+		}
+		e.code("jal %s", in.Sym)
+		e.b.Jump(isa.OpJal, in.Sym)
+		for i := len(saves) - 1; i >= 0; i-- {
+			s := saves[i]
+			off := spillBase + 4*s.slot
+			e.code("lw%s %s, %d($sp)", sfx(s.secure), s.reg, off)
+			e.b.Inst(isa.Inst{Op: isa.OpLw, Rt: s.reg, Rs: isa.SP, Imm: int32(off), Secure: s.secure})
+		}
+		if in.Dst != noValue {
+			r := al.reg(in.Dst)
+			e.code("move%s %s, $v0", sfx(in.Secure), r)
+			e.b.Inst(isa.Inst{Op: isa.OpAddu, Rd: r, Rs: isa.V0, Rt: isa.Zero, Secure: in.Secure})
+		}
+	}
+}

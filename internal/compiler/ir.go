@@ -1,0 +1,316 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"desmask/internal/minic"
+)
+
+// The compiler's middle end is a three-address IR over virtual values with
+// basic blocks and an explicit CFG. Two security properties are first-class:
+//
+//   - every value carries a taint bit, the value-level projection of the
+//     forward slice (under PolicySeedsOnly it reflects the bare seed set
+//     instead, reproducing the ablation's weaker protection);
+//   - every instruction carries the Secure flag decided at lowering from the
+//     active policy and its operands' taint. Passes may delete instructions
+//     or replace them with cheaper ones, but any instruction they create
+//     must be at least as secure as what it replaces (see passes.go).
+//
+// Variables stay memory-homed (opLoad/opStore address them by name), which
+// keeps the load/store structure — the thing the paper's policies act on —
+// visible in the IR rather than hidden behind register promotion.
+
+// valueID names a virtual value. Values are single-assignment: each is
+// defined by exactly one instruction (or is zeroValue).
+type valueID int32
+
+const (
+	// noValue marks an absent operand or result.
+	noValue valueID = -1
+	// zeroValue is the always-zero value, pre-colored to $zero.
+	zeroValue valueID = 0
+)
+
+// irBin enumerates machine-level binary operations (minic comparisons are
+// lowered to sequences of these).
+type irBin uint8
+
+// Machine-level binary operators.
+const (
+	binAdd irBin = iota
+	binSub
+	binMul
+	binXor
+	binAnd
+	binOr
+	binNor
+	binShl
+	binShr // arithmetic
+	binShrU
+	binSlt
+	binSltU
+)
+
+var irBinNames = [...]string{
+	binAdd: "add", binSub: "sub", binMul: "mul", binXor: "xor",
+	binAnd: "and", binOr: "or", binNor: "nor", binShl: "shl",
+	binShr: "shr", binShrU: "shru", binSlt: "slt", binSltU: "sltu",
+}
+
+func (b irBin) String() string { return irBinNames[b] }
+
+// irOp enumerates IR instruction kinds.
+type irOp uint8
+
+// IR instruction kinds.
+const (
+	opConst  irOp = iota // Dst = Imm
+	opCopy               // Dst = A
+	opAddr               // Dst = &Sym (variable base address)
+	opLoad               // Dst = mem[Sym + Imm]        (direct slot access)
+	opStore              // mem[Sym + Imm] = A
+	opLoadP              // Dst = mem[A]                (Sym = array, for aliasing)
+	opStoreP             // mem[A] = B                  (Sym = array, for aliasing)
+	opBin                // Dst = A <Bin> B
+	opBinImm             // Dst = A <Bin> Imm
+	opCall               // Dst = call Sym(Args...); Dst may be noValue
+)
+
+// irInstr is one three-address instruction.
+type irInstr struct {
+	Op     irOp
+	Bin    irBin
+	Dst    valueID
+	A, B   valueID
+	Imm    int32
+	Sym    string
+	Args   []valueID
+	Secure bool
+}
+
+// def returns the value this instruction defines, or noValue.
+func (in *irInstr) def() valueID {
+	switch in.Op {
+	case opStore, opStoreP:
+		return noValue
+	case opCall:
+		return in.Dst
+	}
+	return in.Dst
+}
+
+// eachUse visits every value operand the instruction reads.
+func (in *irInstr) eachUse(f func(valueID)) {
+	switch in.Op {
+	case opConst, opAddr:
+	case opCopy, opStore, opBinImm:
+		f(in.A)
+	case opLoadP:
+		f(in.A)
+	case opStoreP, opBin:
+		f(in.A)
+		f(in.B)
+	case opCall:
+		for _, a := range in.Args {
+			f(a)
+		}
+	}
+}
+
+// pure reports whether the instruction has no side effect beyond defining
+// Dst (loads are pure: removing one that executed in the unoptimized build
+// cannot introduce a fault).
+func (in *irInstr) pure() bool {
+	switch in.Op {
+	case opStore, opStoreP, opCall:
+		return false
+	}
+	return true
+}
+
+// termKind enumerates block terminators. A block with termNone falls through
+// to the next block in layout order (termBrz also falls through when the
+// condition is non-zero).
+type termKind uint8
+
+// Terminators.
+const (
+	termNone termKind = iota
+	termJmp
+	termBrz // branch to Target when Cond == 0, else fall through
+	termRet // set return value (A, may be noValue) and go to the epilogue
+)
+
+type irTerm struct {
+	Kind   termKind
+	Cond   valueID
+	A      valueID
+	Target *irBlock
+}
+
+// irBlock is a basic block.
+type irBlock struct {
+	label  string
+	instrs []irInstr
+	term   irTerm
+}
+
+// irFunc is one lowered function.
+type irFunc struct {
+	name        string
+	decl        *minic.FuncDecl
+	blocks      []*irBlock
+	taint       []bool // indexed by valueID
+	frame       map[string]int
+	frameSize   int    // bytes for params+locals (spill area and $ra on top)
+	paramSecure []bool // secure bit of each parameter's homing store
+	returnsInt  bool
+}
+
+// newValue allocates a fresh value with the given taint.
+func (f *irFunc) newValue(tainted bool) valueID {
+	f.taint = append(f.taint, tainted)
+	return valueID(len(f.taint) - 1)
+}
+
+// succs returns the CFG successors of block i under layout order.
+func (f *irFunc) succs(i int) []*irBlock {
+	b := f.blocks[i]
+	var out []*irBlock
+	switch b.term.Kind {
+	case termJmp:
+		out = append(out, b.term.Target)
+	case termBrz:
+		out = append(out, b.term.Target)
+		if i+1 < len(f.blocks) {
+			out = append(out, f.blocks[i+1])
+		}
+	case termNone:
+		if i+1 < len(f.blocks) {
+			out = append(out, f.blocks[i+1])
+		}
+	case termRet:
+	}
+	return out
+}
+
+// isLocal reports whether sym names a frame variable of this function.
+func (f *irFunc) isLocal(sym string) bool {
+	_, ok := f.frame[sym]
+	return ok
+}
+
+// irModule is the lowered translation unit.
+type irModule struct {
+	file  *minic.File
+	funcs []*irFunc
+}
+
+func (m *irModule) find(name string) *irFunc {
+	for _, f := range m.funcs {
+		if f.name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Dump renders the module in a deterministic textual form (maskcc -dump-ir).
+func (m *irModule) Dump() string {
+	var b strings.Builder
+	for _, f := range m.funcs {
+		f.dump(&b)
+	}
+	return b.String()
+}
+
+func (f *irFunc) dump(b *strings.Builder) {
+	fmt.Fprintf(b, "func %s (frame %d bytes):\n", f.name, f.frameSize)
+	for _, blk := range f.blocks {
+		fmt.Fprintf(b, "%s:\n", blk.label)
+		for i := range blk.instrs {
+			fmt.Fprintf(b, "  %s\n", f.fmtInstr(&blk.instrs[i]))
+		}
+		switch blk.term.Kind {
+		case termJmp:
+			fmt.Fprintf(b, "  jmp %s\n", blk.term.Target.label)
+		case termBrz:
+			fmt.Fprintf(b, "  brz %s -> %s\n", f.fmtVal(blk.term.Cond), blk.term.Target.label)
+		case termRet:
+			if blk.term.A == noValue {
+				fmt.Fprintf(b, "  ret\n")
+			} else {
+				fmt.Fprintf(b, "  ret %s\n", f.fmtVal(blk.term.A))
+			}
+		}
+	}
+}
+
+func (f *irFunc) fmtVal(v valueID) string {
+	switch v {
+	case noValue:
+		return "_"
+	case zeroValue:
+		return "zero"
+	}
+	if int(v) < len(f.taint) && f.taint[v] {
+		return fmt.Sprintf("v%d!", v)
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+func (f *irFunc) fmtInstr(in *irInstr) string {
+	sec := ""
+	if in.Secure {
+		sec = ".s"
+	}
+	switch in.Op {
+	case opConst:
+		return fmt.Sprintf("%s = const%s %d", f.fmtVal(in.Dst), sec, in.Imm)
+	case opCopy:
+		return fmt.Sprintf("%s = copy%s %s", f.fmtVal(in.Dst), sec, f.fmtVal(in.A))
+	case opAddr:
+		return fmt.Sprintf("%s = addr%s &%s", f.fmtVal(in.Dst), sec, in.Sym)
+	case opLoad:
+		return fmt.Sprintf("%s = load%s %s+%d", f.fmtVal(in.Dst), sec, in.Sym, in.Imm)
+	case opStore:
+		return fmt.Sprintf("store%s %s+%d, %s", sec, in.Sym, in.Imm, f.fmtVal(in.A))
+	case opLoadP:
+		return fmt.Sprintf("%s = load%s [%s] (%s)", f.fmtVal(in.Dst), sec, f.fmtVal(in.A), in.Sym)
+	case opStoreP:
+		return fmt.Sprintf("store%s [%s], %s (%s)", sec, f.fmtVal(in.A), f.fmtVal(in.B), in.Sym)
+	case opBin:
+		return fmt.Sprintf("%s = %s%s %s, %s", f.fmtVal(in.Dst), in.Bin, sec, f.fmtVal(in.A), f.fmtVal(in.B))
+	case opBinImm:
+		return fmt.Sprintf("%s = %s%s %s, %d", f.fmtVal(in.Dst), in.Bin, sec, f.fmtVal(in.A), in.Imm)
+	case opCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = f.fmtVal(a)
+		}
+		if in.Dst == noValue {
+			return fmt.Sprintf("call %s(%s)", in.Sym, strings.Join(args, ", "))
+		}
+		return fmt.Sprintf("%s = call%s %s(%s)", f.fmtVal(in.Dst), sec, in.Sym, strings.Join(args, ", "))
+	}
+	return "?"
+}
+
+// policySecure is the single decision table mapping (policy, operand taint,
+// memory-ness) to the secure bit — the same table the old codegen used, now
+// shared by lowering, the passes and the emitter.
+func policySecure(p Policy, tainted, isMem bool) bool {
+	switch p {
+	case PolicyNone:
+		return false
+	case PolicySeedsOnly, PolicySelective:
+		return tainted
+	case PolicyNaiveLoadStore:
+		return isMem
+	case PolicyAllSecure:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,535 @@
+package compiler
+
+import (
+	"fmt"
+
+	"desmask/internal/minic"
+)
+
+// lowerer translates one function's AST to IR, assigning each value its
+// taint (under the active policy's protected set) and each instruction its
+// Secure bit. It mirrors the decision rules of the original single-pass
+// codegen: loads/stores are secure when the data (or, for element accesses,
+// the index) is tainted; address formation for a tainted index is secured
+// unless the secure-indexing ablation is on; public(...) suppresses taint
+// for everything evaluated inside it.
+type lowerer struct {
+	a      *Analysis
+	opts   Options
+	m      *irModule
+	f      *irFunc
+	fn     *minic.FuncDecl
+	cur    *irBlock
+	public int // > 0 inside public(...)
+	label  int // module-wide label counter
+}
+
+func lower(a *Analysis, opts Options) (*irModule, error) {
+	l := &lowerer{a: a, opts: opts, m: &irModule{file: a.File}}
+	for _, fn := range a.File.Funcs {
+		if err := l.lowerFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	return l.m, nil
+}
+
+func (l *lowerer) errf(pos minic.Pos, format string, args ...interface{}) error {
+	return errf(pos, format, args...)
+}
+
+func (l *lowerer) newLabel(hint string) string {
+	l.label++
+	return fmt.Sprintf("L%d_%s", l.label, hint)
+}
+
+// block creation ------------------------------------------------------------
+
+// newBlock creates a labelled block without appending it to the layout.
+func (l *lowerer) newBlock(label string) *irBlock { return &irBlock{label: label} }
+
+// startBlock appends b to the layout and makes it current.
+func (l *lowerer) startBlock(b *irBlock) {
+	l.f.blocks = append(l.f.blocks, b)
+	l.cur = b
+}
+
+func (l *lowerer) emit(in irInstr) { l.cur.instrs = append(l.cur.instrs, in) }
+
+// secure decisions ----------------------------------------------------------
+
+func (l *lowerer) secOp(tainted bool) bool  { return policySecure(l.opts.Policy, tainted, false) }
+func (l *lowerer) secMem(tainted bool) bool { return policySecure(l.opts.Policy, tainted, true) }
+
+// taintedExpr evaluates expression taint under the active policy's notion of
+// the protected set (full slice for Selective, bare seeds for SeedsOnly).
+func (l *lowerer) taintedExpr(e minic.Expr) bool {
+	if l.public > 0 {
+		return false
+	}
+	if l.opts.Policy == PolicySeedsOnly {
+		return l.seedExprTainted(e)
+	}
+	return l.a.ExprTainted(l.fn, e)
+}
+
+// seedExprTainted checks direct reference to a seed, without propagation.
+func (l *lowerer) seedExprTainted(e minic.Expr) bool {
+	seeds := map[varID]bool{}
+	for _, s := range l.a.Seeds {
+		seeds[s] = true
+	}
+	var walk func(minic.Expr) bool
+	walk = func(e minic.Expr) bool {
+		switch x := e.(type) {
+		case *minic.VarRef:
+			return seeds[l.a.id(l.fn, x.Name)]
+		case *minic.IndexExpr:
+			return seeds[l.a.id(l.fn, x.Name)] || walk(x.Index)
+		case *minic.BinaryExpr:
+			return walk(x.X) || walk(x.Y)
+		case *minic.UnaryExpr:
+			return walk(x.X)
+		}
+		return false
+	}
+	return walk(e)
+}
+
+// paramTainted reports whether a parameter is in the protected set under the
+// active policy (drives the security of its prologue homing store).
+func (l *lowerer) paramTainted(fn *minic.FuncDecl, p *minic.VarDecl) bool {
+	switch l.opts.Policy {
+	case PolicySeedsOnly:
+		return p.Secure
+	case PolicySelective:
+		return l.a.Tainted[localID(fn.Name, p.Name)]
+	}
+	return false
+}
+
+// function lowering ---------------------------------------------------------
+
+// lowerFunc lays out the frame and lowers the body.
+//
+// Frame layout (from $sp upward): parameter slots in order, then locals in
+// declaration order (arrays inline), then the caller-save spill area sized by
+// the register allocator, then the saved $ra in the top slot.
+func (l *lowerer) lowerFunc(fn *minic.FuncDecl) error {
+	f := &irFunc{
+		name:       "f_" + fn.Name,
+		decl:       fn,
+		frame:      map[string]int{},
+		returnsInt: fn.ReturnsInt,
+		taint:      []bool{false}, // zeroValue
+	}
+	l.f, l.fn = f, fn
+	off := 0
+	for _, p := range fn.Params {
+		f.frame[p.Name] = off
+		off += 4
+		f.paramSecure = append(f.paramSecure, l.secMem(l.paramTainted(fn, p)))
+	}
+	var assign func(b *minic.Block)
+	assign = func(b *minic.Block) {
+		for _, s := range b.Stmts {
+			switch st := s.(type) {
+			case *minic.DeclStmt:
+				d := st.Decl
+				f.frame[d.Name] = off
+				if d.IsArray {
+					off += 4 * d.ArrayLen
+				} else {
+					off += 4
+				}
+			case *minic.Block:
+				assign(st)
+			case *minic.IfStmt:
+				assign(st.Then)
+				if st.Else != nil {
+					assign(st.Else)
+				}
+			case *minic.WhileStmt:
+				assign(st.Body)
+			case *minic.ForStmt:
+				assign(st.Body)
+			}
+		}
+	}
+	assign(fn.Body)
+	f.frameSize = off
+
+	l.startBlock(l.newBlock(f.name + "_entry"))
+	if err := l.lowerBlock(fn.Body); err != nil {
+		return err
+	}
+	if l.cur.term.Kind == termNone {
+		l.cur.term = irTerm{Kind: termRet, Cond: noValue, A: noValue}
+	}
+	l.m.funcs = append(l.m.funcs, f)
+	return nil
+}
+
+func (l *lowerer) lowerBlock(b *minic.Block) error {
+	for _, s := range b.Stmts {
+		if err := l.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *lowerer) lowerStmt(s minic.Stmt) error {
+	switch st := s.(type) {
+	case *minic.Block:
+		return l.lowerBlock(st)
+	case *minic.DeclStmt:
+		d := st.Decl
+		if len(d.Init) > 0 && !d.IsArray {
+			return l.lowerAssign(&minic.AssignStmt{
+				Pos: d.Pos,
+				LHS: &minic.VarRef{Pos: d.Pos, Name: d.Name},
+				RHS: &minic.NumLit{Pos: d.Pos, Val: d.Init[0]},
+			})
+		}
+		return nil
+	case *minic.AssignStmt:
+		return l.lowerAssign(st)
+	case *minic.IfStmt:
+		return l.lowerIf(st)
+	case *minic.WhileStmt:
+		return l.lowerWhile(st)
+	case *minic.ForStmt:
+		return l.lowerFor(st)
+	case *minic.ReturnStmt:
+		v := noValue
+		if st.Value != nil {
+			r, err := l.lowerExpr(st.Value)
+			if err != nil {
+				return err
+			}
+			v = r
+		}
+		l.cur.term = irTerm{Kind: termRet, Cond: noValue, A: v}
+		// Statements after a return are unreachable but still lowered, as
+		// the original codegen kept emitting after the epilogue jump.
+		l.startBlock(l.newBlock(l.newLabel("dead")))
+		return nil
+	case *minic.ExprStmt:
+		call, ok := st.X.(*minic.CallExpr)
+		if !ok {
+			return l.errf(st.Pos, "expression statement must be a call")
+		}
+		if call.Name == "public" {
+			return l.errf(st.Pos, "public() has no effect as a statement")
+		}
+		_, err := l.lowerCall(call, false)
+		return err
+	}
+	return fmt.Errorf("compiler: unknown statement %T", s)
+}
+
+// lowerAssign compiles `lhs = rhs`. The store is secure when the data being
+// written is tainted; writing a public value into a protected array leaks
+// nothing (and keeps the paper's initial-permutation loop fully insecure).
+func (l *lowerer) lowerAssign(st *minic.AssignStmt) error {
+	val, err := l.lowerExpr(st.RHS)
+	if err != nil {
+		return err
+	}
+	dataTaint := l.taintedExpr(st.RHS)
+	switch lv := st.LHS.(type) {
+	case *minic.VarRef:
+		l.emit(irInstr{Op: opStore, Dst: noValue, Sym: lv.Name, A: val,
+			Secure: l.secMem(dataTaint)})
+	case *minic.IndexExpr:
+		addr, idxTaint, err := l.lowerElemAddr(lv)
+		if err != nil {
+			return err
+		}
+		l.emit(irInstr{Op: opStoreP, Dst: noValue, Sym: lv.Name, A: addr, B: val,
+			Secure: l.secMem(dataTaint || idxTaint)})
+	default:
+		return l.errf(st.Pos, "invalid assignment target")
+	}
+	return nil
+}
+
+// lowerElemAddr computes &arr[idx] and reports whether the index was tainted
+// (the secure-indexing condition: a key-derived index must not leak through
+// the address path, §4.2). Address formation — index scaling, base
+// materialisation and the add — runs secure exactly when the index is
+// tainted, unless the ablation disables that treatment.
+func (l *lowerer) lowerElemAddr(ix *minic.IndexExpr) (valueID, bool, error) {
+	idx, err := l.lowerExpr(ix.Index)
+	if err != nil {
+		return noValue, false, err
+	}
+	idxTaint := l.taintedExpr(ix.Index)
+	if l.opts.DisableSecureIndexing {
+		idxTaint = false
+	}
+	sec := l.secOp(idxTaint)
+	scaled := l.f.newValue(idxTaint)
+	l.emit(irInstr{Op: opBinImm, Bin: binShl, Dst: scaled, A: idx, Imm: 2, Secure: sec})
+	base := l.f.newValue(idxTaint)
+	l.emit(irInstr{Op: opAddr, Dst: base, Sym: ix.Name, Secure: sec})
+	addr := l.f.newValue(idxTaint)
+	l.emit(irInstr{Op: opBin, Bin: binAdd, Dst: addr, A: base, B: scaled, Secure: sec})
+	return addr, idxTaint, nil
+}
+
+// lowerExpr evaluates e into a fresh value.
+func (l *lowerer) lowerExpr(e minic.Expr) (valueID, error) {
+	switch x := e.(type) {
+	case *minic.NumLit:
+		if x.Val < -(1<<31) || x.Val > 1<<32-1 {
+			return noValue, l.errf(x.Pos, "constant %d does not fit in 32 bits", x.Val)
+		}
+		r := l.f.newValue(false)
+		l.emit(irInstr{Op: opConst, Dst: r, Imm: int32(uint32(x.Val)), Secure: l.secOp(false)})
+		return r, nil
+
+	case *minic.VarRef:
+		tainted := l.taintedExpr(x)
+		r := l.f.newValue(tainted)
+		l.emit(irInstr{Op: opLoad, Dst: r, Sym: x.Name, Secure: l.secMem(tainted)})
+		return r, nil
+
+	case *minic.IndexExpr:
+		addr, idxTaint, err := l.lowerElemAddr(x)
+		if err != nil {
+			return noValue, err
+		}
+		tainted := l.taintedExpr(x) || idxTaint
+		r := l.f.newValue(tainted)
+		l.emit(irInstr{Op: opLoadP, Dst: r, Sym: x.Name, A: addr, Secure: l.secMem(tainted)})
+		return r, nil
+
+	case *minic.UnaryExpr:
+		a, err := l.lowerExpr(x.X)
+		if err != nil {
+			return noValue, err
+		}
+		opTaint := l.taintedExpr(x.X)
+		sec := l.secOp(opTaint)
+		r := l.f.newValue(opTaint)
+		switch x.Op {
+		case minic.OpNeg:
+			l.emit(irInstr{Op: opBin, Bin: binSub, Dst: r, A: zeroValue, B: a, Secure: sec})
+		case minic.OpInv:
+			l.emit(irInstr{Op: opBin, Bin: binNor, Dst: r, A: a, B: zeroValue, Secure: sec})
+		case minic.OpNot:
+			l.emit(irInstr{Op: opBinImm, Bin: binSltU, Dst: r, A: a, Imm: 1, Secure: sec})
+		}
+		return r, nil
+
+	case *minic.BinaryExpr:
+		return l.lowerBinary(x)
+
+	case *minic.CallExpr:
+		if x.Name == "public" {
+			l.public++
+			r, err := l.lowerExpr(x.Args[0])
+			l.public--
+			if err != nil {
+				return noValue, err
+			}
+			// The declassified value: same bits, taint suppressed. The
+			// argument was already lowered insecure (taintedExpr is false
+			// inside public), and the result value is untainted.
+			return r, nil
+		}
+		callee := l.a.File.FindFunc(x.Name)
+		if callee != nil && !callee.ReturnsInt {
+			return noValue, l.errf(x.Pos, "void function %q used as a value", x.Name)
+		}
+		return l.lowerCall(x, true)
+	}
+	return noValue, fmt.Errorf("compiler: unknown expression %T", e)
+}
+
+func (l *lowerer) lowerBinary(x *minic.BinaryExpr) (valueID, error) {
+	// Constant shift amounts use the immediate shift forms.
+	if (x.Op == minic.OpShl || x.Op == minic.OpShr || x.Op == minic.OpShrU) && isSmallConst(x.Y) {
+		a, err := l.lowerExpr(x.X)
+		if err != nil {
+			return noValue, err
+		}
+		t := l.taintedExpr(x)
+		n := x.Y.(*minic.NumLit).Val
+		if n < 0 || n > 31 {
+			return noValue, l.errf(x.Pos, "shift amount %d out of range", n)
+		}
+		bin := map[minic.BinOp]irBin{minic.OpShl: binShl, minic.OpShr: binShr, minic.OpShrU: binShrU}[x.Op]
+		r := l.f.newValue(t)
+		l.emit(irInstr{Op: opBinImm, Bin: bin, Dst: r, A: a, Imm: int32(n), Secure: l.secOp(t)})
+		return r, nil
+	}
+
+	a, err := l.lowerExpr(x.X)
+	if err != nil {
+		return noValue, err
+	}
+	b, err := l.lowerExpr(x.Y)
+	if err != nil {
+		return noValue, err
+	}
+	t := l.taintedExpr(x)
+	sec := l.secOp(t)
+	bin2 := func(bin irBin, a, b valueID) valueID {
+		r := l.f.newValue(t)
+		l.emit(irInstr{Op: opBin, Bin: bin, Dst: r, A: a, B: b, Secure: sec})
+		return r
+	}
+	binImm := func(bin irBin, a valueID, imm int32) valueID {
+		r := l.f.newValue(t)
+		l.emit(irInstr{Op: opBinImm, Bin: bin, Dst: r, A: a, Imm: imm, Secure: sec})
+		return r
+	}
+	switch x.Op {
+	case minic.OpAdd:
+		return bin2(binAdd, a, b), nil
+	case minic.OpSub:
+		return bin2(binSub, a, b), nil
+	case minic.OpMul:
+		return bin2(binMul, a, b), nil
+	case minic.OpXor:
+		return bin2(binXor, a, b), nil
+	case minic.OpAnd:
+		return bin2(binAnd, a, b), nil
+	case minic.OpOr:
+		return bin2(binOr, a, b), nil
+	case minic.OpShl:
+		return bin2(binShl, a, b), nil
+	case minic.OpShr:
+		return bin2(binShr, a, b), nil
+	case minic.OpShrU:
+		return bin2(binShrU, a, b), nil
+	case minic.OpLt:
+		return bin2(binSlt, a, b), nil
+	case minic.OpGt:
+		return bin2(binSlt, b, a), nil
+	case minic.OpLe:
+		return binImm(binXor, bin2(binSlt, b, a), 1), nil
+	case minic.OpGe:
+		return binImm(binXor, bin2(binSlt, a, b), 1), nil
+	case minic.OpEq:
+		return binImm(binSltU, bin2(binSub, a, b), 1), nil
+	case minic.OpNe:
+		return bin2(binSltU, zeroValue, bin2(binSub, a, b)), nil
+	}
+	return noValue, l.errf(x.Pos, "unsupported operator %v", x.Op)
+}
+
+func isSmallConst(e minic.Expr) bool {
+	n, ok := e.(*minic.NumLit)
+	return ok && n.Val >= 0 && n.Val <= 31
+}
+
+// lowerCall evaluates arguments left to right and emits the call. When
+// wantValue is set the call's result value is returned, tainted when the
+// callee's return is in the slice.
+func (l *lowerer) lowerCall(x *minic.CallExpr, wantValue bool) (valueID, error) {
+	callee := l.a.File.FindFunc(x.Name)
+	args := make([]valueID, len(x.Args))
+	for i, arg := range x.Args {
+		r, err := l.lowerExpr(arg)
+		if err != nil {
+			return noValue, err
+		}
+		args[i] = r
+	}
+	dst := noValue
+	sec := false
+	if wantValue {
+		retTaint := l.a.ReturnTainted[x.Name] && l.opts.Policy != PolicySeedsOnly && l.public == 0
+		dst = l.f.newValue(retTaint)
+		sec = l.secOp(retTaint)
+	}
+	l.emit(irInstr{Op: opCall, Dst: dst, Sym: "f_" + callee.Name, Args: args, Secure: sec})
+	return dst, nil
+}
+
+// control flow --------------------------------------------------------------
+
+// lowerCondBrz evaluates cond in the current block and branches to target
+// when it is false.
+func (l *lowerer) lowerCondBrz(cond minic.Expr, target *irBlock) error {
+	r, err := l.lowerExpr(cond)
+	if err != nil {
+		return err
+	}
+	l.cur.term = irTerm{Kind: termBrz, Cond: r, A: noValue, Target: target}
+	return nil
+}
+
+func (l *lowerer) lowerIf(st *minic.IfStmt) error {
+	elseB := l.newBlock(l.newLabel("else"))
+	var endB *irBlock
+	if st.Else != nil {
+		endB = l.newBlock(l.newLabel("endif"))
+	}
+	if err := l.lowerCondBrz(st.Cond, elseB); err != nil {
+		return err
+	}
+	l.startBlock(l.newBlock(l.newLabel("then")))
+	if err := l.lowerBlock(st.Then); err != nil {
+		return err
+	}
+	if st.Else != nil {
+		l.cur.term = irTerm{Kind: termJmp, Cond: noValue, A: noValue, Target: endB}
+	}
+	l.startBlock(elseB)
+	if st.Else != nil {
+		if err := l.lowerBlock(st.Else); err != nil {
+			return err
+		}
+		l.startBlock(endB)
+	}
+	return nil
+}
+
+func (l *lowerer) lowerWhile(st *minic.WhileStmt) error {
+	headB := l.newBlock(l.newLabel("while"))
+	endB := l.newBlock(l.newLabel("endwhile"))
+	l.startBlock(headB)
+	if err := l.lowerCondBrz(st.Cond, endB); err != nil {
+		return err
+	}
+	l.startBlock(l.newBlock(l.newLabel("body")))
+	if err := l.lowerBlock(st.Body); err != nil {
+		return err
+	}
+	l.cur.term = irTerm{Kind: termJmp, Cond: noValue, A: noValue, Target: headB}
+	l.startBlock(endB)
+	return nil
+}
+
+func (l *lowerer) lowerFor(st *minic.ForStmt) error {
+	if st.Init != nil {
+		if err := l.lowerAssign(st.Init); err != nil {
+			return err
+		}
+	}
+	headB := l.newBlock(l.newLabel("for"))
+	endB := l.newBlock(l.newLabel("endfor"))
+	l.startBlock(headB)
+	if st.Cond != nil {
+		if err := l.lowerCondBrz(st.Cond, endB); err != nil {
+			return err
+		}
+		l.startBlock(l.newBlock(l.newLabel("body")))
+	}
+	if err := l.lowerBlock(st.Body); err != nil {
+		return err
+	}
+	if st.Post != nil {
+		if err := l.lowerAssign(st.Post); err != nil {
+			return err
+		}
+	}
+	l.cur.term = irTerm{Kind: termJmp, Cond: noValue, A: noValue, Target: headB}
+	l.startBlock(endB)
+	return nil
+}

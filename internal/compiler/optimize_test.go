@@ -3,7 +3,6 @@ package compiler
 import (
 	"math"
 	"math/rand"
-	"strings"
 	"testing"
 
 	"desmask/internal/cpu"
@@ -63,7 +62,7 @@ func TestConstantFolding(t *testing.T) {
 	}
 }
 
-func TestPeepholeForwarding(t *testing.T) {
+func TestStoreToLoadForwarding(t *testing.T) {
 	src := `
 		secure int key[1];
 		int out[2];
@@ -79,11 +78,16 @@ func TestPeepholeForwarding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Report.PeepholeRewrites == 0 {
-		t.Error("no peephole rewrites applied")
+	if res.Report.ForwardedLoads == 0 {
+		t.Error("no loads forwarded")
 	}
-	if !strings.Contains(res.Asm, "peephole") {
-		t.Error("rewritten lines not tagged")
+	plain, err := Compile(src, PolicySelective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.Text) >= len(plain.Program.Text) {
+		t.Errorf("optimized program (%d insts) not smaller than plain (%d)",
+			len(res.Program.Text), len(plain.Program.Text))
 	}
 }
 

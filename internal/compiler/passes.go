@@ -1,0 +1,572 @@
+package compiler
+
+import (
+	"desmask/internal/minic"
+)
+
+// The optimization pipeline runs on the IR, under -O only. Every pass obeys
+// the taint-soundness invariant:
+//
+//   a pass may delete instructions or replace them with cheaper ones, but a
+//   retained or newly created instruction must be at least as secure as what
+//   it replaces, and a value's taint bit may only be raised, never cleared.
+//
+// Deleting a secure instruction is sound: the dual-rail trace stays flat
+// because the deletion is decided from structure (constants, def-use shape),
+// never from secret data, so the same instruction disappears for every key.
+// What would be unsound — and what the rules below prevent — is re-deriving
+// a secure bit from weaker information, e.g. forwarding a stored value into
+// an insecure move where the original load was a masked transfer.
+
+// passStats counts the rewrites each pass applied, for Report.
+type passStats struct {
+	Folded     int // constant folds (including imm-form strength reductions)
+	Copies     int // copies propagated into their uses
+	Forwarded  int // loads replaced by copies of the stored value
+	DeadStores int // stores removed (overwritten, redundant, or write-only)
+	DeadCode   int // pure instructions whose result was never used
+	Branches   int // terminators simplified and unreachable blocks removed
+}
+
+// runPasses optimizes every function in place and returns the tallies.
+func runPasses(m *irModule, opts Options) passStats {
+	var st passStats
+	for _, f := range m.funcs {
+		st.Folded += constFold(f)
+		st.Branches += branchSimp(f)
+		fw, ds := rle(f, opts.Policy)
+		st.Forwarded += fw
+		st.DeadStores += ds
+		st.Copies += copyProp(f)
+		st.Folded += constFold(f)
+		st.DeadStores += deadStoreLocals(f)
+		st.DeadCode += dce(f)
+		st.Branches += branchSimp(f)
+		st.DeadCode += dce(f)
+	}
+	return st
+}
+
+// mapUses rewrites every value operand through g.
+func (in *irInstr) mapUses(g func(valueID) valueID) {
+	switch in.Op {
+	case opCopy, opStore, opBinImm, opLoadP:
+		in.A = g(in.A)
+	case opStoreP, opBin:
+		in.A = g(in.A)
+		in.B = g(in.B)
+	case opCall:
+		for i := range in.Args {
+			in.Args[i] = g(in.Args[i])
+		}
+	}
+}
+
+// constants ------------------------------------------------------------------
+
+// constVals collects the known-constant values (zeroValue plus every opConst
+// definition; values are single-assignment so this is flow-insensitive).
+func constVals(f *irFunc) map[valueID]int32 {
+	c := map[valueID]int32{zeroValue: 0}
+	for _, b := range f.blocks {
+		for i := range b.instrs {
+			if in := &b.instrs[i]; in.Op == opConst {
+				c[in.Dst] = in.Imm
+			}
+		}
+	}
+	return c
+}
+
+// immediate ranges of the 15-bit ISA immediate field.
+const (
+	immMin  = -16384
+	immMax  = 16383
+	uimmMax = 32767
+)
+
+func fitsImm(v int32) bool  { return v >= immMin && v <= immMax }
+func fitsUImm(v int32) bool { return v >= 0 && v <= uimmMax }
+
+// constFold folds constant operands: a binary op with two known operands
+// becomes a const, one known operand becomes an immediate form when the ISA
+// has one with matching semantics. The rewritten instruction keeps the
+// original's Secure bit (taint-sound: never weaker).
+func constFold(f *irFunc) int {
+	n := 0
+	for changed := true; changed; {
+		changed = false
+		consts := constVals(f)
+		for _, b := range f.blocks {
+			for i := range b.instrs {
+				in := &b.instrs[i]
+				switch in.Op {
+				case opCopy:
+					if v, ok := consts[in.A]; ok {
+						*in = irInstr{Op: opConst, Dst: in.Dst, Imm: v, Secure: in.Secure}
+						n++
+						changed = true
+					}
+				case opBinImm:
+					if a, ok := consts[in.A]; ok {
+						*in = irInstr{Op: opConst, Dst: in.Dst, Imm: evalIRBin(in.Bin, a, in.Imm), Secure: in.Secure}
+						n++
+						changed = true
+					}
+				case opBin:
+					a, aok := consts[in.A]
+					c, cok := consts[in.B]
+					if aok && cok {
+						*in = irInstr{Op: opConst, Dst: in.Dst, Imm: evalIRBin(in.Bin, a, c), Secure: in.Secure}
+						n++
+						changed = true
+						continue
+					}
+					// One constant operand: use the immediate form where one
+					// exists. Commutative ops accept the constant on either
+					// side; slt/sltiu and the shifts only on the right.
+					reg, imm, iok := in.A, int32(0), false
+					if cok {
+						imm, iok = c, true
+					} else if aok {
+						switch in.Bin {
+						case binAdd, binXor, binAnd, binOr:
+							reg, imm, iok = in.B, a, true
+						}
+					}
+					if !iok {
+						continue
+					}
+					bin := in.Bin
+					switch bin {
+					case binSub:
+						// a - c  ==>  a + (-c), the addiu form.
+						if !cok || !fitsImm(-imm) {
+							continue
+						}
+						bin, imm = binAdd, -imm
+					case binAdd, binSlt, binSltU:
+						if bin != binAdd && !cok {
+							continue
+						}
+						if !fitsImm(imm) {
+							continue
+						}
+					case binXor, binAnd, binOr:
+						if !fitsUImm(imm) {
+							continue
+						}
+					case binShl, binShr, binShrU:
+						if !cok || imm < 0 || imm > 31 {
+							continue
+						}
+					default: // mul, nor: no immediate form
+						continue
+					}
+					*in = irInstr{Op: opBinImm, Bin: bin, Dst: in.Dst, A: reg, Imm: imm, Secure: in.Secure}
+					n++
+					changed = true
+				}
+			}
+		}
+	}
+	return n
+}
+
+// evalIRBin computes a machine binary op with 32-bit two's-complement
+// semantics (shift amounts masked to 5 bits, as the CPU does).
+func evalIRBin(bin irBin, a, b int32) int32 {
+	switch bin {
+	case binAdd:
+		return a + b
+	case binSub:
+		return a - b
+	case binMul:
+		return a * b
+	case binXor:
+		return a ^ b
+	case binAnd:
+		return a & b
+	case binOr:
+		return a | b
+	case binNor:
+		return ^(a | b)
+	case binShl:
+		return int32(uint32(a) << (uint32(b) & 31))
+	case binShr:
+		return a >> (uint32(b) & 31)
+	case binShrU:
+		return int32(uint32(a) >> (uint32(b) & 31))
+	case binSlt:
+		if a < b {
+			return 1
+		}
+		return 0
+	case binSltU:
+		if uint32(a) < uint32(b) {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// evalBinOp computes a constant MiniC binary operation with the target's
+// 32-bit semantics. Comparison results are C-style 0/1.
+func evalBinOp(op minic.BinOp, a, b int32) (int32, bool) {
+	boolTo := func(c bool) (int32, bool) {
+		if c {
+			return 1, true
+		}
+		return 0, true
+	}
+	switch op {
+	case minic.OpAdd:
+		return a + b, true
+	case minic.OpSub:
+		return a - b, true
+	case minic.OpMul:
+		return a * b, true
+	case minic.OpXor:
+		return a ^ b, true
+	case minic.OpAnd:
+		return a & b, true
+	case minic.OpOr:
+		return a | b, true
+	case minic.OpShl:
+		return int32(uint32(a) << (uint32(b) & 31)), true
+	case minic.OpShr:
+		return a >> (uint32(b) & 31), true
+	case minic.OpShrU:
+		return int32(uint32(a) >> (uint32(b) & 31)), true
+	case minic.OpLt:
+		return boolTo(a < b)
+	case minic.OpLe:
+		return boolTo(a <= b)
+	case minic.OpGt:
+		return boolTo(a > b)
+	case minic.OpGe:
+		return boolTo(a >= b)
+	case minic.OpEq:
+		return boolTo(a == b)
+	case minic.OpNe:
+		return boolTo(a != b)
+	}
+	return 0, false
+}
+
+// redundant loads and stores --------------------------------------------------
+
+// rle performs store-to-load forwarding and local dead/redundant store
+// elimination, one basic block at a time. Availability is keyed by scalar
+// variable name; aliasing is handled segment-wise: an indexed store
+// invalidates availability for every scalar in the same segment (frame or
+// globals), an indexed load counts as a read of the whole segment, and a
+// call clobbers and reads all globals (it cannot touch the caller's frame —
+// MiniC has no pointers and frames are disjoint).
+//
+// Taint-soundness of forwarding: the copy that replaces a load inherits the
+// load's Secure bit, strengthened by the policy's view of the source value's
+// taint, and the destination's taint absorbs the source's. A masked reload
+// of a secret slot therefore stays a masked transfer.
+func rle(f *irFunc, p Policy) (forwarded, deadStores int) {
+	for _, b := range f.blocks {
+		avail := map[string]valueID{} // slot -> value it currently holds
+		pending := map[string]int{}   // slot -> index of last unread store
+		dead := map[int]bool{}
+		clearSegment := func(local bool, m map[string]valueID) {
+			for sym := range m {
+				if f.isLocal(sym) == local {
+					delete(m, sym)
+				}
+			}
+		}
+		clearPendingSegment := func(local bool) {
+			for sym := range pending {
+				if f.isLocal(sym) == local {
+					delete(pending, sym)
+				}
+			}
+		}
+		for i := range b.instrs {
+			in := &b.instrs[i]
+			switch in.Op {
+			case opLoad:
+				if v, ok := avail[in.Sym]; ok {
+					sec := in.Secure || policySecure(p, f.taint[v], false)
+					f.taint[in.Dst] = f.taint[in.Dst] || f.taint[v]
+					*in = irInstr{Op: opCopy, Dst: in.Dst, A: v, Secure: sec}
+					forwarded++
+				} else {
+					avail[in.Sym] = in.Dst
+					delete(pending, in.Sym) // a real read: the store is live
+				}
+			case opStore:
+				if v, ok := avail[in.Sym]; ok && v == in.A {
+					// The slot already holds this exact value.
+					dead[i] = true
+					deadStores++
+					continue
+				}
+				if j, ok := pending[in.Sym]; ok {
+					// Previous store overwritten before any read.
+					dead[j] = true
+					deadStores++
+				}
+				avail[in.Sym] = in.A
+				pending[in.Sym] = i
+			case opStoreP:
+				clearSegment(f.isLocal(in.Sym), avail)
+			case opLoadP:
+				clearPendingSegment(f.isLocal(in.Sym))
+			case opCall:
+				clearSegment(false, avail)
+				clearPendingSegment(false)
+			}
+		}
+		if len(dead) > 0 {
+			out := b.instrs[:0]
+			for i := range b.instrs {
+				if !dead[i] {
+					out = append(out, b.instrs[i])
+				}
+			}
+			b.instrs = out
+		}
+	}
+	return forwarded, deadStores
+}
+
+// deadStoreLocals removes every store to a local scalar that the function
+// never loads (write-only temporaries). Sound because a local slot is
+// unreachable from outside its own activation.
+func deadStoreLocals(f *irFunc) int {
+	arrays := map[string]bool{}
+	var scan func(b *minic.Block)
+	scan = func(b *minic.Block) {
+		for _, s := range b.Stmts {
+			switch st := s.(type) {
+			case *minic.DeclStmt:
+				if st.Decl.IsArray {
+					arrays[st.Decl.Name] = true
+				}
+			case *minic.Block:
+				scan(st)
+			case *minic.IfStmt:
+				scan(st.Then)
+				if st.Else != nil {
+					scan(st.Else)
+				}
+			case *minic.WhileStmt:
+				scan(st.Body)
+			case *minic.ForStmt:
+				scan(st.Body)
+			}
+		}
+	}
+	scan(f.decl.Body)
+
+	read := map[string]bool{}
+	for _, b := range f.blocks {
+		for i := range b.instrs {
+			in := &b.instrs[i]
+			switch in.Op {
+			case opLoad, opAddr, opLoadP, opStoreP:
+				read[in.Sym] = true
+			}
+		}
+	}
+	n := 0
+	for _, b := range f.blocks {
+		out := b.instrs[:0]
+		for i := range b.instrs {
+			in := b.instrs[i]
+			if in.Op == opStore && f.isLocal(in.Sym) && !arrays[in.Sym] && !read[in.Sym] {
+				n++
+				continue
+			}
+			out = append(out, in)
+		}
+		b.instrs = out
+	}
+	return n
+}
+
+// copy propagation ------------------------------------------------------------
+
+// copyProp replaces uses of copied values with their sources. A copy whose
+// destination is tainted but whose source is not is left alone: propagating
+// it would let later decisions (caller-save spill security) see the weaker
+// taint, and would erase the masked transfer the copy represents.
+func copyProp(f *irFunc) int {
+	src := map[valueID]valueID{}
+	for _, b := range f.blocks {
+		for i := range b.instrs {
+			in := &b.instrs[i]
+			if in.Op == opCopy && in.A != noValue {
+				if f.taint[in.Dst] && !f.taint[in.A] {
+					continue
+				}
+				src[in.Dst] = in.A
+			}
+		}
+	}
+	if len(src) == 0 {
+		return 0
+	}
+	resolve := func(v valueID) valueID {
+		for i := 0; i < len(src); i++ {
+			s, ok := src[v]
+			if !ok {
+				return v
+			}
+			v = s
+		}
+		return v
+	}
+	for _, b := range f.blocks {
+		for i := range b.instrs {
+			b.instrs[i].mapUses(resolve)
+		}
+		if b.term.Cond != noValue {
+			b.term.Cond = resolve(b.term.Cond)
+		}
+		if b.term.Kind == termRet && b.term.A != noValue {
+			b.term.A = resolve(b.term.A)
+		}
+	}
+	return len(src)
+}
+
+// dead code -------------------------------------------------------------------
+
+// dce removes pure instructions whose result is never used, by backward
+// marking from side effects and terminators.
+func dce(f *irFunc) int {
+	defs := map[valueID]*irInstr{}
+	for _, b := range f.blocks {
+		for i := range b.instrs {
+			if d := b.instrs[i].def(); d != noValue {
+				defs[d] = &b.instrs[i]
+			}
+		}
+	}
+	used := map[valueID]bool{}
+	var mark func(v valueID)
+	mark = func(v valueID) {
+		if v == noValue || v == zeroValue || used[v] {
+			return
+		}
+		used[v] = true
+		if d, ok := defs[v]; ok {
+			d.eachUse(mark)
+		}
+	}
+	for _, b := range f.blocks {
+		for i := range b.instrs {
+			if !b.instrs[i].pure() {
+				b.instrs[i].eachUse(mark)
+			}
+		}
+		mark(b.term.Cond)
+		if b.term.Kind == termRet {
+			mark(b.term.A)
+		}
+	}
+	n := 0
+	for _, b := range f.blocks {
+		out := b.instrs[:0]
+		for i := range b.instrs {
+			in := b.instrs[i]
+			if in.pure() && !used[in.Dst] {
+				n++
+				continue
+			}
+			out = append(out, in)
+		}
+		b.instrs = out
+	}
+	return n
+}
+
+// branch simplification -------------------------------------------------------
+
+// branchSimp folds constant conditions, threads jumps through empty blocks,
+// turns jumps-to-next into fallthroughs, and drops unreachable blocks.
+func branchSimp(f *irFunc) int {
+	n := 0
+	consts := constVals(f)
+	for _, b := range f.blocks {
+		if b.term.Kind != termBrz {
+			continue
+		}
+		if c, ok := consts[b.term.Cond]; ok {
+			if c == 0 {
+				b.term = irTerm{Kind: termJmp, Cond: noValue, A: noValue, Target: b.term.Target}
+			} else {
+				b.term = irTerm{Kind: termNone, Cond: noValue, A: noValue}
+			}
+			n++
+		}
+	}
+
+	// Thread targets through empty jump-only blocks.
+	final := func(b *irBlock) *irBlock {
+		for i := 0; i < len(f.blocks); i++ {
+			if len(b.instrs) == 0 && b.term.Kind == termJmp && b.term.Target != b {
+				b = b.term.Target
+				continue
+			}
+			break
+		}
+		return b
+	}
+	for _, b := range f.blocks {
+		if b.term.Kind == termJmp || b.term.Kind == termBrz {
+			if t := final(b.term.Target); t != b.term.Target {
+				b.term.Target = t
+				n++
+			}
+		}
+	}
+
+	// A jump to the next block in layout is a fallthrough.
+	for i, b := range f.blocks {
+		if b.term.Kind == termJmp && i+1 < len(f.blocks) && f.blocks[i+1] == b.term.Target {
+			b.term = irTerm{Kind: termNone, Cond: noValue, A: noValue}
+			n++
+		}
+	}
+
+	// Drop unreachable blocks. Fallthrough adjacency is preserved: a
+	// reachable block's layout successor is one of its CFG successors, hence
+	// reachable, hence kept immediately after it.
+	if len(f.blocks) > 0 {
+		reach := map[*irBlock]bool{f.blocks[0]: true}
+		work := []int{0}
+		index := map[*irBlock]int{}
+		for i, b := range f.blocks {
+			index[b] = i
+		}
+		for len(work) > 0 {
+			i := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, s := range f.succs(i) {
+				if !reach[s] {
+					reach[s] = true
+					work = append(work, index[s])
+				}
+			}
+		}
+		out := f.blocks[:0]
+		for _, b := range f.blocks {
+			if reach[b] {
+				out = append(out, b)
+			} else {
+				n++
+			}
+		}
+		f.blocks = out
+	}
+	return n
+}

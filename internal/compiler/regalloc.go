@@ -1,0 +1,258 @@
+package compiler
+
+import (
+	"sort"
+
+	"desmask/internal/isa"
+	"desmask/internal/minic"
+)
+
+// The register allocator maps IR values to the 16-register temporary pool by
+// linear scan over liveness intervals, replacing the old stack discipline
+// (which pinned every partial result to a pool slot for the whole enclosing
+// expression). Variables remain memory-homed, so intervals are short — a
+// value lives from its defining instruction to its last use — and the same
+// pool now bounds the number of *simultaneously live* values rather than the
+// expression depth.
+//
+// Values live across a call are saved to dedicated frame spill slots before
+// the jal and restored after it; the save/restore transfers are masked
+// (secure) exactly when the policy protects a memory transfer of that
+// value's taint, so a secret partial result never crosses the stack in the
+// clear under Selective/SeedsOnly.
+
+// regPool is the allocatable register set (order = preference order).
+var regPool = []isa.Reg{
+	isa.T0, isa.T1, isa.T2, isa.T3, isa.T4, isa.T5, isa.T6, isa.T7,
+	isa.T8, isa.T9, isa.S0, isa.S1, isa.S2, isa.S3, isa.S4, isa.S5,
+}
+
+// saveSlot is one caller-save around a specific call.
+type saveSlot struct {
+	reg    isa.Reg
+	slot   int // index into the frame's spill area
+	secure bool
+}
+
+// allocation is the result of register allocation for one function.
+type allocation struct {
+	regOf      map[valueID]isa.Reg
+	saves      map[*irInstr][]saveSlot // per opCall caller-saves
+	spillSlots int                     // words of spill area in the frame
+}
+
+func (al *allocation) reg(v valueID) isa.Reg {
+	if v == zeroValue {
+		return isa.Zero
+	}
+	return al.regOf[v]
+}
+
+// regalloc allocates every function's values.
+func regalloc(m *irModule, p Policy) (map[*irFunc]*allocation, error) {
+	out := map[*irFunc]*allocation{}
+	for _, f := range m.funcs {
+		al, err := regallocFunc(f, p)
+		if err != nil {
+			return nil, err
+		}
+		out[f] = al
+	}
+	return out, nil
+}
+
+func regallocFunc(f *irFunc, p Policy) (*allocation, error) {
+	// Linearize: one global index per instruction, one per terminator.
+	idx := 0
+	instrIdx := make([][]int, len(f.blocks))
+	termIdx := make([]int, len(f.blocks))
+	for bi, b := range f.blocks {
+		instrIdx[bi] = make([]int, len(b.instrs))
+		for i := range b.instrs {
+			instrIdx[bi][i] = idx
+			idx++
+		}
+		termIdx[bi] = idx
+		idx++
+	}
+
+	// Per-block use/def sets (use = read before written in the block).
+	nb := len(f.blocks)
+	use := make([]map[valueID]bool, nb)
+	def := make([]map[valueID]bool, nb)
+	for bi, b := range f.blocks {
+		u, d := map[valueID]bool{}, map[valueID]bool{}
+		addUse := func(v valueID) {
+			if v > zeroValue && !d[v] {
+				u[v] = true
+			}
+		}
+		for i := range b.instrs {
+			in := &b.instrs[i]
+			in.eachUse(addUse)
+			if dv := in.def(); dv > zeroValue {
+				d[dv] = true
+			}
+		}
+		if b.term.Cond != noValue {
+			addUse(b.term.Cond)
+		}
+		if b.term.Kind == termRet && b.term.A != noValue {
+			addUse(b.term.A)
+		}
+		use[bi], def[bi] = u, d
+	}
+
+	// Backward liveness fixpoint.
+	blockIndex := map[*irBlock]int{}
+	for bi, b := range f.blocks {
+		blockIndex[b] = bi
+	}
+	liveIn := make([]map[valueID]bool, nb)
+	liveOut := make([]map[valueID]bool, nb)
+	for bi := range f.blocks {
+		liveIn[bi] = map[valueID]bool{}
+		liveOut[bi] = map[valueID]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := nb - 1; bi >= 0; bi-- {
+			for _, s := range f.succs(bi) {
+				for v := range liveIn[blockIndex[s]] {
+					if !liveOut[bi][v] {
+						liveOut[bi][v] = true
+						changed = true
+					}
+				}
+			}
+			for v := range use[bi] {
+				if !liveIn[bi][v] {
+					liveIn[bi][v] = true
+					changed = true
+				}
+			}
+			for v := range liveOut[bi] {
+				if !def[bi][v] && !liveIn[bi][v] {
+					liveIn[bi][v] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Conservative intervals on the linear order: a value spans from its
+	// definition (or the start of any block it is live into) to its last use
+	// (or the end of any block it is live out of). Loops are covered because
+	// liveness around a back edge extends the value across the loop body.
+	nvals := len(f.taint)
+	start := make([]int, nvals)
+	end := make([]int, nvals)
+	for v := range start {
+		start[v], end[v] = -1, -1
+	}
+	extend := func(v valueID, at int) {
+		if v <= zeroValue {
+			return
+		}
+		if start[v] == -1 || at < start[v] {
+			start[v] = at
+		}
+		if at > end[v] {
+			end[v] = at
+		}
+	}
+	for bi, b := range f.blocks {
+		first := termIdx[bi]
+		if len(b.instrs) > 0 {
+			first = instrIdx[bi][0]
+		}
+		for v := range liveIn[bi] {
+			extend(v, first)
+		}
+		for v := range liveOut[bi] {
+			extend(v, termIdx[bi])
+		}
+		for i := range b.instrs {
+			at := instrIdx[bi][i]
+			in := &b.instrs[i]
+			in.eachUse(func(v valueID) { extend(v, at) })
+			extend(in.def(), at)
+		}
+		if b.term.Cond != noValue {
+			extend(b.term.Cond, termIdx[bi])
+		}
+		if b.term.Kind == termRet {
+			extend(b.term.A, termIdx[bi])
+		}
+	}
+
+	// Linear scan. A register freed at index i is reusable by a definition
+	// at i (operand reads precede the result write).
+	type interval struct {
+		v    valueID
+		s, e int
+	}
+	var ivs []interval
+	for v := 1; v < nvals; v++ {
+		if start[v] >= 0 {
+			ivs = append(ivs, interval{valueID(v), start[v], end[v]})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].s != ivs[j].s {
+			return ivs[i].s < ivs[j].s
+		}
+		return ivs[i].v < ivs[j].v
+	})
+	al := &allocation{regOf: map[valueID]isa.Reg{}, saves: map[*irInstr][]saveSlot{}}
+	inUse := make([]valueID, len(regPool)) // noValue when free
+	for i := range inUse {
+		inUse[i] = noValue
+	}
+	for _, iv := range ivs {
+		slot := -1
+		for ri, holder := range inUse {
+			if holder != noValue && end[holder] <= iv.s {
+				inUse[ri] = noValue
+				holder = noValue
+			}
+			if holder == noValue && slot == -1 {
+				slot = ri
+			}
+		}
+		if slot == -1 {
+			return nil, errf(minic.Pos{}, "expression too deep (more than %d live temporaries)", len(regPool))
+		}
+		inUse[slot] = iv.v
+		al.regOf[iv.v] = regPool[slot]
+	}
+
+	// Caller-saves: values whose interval strictly spans a call survive in
+	// registers the callee is free to clobber.
+	for bi, b := range f.blocks {
+		for i := range b.instrs {
+			in := &b.instrs[i]
+			if in.Op != opCall {
+				continue
+			}
+			ci := instrIdx[bi][i]
+			var sl []saveSlot
+			for v := 1; v < nvals; v++ {
+				if start[v] >= 0 && start[v] < ci && end[v] > ci {
+					sl = append(sl, saveSlot{
+						reg:    al.regOf[valueID(v)],
+						slot:   len(sl),
+						secure: policySecure(p, f.taint[v], true),
+					})
+				}
+			}
+			if len(sl) > 0 {
+				al.saves[in] = sl
+				if len(sl) > al.spillSlots {
+					al.spillSlots = len(sl)
+				}
+			}
+		}
+	}
+	return al, nil
+}
