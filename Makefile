@@ -19,11 +19,14 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark artifacts:
+#  - predecoded-core throughput: cycles/sec, ns/cycle and allocs/op for
+#    untraced and traced full-DES runs (BENCH_predecode.json)
 #  - sequential vs parallel batch trace acquisition (traces/sec + bit-identity)
 #  - compiler optimization ablation (per-policy instruction/cycle/energy
 #    counts for DES with and without -O)
 bench-json:
-	$(GO) run ./cmd/simbench -traces 64 -o BENCH_parallel_traces.json
+	$(GO) run ./cmd/simbench -traces 64 -trials 10 \
+		-o BENCH_parallel_traces.json -core-o BENCH_predecode.json
 	$(GO) run ./cmd/optbench -o BENCH_compiler_opt.json
 
 # Regenerate every figure and table of the paper (text report + plots).

@@ -11,13 +11,13 @@ import (
 
 	"desmask/internal/compiler"
 	"desmask/internal/core"
-	"desmask/internal/cpu"
 	"desmask/internal/des"
 	"desmask/internal/desprog"
 	"desmask/internal/dpa"
 	"desmask/internal/energy"
 	"desmask/internal/experiments"
 	"desmask/internal/kernels"
+	"desmask/internal/sim"
 	"desmask/internal/trace"
 )
 
@@ -263,7 +263,7 @@ func BenchmarkSimulator(b *testing.B) {
 	var cycles uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, stats, _, err := m.Encrypt(benchKey, benchPlain, nil, 0)
+		_, stats, _, err := m.Encrypt(benchKey, benchPlain, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -299,9 +299,12 @@ func BenchmarkTraceCollection(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var rec trace.Recorder
-		if _, _, _, err := m.Encrypt(benchKey, uint64(i)*0x9e3779b97f4a7c15, &rec, 25_000); err != nil {
+		job, err := m.EncryptJob(benchKey, uint64(i)*0x9e3779b97f4a7c15, 25_000, true)
+		if err != nil {
 			b.Fatal(err)
+		}
+		if res := m.Runner().Run(job); res.Err != nil {
+			b.Fatal(res.Err)
 		}
 	}
 }
@@ -376,15 +379,15 @@ func benchKernel(b *testing.B, k kernels.Kernel, policy compiler.Policy) {
 	case "sha1":
 		secret = secret[:5]
 	}
-	var st cpu.Stats
+	var st sim.Stats
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, st, err = m.Run(secret, public, nil)
+		_, st, err = m.Run(secret, public)
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(st.EnergyPJ/1e6, "uJ")
+	b.ReportMetric(st.Energy.Total/1e6, "uJ")
 	b.ReportMetric(float64(st.Cycles), "sim-cycles")
 }
 
@@ -448,7 +451,7 @@ func BenchmarkDESDecrypt(b *testing.B) {
 	ct := des.Encrypt(benchKey, benchPlain)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pt, _, done, err := m.Encrypt(benchKey, ct, nil, 0)
+		pt, _, done, err := m.Encrypt(benchKey, ct, 0)
 		if err != nil || !done || pt != benchPlain {
 			b.Fatalf("decrypt failed: %v", err)
 		}

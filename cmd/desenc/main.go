@@ -22,7 +22,6 @@ import (
 
 	"desmask/internal/compiler"
 	"desmask/internal/core"
-	"desmask/internal/cpu"
 	"desmask/internal/des"
 	"desmask/internal/desprog"
 	"desmask/internal/sim"
@@ -50,7 +49,7 @@ func main() {
 	keyStr := flag.String("key", "133457799BBCDFF1", "64-bit key, hex")
 	blockStr := flag.String("block", "0123456789ABCDEF", "64-bit block, hex")
 	decrypt := flag.Bool("decrypt", false, "decrypt instead of encrypt")
-	sim := flag.Bool("sim", false, "run on the simulated smart-card processor")
+	simulate := flag.Bool("sim", false, "run on the simulated smart-card processor")
 	policyStr := flag.String("policy", "selective", "protection policy: none | seeds-only | selective | naive-loadstore | all-secure")
 	stats := flag.Bool("stats", false, "print cycle and energy statistics (with -sim)")
 	trials := flag.Int("trials", 0, "batch-verify N random blocks against the reference (with -sim)")
@@ -59,7 +58,7 @@ func main() {
 	key := parseHex64("key", *keyStr)
 	block := parseHex64("block", *blockStr)
 
-	if !*sim {
+	if !*simulate {
 		if *decrypt {
 			fmt.Printf("%016X\n", des.Decrypt(key, block))
 		} else {
@@ -74,14 +73,14 @@ func main() {
 		os.Exit(2)
 	}
 	var out uint64
-	var st cpu.Stats
+	var st sim.Stats
 	if *decrypt {
 		m, err := desprog.NewDecrypt(pol)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "desenc:", err)
 			os.Exit(1)
 		}
-		pt, stats, done, err := m.Encrypt(key, block, nil, 0)
+		pt, stats, done, err := m.Encrypt(key, block, 0)
 		if err != nil || !done {
 			fmt.Fprintln(os.Stderr, "desenc: simulated decryption failed:", err)
 			os.Exit(1)
@@ -112,7 +111,7 @@ func main() {
 	if *stats {
 		fmt.Printf("policy=%s cycles=%d insts=%d secure-insts=%d stalls=%d flushes=%d\n",
 			pol, st.Cycles, st.Insts, st.SecureInst, st.Stalls, st.Flushes)
-		fmt.Printf("energy=%.2f uJ avg=%.1f pJ/cycle\n", float64(st.EnergyPJ)/1e6, st.AvgPJPerCycle())
+		fmt.Printf("energy=%.2f uJ avg=%.1f pJ/cycle\n", st.Energy.Total/1e6, st.AvgPJPerCycle())
 	}
 	if *trials > 0 && !*decrypt {
 		if err := runTrials(pol, *trials); err != nil {

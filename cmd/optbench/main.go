@@ -54,14 +54,14 @@ func run(policy compiler.Policy, optimize bool, key, block uint64) (int, uint64,
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
-	cipher, stats, done, err := m.Encrypt(key, block, nil, 0)
+	cipher, stats, done, err := m.Encrypt(key, block, 0)
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
 	if !done {
 		return 0, 0, 0, 0, fmt.Errorf("policy %v: encryption did not finish", policy)
 	}
-	return len(m.Res.Program.Text), stats.Cycles, stats.EnergyPJ / 1e6, cipher, nil
+	return len(m.Res.Program.Text), stats.Cycles, stats.Energy.Total / 1e6, cipher, nil
 }
 
 func main() {

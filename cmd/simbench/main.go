@@ -1,11 +1,19 @@
-// Command simbench measures the throughput of batch trace acquisition —
-// the workload behind DPA trace collection — sequentially (workers=1) and
-// in parallel (GOMAXPROCS workers) on the same simulation session, verifies
-// the two trace sets are bit-identical, and writes the result as JSON.
+// Command simbench measures simulator performance on two axes and writes
+// both results as JSON:
+//
+//  1. Core throughput: full DES encryptions on one predecoded pipeline,
+//     untraced and traced, reporting simulated cycles/sec, ns/cycle and
+//     allocs per encryption (-trials, BENCH_predecode.json).
+//  2. Batch trace acquisition — the workload behind DPA trace collection —
+//     sequentially (workers=1) and in parallel (GOMAXPROCS workers) on the
+//     same simulation session, verifying the two trace sets are
+//     bit-identical (BENCH_parallel_traces.json).
 //
 // Usage:
 //
-//	simbench [-traces N] [-max N] [-policy none] [-o BENCH_parallel_traces.json]
+//	simbench [-traces N] [-trials N] [-max N] [-policy none]
+//	         [-o BENCH_parallel_traces.json] [-core-o BENCH_predecode.json]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"desmask/internal/compiler"
@@ -21,7 +30,7 @@ import (
 	"desmask/internal/dpa"
 )
 
-// Result is the benchmark record emitted as JSON.
+// Result is the batch-acquisition benchmark record emitted as JSON.
 type Result struct {
 	Policy            string  `json:"policy"`
 	Traces            int     `json:"traces"`
@@ -37,11 +46,88 @@ type Result struct {
 	ParallelWorkers   int     `json:"parallel_workers"`
 }
 
+// CoreRun is one core-throughput configuration (traced or untraced).
+type CoreRun struct {
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	NsPerCycle   float64 `json:"ns_per_cycle"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	Seconds      float64 `json:"seconds"`
+}
+
+// CoreResult is the predecoded-core benchmark record emitted as JSON.
+type CoreResult struct {
+	Policy      string  `json:"policy"`
+	Trials      int     `json:"trials"`
+	CyclesPerOp uint64  `json:"cycles_per_encryption"`
+	Untraced    CoreRun `json:"untraced"`
+	Traced      CoreRun `json:"traced"`
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simbench:", err)
+	os.Exit(1)
+}
+
+// benchCore runs full DES encryptions through the session layer on a single
+// worker and reports simulated throughput plus the allocation cost of one
+// encryption. The first run warms the worker pool and trace buffers so the
+// timed loop sees the steady state the predecoded core is optimized for.
+func benchCore(m *desprog.Machine, trials int, capture bool) (CoreRun, uint64, error) {
+	const (
+		key   = 0x133457799BBCDFF1
+		plain = 0x0123456789ABCDEF
+	)
+	job, err := m.EncryptJob(key, plain, 0, capture)
+	if err != nil {
+		return CoreRun{}, 0, err
+	}
+	r := m.Runner()
+	warm := r.Run(job)
+	if warm.Err != nil || !warm.Done {
+		return CoreRun{}, 0, fmt.Errorf("warm-up run failed: done=%v err=%v", warm.Done, warm.Err)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var cycles uint64
+	for i := 0; i < trials; i++ {
+		res := r.Run(job)
+		if res.Err != nil || !res.Done {
+			return CoreRun{}, 0, fmt.Errorf("trial %d failed: done=%v err=%v", i, res.Done, res.Err)
+		}
+		cycles += res.Stats.Cycles
+	}
+	sec := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	run := CoreRun{
+		CyclesPerSec: float64(cycles) / sec,
+		NsPerCycle:   sec * 1e9 / float64(cycles),
+		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(trials),
+		Seconds:      sec,
+	}
+	return run, cycles / uint64(trials), nil
+}
+
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
+}
+
 func main() {
-	traces := flag.Int("traces", 64, "traces to collect per configuration")
+	traces := flag.Int("traces", 64, "traces to collect per batch configuration")
+	trials := flag.Int("trials", 5, "full encryptions per core-throughput configuration")
 	maxCycles := flag.Uint64("max", 25_000, "cycle budget per trace (first-round window)")
 	policyStr := flag.String("policy", "none", "protection policy to benchmark")
-	out := flag.String("o", "BENCH_parallel_traces.json", "output JSON file")
+	out := flag.String("o", "BENCH_parallel_traces.json", "batch benchmark output JSON file")
+	coreOut := flag.String("core-o", "BENCH_predecode.json", "core benchmark output JSON file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	var policy compiler.Policy
@@ -57,9 +143,45 @@ func main() {
 	}
 	m, err := desprog.New(policy)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Part 1: core throughput on the predecoded micro-op pipeline.
+	untraced, cyclesPerOp, err := benchCore(m, *trials, false)
+	if err != nil {
+		fatal(err)
+	}
+	traced, _, err := benchCore(m, *trials, true)
+	if err != nil {
+		fatal(err)
+	}
+	core := CoreResult{
+		Policy:      policy.String(),
+		Trials:      *trials,
+		CyclesPerOp: cyclesPerOp,
+		Untraced:    untraced,
+		Traced:      traced,
+	}
+	fmt.Printf("core (policy=%s, %d cycles/encryption, %d trials):\n", core.Policy, core.CyclesPerOp, core.Trials)
+	fmt.Printf("  untraced: %8.0f cycles/s  %6.2f ns/cycle  %8.1f allocs/op\n",
+		untraced.CyclesPerSec, untraced.NsPerCycle, untraced.AllocsPerOp)
+	fmt.Printf("  traced:   %8.0f cycles/s  %6.2f ns/cycle  %8.1f allocs/op\n",
+		traced.CyclesPerSec, traced.NsPerCycle, traced.AllocsPerOp)
+	writeJSON(*coreOut, core)
+
+	// Part 2: batch trace acquisition, sequential vs parallel.
 	collect := func(workers int) (*dpa.TraceSet, float64, error) {
 		cfg := dpa.Config{NumTraces: *traces, Seed: 42, MaxCycles: *maxCycles, Workers: workers}
 		start := time.Now()
@@ -69,19 +191,16 @@ func main() {
 	// Warm the session's worker pool and trace-size hint so both timed runs
 	// see the same steady state.
 	if _, _, err := collect(0); err != nil {
-		fmt.Fprintln(os.Stderr, "simbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	seqTS, seqSec, err := collect(1)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	parWorkers := runtime.GOMAXPROCS(0)
 	parTS, parSec, err := collect(parWorkers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	identical := len(seqTS.Traces) == len(parTS.Traces)
@@ -112,23 +231,25 @@ func main() {
 		SequentialWorkers: 1,
 		ParallelWorkers:   parWorkers,
 	}
-	fmt.Printf("policy=%s traces=%d max=%d\n", res.Policy, res.Traces, res.MaxCycles)
-	fmt.Printf("sequential: %6.2f traces/s (%.2fs, 1 worker)\n", res.SequentialPerSec, seqSec)
-	fmt.Printf("parallel:   %6.2f traces/s (%.2fs, %d workers)\n", res.ParallelPerSec, parSec, parWorkers)
-	fmt.Printf("speedup: %.2fx  bit-identical: %v\n", res.Speedup, res.BitIdentical)
+	fmt.Printf("batch (policy=%s traces=%d max=%d):\n", res.Policy, res.Traces, res.MaxCycles)
+	fmt.Printf("  sequential: %6.2f traces/s (%.2fs, 1 worker)\n", res.SequentialPerSec, seqSec)
+	fmt.Printf("  parallel:   %6.2f traces/s (%.2fs, %d workers)\n", res.ParallelPerSec, parSec, parWorkers)
+	fmt.Printf("  speedup: %.2fx  bit-identical: %v\n", res.Speedup, res.BitIdentical)
 	if !identical {
 		fmt.Fprintln(os.Stderr, "simbench: FAIL: parallel trace set diverged from sequential")
 		os.Exit(1)
 	}
+	writeJSON(*out, res)
 
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "simbench:", err)
-		os.Exit(1)
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "simbench:", err)
-		os.Exit(1)
-	}
-	fmt.Println("wrote", *out)
 }

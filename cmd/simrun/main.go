@@ -50,11 +50,11 @@ func main() {
 	st := res.Stats
 	fmt.Printf("halted=%v cycles=%d insts=%d secure-insts=%d stalls=%d flushes=%d\n",
 		res.Done, st.Cycles, st.Insts, st.SecureInst, st.Stalls, st.Flushes)
-	fmt.Printf("energy=%.3f uJ avg=%.2f pJ/cycle\n", st.EnergyPJ/1e6, st.AvgPJPerCycle())
+	fmt.Printf("energy=%.3f uJ avg=%.2f pJ/cycle\n", st.Energy.Total/1e6, st.AvgPJPerCycle())
 	fmt.Printf("exit status ($v0) = %d\n", int32(res.Regs[isa.V0]))
 	runErr := res.Err
 	if runErr == nil && !res.Done {
-		runErr = cpu.ErrMaxCycles
+		runErr = &cpu.CycleLimitError{Limit: *maxCycles}
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "simrun:", runErr)

@@ -17,7 +17,7 @@ func runProgram(t *testing.T, src string, policy Policy, poke map[string]uint32)
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
-	c, err := cpu.New(res.Program, mem.New(), energy.NewModel(energy.DefaultConfig()))
+	c, err := cpu.New(res.Program, mem.New())
 	if err != nil {
 		t.Fatalf("cpu: %v", err)
 	}
@@ -464,7 +464,7 @@ func tracesOf(t *testing.T, src string, policy Policy, a, b uint32) ([]float64, 
 		if err != nil {
 			t.Fatal(err)
 		}
-		c, err := cpu.New(res.Program, mem.New(), energy.NewModel(energy.DefaultConfig()))
+		c, err := cpu.New(res.Program, mem.New())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -472,8 +472,10 @@ func tracesOf(t *testing.T, src string, policy Policy, a, b uint32) ([]float64, 
 		if err := c.Mem().StoreWord(addr, secret); err != nil {
 			t.Fatal(err)
 		}
+		meter := energy.NewProbe(energy.DefaultConfig())
+		c.Attach(meter)
 		var totals []float64
-		c.SetSink(cpu.SinkFunc(func(ci cpu.CycleInfo) { totals = append(totals, ci.Energy.Total) }))
+		c.Attach(cpu.ProbeFunc(func(cpu.CycleInfo) { totals = append(totals, meter.Last().Total) }))
 		if err := c.Run(5_000_000); err != nil {
 			t.Fatal(err)
 		}
@@ -543,9 +545,24 @@ func TestAllSecureMasksToo(t *testing.T) {
 func TestEnergyOrderingAcrossPolicies(t *testing.T) {
 	totals := map[Policy]float64{}
 	for _, pol := range Policies() {
-		res, c := runProgram(t, maskingTestSrc, pol, map[string]uint32{"key": 0x123})
-		_ = res
-		totals[pol] = c.Stats().EnergyPJ
+		res, err := Compile(maskingTestSrc, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := cpu.New(res.Program, mem.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := res.Program.Symbols[GlobalLabel("key")]
+		if err := c.Mem().StoreWord(addr, 0x123); err != nil {
+			t.Fatal(err)
+		}
+		meter := energy.NewProbe(energy.DefaultConfig())
+		c.Attach(meter)
+		if err := c.Run(5_000_000); err != nil {
+			t.Fatal(err)
+		}
+		totals[pol] = meter.TotalPJ()
 	}
 	if !(totals[PolicyNone] < totals[PolicySelective]) {
 		t.Errorf("none (%.0f) should cost less than selective (%.0f)", totals[PolicyNone], totals[PolicySelective])

@@ -75,11 +75,11 @@ func TestCosimDESOptimized(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, in := range inputs {
-			cPlain, _, done, err := plain.Encrypt(in.key, in.plain, nil, 0)
+			cPlain, _, done, err := plain.Encrypt(in.key, in.plain, 0)
 			if err != nil || !done {
 				t.Fatalf("policy %v: plain encrypt: done=%v err=%v", policy, done, err)
 			}
-			cOpt, _, done, err := opt.Encrypt(in.key, in.plain, nil, 0)
+			cOpt, _, done, err := opt.Encrypt(in.key, in.plain, 0)
 			if err != nil || !done {
 				t.Fatalf("policy %v: optimized encrypt: done=%v err=%v", policy, done, err)
 			}
@@ -130,11 +130,11 @@ func TestCosimKernelsOptimized(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			outPlain, _, err := plain.Run(tc.secret, tc.public, nil)
+			outPlain, _, err := plain.Run(tc.secret, tc.public)
 			if err != nil {
 				t.Fatalf("%s policy %v: plain run: %v", tc.kernel.Name, policy, err)
 			}
-			outOpt, _, err := opt.Run(tc.secret, tc.public, nil)
+			outOpt, _, err := opt.Run(tc.secret, tc.public)
 			if err != nil {
 				t.Fatalf("%s policy %v: optimized run: %v", tc.kernel.Name, policy, err)
 			}
@@ -173,11 +173,11 @@ func TestOptimizedDESSavesTenPercent(t *testing.T) {
 	if float64(staticOpt) > 0.9*float64(staticPlain) {
 		t.Errorf("static instructions: optimized %d vs plain %d (< 10%% reduction)", staticOpt, staticPlain)
 	}
-	_, sPlain, done, err := plain.Encrypt(0x133457799BBCDFF1, 0x0123456789ABCDEF, nil, 0)
+	_, sPlain, done, err := plain.Encrypt(0x133457799BBCDFF1, 0x0123456789ABCDEF, 0)
 	if err != nil || !done {
 		t.Fatalf("plain encrypt: done=%v err=%v", done, err)
 	}
-	_, sOpt, done, err := opt.Encrypt(0x133457799BBCDFF1, 0x0123456789ABCDEF, nil, 0)
+	_, sOpt, done, err := opt.Encrypt(0x133457799BBCDFF1, 0x0123456789ABCDEF, 0)
 	if err != nil || !done {
 		t.Fatalf("optimized encrypt: done=%v err=%v", done, err)
 	}

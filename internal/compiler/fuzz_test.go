@@ -92,7 +92,7 @@ func runFuzz(t *testing.T, src string, policy Policy, secret []uint32) []uint32 
 	if err != nil {
 		t.Fatalf("compile(%v): %v\n%s", policy, err, src)
 	}
-	c, err := cpu.New(res.Program, mem.New(), energy.NewModel(energy.DefaultConfig()))
+	c, err := cpu.New(res.Program, mem.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestFuzzSelectiveMasks(t *testing.T) {
 			t.Fatalf("trial %d: %v\n%s", trial, err, src)
 		}
 		collect := func(secret uint32) []float64 {
-			c, err := cpu.New(res.Program, mem.New(), energy.NewModel(energy.DefaultConfig()))
+			c, err := cpu.New(res.Program, mem.New())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -193,8 +193,10 @@ func TestFuzzSelectiveMasks(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
+			meter := energy.NewProbe(energy.DefaultConfig())
+			c.Attach(meter)
 			var totals []float64
-			c.SetSink(cpu.SinkFunc(func(ci cpu.CycleInfo) { totals = append(totals, ci.Energy.Total) }))
+			c.Attach(cpu.ProbeFunc(func(cpu.CycleInfo) { totals = append(totals, meter.Last().Total) }))
 			if err := c.Run(2_000_000); err != nil {
 				t.Fatalf("trial %d: %v\n%s", trial, err, src)
 			}

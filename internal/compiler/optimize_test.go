@@ -38,7 +38,7 @@ func TestConstantFolding(t *testing.T) {
 	}
 	// Results must match.
 	run := func(res *Result) []uint32 {
-		c, err := cpu.New(res.Program, mem.New(), energy.NewModel(energy.DefaultConfig()))
+		c, err := cpu.New(res.Program, mem.New())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,15 +126,17 @@ func TestOptimizedMaskingStillFlat(t *testing.T) {
 		t.Fatal(err)
 	}
 	collect := func(secret uint32) []float64 {
-		c, err := cpu.New(res.Program, mem.New(), energy.NewModel(energy.DefaultConfig()))
+		c, err := cpu.New(res.Program, mem.New())
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := c.Mem().StoreWord(res.Program.Symbols[GlobalLabel("key")], secret); err != nil {
 			t.Fatal(err)
 		}
+		meter := energy.NewProbe(energy.DefaultConfig())
+		c.Attach(meter)
 		var totals []float64
-		c.SetSink(cpu.SinkFunc(func(ci cpu.CycleInfo) { totals = append(totals, ci.Energy.Total) }))
+		c.Attach(cpu.ProbeFunc(func(cpu.CycleInfo) { totals = append(totals, meter.Last().Total) }))
 		if err := c.Run(5_000_000); err != nil {
 			t.Fatal(err)
 		}
@@ -174,7 +176,7 @@ func TestEvalBinOpCoverage(t *testing.T) {
 // runFuzzCompiled executes an already-compiled fuzz program.
 func runFuzzCompiled(t *testing.T, res *Result, secret []uint32) []uint32 {
 	t.Helper()
-	c, err := cpu.New(res.Program, mem.New(), energy.NewModel(energy.DefaultConfig()))
+	c, err := cpu.New(res.Program, mem.New())
 	if err != nil {
 		t.Fatal(err)
 	}

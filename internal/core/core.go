@@ -10,7 +10,6 @@ import (
 	"fmt"
 
 	"desmask/internal/compiler"
-	"desmask/internal/cpu"
 	"desmask/internal/des"
 	"desmask/internal/desprog"
 	"desmask/internal/energy"
@@ -56,15 +55,15 @@ func (s *System) Report() compiler.Report { return s.machine.Res.Report }
 // EncryptResult is the outcome of one simulated encryption.
 type EncryptResult struct {
 	Cipher uint64
-	Stats  cpu.Stats
+	Stats  sim.Stats
 }
 
 // TotalUJ returns the run's total energy in microjoules.
-func (r EncryptResult) TotalUJ() float64 { return r.Stats.EnergyPJ / 1e6 }
+func (r EncryptResult) TotalUJ() float64 { return r.Stats.Energy.Total / 1e6 }
 
 // Encrypt runs one block encryption on the simulator.
 func (s *System) Encrypt(key, plaintext uint64) (EncryptResult, error) {
-	cipher, stats, done, err := s.machine.Encrypt(key, plaintext, nil, 0)
+	cipher, stats, done, err := s.machine.Encrypt(key, plaintext, 0)
 	if err != nil {
 		return EncryptResult{}, err
 	}

@@ -1,11 +1,11 @@
 package cpu
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"desmask/internal/asm"
-	"desmask/internal/energy"
 	"desmask/internal/isa"
 	"desmask/internal/mem"
 )
@@ -15,7 +15,7 @@ import (
 // a region of memory.
 func cosim(t *testing.T, p *asm.Program, poke map[uint32]uint32, memCheck []uint32) {
 	t.Helper()
-	c, err := New(p, mem.New(), energy.NewModel(energy.DefaultConfig()))
+	c, err := New(p, mem.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,8 +254,8 @@ func TestRefModelErrors(t *testing.T) {
 	}
 	p2, _ := asm.Assemble("main: j main\nhalt\n")
 	r2, _ := NewRef(p2, mem.New())
-	if err := r2.Run(50); err != ErrMaxCycles {
-		t.Errorf("err = %v, want ErrMaxCycles", err)
+	if err := r2.Run(50); !errors.Is(err, ErrCycleLimit) {
+		t.Errorf("err = %v, want ErrCycleLimit", err)
 	}
 	p3, _ := asm.Assemble("main: halt\n")
 	r3, _ := NewRef(p3, mem.New())

@@ -4,9 +4,12 @@
 // with a two-cycle flush, and the secure-instruction extension that runs the
 // marked instruction on the precharged dual-rail datapath.
 //
-// Energy is accounted every cycle through an energy.Model; per-cycle results
-// are streamed to a CycleSink so callers can capture full traces, windows, or
-// totals without the simulator deciding storage policy.
+// The program is predecoded once at construction into a dense micro-op table
+// (isa.UOp), so the steady-state Step loop is pure table dispatch: no
+// instruction decoding, no format switches, and no allocation. Observation —
+// energy metering, trace recording, leak checking — is external: probes
+// attached with Attach receive per-stage events and a per-cycle commit
+// callback, and must not perturb architectural state.
 package cpu
 
 import (
@@ -14,62 +17,52 @@ import (
 	"fmt"
 
 	"desmask/internal/asm"
-	"desmask/internal/energy"
 	"desmask/internal/isa"
 	"desmask/internal/mem"
 )
 
-// CycleInfo describes one simulated clock cycle.
-type CycleInfo struct {
-	Cycle  uint64
-	Energy energy.CycleEnergy
-	// ExecPC and ExecInst describe the instruction occupying EX this cycle;
-	// ExecValid is false for bubbles.
-	ExecPC    uint32
-	ExecInst  isa.Inst
-	ExecValid bool
-}
-
-// CycleSink receives every simulated cycle.
-type CycleSink interface {
-	OnCycle(CycleInfo)
-}
-
-// SinkFunc adapts a function to CycleSink.
-type SinkFunc func(CycleInfo)
-
-// OnCycle implements CycleSink.
-func (f SinkFunc) OnCycle(c CycleInfo) { f(c) }
-
-// Stats summarises a finished run.
+// Stats summarises a finished run. Energy totals live with the energy probe
+// (energy.Probe), not here: the core has no notion of energy.
 type Stats struct {
 	Cycles     uint64
 	Insts      uint64 // instructions retired
 	SecureInst uint64 // retired instructions that ran dual-rail
 	Stalls     uint64 // load-use stall cycles
 	Flushes    uint64 // instructions squashed by taken branches/jumps
-	EnergyPJ   float64
-	ByComp     [energy.NumComponents]float64
 }
 
-// AvgPJPerCycle returns the mean per-cycle energy.
-func (s Stats) AvgPJPerCycle() float64 {
-	if s.Cycles == 0 {
-		return 0
-	}
-	return s.EnergyPJ / float64(s.Cycles)
+// ErrCycleLimit is the sentinel matched by errors.Is when Run exhausts its
+// cycle budget before the program halts. The concrete error is a
+// *CycleLimitError carrying the budget.
+var ErrCycleLimit = errors.New("cpu: cycle limit reached before halt")
+
+// CycleLimitError reports that Run hit its cycle budget before halting. It is
+// distinguishable from program faults (fetch/memory errors, misaligned jumps):
+// errors.Is(err, ErrCycleLimit) matches only budget expiry.
+type CycleLimitError struct {
+	Limit uint64
 }
 
-// ErrMaxCycles reports that Run hit its cycle budget before halting.
-var ErrMaxCycles = errors.New("cpu: maximum cycle count reached before halt")
+// Error implements error.
+func (e *CycleLimitError) Error() string {
+	return fmt.Sprintf("cpu: cycle limit of %d reached before halt", e.Limit)
+}
+
+// Is reports that a CycleLimitError matches the ErrCycleLimit sentinel.
+func (e *CycleLimitError) Is(target error) bool { return target == ErrCycleLimit }
 
 // CPU is one simulated core. Create with New.
 type CPU struct {
-	prog  *asm.Program
-	words []uint32 // encoded text, index = (pc-TextBase)/4
-	mem   *mem.Memory
-	model *energy.Model
-	sink  CycleSink
+	prog *asm.Program
+	uops []isa.UOp // predecoded text, index = (pc-TextBase)/4
+	mem  *mem.Memory
+
+	probes   []Probe
+	fetchObs []FetchObserver
+	issueObs []IssueObserver
+	execObs  []ExecObserver
+	memObs   []MemObserver
+	wbObs    []WritebackObserver
 
 	regs [isa.NumRegs]uint32
 	pc   uint32
@@ -84,51 +77,46 @@ type CPU struct {
 	stats    Stats
 }
 
+// Pipeline latches hold an index into the micro-op table plus the dynamic
+// values produced so far; everything static about the instruction is read
+// from the table.
 type ifidLatch struct {
 	valid bool
-	pc    uint32
-	inst  isa.Inst
-	word  uint32
+	idx   int32
 }
 
 type idexLatch struct {
 	valid bool
-	pc    uint32
-	inst  isa.Inst
+	idx   int32
 	a, b  uint32 // register operands as read in ID (pre-forwarding)
 }
 
 type exmemLatch struct {
 	valid    bool
-	pc       uint32
-	inst     isa.Inst
+	idx      int32
 	aluOut   uint32
 	storeVal uint32
 }
 
 type memwbLatch struct {
 	valid bool
-	pc    uint32
-	inst  isa.Inst
+	idx   int32
 	value uint32
 }
 
-// New builds a CPU with the program loaded: text is placed in a Harvard-style
-// instruction store, the data image is copied into memory, and the stack
-// pointer is initialised to the top of a 4 KiB stack above the data segment.
-func New(p *asm.Program, m *mem.Memory, model *energy.Model) (*CPU, error) {
+// New builds a CPU with the program loaded: the text segment is predecoded
+// into the micro-op table, the data image is copied into memory, and the
+// stack pointer is initialised to the top of a 4 KiB stack above the data
+// segment.
+func New(p *asm.Program, m *mem.Memory) (*CPU, error) {
 	if len(p.Text) == 0 {
 		return nil, errors.New("cpu: empty program")
 	}
-	c := &CPU{prog: p, mem: m, model: model, pc: p.Entry}
-	c.words = make([]uint32, len(p.Text))
-	for i, in := range p.Text {
-		w, err := isa.Encode(in)
-		if err != nil {
-			return nil, fmt.Errorf("cpu: text word %d: %w", i, err)
-		}
-		c.words[i] = w
+	uops, err := isa.PredecodeProgram(p.Text, p.TextBase)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: %w", err)
 	}
+	c := &CPU{prog: p, uops: uops, mem: m, pc: p.Entry}
 	if err := m.LoadImage(p.DataBase, p.Data); err != nil {
 		return nil, err
 	}
@@ -137,14 +125,11 @@ func New(p *asm.Program, m *mem.Memory, model *energy.Model) (*CPU, error) {
 	return c, nil
 }
 
-// SetSink installs the per-cycle listener (may be nil).
-func (c *CPU) SetSink(s CycleSink) { c.sink = s }
-
 // Reset returns the core to its post-New state so it can run another job
-// without reallocating: memory is cleared and the data image reloaded,
-// architectural registers, pipeline latches and statistics are zeroed, and
-// the energy model's rail history is reset. The encoded text and the
-// installed sink are retained. A reset core is bit-identical to a fresh one.
+// without reallocating: memory is cleared and the data image reloaded, and
+// architectural registers, pipeline latches and statistics are zeroed. The
+// micro-op table and attached probes are retained; reset probe state
+// separately. A reset core is bit-identical to a fresh one.
 func (c *CPU) Reset() error {
 	c.mem.Reset()
 	if err := c.mem.LoadImage(c.prog.DataBase, c.prog.Data); err != nil {
@@ -157,7 +142,6 @@ func (c *CPU) Reset() error {
 	c.ifid, c.idex, c.exmem, c.memwb = ifidLatch{}, idexLatch{}, exmemLatch{}, memwbLatch{}
 	c.draining, c.halted = false, false
 	c.stats = Stats{}
-	c.model.Reset()
 	return nil
 }
 
@@ -183,12 +167,15 @@ func (c *CPU) Stats() Stats { return c.stats }
 // Mem returns the data memory.
 func (c *CPU) Mem() *mem.Memory { return c.mem }
 
-// Run simulates until halt or maxCycles. It returns ErrMaxCycles when the
-// budget expires first.
+// UOps exposes the predecoded micro-op table (read-only; probe inspection).
+func (c *CPU) UOps() []isa.UOp { return c.uops }
+
+// Run simulates until halt or maxCycles. It returns a *CycleLimitError
+// (matching ErrCycleLimit) when the budget expires first.
 func (c *CPU) Run(maxCycles uint64) error {
 	for !c.halted {
 		if c.stats.Cycles >= maxCycles {
-			return ErrMaxCycles
+			return &CycleLimitError{Limit: maxCycles}
 		}
 		if err := c.Step(); err != nil {
 			return err
@@ -202,26 +189,27 @@ func (c *CPU) Step() error {
 	if c.halted {
 		return errors.New("cpu: stepping a halted core")
 	}
-	c.model.BeginCycle()
+	cycle := c.stats.Cycles
 
 	// Snapshot the latches: all stages observe start-of-cycle state.
 	oldIFID, oldIDEX, oldEXMEM, oldMEMWB := c.ifid, c.idex, c.exmem, c.memwb
 
-	info := CycleInfo{Cycle: c.stats.Cycles}
+	var execU *isa.UOp // EX occupant this cycle, nil for a bubble
 
 	// ---- WB ------------------------------------------------------------
 	if oldMEMWB.valid {
-		in := oldMEMWB.inst
-		c.model.Writeback(oldMEMWB.value, in.Secure)
-		if d, ok := in.Dest(); ok {
-			c.regs[d] = oldMEMWB.value
-			c.model.RegWrite()
+		u := &c.uops[oldMEMWB.idx]
+		for _, o := range c.wbObs {
+			o.OnWriteback(WritebackEvent{Cycle: cycle, U: u, Value: oldMEMWB.value})
+		}
+		if u.Dest != isa.Zero {
+			c.regs[u.Dest] = oldMEMWB.value
 		}
 		c.stats.Insts++
-		if in.Secure {
+		if u.Secure {
 			c.stats.SecureInst++
 		}
-		if in.Op == isa.OpHalt {
+		if u.Class == isa.ClassHalt {
 			c.halted = true
 		}
 	}
@@ -229,23 +217,27 @@ func (c *CPU) Step() error {
 	// ---- MEM -----------------------------------------------------------
 	var newMEMWB memwbLatch
 	if oldEXMEM.valid {
-		in := oldEXMEM.inst
+		u := &c.uops[oldEXMEM.idx]
 		value := oldEXMEM.aluOut
 		switch {
-		case in.Op.IsLoad():
+		case u.Load:
 			v, err := c.mem.LoadWord(oldEXMEM.aluOut)
 			if err != nil {
-				return fmt.Errorf("cpu: pc %#x: %w", oldEXMEM.pc, err)
+				return fmt.Errorf("cpu: pc %#x: %w", u.PC, err)
 			}
-			c.model.MemAccess(oldEXMEM.aluOut, v, in.Secure)
 			value = v
-		case in.Op.IsStore():
-			if err := c.mem.StoreWord(oldEXMEM.aluOut, oldEXMEM.storeVal); err != nil {
-				return fmt.Errorf("cpu: pc %#x: %w", oldEXMEM.pc, err)
+			for _, o := range c.memObs {
+				o.OnMem(MemEvent{Cycle: cycle, U: u, Addr: oldEXMEM.aluOut, Data: v})
 			}
-			c.model.MemAccess(oldEXMEM.aluOut, oldEXMEM.storeVal, in.Secure)
+		case u.Store:
+			if err := c.mem.StoreWord(oldEXMEM.aluOut, oldEXMEM.storeVal); err != nil {
+				return fmt.Errorf("cpu: pc %#x: %w", u.PC, err)
+			}
+			for _, o := range c.memObs {
+				o.OnMem(MemEvent{Cycle: cycle, U: u, Addr: oldEXMEM.aluOut, Data: oldEXMEM.storeVal})
+			}
 		}
-		newMEMWB = memwbLatch{valid: true, pc: oldEXMEM.pc, inst: in, value: value}
+		newMEMWB = memwbLatch{valid: true, idx: oldEXMEM.idx, value: value}
 	}
 
 	// ---- EX ------------------------------------------------------------
@@ -253,19 +245,19 @@ func (c *CPU) Step() error {
 	redirect := false
 	var redirectPC uint32
 	if oldIDEX.valid {
-		in := oldIDEX.inst
-		a, b := c.forward(oldIDEX, oldEXMEM, oldMEMWB)
-		info.ExecPC, info.ExecInst, info.ExecValid = oldIDEX.pc, in, true
+		u := &c.uops[oldIDEX.idx]
+		a, b := c.forward(u, oldIDEX.a, oldIDEX.b, oldEXMEM, oldMEMWB)
+		execU = u
 
-		c.model.OperandLatch(a, b, in.Secure)
-		res, target, taken, err := execInst(in, oldIDEX.pc, a, b)
+		res, target, taken, err := execUOp(u, a, b)
 		if err != nil {
 			return err
 		}
-		c.model.ALUOp(a, b, res, in.Op == isa.OpXor || in.Op == isa.OpXori, in.Secure)
-		c.model.Result(res, in.Secure)
+		for _, o := range c.execObs {
+			o.OnExec(ExecEvent{Cycle: cycle, U: u, A: a, B: b, Result: res, Taken: taken, Target: target})
+		}
 
-		newEXMEM = exmemLatch{valid: true, pc: oldIDEX.pc, inst: in, aluOut: res, storeVal: b}
+		newEXMEM = exmemLatch{valid: true, idx: oldIDEX.idx, aluOut: res, storeVal: b}
 		if taken {
 			redirect, redirectPC = true, target
 		}
@@ -275,44 +267,26 @@ func (c *CPU) Step() error {
 	var newIDEX idexLatch
 	stall := false
 	if oldIFID.valid {
-		in := oldIFID.inst
+		u := &c.uops[oldIFID.idx]
 		// Load-use hazard: the load's value is only available after MEM.
-		if oldIDEX.valid && oldIDEX.inst.Op.IsLoad() {
-			if d, ok := oldIDEX.inst.Dest(); ok {
-				for _, s := range in.Sources() {
-					if s == d {
-						stall = true
-						break
-					}
-				}
+		if oldIDEX.valid {
+			eu := &c.uops[oldIDEX.idx]
+			if eu.Load && eu.Dest != isa.Zero &&
+				(eu.Dest == u.SrcA || (u.BReg && eu.Dest == u.SrcB)) {
+				stall = true
 			}
 		}
 		if !stall {
-			c.model.Decode()
-			srcs := in.Sources()
-			c.model.RegRead(len(srcs))
-			var a, b uint32
-			switch in.Op.Format() {
-			case isa.FmtR:
-				a, b = c.regs[in.Rs], c.regs[in.Rt]
-			case isa.FmtRShift:
-				a, b = c.regs[in.Rt], uint32(in.Imm)
-			case isa.FmtRJump:
-				a = c.regs[in.Rs]
-			case isa.FmtI:
-				a, b = c.regs[in.Rs], uint32(in.Imm)
-			case isa.FmtILui:
-				b = uint32(in.Imm)
-			case isa.FmtIMem:
-				a = c.regs[in.Rs]
-				if in.Op.IsStore() {
-					b = c.regs[in.Rt] // store value; loads do not read rt
-				}
-			case isa.FmtIBranch:
-				a, b = c.regs[in.Rs], c.regs[in.Rt]
+			a := c.regs[u.SrcA]
+			b := u.BConst
+			if u.BReg {
+				b = c.regs[u.SrcB]
 			}
-			newIDEX = idexLatch{valid: true, pc: oldIFID.pc, inst: in, a: a, b: b}
-			if in.Op == isa.OpHalt {
+			for _, o := range c.issueObs {
+				o.OnIssue(IssueEvent{Cycle: cycle, U: u, A: a, B: b})
+			}
+			newIDEX = idexLatch{valid: true, idx: oldIFID.idx, a: a, b: b}
+			if u.Class == isa.ClassHalt {
 				c.draining = true
 			}
 		} else {
@@ -329,16 +303,17 @@ func (c *CPU) Step() error {
 		newIFID = ifidLatch{}
 		if !c.draining {
 			idx := (c.pc - c.prog.TextBase) / 4
-			if c.pc < c.prog.TextBase || int(idx) >= len(c.words) || c.pc%4 != 0 {
+			if c.pc < c.prog.TextBase || int(idx) >= len(c.uops) || c.pc%4 != 0 {
 				// Fetch may legitimately run past a not-yet-resolved jump
 				// (wrong-path fetch); stall the fetch unit and fault only if
 				// no redirect ever arrives (checked below once the pipeline
 				// drains).
 				fetchFault = true
 			} else {
-				word := c.words[idx]
-				c.model.Fetch(word)
-				newIFID = ifidLatch{valid: true, pc: c.pc, inst: c.prog.Text[idx], word: word}
+				for _, o := range c.fetchObs {
+					o.OnFetch(FetchEvent{Cycle: cycle, PC: c.pc, Word: c.uops[idx].Word})
+				}
+				newIFID = ifidLatch{valid: true, idx: int32(idx)}
 				c.pc += 4
 			}
 		}
@@ -369,14 +344,10 @@ func (c *CPU) Step() error {
 	// ---- commit latches --------------------------------------------------
 	c.ifid, c.idex, c.exmem, c.memwb = newIFID, newIDEX, newEXMEM, newMEMWB
 
-	info.Energy = c.model.EndCycle()
 	c.stats.Cycles++
-	c.stats.EnergyPJ += info.Energy.Total
-	for i, v := range info.Energy.By {
-		c.stats.ByComp[i] += v
-	}
-	if c.sink != nil {
-		c.sink.OnCycle(info)
+	info := CycleInfo{Cycle: cycle, U: execU}
+	for _, p := range c.probes {
+		p.OnCycle(info)
 	}
 	return nil
 }
@@ -384,118 +355,106 @@ func (c *CPU) Step() error {
 // forward resolves the EX-stage operand values using the standard forwarding
 // paths: EX/MEM (one instruction ahead, ALU results only — load-use pairs
 // are separated by the ID stall) and MEM/WB (two ahead, including load data).
-func (c *CPU) forward(id idexLatch, exm exmemLatch, mwb memwbLatch) (a, b uint32) {
-	a, b = id.a, id.b
-	pick := func(r isa.Reg, cur uint32) uint32 {
-		if r == isa.Zero {
-			return cur
-		}
-		// MEM/WB first so the younger EX/MEM result can override it.
-		if mwb.valid {
-			if d, ok := mwb.inst.Dest(); ok && d == r {
-				cur = mwb.value
+// Predecoded operand routing makes this uniform: A forwards when SrcA is a
+// real register, B only when the micro-op reads B from the register file.
+func (c *CPU) forward(u *isa.UOp, a, b uint32, exm exmemLatch, mwb memwbLatch) (uint32, uint32) {
+	// MEM/WB first so the younger EX/MEM result can override it.
+	if mwb.valid {
+		if d := c.uops[mwb.idx].Dest; d != isa.Zero {
+			if d == u.SrcA {
+				a = mwb.value
+			}
+			if u.BReg && d == u.SrcB {
+				b = mwb.value
 			}
 		}
-		if exm.valid && !exm.inst.Op.IsLoad() {
-			if d, ok := exm.inst.Dest(); ok && d == r {
-				cur = exm.aluOut
-			}
-		}
-		return cur
 	}
-	in := id.inst
-	switch in.Op.Format() {
-	case isa.FmtR:
-		a, b = pick(in.Rs, a), pick(in.Rt, b)
-	case isa.FmtRShift:
-		a = pick(in.Rt, a)
-	case isa.FmtRJump:
-		a = pick(in.Rs, a)
-	case isa.FmtI:
-		a = pick(in.Rs, a)
-	case isa.FmtIMem:
-		a = pick(in.Rs, a)
-		if in.Op.IsStore() {
-			b = pick(in.Rt, b)
+	if exm.valid {
+		eu := &c.uops[exm.idx]
+		if d := eu.Dest; d != isa.Zero && !eu.Load {
+			if d == u.SrcA {
+				a = exm.aluOut
+			}
+			if u.BReg && d == u.SrcB {
+				b = exm.aluOut
+			}
 		}
-	case isa.FmtIBranch:
-		a, b = pick(in.Rs, a), pick(in.Rt, b)
 	}
 	return a, b
 }
 
-// execInst computes the EX-stage result of one instruction: the ALU output
-// (or memory address), plus branch/jump resolution. It is shared by the
-// pipelined CPU and the RefModel golden model so that co-simulation isolates
+// execUOp computes the EX-stage result of one micro-op: the ALU output (or
+// memory address), plus branch/jump resolution. It is shared by the pipelined
+// CPU and the RefModel golden model so that co-simulation isolates
 // pipeline-control bugs.
-func execInst(in isa.Inst, pc, a, b uint32) (res, target uint32, taken bool, err error) {
-	switch in.Op {
-	case isa.OpAddu, isa.OpAddiu:
+func execUOp(u *isa.UOp, a, b uint32) (res, target uint32, taken bool, err error) {
+	switch u.Class {
+	case isa.ClassAdd:
 		res = a + b
-	case isa.OpSubu:
+	case isa.ClassSub:
 		res = a - b
-	case isa.OpAnd, isa.OpAndi:
+	case isa.ClassAnd:
 		res = a & b
-	case isa.OpOr, isa.OpOri:
+	case isa.ClassOr:
 		res = a | b
-	case isa.OpXor, isa.OpXori:
+	case isa.ClassXor:
 		res = a ^ b
-	case isa.OpNor:
+	case isa.ClassNor:
 		res = ^(a | b)
-	case isa.OpSll, isa.OpSllv:
+	case isa.ClassSll:
 		// ID places the shifted value in a and the count (immediate or rt)
 		// in b for both fixed and variable shifts.
 		res = a << (b & 31)
-	case isa.OpSrl, isa.OpSrlv:
+	case isa.ClassSrl:
 		res = a >> (b & 31)
-	case isa.OpSra, isa.OpSrav:
+	case isa.ClassSra:
 		res = uint32(int32(a) >> (b & 31))
-	case isa.OpSlt, isa.OpSlti:
+	case isa.ClassSlt:
 		if int32(a) < int32(b) {
 			res = 1
 		}
-	case isa.OpSltu, isa.OpSltiu:
+	case isa.ClassSltu:
 		if a < b {
 			res = 1
 		}
-	case isa.OpMul:
+	case isa.ClassMul:
 		res = a * b
-	case isa.OpLui:
+	case isa.ClassLui:
 		res = b << 15
-	case isa.OpLw, isa.OpSw:
-		res = a + uint32(in.Imm) // address; b carries the store value
-	case isa.OpBeq:
+	case isa.ClassMem:
+		res = a + u.Off // address; b carries the store value
+	case isa.ClassBeq:
 		res = a - b
 		if a == b {
-			target, taken = pc+4+uint32(in.Imm)*4, true
+			target, taken = u.Target, true
 		}
-	case isa.OpBne:
+	case isa.ClassBne:
 		res = a - b
 		if a != b {
-			target, taken = pc+4+uint32(in.Imm)*4, true
+			target, taken = u.Target, true
 		}
-	case isa.OpBlez:
+	case isa.ClassBlez:
 		if int32(a) <= 0 {
-			target, taken = pc+4+uint32(in.Imm)*4, true
+			target, taken = u.Target, true
 		}
-	case isa.OpBgtz:
+	case isa.ClassBgtz:
 		if int32(a) > 0 {
-			target, taken = pc+4+uint32(in.Imm)*4, true
+			target, taken = u.Target, true
 		}
-	case isa.OpJ:
-		target, taken = uint32(in.Imm)*4, true
-	case isa.OpJal:
-		res = pc + 4
-		target, taken = uint32(in.Imm)*4, true
-	case isa.OpJr:
+	case isa.ClassJ:
+		target, taken = u.Target, true
+	case isa.ClassJal:
+		res = u.PC + 4
+		target, taken = u.Target, true
+	case isa.ClassJr:
 		target, taken = a, true
 		if target%4 != 0 {
-			return 0, 0, false, fmt.Errorf("cpu: jr to misaligned address %#x at pc %#x", target, pc)
+			return 0, 0, false, fmt.Errorf("cpu: jr to misaligned address %#x at pc %#x", target, u.PC)
 		}
-	case isa.OpHalt:
+	case isa.ClassHalt:
 		// no datapath effect
 	default:
-		return 0, 0, false, fmt.Errorf("cpu: unimplemented opcode %v at pc %#x", in.Op, pc)
+		return 0, 0, false, fmt.Errorf("cpu: unimplemented exec class %v at pc %#x", u.Class, u.PC)
 	}
 	return res, target, taken, nil
 }

@@ -10,12 +10,14 @@ import (
 )
 
 // RefModel is a functional, one-instruction-at-a-time golden model of the
-// ISA with no pipeline. It shares the EX-stage semantics with the pipelined
-// CPU, so co-simulating the two validates exactly the machinery that can go
-// wrong in the pipeline: operand bypassing, load-use stalls, control-flow
-// flushes, and writeback ordering.
+// ISA with no pipeline. It executes the same predecoded micro-op table with
+// the same EX-stage semantics (execUOp) as the pipelined CPU, so
+// co-simulating the two validates exactly the machinery that can go wrong in
+// the pipeline: operand bypassing, load-use stalls, control-flow flushes, and
+// writeback ordering.
 type RefModel struct {
 	prog *asm.Program
+	uops []isa.UOp
 	mem  *mem.Memory
 	regs [isa.NumRegs]uint32
 	pc   uint32
@@ -30,7 +32,11 @@ func NewRef(p *asm.Program, m *mem.Memory) (*RefModel, error) {
 	if len(p.Text) == 0 {
 		return nil, errors.New("cpu: empty program")
 	}
-	r := &RefModel{prog: p, mem: m, pc: p.Entry}
+	uops, err := isa.PredecodeProgram(p.Text, p.TextBase)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: %w", err)
+	}
+	r := &RefModel{prog: p, uops: uops, mem: m, pc: p.Entry}
 	if err := m.LoadImage(p.DataBase, p.Data); err != nil {
 		return nil, err
 	}
@@ -58,11 +64,12 @@ func (r *RefModel) Halted() bool { return r.halted }
 // Insts returns the number of executed instructions.
 func (r *RefModel) Insts() uint64 { return r.insts }
 
-// Run executes until halt or maxInsts instructions.
+// Run executes until halt or maxInsts instructions. It returns a
+// *CycleLimitError (matching ErrCycleLimit) when the budget expires first.
 func (r *RefModel) Run(maxInsts uint64) error {
 	for !r.halted {
 		if r.insts >= maxInsts {
-			return ErrMaxCycles
+			return &CycleLimitError{Limit: maxInsts}
 		}
 		if err := r.Step(); err != nil {
 			return err
@@ -77,56 +84,41 @@ func (r *RefModel) Step() error {
 		return errors.New("cpu: stepping a halted reference model")
 	}
 	idx := (r.pc - r.prog.TextBase) / 4
-	if r.pc < r.prog.TextBase || int(idx) >= len(r.prog.Text) || r.pc%4 != 0 {
+	if r.pc < r.prog.TextBase || int(idx) >= len(r.uops) || r.pc%4 != 0 {
 		return fmt.Errorf("cpu: ref fetch outside text segment at pc %#x", r.pc)
 	}
-	in := r.prog.Text[idx]
+	u := &r.uops[idx]
 	r.insts++
 
-	// Operand selection mirrors the pipelined ID stage.
-	var a, b uint32
-	switch in.Op.Format() {
-	case isa.FmtR:
-		a, b = r.regs[in.Rs], r.regs[in.Rt]
-	case isa.FmtRShift:
-		a, b = r.regs[in.Rt], uint32(in.Imm)
-	case isa.FmtRJump:
-		a = r.regs[in.Rs]
-	case isa.FmtI:
-		a, b = r.regs[in.Rs], uint32(in.Imm)
-	case isa.FmtILui:
-		b = uint32(in.Imm)
-	case isa.FmtIMem:
-		a = r.regs[in.Rs]
-		if in.Op.IsStore() {
-			b = r.regs[in.Rt]
-		}
-	case isa.FmtIBranch:
-		a, b = r.regs[in.Rs], r.regs[in.Rt]
+	// Operand selection uses the predecoded routing, mirroring the ID stage.
+	a := r.regs[u.SrcA]
+	b := u.BConst
+	if u.BReg {
+		b = r.regs[u.SrcB]
 	}
 
-	res, target, taken, err := execInst(in, r.pc, a, b)
+	res, target, taken, err := execUOp(u, a, b)
 	if err != nil {
 		return err
 	}
 
 	value := res
 	switch {
-	case in.Op.IsLoad():
+	case u.Load:
 		v, lerr := r.mem.LoadWord(res)
 		if lerr != nil {
 			return fmt.Errorf("cpu: ref pc %#x: %w", r.pc, lerr)
 		}
 		value = v
-	case in.Op.IsStore():
+	case u.Store:
 		if serr := r.mem.StoreWord(res, b); serr != nil {
 			return fmt.Errorf("cpu: ref pc %#x: %w", r.pc, serr)
 		}
-	case in.Op == isa.OpHalt:
+	case u.Class == isa.ClassHalt:
 		r.halted = true
 	}
-	if d, ok := in.Dest(); ok {
-		r.regs[d] = value
+	if u.Dest != isa.Zero {
+		r.regs[u.Dest] = value
 	}
 	if taken {
 		r.pc = target

@@ -362,22 +362,22 @@ func (m *Machine) EncryptJob(key, plaintext uint64, maxCycles uint64, capture bo
 	return job, nil
 }
 
-// Encrypt runs one encryption through the simulation session. sink may be
-// nil. maxCycles <= 0 uses MaxCycles; when the budget expires before
-// completion (useful for first-round-only attack traces) the partial result
-// is returned with done == false.
-func (m *Machine) Encrypt(key, plaintext uint64, sink cpu.CycleSink, maxCycles uint64) (cipherText uint64, stats cpu.Stats, done bool, err error) {
+// Encrypt runs one encryption through the simulation session, attaching any
+// extra probes for the run. maxCycles <= 0 uses MaxCycles; when the budget
+// expires before completion (useful for first-round-only attack traces) the
+// partial result is returned with done == false.
+func (m *Machine) Encrypt(key, plaintext uint64, maxCycles uint64, probes ...cpu.Probe) (cipherText uint64, stats sim.Stats, done bool, err error) {
 	if maxCycles <= 0 {
 		maxCycles = MaxCycles
 	}
 	job, err := m.EncryptJob(key, plaintext, maxCycles, false)
 	if err != nil {
-		return 0, cpu.Stats{}, false, err
+		return 0, sim.Stats{}, false, err
 	}
-	job.Sink = sink
+	job.Probes = probes
 	res := m.Runner().Run(job)
 	if res.Err != nil {
-		return 0, cpu.Stats{}, false, res.Err
+		return 0, sim.Stats{}, false, res.Err
 	}
 	return gatherBits(res.Mem[0]), res.Stats, res.Done, nil
 }
@@ -461,17 +461,17 @@ func (m *Machine) CipherBatch(inputs []Input, opts sim.Options) ([]uint64, error
 
 // TraceRun runs one full encryption capturing the complete per-cycle trace
 // along with the run statistics.
-func (m *Machine) TraceRun(key, plaintext uint64) (*trace.Trace, uint64, cpu.Stats, error) {
+func (m *Machine) TraceRun(key, plaintext uint64) (*trace.Trace, uint64, sim.Stats, error) {
 	job, err := m.EncryptJob(key, plaintext, 0, true)
 	if err != nil {
-		return nil, 0, cpu.Stats{}, err
+		return nil, 0, sim.Stats{}, err
 	}
 	res := m.Runner().Run(job)
 	if res.Err != nil {
-		return nil, 0, cpu.Stats{}, res.Err
+		return nil, 0, sim.Stats{}, res.Err
 	}
 	if !res.Done {
-		return nil, 0, cpu.Stats{}, fmt.Errorf("desprog: encryption exceeded %d cycles", uint64(MaxCycles))
+		return nil, 0, sim.Stats{}, fmt.Errorf("desprog: encryption exceeded %d cycles", uint64(MaxCycles))
 	}
 	return res.Trace, gatherBits(res.Mem[0]), res.Stats, nil
 }

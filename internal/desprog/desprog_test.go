@@ -9,7 +9,6 @@ import (
 	"desmask/internal/compiler"
 	"desmask/internal/cpu"
 	"desmask/internal/des"
-	"desmask/internal/energy"
 	"desmask/internal/mem"
 	"desmask/internal/minic"
 	"desmask/internal/trace"
@@ -44,7 +43,7 @@ func mach(t *testing.T, p compiler.Policy) *Machine {
 
 func TestSimulatedMatchesReferenceClassic(t *testing.T) {
 	m := mach(t, compiler.PolicyNone)
-	ct, stats, done, err := m.Encrypt(testKey, testPlain, nil, 0)
+	ct, stats, done, err := m.Encrypt(testKey, testPlain, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +66,7 @@ func TestSimulatedMatchesReferenceRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	for i := 0; i < 5; i++ {
 		key, pt := rng.Uint64(), rng.Uint64()
-		ct, _, done, err := m.Encrypt(key, pt, nil, 0)
+		ct, _, done, err := m.Encrypt(key, pt, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,7 +82,7 @@ func TestSimulatedMatchesReferenceRandom(t *testing.T) {
 func TestAllPoliciesProduceSameCiphertext(t *testing.T) {
 	want := des.Encrypt(testKey, testPlain)
 	for _, pol := range compiler.Policies() {
-		ct, _, done, err := mach(t, pol).Encrypt(testKey, testPlain, nil, 0)
+		ct, _, done, err := mach(t, pol).Encrypt(testKey, testPlain, 0)
 		if err != nil {
 			t.Fatalf("%v: %v", pol, err)
 		}
@@ -109,18 +108,18 @@ func TestCycleCountKeyIndependent(t *testing.T) {
 	// The control flow must not depend on the key: equal cycle counts give
 	// cycle-aligned differential traces.
 	m := mach(t, compiler.PolicyNone)
-	_, s1, _, err := m.Encrypt(testKey, testPlain, nil, 0)
+	_, s1, _, err := m.Encrypt(testKey, testPlain, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, s2, _, err := m.Encrypt(testKey2, testPlain, nil, 0)
+	_, s2, _, err := m.Encrypt(testKey2, testPlain, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s1.Cycles != s2.Cycles {
 		t.Errorf("cycle counts differ with key: %d vs %d", s1.Cycles, s2.Cycles)
 	}
-	_, s3, _, err := m.Encrypt(testKey, ^uint64(testPlain), nil, 0)
+	_, s3, _, err := m.Encrypt(testKey, ^uint64(testPlain), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +273,7 @@ func TestPlaintextDifferenceVisibleInIPOnly(t *testing.T) {
 func TestSecureInstructionShare(t *testing.T) {
 	// Selective must secure a real but minority share of instructions.
 	m := mach(t, compiler.PolicySelective)
-	_, stats, _, err := m.Encrypt(testKey, testPlain, nil, 0)
+	_, stats, _, err := m.Encrypt(testKey, testPlain, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,16 +285,19 @@ func TestSecureInstructionShare(t *testing.T) {
 
 func TestPartialRunForAttackTraces(t *testing.T) {
 	m := mach(t, compiler.PolicyNone)
-	var rec trace.Recorder
-	_, stats, done, err := m.Encrypt(testKey, testPlain, &rec, 30_000)
+	job, err := m.EncryptJob(testKey, testPlain, 30_000, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if done {
+	res := m.Runner().Run(job)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Done {
 		t.Error("30k cycles should not complete a full encryption")
 	}
-	if stats.Cycles != 30_000 || rec.T.Len() != 30_000 {
-		t.Errorf("partial run recorded %d cycles, want 30000", rec.T.Len())
+	if res.Stats.Cycles != 30_000 || res.Trace.Len() != 30_000 {
+		t.Errorf("partial run recorded %d cycles, want 30000", res.Trace.Len())
 	}
 }
 
@@ -305,14 +307,14 @@ func TestEnergyTotalsOrdering(t *testing.T) {
 		compiler.PolicyNone, compiler.PolicySelective,
 		compiler.PolicyNaiveLoadStore, compiler.PolicyAllSecure,
 	} {
-		_, stats, _, err := mach(t, pol).Encrypt(testKey, testPlain, nil, 0)
+		_, stats, _, err := mach(t, pol).Encrypt(testKey, testPlain, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if i > 0 && stats.EnergyPJ <= prev {
-			t.Errorf("%v total %.0f pJ not above previous %.0f pJ", pol, stats.EnergyPJ, prev)
+		if i > 0 && stats.Energy.Total <= prev {
+			t.Errorf("%v total %.0f pJ not above previous %.0f pJ", pol, stats.Energy.Total, prev)
 		}
-		prev = stats.EnergyPJ
+		prev = stats.Energy.Total
 	}
 }
 
@@ -338,7 +340,7 @@ func TestDecryptMatchesReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	ct := des.Encrypt(testKey, testPlain)
-	pt, _, done, err := m.Encrypt(testKey, ct, nil, 0)
+	pt, _, done, err := m.Encrypt(testKey, ct, 0)
 	if err != nil || !done {
 		t.Fatalf("decrypt run: %v done=%v", err, done)
 	}
@@ -353,11 +355,11 @@ func TestDecryptRoundTripMasked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ct, _, _, err := enc.Encrypt(testKey, testPlain, nil, 0)
+	ct, _, _, err := enc.Encrypt(testKey, testPlain, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pt, _, done, err := dec.Encrypt(testKey, ct, nil, 0)
+	pt, _, done, err := dec.Encrypt(testKey, ct, 0)
 	if err != nil || !done {
 		t.Fatalf("decrypt: %v", err)
 	}
@@ -402,7 +404,7 @@ func TestCosimAgainstGoldenModel(t *testing.T) {
 	m := mach(t, compiler.PolicyNone)
 	prog := m.Res.Program
 
-	pipe, err := cpu.New(prog, mem.New(), energy.NewModel(energy.DefaultConfig()))
+	pipe, err := cpu.New(prog, mem.New())
 	if err != nil {
 		t.Fatal(err)
 	}

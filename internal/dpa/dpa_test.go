@@ -186,10 +186,13 @@ func TestSPAFindsRoundPeriod(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rec trace.Recorder
-	_, _, done, err := m.Encrypt(attackKey, 0x0123456789ABCDEF, &rec, 0)
-	if err != nil || !done {
-		t.Fatalf("run: %v done=%v", err, done)
+	job, err := m.EncryptJob(attackKey, 0x0123456789ABCDEF, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Runner().Run(job)
+	if res.Err != nil || !res.Done {
+		t.Fatalf("run: %v done=%v", res.Err, res.Done)
 	}
 	// Ground truth round length from the symbol table.
 	starts := func() []int {
@@ -198,7 +201,7 @@ func TestSPAFindsRoundPeriod(t *testing.T) {
 			t.Fatal(err)
 		}
 		var s []int
-		for i, pc := range rec.T.PCs {
+		for i, pc := range res.Trace.PCs {
 			if pc == entry {
 				s = append(s, i)
 			}
@@ -211,16 +214,16 @@ func TestSPAFindsRoundPeriod(t *testing.T) {
 	roundLen := starts[1] - starts[0]
 
 	const bucket = 100
-	res := SPA(rec.T.Totals, bucket, 20, 400)
-	if res.Strength < 0.3 {
-		t.Errorf("SPA autocorrelation too weak: %.3f", res.Strength)
+	spa := SPA(res.Trace.Totals, bucket, 20, 400)
+	if spa.Strength < 0.3 {
+		t.Errorf("SPA autocorrelation too weak: %.3f", spa.Strength)
 	}
-	got := res.Period * bucket
+	got := spa.Period * bucket
 	if math.Abs(float64(got-roundLen)) > 0.1*float64(roundLen) {
 		t.Errorf("SPA period %d cycles, true round length %d", got, roundLen)
 	}
-	if res.Rounds < 14 || res.Rounds > 20 {
-		t.Errorf("SPA round estimate %d, want ~16", res.Rounds)
+	if spa.Rounds < 14 || spa.Rounds > 20 {
+		t.Errorf("SPA round estimate %d, want ~16", spa.Rounds)
 	}
 }
 

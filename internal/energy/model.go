@@ -46,6 +46,11 @@ type CycleEnergy struct {
 
 // Add accumulates o into e.
 func (e *CycleEnergy) Add(o CycleEnergy) {
+	e.AddFrom(&o)
+}
+
+// AddFrom accumulates *o into e without copying the component array.
+func (e *CycleEnergy) AddFrom(o *CycleEnergy) {
 	e.Total += o.Total
 	for i := range e.By {
 		e.By[i] += o.By[i]
@@ -187,12 +192,22 @@ func (m *Model) BeginCycle() {
 
 // EndCycle closes the period and returns its energy.
 func (m *Model) EndCycle() CycleEnergy {
-	e := m.acc
-	e.Total = 0
-	for _, v := range e.By {
-		e.Total += v
-	}
+	var e CycleEnergy
+	m.EndCycleInto(&e)
 	return e
+}
+
+// EndCycleInto closes the period and writes its energy into dst, avoiding the
+// 96-byte return copy on the per-cycle hot path. The total is summed over the
+// components in index order, exactly as EndCycle always has, so per-cycle
+// energy values are bit-identical regardless of which variant the caller uses.
+func (m *Model) EndCycleInto(dst *CycleEnergy) {
+	dst.By = m.acc.By
+	total := 0.0
+	for _, v := range dst.By {
+		total += v
+	}
+	dst.Total = total
 }
 
 func (m *Model) charge(c Component, pj float64) { m.acc.By[c] += pj }

@@ -18,7 +18,6 @@ import (
 
 	"desmask/internal/compiler"
 	"desmask/internal/core"
-	"desmask/internal/cpu"
 	"desmask/internal/des"
 	"desmask/internal/desprog"
 	"desmask/internal/dpa"
@@ -304,7 +303,7 @@ func OptimizationTable(key, plaintext uint64) ([]OptRow, error) {
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		cipher, stats, done, err := m.Encrypt(key, plaintext, nil, 0)
+		cipher, stats, done, err := m.Encrypt(key, plaintext, 0)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -315,7 +314,7 @@ func OptimizationTable(key, plaintext uint64) ([]OptRow, error) {
 			return 0, 0, 0, fmt.Errorf("experiments: policy %v (optimize=%v): cipher %016X, reference %016X",
 				p, optimize, cipher, want)
 		}
-		return len(m.Res.Program.Text), stats.Cycles, stats.EnergyPJ / 1e6, nil
+		return len(m.Res.Program.Text), stats.Cycles, stats.Energy.Total / 1e6, nil
 	}
 	var rows []OptRow
 	for _, p := range compiler.Policies() {
@@ -495,12 +494,12 @@ func Workloads() ([]WorkloadRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, stats, _, err := m.Encrypt(DefaultKey, DefaultPlain, nil, 0)
+		_, stats, _, err := m.Encrypt(DefaultKey, DefaultPlain, 0)
 		if err != nil {
 			return nil, err
 		}
 		desRow.Cycles = stats.Cycles
-		desRow.UJ[pol] = stats.EnergyPJ / 1e6
+		desRow.UJ[pol] = stats.Energy.Total / 1e6
 	}
 	f9, err := Figure9(DefaultKey, DefaultKeyBit1, DefaultPlain)
 	if err != nil {
@@ -538,12 +537,12 @@ func Workloads() ([]WorkloadRow, error) {
 			if err != nil {
 				return err
 			}
-			_, stats, err := m.Run(s1, pub, nil)
+			_, stats, err := m.Run(s1, pub)
 			if err != nil {
 				return err
 			}
 			row.Cycles = stats.Cycles
-			row.UJ[pol] = stats.EnergyPJ / 1e6
+			row.UJ[pol] = stats.Energy.Total / 1e6
 		}
 		// Flatness check on the selective build.
 		m, err := kernels.BuildSimple(k, compiler.PolicySelective)
@@ -937,13 +936,13 @@ func ComponentBreakdown(key, plaintext uint64) ([]ComponentRow, error) {
 		if err != nil {
 			return err
 		}
-		_, stats, _, err := m.Encrypt(key, plaintext, nil, 0)
+		_, stats, _, err := m.Encrypt(key, plaintext, 0)
 		if err != nil {
 			return err
 		}
-		row := ComponentRow{Policy: pols[i], Total: stats.EnergyPJ / 1e6, ByComp: map[string]float64{}}
+		row := ComponentRow{Policy: pols[i], Total: stats.Energy.Total / 1e6, ByComp: map[string]float64{}}
 		for c := energy.Component(0); c < energy.NumComponents; c++ {
-			row.ByComp[c.String()] = stats.ByComp[c] / 1e6
+			row.ByComp[c.String()] = stats.Energy.By[c] / 1e6
 		}
 		rows[i] = row
 		return nil
@@ -964,28 +963,24 @@ type PeakPower struct {
 	AvgPJ  float64
 }
 
-// PeakPowerSweep measures the per-cycle peak for each policy.
+// PeakPowerSweep measures the per-cycle peak for each policy. The peak is
+// tracked by the session's energy meter probe, so no extra instrumentation is
+// attached.
 func PeakPowerSweep(key, plaintext uint64) ([]PeakPower, error) {
 	pols := compiler.Policies()
 	rows := make([]PeakPower, len(pols))
-	// One machine (and session) per policy; the per-policy sink is local to
-	// its goroutine, so the sweep parallelises without shared state.
+	// One machine (and session) per policy, so the sweep parallelises
+	// without shared state.
 	err := sim.ForEach(len(pols), 0, func(i int) error {
 		m, err := desprog.New(pols[i])
 		if err != nil {
 			return err
 		}
-		peak := 0.0
-		sink := cpu.SinkFunc(func(ci cpu.CycleInfo) {
-			if ci.Energy.Total > peak {
-				peak = ci.Energy.Total
-			}
-		})
-		_, stats, _, err := m.Encrypt(key, plaintext, sink, 0)
+		_, stats, _, err := m.Encrypt(key, plaintext, 0)
 		if err != nil {
 			return err
 		}
-		rows[i] = PeakPower{Policy: pols[i], PeakPJ: peak, AvgPJ: stats.AvgPJPerCycle()}
+		rows[i] = PeakPower{Policy: pols[i], PeakPJ: stats.PeakPJ, AvgPJ: stats.AvgPJPerCycle()}
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,205 @@
+package isa
+
+import "fmt"
+
+// ExecClass selects the EX-stage evaluation routine of a predecoded micro-op.
+// Opcodes that share datapath semantics share a class (addu/addiu, sll/sllv,
+// lw/sw address generation), so the per-cycle dispatch switch stays small and
+// branch-predictable.
+type ExecClass uint8
+
+// EX-stage dispatch classes.
+const (
+	ClassAdd ExecClass = iota
+	ClassSub
+	ClassAnd
+	ClassOr
+	ClassXor
+	ClassNor
+	ClassSll
+	ClassSrl
+	ClassSra
+	ClassSlt
+	ClassSltu
+	ClassMul
+	ClassLui
+	ClassMem // lw/sw: result is the address rs+offset
+	ClassBeq
+	ClassBne
+	ClassBlez
+	ClassBgtz
+	ClassJ
+	ClassJal
+	ClassJr
+	ClassHalt
+	NumExecClasses
+)
+
+var execClassNames = [NumExecClasses]string{
+	"add", "sub", "and", "or", "xor", "nor", "sll", "srl", "sra",
+	"slt", "sltu", "mul", "lui", "mem", "beq", "bne", "blez", "bgtz",
+	"j", "jal", "jr", "halt",
+}
+
+// String returns the class name.
+func (c ExecClass) String() string {
+	if c < NumExecClasses {
+		return execClassNames[c]
+	}
+	return fmt.Sprintf("class?%d", uint8(c))
+}
+
+// UOp is a predecoded micro-operation: one architectural instruction with
+// every per-cycle decode decision resolved up front — operand routing,
+// register read/write ports, EX dispatch class, control-flow targets, the
+// secure bit and the energy-relevant unit selection. The CPU predecodes a
+// program once into a dense []UOp table at construction, so the steady-state
+// pipeline loop performs table lookups only: no decoding, no format
+// switches, and no allocation.
+type UOp struct {
+	PC     uint32 // instruction address
+	Word   uint32 // binary encoding, as driven on the fetch bus
+	Target uint32 // precomputed taken target (branches, j, jal; jr is dynamic)
+	BConst uint32 // operand-B constant when !BReg (immediate, shamt, or 0)
+	Off    uint32 // load/store address offset (sign-extended)
+
+	Class ExecClass
+	Op    Opcode
+	SrcA  Reg   // operand-A register ($zero when A is the constant 0)
+	SrcB  Reg   // operand-B register, meaningful when BReg
+	Dest  Reg   // destination register ($zero = no register write)
+	NSrc  uint8 // register-file read ports fired in ID
+
+	BReg    bool // operand B is read from SrcB (and forwarded); else BConst
+	Secure  bool // executes on the dual-rail precharged datapath
+	Load    bool
+	Store   bool
+	XorUnit bool // uses the dedicated XOR unit (energy accounting)
+
+	Inst Inst // the architectural instruction (disassembly, probe inspection)
+}
+
+// execClassOf maps an opcode to its EX dispatch class.
+func execClassOf(op Opcode) (ExecClass, bool) {
+	switch op {
+	case OpAddu, OpAddiu:
+		return ClassAdd, true
+	case OpSubu:
+		return ClassSub, true
+	case OpAnd, OpAndi:
+		return ClassAnd, true
+	case OpOr, OpOri:
+		return ClassOr, true
+	case OpXor, OpXori:
+		return ClassXor, true
+	case OpNor:
+		return ClassNor, true
+	case OpSll, OpSllv:
+		return ClassSll, true
+	case OpSrl, OpSrlv:
+		return ClassSrl, true
+	case OpSra, OpSrav:
+		return ClassSra, true
+	case OpSlt, OpSlti:
+		return ClassSlt, true
+	case OpSltu, OpSltiu:
+		return ClassSltu, true
+	case OpMul:
+		return ClassMul, true
+	case OpLui:
+		return ClassLui, true
+	case OpLw, OpSw:
+		return ClassMem, true
+	case OpBeq:
+		return ClassBeq, true
+	case OpBne:
+		return ClassBne, true
+	case OpBlez:
+		return ClassBlez, true
+	case OpBgtz:
+		return ClassBgtz, true
+	case OpJ:
+		return ClassJ, true
+	case OpJal:
+		return ClassJal, true
+	case OpJr:
+		return ClassJr, true
+	case OpHalt:
+		return ClassHalt, true
+	}
+	return 0, false
+}
+
+// Predecode resolves one instruction at address pc into its micro-op form.
+// The operand routing mirrors the pipelined ID stage exactly: A is always a
+// register read ($zero when the format has no first operand), B is either a
+// forwarded register read or a constant.
+func Predecode(in Inst, pc uint32) (UOp, error) {
+	class, ok := execClassOf(in.Op)
+	if !ok {
+		return UOp{}, fmt.Errorf("isa: cannot predecode opcode %v at pc %#x", in.Op, pc)
+	}
+	word, err := Encode(in)
+	if err != nil {
+		return UOp{}, fmt.Errorf("isa: predecode at pc %#x: %w", pc, err)
+	}
+	u := UOp{
+		PC:      pc,
+		Word:    word,
+		Class:   class,
+		Op:      in.Op,
+		Secure:  in.Secure,
+		Load:    in.Op.IsLoad(),
+		Store:   in.Op.IsStore(),
+		XorUnit: in.Op == OpXor || in.Op == OpXori,
+		NSrc:    uint8(len(in.Sources())),
+		Inst:    in,
+	}
+	if d, ok := in.Dest(); ok {
+		u.Dest = d
+	}
+	switch in.Op.Format() {
+	case FmtR:
+		u.SrcA, u.SrcB, u.BReg = in.Rs, in.Rt, true
+	case FmtRShift:
+		u.SrcA, u.BConst = in.Rt, uint32(in.Imm)
+	case FmtRJump:
+		u.SrcA = in.Rs
+	case FmtI:
+		u.SrcA, u.BConst = in.Rs, uint32(in.Imm)
+	case FmtILui:
+		u.BConst = uint32(in.Imm)
+	case FmtIMem:
+		u.SrcA, u.Off = in.Rs, uint32(in.Imm)
+		if in.Op.IsStore() {
+			u.SrcB, u.BReg = in.Rt, true
+		}
+	case FmtIBranch:
+		// blez/bgtz leave Rt at $zero: B reads as 0 and is never forwarded,
+		// matching a hardware read of the zero register.
+		u.SrcA, u.SrcB, u.BReg = in.Rs, in.Rt, true
+	case FmtJ, FmtNone:
+		// No operands; A and B read as 0.
+	}
+	switch {
+	case in.Op.IsBranch():
+		u.Target = pc + 4 + uint32(in.Imm)*4
+	case in.Op == OpJ || in.Op == OpJal:
+		u.Target = uint32(in.Imm) * 4
+	}
+	return u, nil
+}
+
+// PredecodeProgram predecodes a text segment based at textBase into a dense
+// micro-op table, index = (pc - textBase) / 4.
+func PredecodeProgram(text []Inst, textBase uint32) ([]UOp, error) {
+	uops := make([]UOp, len(text))
+	for i, in := range text {
+		u, err := Predecode(in, textBase+uint32(4*i))
+		if err != nil {
+			return nil, fmt.Errorf("isa: text word %d: %w", i, err)
+		}
+		uops[i] = u
+	}
+	return uops, nil
+}

@@ -1,0 +1,104 @@
+package isa
+
+import "testing"
+
+func TestPredecodeMirrorsInstMetadata(t *testing.T) {
+	cases := []Inst{
+		{Op: OpAddu, Rd: T0, Rs: T1, Rt: T2},
+		{Op: OpSubu, Rd: T0, Rs: T1, Rt: T2, Secure: true},
+		{Op: OpXor, Rd: S0, Rs: S1, Rt: S2},
+		{Op: OpXori, Rt: T3, Rs: T4, Imm: 0x1f},
+		{Op: OpSll, Rd: T0, Rt: T1, Imm: 3},
+		{Op: OpSrav, Rd: T0, Rs: T1, Rt: T2},
+		{Op: OpAddiu, Rt: T5, Rs: SP, Imm: -16},
+		{Op: OpLui, Rt: T6, Imm: 0x1234},
+		{Op: OpLw, Rt: T0, Rs: GP, Imm: 64, Secure: true},
+		{Op: OpSw, Rt: T0, Rs: SP, Imm: -4},
+		{Op: OpBeq, Rs: T0, Rt: T1, Imm: -6},
+		{Op: OpBne, Rs: T0, Rt: T1, Imm: 10},
+		{Op: OpBlez, Rs: T0, Imm: 2},
+		{Op: OpBgtz, Rs: T0, Imm: -2},
+		{Op: OpJ, Imm: 0x40},
+		{Op: OpJal, Imm: 0x80},
+		{Op: OpJr, Rs: RA},
+		{Op: OpHalt},
+		Nop(),
+	}
+	const pc = 0x1000
+	for _, in := range cases {
+		u, err := Predecode(in, pc)
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if int(u.NSrc) != len(in.Sources()) {
+			t.Errorf("%v: NSrc = %d, want %d", in, u.NSrc, len(in.Sources()))
+		}
+		if d, ok := in.Dest(); ok {
+			if u.Dest != d {
+				t.Errorf("%v: Dest = %v, want %v", in, u.Dest, d)
+			}
+		} else if u.Dest != Zero {
+			t.Errorf("%v: Dest = %v, want no write", in, u.Dest)
+		}
+		if want, err := Encode(in); err != nil || u.Word != want {
+			t.Errorf("%v: Word = %#x, want %#x (err %v)", in, u.Word, want, err)
+		}
+		if u.Secure != in.Secure || u.Load != in.Op.IsLoad() || u.Store != in.Op.IsStore() {
+			t.Errorf("%v: flag mismatch: %+v", in, u)
+		}
+		if u.XorUnit != (in.Op == OpXor || in.Op == OpXori) {
+			t.Errorf("%v: XorUnit = %v", in, u.XorUnit)
+		}
+		// Every register named as a source must be forwardable through
+		// SrcA/SrcB, and nothing else may be.
+		wantSrc := map[Reg]bool{}
+		for _, s := range in.Sources() {
+			if s != Zero {
+				wantSrc[s] = true
+			}
+		}
+		gotSrc := map[Reg]bool{}
+		if u.SrcA != Zero {
+			gotSrc[u.SrcA] = true
+		}
+		if u.BReg && u.SrcB != Zero {
+			gotSrc[u.SrcB] = true
+		}
+		for r := range wantSrc {
+			if !gotSrc[r] {
+				t.Errorf("%v: source %v not routed through SrcA/SrcB", in, r)
+			}
+		}
+		for r := range gotSrc {
+			if !wantSrc[r] {
+				t.Errorf("%v: %v routed as operand but not an architectural source", in, r)
+			}
+		}
+	}
+}
+
+func TestPredecodeTargets(t *testing.T) {
+	u, err := Predecode(Inst{Op: OpBeq, Rs: T0, Rt: T1, Imm: -6}, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint32(0x1000 + 4 - 6*4); u.Target != want {
+		t.Errorf("beq target = %#x, want %#x", u.Target, want)
+	}
+	u, err = Predecode(Inst{Op: OpJal, Imm: 0x80}, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint32(0x80 * 4); u.Target != want {
+		t.Errorf("jal target = %#x, want %#x", u.Target, want)
+	}
+}
+
+func TestPredecodeRejectsInvalid(t *testing.T) {
+	if _, err := Predecode(Inst{Op: OpInvalid}, 0); err == nil {
+		t.Fatal("predecode accepted an invalid opcode")
+	}
+	if _, err := PredecodeProgram([]Inst{Nop(), {Op: OpInvalid}}, 0x400); err == nil {
+		t.Fatal("PredecodeProgram accepted an invalid opcode")
+	}
+}

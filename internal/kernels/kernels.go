@@ -94,26 +94,28 @@ func (m *Machine) Job(secret, public []uint32, capture bool) (sim.Job, error) {
 	return job, nil
 }
 
-// output unpacks one job result into the kernel's (output, stats) shape.
-func (m *Machine) output(res sim.Result) ([]uint32, cpu.Stats, error) {
+// output unpacks one job result into the kernel's (output, stats) shape. A
+// budget expiry surfaces as a *cpu.CycleLimitError (matching
+// cpu.ErrCycleLimit), distinguishable from program faults.
+func (m *Machine) output(res sim.Result) ([]uint32, sim.Stats, error) {
 	if res.Err != nil {
 		return nil, res.Stats, fmt.Errorf("kernels: %s: %w", m.Kernel.Name, res.Err)
 	}
 	if !res.Done {
-		return nil, res.Stats, fmt.Errorf("kernels: %s: %w", m.Kernel.Name, cpu.ErrMaxCycles)
+		return nil, res.Stats, fmt.Errorf("kernels: %s: %w", m.Kernel.Name, &cpu.CycleLimitError{Limit: MaxCycles})
 	}
 	return res.Mem[0], res.Stats, nil
 }
 
 // Run executes the kernel through the simulation session with the secret
 // and public inputs poked into their global arrays, returning the output
-// array and run statistics. sink may be nil.
-func (m *Machine) Run(secret, public []uint32, sink cpu.CycleSink) ([]uint32, cpu.Stats, error) {
+// array and run statistics. Extra probes are attached for this run.
+func (m *Machine) Run(secret, public []uint32, probes ...cpu.Probe) ([]uint32, sim.Stats, error) {
 	job, err := m.Job(secret, public, false)
 	if err != nil {
-		return nil, cpu.Stats{}, err
+		return nil, sim.Stats{}, err
 	}
-	job.Sink = sink
+	job.Probes = probes
 	return m.output(m.Runner().Run(job))
 }
 

@@ -26,7 +26,7 @@ func TestTEASimulatedMatchesReference(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		key := [4]uint32{rng.Uint32(), rng.Uint32(), rng.Uint32(), rng.Uint32()}
 		v := [2]uint32{rng.Uint32(), rng.Uint32()}
-		out, stats, err := m.Run(key[:], v[:], nil)
+		out, stats, err := m.Run(key[:], v[:])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -51,7 +51,7 @@ func TestAESSimulatedMatchesReference(t *testing.T) {
 		key[i] = uint32(i)
 	}
 	pt := []uint32{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}
-	out, stats, err := m.Run(key, pt, nil)
+	out, stats, err := m.Run(key, pt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestAESSimulatedMatchesReference(t *testing.T) {
 			t.Fatalf("AES sim byte %d = %#02x, want %#02x", i, out[i], want[i])
 		}
 	}
-	t.Logf("AES-128 on the simulator: %d cycles, %.1f µJ", stats.Cycles, stats.EnergyPJ/1e6)
+	t.Logf("AES-128 on the simulator: %d cycles, %.1f µJ", stats.Cycles, stats.Energy.Total/1e6)
 }
 
 func TestAESSimulatedMatchesReferenceRandom(t *testing.T) {
@@ -80,7 +80,7 @@ func TestAESSimulatedMatchesReferenceRandom(t *testing.T) {
 			key[i] = uint32(rng.Intn(256))
 			pt[i] = uint32(rng.Intn(256))
 		}
-		out, _, err := m.Run(key, pt, nil)
+		out, _, err := m.Run(key, pt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -199,14 +199,14 @@ func TestKernelEnergyOrdering(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			_, stats, err := m.Run(secret, public, nil)
+			_, stats, err := m.Run(secret, public)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if i > 0 && stats.EnergyPJ <= prev {
-				t.Errorf("%s %v: energy %.0f not above previous %.0f", k.Name, pol, stats.EnergyPJ, prev)
+			if i > 0 && stats.Energy.Total <= prev {
+				t.Errorf("%s %v: energy %.0f not above previous %.0f", k.Name, pol, stats.Energy.Total, prev)
 			}
-			prev = stats.EnergyPJ
+			prev = stats.Energy.Total
 		}
 	}
 }
@@ -217,7 +217,7 @@ func TestRunErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Run([]uint32{1}, nil, nil); err == nil {
+	if _, _, err := m.Run([]uint32{1}, nil); err == nil {
 		t.Error("missing globals should fail")
 	}
 	if _, err := BuildSimple(Kernel{Name: "syntax", Source: "int"}, compiler.PolicyNone); err == nil {
@@ -249,7 +249,7 @@ func TestSHA1SimulatedMatchesReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	iv, block := sha1ABCBlock()
-	out, stats, err := m.Run(iv[:], block[:], nil)
+	out, stats, err := m.Run(iv[:], block[:])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestSHA1SimulatedMatchesReference(t *testing.T) {
 			t.Fatalf("digest[%d] = %08x, want %08x", i, out[i], want[i])
 		}
 	}
-	t.Logf("SHA-1 compression on the simulator: %d cycles, %.2f µJ", stats.Cycles, stats.EnergyPJ/1e6)
+	t.Logf("SHA-1 compression on the simulator: %d cycles, %.2f µJ", stats.Cycles, stats.Energy.Total/1e6)
 
 	// Random states/blocks too.
 	rng := rand.New(rand.NewSource(17))
@@ -272,7 +272,7 @@ func TestSHA1SimulatedMatchesReference(t *testing.T) {
 		for i := range bl {
 			bl[i] = rng.Uint32()
 		}
-		out, _, err := m.Run(st[:], bl[:], nil)
+		out, _, err := m.Run(st[:], bl[:])
 		if err != nil {
 			t.Fatal(err)
 		}

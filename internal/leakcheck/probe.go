@@ -1,0 +1,145 @@
+package leakcheck
+
+import (
+	"sort"
+
+	"desmask/internal/cpu"
+	"desmask/internal/isa"
+)
+
+// Probe is the shadow-taint check as a cpu.Probe on the pipelined core
+// itself: it replays the taint rules of the standalone Checker from EX-stage
+// events alone. Because a control redirect squashes only the ID and IF
+// stages, every micro-op that reaches EX also retires, so ExecEvents
+// correspond one-to-one with architectural execution — the probe's report is
+// identical to the interpreter's on the same run (the differential
+// comparator test in probe_test.go pins this).
+//
+// Attach it to a run whose memory pokes match the taint marked with
+// TaintWords/TaintWord; unlike the Checker it does not own the memory image,
+// it only shadows it.
+type Probe struct {
+	tmem   map[uint32]bool
+	taint  [isa.NumRegs]bool
+	leaks  map[uint32]*Leak
+	wasted uint64
+	insts  uint64
+}
+
+// NewProbe returns an empty taint probe.
+func NewProbe() *Probe {
+	return &Probe{tmem: map[uint32]bool{}, leaks: map[uint32]*Leak{}}
+}
+
+// Reset clears all taint and recorded leaks for a fresh run.
+func (p *Probe) Reset() {
+	p.tmem = map[uint32]bool{}
+	p.taint = [isa.NumRegs]bool{}
+	p.leaks = map[uint32]*Leak{}
+	p.wasted = 0
+	p.insts = 0
+}
+
+// TaintWords marks n words starting at addr as secret.
+func (p *Probe) TaintWords(addr uint32, n int) {
+	for i := 0; i < n; i++ {
+		p.tmem[addr+uint32(4*i)] = true
+	}
+}
+
+// TaintWord sets or clears the taint of one memory word.
+func (p *Probe) TaintWord(addr uint32, tainted bool) {
+	if tainted {
+		p.tmem[addr] = true
+	} else {
+		delete(p.tmem, addr)
+	}
+}
+
+// record mirrors Checker.record on micro-ops.
+func (p *Probe) record(u *isa.UOp, tainted bool) {
+	switch {
+	case tainted && !u.Secure:
+		l := p.leaks[u.PC]
+		if l == nil {
+			l = &Leak{PC: u.PC, Inst: u.Inst}
+			p.leaks[u.PC] = l
+		}
+		l.Count++
+	case !tainted && u.Secure:
+		p.wasted++
+	}
+}
+
+// OnExec implements cpu.ExecObserver: one architectural execution step of the
+// taint machine. Operand taint uses the predecoded routing ($zero is never
+// tainted, and no micro-op writes it, so reads through $zero stay clean).
+func (p *Probe) OnExec(e cpu.ExecEvent) {
+	u := e.U
+	p.insts++
+	ta := p.taint[u.SrcA]
+	tb := false
+	if u.BReg {
+		tb = p.taint[u.SrcB]
+	}
+	switch {
+	case u.Load:
+		// A load is sensitive when the loaded value is tainted OR the
+		// address derives from a secret (the secure-indexing condition).
+		t := p.tmem[e.Result] || ta
+		p.record(u, t)
+		p.taint[u.Dest] = t
+	case u.Store:
+		t := tb || ta
+		p.record(u, t)
+		p.TaintWord(e.Result, t)
+	case u.Class == isa.ClassBeq, u.Class == isa.ClassBne,
+		u.Class == isa.ClassBlez, u.Class == isa.ClassBgtz:
+		// A tainted condition is a control-flow leak: timing is observable.
+		p.record(u, ta || tb)
+	case u.Class == isa.ClassJ:
+	case u.Class == isa.ClassJal:
+		p.taint[u.Dest] = false
+	case u.Class == isa.ClassJr:
+		p.record(u, ta)
+	case u.Class == isa.ClassHalt:
+	default:
+		// ALU operations (including lui).
+		t := ta || tb
+		p.record(u, t)
+		if u.Dest != isa.Zero {
+			p.taint[u.Dest] = t
+		}
+	}
+}
+
+// OnCycle implements cpu.Probe; the taint machine is driven by OnExec only.
+func (p *Probe) OnCycle(cpu.CycleInfo) {}
+
+// Report returns the accumulated leak report, identical in shape to the
+// standalone Checker's.
+func (p *Probe) Report() *Report {
+	rep := &Report{SecureInsecureData: p.wasted, Insts: p.insts}
+	for _, l := range p.leaks {
+		rep.Leaks = append(rep.Leaks, *l)
+	}
+	sort.Slice(rep.Leaks, func(i, j int) bool { return rep.Leaks[i].PC < rep.Leaks[j].PC })
+	return rep
+}
+
+// Equal reports whether two reports agree exactly: same leak sites with the
+// same dynamic counts, same wasted-masking count, same instruction count.
+// It is the differential comparator between the pipeline probe and the
+// standalone interpreter.
+func (r *Report) Equal(o *Report) bool {
+	if r.SecureInsecureData != o.SecureInsecureData || r.Insts != o.Insts ||
+		len(r.Leaks) != len(o.Leaks) {
+		return false
+	}
+	for i := range r.Leaks {
+		if r.Leaks[i] != o.Leaks[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,121 @@
+package leakcheck_test
+
+import (
+	"testing"
+
+	"desmask/internal/compiler"
+	"desmask/internal/cpu"
+	"desmask/internal/desprog"
+	"desmask/internal/leakcheck"
+)
+
+// TestProbeMatchesChecker is the differential comparator: the pipeline taint
+// probe, driven only by EX-stage events of the pipelined core, must produce
+// exactly the standalone interpreter's report (same leak sites, counts,
+// wasted-masking total and instruction count) for the DES workload under
+// every policy.
+func TestProbeMatchesChecker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const (
+		key       = 0x133457799BBCDFF1
+		plaintext = 0x0123456789ABCDEF
+	)
+	bit := func(v uint64, i int) uint32 { return uint32(v >> (63 - i) & 1) }
+	for _, policy := range compiler.Policies() {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			t.Parallel()
+			m, err := desprog.New(policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog := m.Res.Program
+			keyAddr := prog.Symbols[compiler.GlobalLabel("key")]
+			ptAddr := prog.Symbols[compiler.GlobalLabel("plaintext")]
+
+			// Pipeline run with the taint probe attached.
+			probe := leakcheck.NewProbe()
+			probe.TaintWords(keyAddr, 64)
+			job, err := m.EncryptJob(key, plaintext, 0, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			job.Probes = []cpu.Probe{probe}
+			res := m.Runner().Run(job)
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if !res.Done {
+				t.Fatal("encryption did not halt")
+			}
+			got := probe.Report()
+
+			// Interpreter run with identical memory inputs.
+			c, err := leakcheck.New(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 64; i++ {
+				if err := c.SetWord(keyAddr+uint32(4*i), bit(key, i), true); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.SetWord(ptAddr+uint32(4*i), bit(plaintext, i), false); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !got.Equal(want) {
+				t.Errorf("probe and interpreter reports diverge:\n probe: insts=%d wasted=%d sites=%d (dyn %d)\n check: insts=%d wasted=%d sites=%d (dyn %d)",
+					got.Insts, got.SecureInsecureData, len(got.Leaks), got.LeakCount(),
+					want.Insts, want.SecureInsecureData, len(want.Leaks), want.LeakCount())
+				for i := range want.Leaks {
+					if i < len(got.Leaks) && got.Leaks[i] != want.Leaks[i] {
+						t.Errorf("first site mismatch: probe %+v, checker %+v", got.Leaks[i], want.Leaks[i])
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestProbeReset verifies a reused probe reports identically to a fresh one.
+func TestProbeReset(t *testing.T) {
+	m, err := desprog.New(compiler.PolicySelective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := m.Res.Program
+	keyAddr := prog.Symbols[compiler.GlobalLabel("key")]
+
+	run := func(p *leakcheck.Probe) *leakcheck.Report {
+		p.TaintWords(keyAddr, 64)
+		job, err := m.EncryptJob(0xA5A5F00D42, 0x1122334455667788, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job.Probes = []cpu.Probe{p}
+		res := m.Runner().Run(job)
+		if res.Err != nil || !res.Done {
+			t.Fatalf("run failed: err=%v done=%v", res.Err, res.Done)
+		}
+		return p.Report()
+	}
+
+	reused := leakcheck.NewProbe()
+	first := run(reused)
+	reused.Reset()
+	second := run(reused)
+	if !first.Equal(second) {
+		t.Error("reset probe diverged from its first run")
+	}
+	if !first.Equal(run(leakcheck.NewProbe())) {
+		t.Error("fresh probe diverged from reused probe")
+	}
+}

@@ -49,6 +49,25 @@ type Read struct {
 	Words int
 }
 
+// Stats joins the core's architectural counters with the energy meter's
+// accumulation for one run. The core itself no longer accounts energy; the
+// session layer attaches the meter probe and merges its totals here.
+type Stats struct {
+	cpu.Stats
+	// Energy is the run's accumulated energy, total and per component (pJ).
+	Energy energy.CycleEnergy
+	// PeakPJ is the largest single-cycle energy of the run.
+	PeakPJ float64
+}
+
+// AvgPJPerCycle returns the mean per-cycle energy.
+func (s Stats) AvgPJPerCycle() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return s.Energy.Total / float64(s.Cycles)
+}
+
 // Job is one independent simulation: input pokes, a cycle budget, and what
 // to capture.
 type Job struct {
@@ -60,17 +79,26 @@ type Job struct {
 	MaxCycles uint64
 	// Trace captures the full per-cycle energy trace into Result.Trace.
 	Trace bool
-	// Sink optionally streams cycles to a custom listener. It is honored by
-	// Run only; RunBatch rejects jobs with sinks because a shared listener
-	// would race across workers and break the determinism contract.
-	Sink cpu.CycleSink
+	// RequireHalt turns budget expiry into a job error (a *cpu.CycleLimitError
+	// matching cpu.ErrCycleLimit) instead of the default Done=false partial
+	// run, for callers that consider an unfinished program a failure.
+	RequireHalt bool
+	// Probes are attached to the core for this run, after the runner's own
+	// energy meter and trace recorder. Honored by Run only; RunBatch rejects
+	// jobs with shared probe instances because they would race across
+	// workers and break the determinism contract — use NewProbes there.
+	Probes []cpu.Probe
+	// NewProbes, when non-nil, is called once per execution and the returned
+	// probes are attached for that run. Safe in batches: every job gets
+	// fresh probe instances, so nothing is shared across workers.
+	NewProbes func() []cpu.Probe
 }
 
 // Result is the outcome of one job.
 type Result struct {
 	// Stats accumulates the run's cycle/instruction/energy accounting. On
 	// error it holds whatever had accumulated when the fault hit.
-	Stats cpu.Stats
+	Stats Stats
 	// Done reports that the program halted within the cycle budget; false
 	// with a nil Err means the budget expired first (a partial run, used
 	// deliberately for first-round attack traces).
@@ -148,21 +176,25 @@ func (r *Runner) Program() *asm.Program { return r.prog }
 // Config returns the session's energy configuration.
 func (r *Runner) Config() energy.Config { return r.cfg }
 
-// worker bundles the per-worker reusable simulator state.
+// worker bundles the per-worker reusable simulator state: the core, its
+// energy meter, and a trace recorder reading from that meter.
 type worker struct {
-	c   *cpu.CPU
-	rec trace.Recorder
+	c     *cpu.CPU
+	meter *energy.Probe
+	rec   trace.Recorder
 }
 
 func (r *Runner) getWorker() (*worker, error) {
 	if w, ok := r.pool.Get().(*worker); ok {
 		return w, nil
 	}
-	c, err := cpu.New(r.prog, mem.New(), energy.NewModel(r.cfg))
+	c, err := cpu.New(r.prog, mem.New())
 	if err != nil {
 		return nil, err
 	}
-	return &worker{c: c}, nil
+	w := &worker{c: c, meter: energy.NewProbe(r.cfg)}
+	w.rec.Meter = w.meter
+	return w, nil
 }
 
 // budget returns the effective cycle budget of a job.
@@ -206,24 +238,43 @@ func (r *Runner) runOn(w *worker, job Job) Result {
 		}
 	}
 	budget := r.budget(job)
-	sink := job.Sink
+	// The meter is always the first probe so that later probes (the trace
+	// recorder, caller probes) observe the committed cycle via meter.Last().
+	w.meter.Reset()
+	w.c.ClearProbes()
+	w.c.Attach(w.meter)
 	if job.Trace {
 		w.rec.Reset()
 		w.rec.Reserve(r.reserveHint(budget))
-		sink = &w.rec
+		w.c.Attach(&w.rec)
 	}
-	w.c.SetSink(sink)
+	for _, p := range job.Probes {
+		w.c.Attach(p)
+	}
+	if job.NewProbes != nil {
+		for _, p := range job.NewProbes() {
+			w.c.Attach(p)
+		}
+	}
 
 	runErr := w.c.Run(budget)
-	res.Stats = w.c.Stats()
+	res.Stats = Stats{
+		Stats:  w.c.Stats(),
+		Energy: w.meter.Total(),
+		PeakPJ: w.meter.PeakPJ(),
+	}
 	for reg := isa.Reg(0); reg < isa.NumRegs; reg++ {
 		res.Regs[reg] = w.c.Reg(reg)
 	}
 	switch {
 	case runErr == nil:
 		res.Done = true
-	case errors.Is(runErr, cpu.ErrMaxCycles):
+	case errors.Is(runErr, cpu.ErrCycleLimit):
 		res.Done = false
+		if job.RequireHalt {
+			res.Err = runErr
+			return res
+		}
 	default:
 		res.Err = runErr
 		return res
@@ -263,8 +314,8 @@ func (r *Runner) RunBatch(jobs []Job, opts Options) ([]Result, error) {
 		return results, nil
 	}
 	for i := range jobs {
-		if jobs[i].Sink != nil {
-			return nil, fmt.Errorf("sim: job %d: custom sinks are not supported in batches", i)
+		if len(jobs[i].Probes) > 0 {
+			return nil, fmt.Errorf("sim: job %d: shared probe instances are not supported in batches (use Job.NewProbes)", i)
 		}
 	}
 	workers := opts.resolve(len(jobs))
@@ -296,8 +347,13 @@ func (r *Runner) RunBatch(jobs []Job, opts Options) ([]Result, error) {
 	}
 	wg.Wait()
 	for i := range results {
-		if results[i].Err != nil {
-			return results, fmt.Errorf("sim: job %d: %w", i, results[i].Err)
+		if err := results[i].Err; err != nil {
+			// A cycle-limit expiry (RequireHalt jobs) is a budget problem, not
+			// a program fault; say so instead of surfacing a bare limit error.
+			if errors.Is(err, cpu.ErrCycleLimit) {
+				return results, fmt.Errorf("sim: job %d did not halt within its cycle budget: %w", i, err)
+			}
+			return results, fmt.Errorf("sim: job %d: %w", i, err)
 		}
 	}
 	return results, nil

@@ -86,8 +86,11 @@ func TestRunComputesKernel(t *testing.T) {
 		if want := wantOut(syms, i); !reflect.DeepEqual(res.Mem[0], want) {
 			t.Fatalf("job %d: out=%v want %v", i, res.Mem[0], want)
 		}
-		if res.Stats.Cycles == 0 || res.Stats.EnergyPJ <= 0 {
+		if res.Stats.Cycles == 0 || res.Stats.Energy.Total <= 0 {
 			t.Fatalf("job %d: empty stats %+v", i, res.Stats)
+		}
+		if res.Stats.PeakPJ <= 0 || res.Stats.PeakPJ > res.Stats.Energy.Total {
+			t.Fatalf("job %d: implausible peak %v", i, res.Stats.PeakPJ)
 		}
 	}
 }
@@ -199,12 +202,68 @@ func TestRunBudgetExpiry(t *testing.T) {
 	}
 }
 
-func TestRunBatchRejectsSinks(t *testing.T) {
+func TestRunBatchRejectsSharedProbes(t *testing.T) {
 	r, syms := newTestRunner(t)
 	job := testJob(syms, 0, false)
-	job.Sink = cpu.SinkFunc(func(cpu.CycleInfo) {})
+	job.Probes = []cpu.Probe{cpu.ProbeFunc(func(cpu.CycleInfo) {})}
 	if _, err := r.RunBatch([]sim.Job{job}, sim.Options{}); err == nil {
-		t.Fatal("RunBatch accepted a job with a custom sink")
+		t.Fatal("RunBatch accepted a job with shared probe instances")
+	}
+}
+
+// TestRunBatchNewProbes verifies the batch-safe probe path: every job gets a
+// fresh probe instance from its factory, and each sees exactly its own run.
+func TestRunBatchNewProbes(t *testing.T) {
+	r, syms := newTestRunner(t)
+	const n = 8
+	counts := make([]uint64, n)
+	jobs := make([]sim.Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = testJob(syms, i, false)
+		jobs[i].NewProbes = func() []cpu.Probe {
+			return []cpu.Probe{cpu.ProbeFunc(func(cpu.CycleInfo) { counts[i]++ })}
+		}
+	}
+	results, err := r.RunBatch(jobs, sim.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if counts[i] != res.Stats.Cycles {
+			t.Fatalf("job %d: probe saw %d cycles, stats report %d", i, counts[i], res.Stats.Cycles)
+		}
+	}
+}
+
+// TestRequireHalt verifies the typed cycle-limit error: budget expiry on a
+// RequireHalt job is a *cpu.CycleLimitError matching cpu.ErrCycleLimit, and
+// RunBatch reports it as a budget problem — while program faults don't match.
+func TestRequireHalt(t *testing.T) {
+	r, syms := newTestRunner(t)
+	job := testJob(syms, 0, false)
+	job.MaxCycles = 25
+	job.RequireHalt = true
+	res := r.Run(job)
+	if !errors.Is(res.Err, cpu.ErrCycleLimit) {
+		t.Fatalf("RequireHalt expiry: got %v, want ErrCycleLimit", res.Err)
+	}
+	var cle *cpu.CycleLimitError
+	if !errors.As(res.Err, &cle) || cle.Limit != 25 {
+		t.Fatalf("want *cpu.CycleLimitError with Limit=25, got %#v", res.Err)
+	}
+
+	_, err := r.RunBatch([]sim.Job{job}, sim.Options{})
+	if err == nil || !errors.Is(err, cpu.ErrCycleLimit) {
+		t.Fatalf("batch error must match ErrCycleLimit, got %v", err)
+	}
+
+	// A genuine program fault must not look like a budget expiry.
+	bad := testJob(syms, 0, false)
+	bad.Writes = append([]sim.Write{}, bad.Writes...)
+	bad.Writes[0].Addr = 0x2 // misaligned store faults during setup
+	if res := r.Run(bad); res.Err == nil || errors.Is(res.Err, cpu.ErrCycleLimit) {
+		t.Fatalf("program fault classified as cycle limit: %v", res.Err)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"desmask/internal/cpu"
+	"desmask/internal/energy"
 )
 
 // NoPC marks cycles whose EX stage held a bubble.
@@ -28,9 +29,12 @@ type Trace struct {
 // Len returns the number of recorded cycles.
 func (t *Trace) Len() int { return len(t.Totals) }
 
-// Recorder is a cpu.CycleSink that appends every cycle to a Trace.
+// Recorder is a cpu.Probe that appends every cycle to a Trace, reading each
+// committed cycle's energy from the Meter. Attach the Meter to the CPU before
+// the Recorder so Meter.Last() holds the current cycle when the Recorder runs.
 type Recorder struct {
-	T Trace
+	Meter *energy.Probe
+	T     Trace
 }
 
 // Reset drops the recorded trace while keeping the underlying buffer
@@ -70,32 +74,34 @@ func (r *Recorder) Snapshot(withPCs bool) *Trace {
 	return t
 }
 
-// OnCycle implements cpu.CycleSink.
+// OnCycle implements cpu.Probe.
 func (r *Recorder) OnCycle(ci cpu.CycleInfo) {
-	r.T.Totals = append(r.T.Totals, ci.Energy.Total)
+	r.T.Totals = append(r.T.Totals, r.Meter.LastPJ())
 	pc := NoPC
-	if ci.ExecValid {
-		pc = ci.ExecPC
+	if ci.U != nil {
+		pc = ci.U.PC
 	}
 	r.T.PCs = append(r.T.PCs, pc)
 }
 
-// WindowRecorder records only cycles in [Start, End).
+// WindowRecorder records only cycles in [Start, End). Like Recorder, it reads
+// energy from a Meter attached earlier in the probe chain.
 type WindowRecorder struct {
+	Meter      *energy.Probe
 	Start, End uint64
 	T          Trace
 }
 
-// OnCycle implements cpu.CycleSink.
+// OnCycle implements cpu.Probe.
 func (r *WindowRecorder) OnCycle(ci cpu.CycleInfo) {
 	if ci.Cycle < r.Start || ci.Cycle >= r.End {
 		return
 	}
 	pc := NoPC
-	if ci.ExecValid {
-		pc = ci.ExecPC
+	if ci.U != nil {
+		pc = ci.U.PC
 	}
-	r.T.Totals = append(r.T.Totals, ci.Energy.Total)
+	r.T.Totals = append(r.T.Totals, r.Meter.LastPJ())
 	r.T.PCs = append(r.T.PCs, pc)
 }
 
