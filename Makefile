@@ -24,10 +24,14 @@ bench:
 #  - sequential vs parallel batch trace acquisition (traces/sec + bit-identity)
 #  - compiler optimization ablation (per-policy instruction/cycle/energy
 #    counts for DES with and without -O)
+#  - streaming TVLA acceptance run: 10k-trace fixed-vs-random DES per policy
+#    at workers 1/4/16 (bit-identity, verdicts, traces/sec, constant memory
+#    vs the materialized dpa.Collect baseline) (BENCH_tvla.json)
 bench-json:
 	$(GO) run ./cmd/simbench -traces 64 -trials 10 \
 		-o BENCH_parallel_traces.json -core-o BENCH_predecode.json
 	$(GO) run ./cmd/optbench -o BENCH_compiler_opt.json
+	$(GO) run ./cmd/tvla -bench -traces 10000 -max 12000 -o BENCH_tvla.json
 
 # Regenerate every figure and table of the paper (text report + plots).
 experiments:

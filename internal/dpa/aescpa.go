@@ -8,6 +8,7 @@ import (
 
 	"desmask/internal/aes"
 	"desmask/internal/kernels"
+	"desmask/internal/leakstat"
 	"desmask/internal/sim"
 	"desmask/internal/trace"
 )
@@ -22,6 +23,11 @@ type AESTraceSet struct {
 	Plaintexts [][]uint32 // 16 bytes each
 	Traces     [][]float64
 	Window     trace.Window
+	// OrigLens and Truncated mirror TraceSet: per-trace lengths as collected
+	// (before the maxCycles cut and shortest-run alignment), and whether
+	// alignment actually shortened any trace relative to its peers.
+	OrigLens  []int
+	Truncated bool
 }
 
 // CollectAES gathers n AES-kernel energy traces under one key with random
@@ -51,6 +57,7 @@ func CollectAES(m *kernels.Machine, key []uint32, n int, seed int64, maxCycles i
 	minLen := -1
 	for _, r := range results {
 		totals := r.Trace.Totals
+		ts.OrigLens = append(ts.OrigLens, len(totals))
 		if maxCycles > 0 && len(totals) > maxCycles {
 			totals = totals[:maxCycles]
 		}
@@ -60,7 +67,10 @@ func CollectAES(m *kernels.Machine, key []uint32, n int, seed int64, maxCycles i
 		}
 	}
 	for i := range ts.Traces {
-		ts.Traces[i] = ts.Traces[i][:minLen]
+		if len(ts.Traces[i]) > minLen {
+			ts.Traces[i] = ts.Traces[i][:minLen]
+			ts.Truncated = true
+		}
 	}
 	ts.Window = trace.Window{Start: 0, End: minLen}
 	return ts, nil
@@ -75,53 +85,45 @@ func AESCPAByte(ts *AESTraceSet, byteIdx int) (best, runnerUp uint32, bestPeak, 
 	if m == 0 || n <= 0 {
 		return 0, 0, 0, 0
 	}
-	// Per-cycle means and variances are guess-independent: precompute.
-	mean := make([]float64, n)
+	// Per-cycle trace statistics are guess-independent: one streaming pass
+	// through the leakstat accumulator (Mean and M2 per sample), then center
+	// the traces against the final means.
+	v := leakstat.NewVec(n)
 	for _, tr := range ts.Traces {
-		for j, v := range tr[ts.Window.Start:ts.Window.End] {
-			mean[j] += v
-		}
+		v.AddTrace(tr[ts.Window.Start:ts.Window.End])
 	}
-	for j := range mean {
-		mean[j] /= float64(m)
-	}
-	tVar := make([]float64, n)
 	centered := make([][]float64, m)
 	for i, tr := range ts.Traces {
 		seg := tr[ts.Window.Start:ts.Window.End]
 		c := make([]float64, n)
-		for j, v := range seg {
-			c[j] = v - mean[j]
-			tVar[j] += c[j] * c[j]
+		for j, x := range seg {
+			c[j] = x - v.Mean[j]
 		}
 		centered[i] = c
 	}
 
 	h := make([]float64, m)
 	for guess := uint32(0); guess < 256; guess++ {
-		var hMean float64
+		var hAcc leakstat.Acc
 		for i, pt := range ts.Plaintexts {
 			h[i] = float64(bits.OnesCount8(aes.SBox[byte(pt[byteIdx])^byte(guess)]))
-			hMean += h[i]
-		}
-		hMean /= float64(m)
-		var hVar float64
-		for i := range h {
-			h[i] -= hMean
-			hVar += h[i] * h[i]
+			hAcc.Add(h[i])
 		}
 		peak := 0.0
-		if hVar > 0 {
+		if hAcc.M2 > 0 {
 			cov := make([]float64, n)
 			for i := range centered {
-				hi := h[i]
+				hi := h[i] - hAcc.Mean
 				for j, c := range centered[i] {
 					cov[j] += hi * c
 				}
 			}
+			// Guard the variance product as a whole: masked kernels leave
+			// samples energy-constant (M2 == 0), where the division would
+			// produce NaN; such samples carry no correlation, r = 0.
 			for j := range cov {
-				if tVar[j] > 0 {
-					if r := math.Abs(cov[j] / math.Sqrt(hVar*tVar[j])); r > peak {
+				if d := hAcc.M2 * v.M2[j]; d > 0 {
+					if r := math.Abs(cov[j] / math.Sqrt(d)); r > peak {
 						peak = r
 					}
 				}

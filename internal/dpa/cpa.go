@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"desmask/internal/des"
+	"desmask/internal/leakstat"
 )
 
 // CPA implements correlation power analysis — the natural strengthening of
@@ -20,55 +21,48 @@ import (
 // Hamming weight of the predicted S-box output (for one sub-key guess) and
 // the measured energy.
 func CorrelationTrace(ts *TraceSet, box int, guess uint32) []float64 {
-	n := ts.Window.End - ts.Window.Start
+	n := ts.Window.Len()
 	m := len(ts.Traces)
 	if m == 0 || n <= 0 {
 		return nil
 	}
 
-	// Power-model predictions.
+	// Power-model predictions through the leakstat scalar accumulator
+	// (hAcc.M2 is the sum of squared deviations, the Pearson denominator).
 	h := make([]float64, m)
-	var hMean float64
+	var hAcc leakstat.Acc
 	for i, pt := range ts.Plaintexts {
 		h[i] = float64(bits.OnesCount8(des.FirstRoundSBoxOutput(pt, box, guess)))
-		hMean += h[i]
-	}
-	hMean /= float64(m)
-	var hVar float64
-	for i := range h {
-		h[i] -= hMean
-		hVar += h[i] * h[i]
+		hAcc.Add(h[i])
 	}
 	out := make([]float64, n)
-	if hVar == 0 {
+	if hAcc.M2 == 0 {
 		return out // constant prediction carries no signal
 	}
 
-	// Per-cycle trace means.
-	mean := make([]float64, n)
+	// Per-cycle trace mean and M2 in one streaming pass.
+	v := leakstat.NewVec(n)
 	for _, tr := range ts.Traces {
-		for j, v := range tr[ts.Window.Start:ts.Window.End] {
-			mean[j] += v
-		}
-	}
-	for j := range mean {
-		mean[j] /= float64(m)
+		v.AddTrace(tr[ts.Window.Start:ts.Window.End])
 	}
 
-	// Covariance and trace variance per cycle.
+	// Covariance against the centered prediction.
 	cov := make([]float64, n)
-	tVar := make([]float64, n)
 	for i, tr := range ts.Traces {
+		hi := h[i] - hAcc.Mean
 		seg := tr[ts.Window.Start:ts.Window.End]
-		for j, v := range seg {
-			d := v - mean[j]
-			cov[j] += h[i] * d
-			tVar[j] += d * d
+		for j, x := range seg {
+			cov[j] += hi * (x - v.Mean[j])
 		}
 	}
+	// r = cov / sqrt(hM2 * traceM2), with the product guarded as a whole:
+	// masked traces make whole stretches of samples energy-constant
+	// (traceM2 == 0), where the unguarded division yields NaN and poisons
+	// every peak scan downstream; a zero-variance sample simply carries no
+	// correlation, r = 0.
 	for j := range out {
-		if tVar[j] > 0 {
-			out[j] = cov[j] / math.Sqrt(hVar*tVar[j])
+		if d := hAcc.M2 * v.M2[j]; d > 0 {
+			out[j] = cov[j] / math.Sqrt(d)
 		}
 	}
 	return out

@@ -16,6 +16,7 @@ import (
 
 	"desmask/internal/des"
 	"desmask/internal/desprog"
+	"desmask/internal/leakstat"
 	"desmask/internal/sim"
 	"desmask/internal/trace"
 )
@@ -47,6 +48,14 @@ type TraceSet struct {
 	Traces     [][]float64
 	// Window is the analysis window within each trace (defaults to all).
 	Window trace.Window
+	// OrigLens records each trace's length as collected. Runs under one key
+	// are cycle-aligned by construction, so normally every entry equals the
+	// common length; if they ever disagree, Collect aligns the set to the
+	// shortest run and sets Truncated, because cycle-indexed statistics are
+	// only meaningful over the common prefix. Callers that cannot tolerate
+	// truncation should reject sets with Truncated set.
+	OrigLens  []int
+	Truncated bool
 }
 
 // Len returns the number of traces.
@@ -77,13 +86,18 @@ func Collect(m *desprog.Machine, key uint64, cfg Config) (*TraceSet, error) {
 	minLen := -1
 	for _, r := range results {
 		ts.Traces = append(ts.Traces, r.Trace.Totals)
+		ts.OrigLens = append(ts.OrigLens, r.Trace.Len())
 		if minLen < 0 || r.Trace.Len() < minLen {
 			minLen = r.Trace.Len()
 		}
 	}
-	// Runs are cycle-aligned by construction; clamp to the shortest anyway.
+	// Runs are cycle-aligned by construction; if they ever come back ragged,
+	// align to the shortest run and say so via Truncated (see TraceSet).
 	for i := range ts.Traces {
-		ts.Traces[i] = ts.Traces[i][:minLen]
+		if len(ts.Traces[i]) > minLen {
+			ts.Traces[i] = ts.Traces[i][:minLen]
+			ts.Truncated = true
+		}
 	}
 	ts.Window = trace.Window{Start: 0, End: minLen}
 	return ts, nil
@@ -94,34 +108,37 @@ func Collect(m *desprog.Machine, key uint64, cfg Config) (*TraceSet, error) {
 // output bit (0-3, MSB first) of that S-box in round 1, and the pointwise
 // difference of the two group means is returned.
 func DifferenceOfMeans(ts *TraceSet, box, bit int, guess uint32) []float64 {
-	n := ts.Window.End - ts.Window.Start
-	sum1 := make([]float64, n)
-	sum0 := make([]float64, n)
-	n1, n0 := 0, 0
+	dom, _, _ := DifferenceOfMeansDetail(ts, box, bit, guess)
+	return dom
+}
+
+// DifferenceOfMeansDetail is DifferenceOfMeans plus the partition sizes, so
+// callers can tell a flat differential (masked traces) from a degenerate one
+// (a selection bit that never split — n1 or n0 zero — where the difference
+// is undefined and reported as all zeros rather than NaN/Inf). The group
+// means come from the leakstat accumulators, sharing the numerics of the
+// streaming TVLA engine.
+func DifferenceOfMeansDetail(ts *TraceSet, box, bit int, guess uint32) (dom []float64, n1, n0 int) {
+	n := ts.Window.Len()
+	g1, g0 := leakstat.NewVec(n), leakstat.NewVec(n)
 	for i, tr := range ts.Traces {
 		out := des.FirstRoundSBoxOutput(ts.Plaintexts[i], box, guess)
-		b := out >> (3 - bit) & 1
 		seg := tr[ts.Window.Start:ts.Window.End]
-		if b == 1 {
-			n1++
-			for j, v := range seg {
-				sum1[j] += v
-			}
+		if out>>(3-bit)&1 == 1 {
+			g1.AddTrace(seg)
 		} else {
-			n0++
-			for j, v := range seg {
-				sum0[j] += v
-			}
+			g0.AddTrace(seg)
 		}
 	}
-	out := make([]float64, n)
+	n1, n0 = int(g1.N()), int(g0.N())
+	dom = make([]float64, n)
 	if n1 == 0 || n0 == 0 {
-		return out // degenerate partition carries no signal
+		return dom, n1, n0 // degenerate partition carries no signal
 	}
-	for j := range out {
-		out[j] = sum1[j]/float64(n1) - sum0[j]/float64(n0)
+	for j := range dom {
+		dom[j] = g1.Mean[j] - g0.Mean[j]
 	}
-	return out
+	return dom, n1, n0
 }
 
 // GuessScore is the peak differential magnitude of one sub-key guess.
@@ -137,6 +154,11 @@ type BoxResult struct {
 	Best      GuessScore
 	RunnerUp  GuessScore
 	AllScores [64]float64
+	// Degenerate counts guesses whose selection bit never split the trace
+	// set (one group empty — inevitable with very few traces). Such guesses
+	// score zero by definition; a result where most guesses are degenerate
+	// says the set is too small to attack, not that the target is masked.
+	Degenerate int
 }
 
 // Margin returns Best.Peak / RunnerUp.Peak — the attack's confidence. A
@@ -153,7 +175,10 @@ func (r BoxResult) Margin() float64 {
 func AttackSBox(ts *TraceSet, box, bit int) BoxResult {
 	res := BoxResult{Box: box, Bit: bit, Best: GuessScore{Peak: -1}, RunnerUp: GuessScore{Peak: -1}}
 	for guess := uint32(0); guess < 64; guess++ {
-		dom := DifferenceOfMeans(ts, box, bit, guess)
+		dom, n1, n0 := DifferenceOfMeansDetail(ts, box, bit, guess)
+		if n1 == 0 || n0 == 0 {
+			res.Degenerate++
+		}
 		peak := 0.0
 		for _, v := range dom {
 			if a := math.Abs(v); a > peak {

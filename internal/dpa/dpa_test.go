@@ -370,3 +370,99 @@ func TestAESCPAEdgeCases(t *testing.T) {
 		t.Error("zero traces accepted")
 	}
 }
+
+// TestCPAConstantTracesFinite is the NaN regression test: every sample has
+// zero trace variance (the masked-trace shape), so the Pearson denominator
+// is zero everywhere. The correlations must come back finite zeros, never
+// NaN — a single NaN poisons every peak comparison downstream.
+func TestCPAConstantTracesFinite(t *testing.T) {
+	ts := &TraceSet{
+		// Distinct plaintexts so the power model varies (hVar > 0) while the
+		// traces do not (tVar == 0) — the exact hVar*tVar == 0 case.
+		Plaintexts: []uint64{0, ^uint64(0), 0x0123456789ABCDEF, 0xFEDCBA9876543210},
+		Traces:     [][]float64{{9, 9, 9}, {9, 9, 9}, {9, 9, 9}, {9, 9, 9}},
+		Window:     trace.Window{Start: 0, End: 3},
+	}
+	for guess := uint32(0); guess < 64; guess += 21 {
+		for j, r := range CorrelationTrace(ts, 0, guess) {
+			if math.IsNaN(r) || r != 0 {
+				t.Fatalf("guess %d sample %d: r=%v, want finite 0 on constant traces", guess, j, r)
+			}
+		}
+	}
+	r := CPAAttackSBox(ts, 0)
+	if math.IsNaN(r.Best.Peak) || r.Best.Peak != 0 {
+		t.Fatalf("constant-trace CPA peak %v, want 0", r.Best.Peak)
+	}
+}
+
+// TestAESCPAConstantTracesFinite: same regression for the AES distinguisher.
+func TestAESCPAConstantTracesFinite(t *testing.T) {
+	pts := make([][]uint32, 4)
+	traces := make([][]float64, 4)
+	for i := range pts {
+		pt := make([]uint32, 16)
+		for j := range pt {
+			pt[j] = uint32((i*31 + j*7) & 0xff)
+		}
+		pts[i] = pt
+		traces[i] = []float64{4, 4, 4, 4}
+	}
+	ts := &AESTraceSet{Plaintexts: pts, Traces: traces, Window: trace.Window{Start: 0, End: 4}}
+	_, _, bestPeak, runnerPeak := AESCPAByte(ts, 0)
+	if math.IsNaN(bestPeak) || math.IsNaN(runnerPeak) || bestPeak != 0 {
+		t.Fatalf("constant-trace AES CPA peaks (%v, %v), want finite zeros", bestPeak, runnerPeak)
+	}
+}
+
+// TestDegenerateSingleTraceSet is the empty-group regression test: one
+// trace can never populate both selection groups, so all 64 guesses are
+// degenerate. The differentials must be finite zeros (not NaN/Inf from a
+// division by n=0) and the result must say how many guesses degenerated.
+func TestDegenerateSingleTraceSet(t *testing.T) {
+	ts := &TraceSet{
+		Plaintexts: []uint64{0x0123456789ABCDEF},
+		Traces:     [][]float64{{5, 6, 7}},
+		Window:     trace.Window{Start: 0, End: 3},
+	}
+	r := AttackSBox(ts, 0, 0)
+	if r.Degenerate != 64 {
+		t.Fatalf("Degenerate=%d, want 64 for a 1-trace set", r.Degenerate)
+	}
+	for guess, score := range r.AllScores {
+		if math.IsNaN(score) || math.IsInf(score, 0) || score != 0 {
+			t.Fatalf("guess %d: score %v, want finite 0", guess, score)
+		}
+	}
+	dom, n1, n0 := DifferenceOfMeansDetail(ts, 0, 0, 0)
+	if n1+n0 != 1 || (n1 != 0 && n0 != 0) {
+		t.Fatalf("partition sizes (%d, %d), want one empty group", n1, n0)
+	}
+	for _, v := range dom {
+		if v != 0 {
+			t.Fatalf("degenerate DoM %v, want zeros", dom)
+		}
+	}
+	// A healthy set must report zero degenerate guesses.
+	setup(t)
+	if r := AttackSBox(unmaskedSet, 0, 0); r.Degenerate != 0 {
+		t.Fatalf("128-trace set reports %d degenerate guesses", r.Degenerate)
+	}
+}
+
+// TestCollectRecordsLengths: cycle-aligned collection records every run's
+// original length and reports no truncation.
+func TestCollectRecordsLengths(t *testing.T) {
+	setup(t)
+	if len(unmaskedSet.OrigLens) != unmaskedSet.Len() {
+		t.Fatalf("OrigLens has %d entries for %d traces", len(unmaskedSet.OrigLens), unmaskedSet.Len())
+	}
+	for i, l := range unmaskedSet.OrigLens {
+		if l != 25_000 {
+			t.Fatalf("trace %d: original length %d, want 25000", i, l)
+		}
+	}
+	if unmaskedSet.Truncated || maskedSet.Truncated {
+		t.Fatal("cycle-aligned collection must not report truncation")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"desmask/internal/energy"
 	"desmask/internal/kernels"
 	"desmask/internal/leakcheck"
+	"desmask/internal/leakstat"
 	"desmask/internal/sim"
 	"desmask/internal/trace"
 )
@@ -578,6 +579,97 @@ func Workloads() ([]WorkloadRow, error) {
 	return rows, nil
 }
 
+// TVLARow is one fixed-vs-random Welch t-test verdict from the streaming
+// leakstat engine: the modern leakage-assessment complement to the exact
+// two-trace differentials of Figures 8-11.
+type TVLARow struct {
+	Workload string
+	Policy   compiler.Policy
+	Traces   int
+	// MaxAbsT is the peak |t| over the masked region; Leak reports whether
+	// it crossed the TVLA threshold (leakstat.DefaultThreshold, 4.5).
+	MaxAbsT float64
+	Leak    bool
+}
+
+// kernelInputs returns the canonical secret/public inputs and the secret
+// word mask of one kernel (byte-valued state for aes128, full words
+// otherwise), shared by Workloads-style tables.
+func kernelInputs(k kernels.Kernel) (secret, public []uint32, wordMask uint32) {
+	secretLen, publicLen := 16, 16
+	wordMask = 0xffffffff
+	switch k.Name {
+	case "aes128":
+		wordMask = 0xff
+	case "tea":
+		secretLen, publicLen = 4, 2
+	case "sha1":
+		secretLen, publicLen = 5, 16
+	}
+	secret = make([]uint32, secretLen)
+	public = make([]uint32, publicLen)
+	for i := range secret {
+		secret[i] = uint32(i+1) & wordMask
+	}
+	for i := range public {
+		public[i] = uint32(i * 9)
+	}
+	return secret, public, wordMask
+}
+
+// TVLATable assesses DES and the kernels under the comparison policies with
+// the streaming fixed-vs-random engine: the secret varies between
+// populations, the window is the masked region, so an unprotected build
+// shows |t| far above threshold while a sound policy stays below (exactly
+// zero here — simulated traces are noise-free).
+func TVLATable(traces, workers int) ([]TVLARow, error) {
+	pols := []compiler.Policy{compiler.PolicyNone, compiler.PolicySelective, compiler.PolicyAllSecure}
+	var rows []TVLARow
+
+	const desCycles = 25_000
+	for _, pol := range pols {
+		m, err := desprog.New(pol)
+		if err != nil {
+			return nil, err
+		}
+		win, err := leakstat.DESMaskedWindow(m, DefaultKey, DefaultPlain, desCycles)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := leakstat.Assess(
+			leakstat.DESKeySource(m, DefaultKey, DefaultPlain, 7, desCycles),
+			leakstat.Config{NumTraces: traces, Seed: 7, Workers: workers, Window: win})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TVLARow{Workload: "des", Policy: pol, Traces: traces,
+			MaxAbsT: rep.MaxAbsT, Leak: rep.Leak})
+	}
+
+	for _, k := range []kernels.Kernel{kernels.AES128(), kernels.TEA(), kernels.SHA1()} {
+		secret, public, mask := kernelInputs(k)
+		for _, pol := range pols {
+			m, err := kernels.BuildSimple(k, pol)
+			if err != nil {
+				return nil, err
+			}
+			win, err := leakstat.KernelMaskedWindow(m, secret, public)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := leakstat.Assess(
+				leakstat.KernelSecretSource(m, secret, public, mask, 7, 0),
+				leakstat.Config{NumTraces: traces, Seed: 7, Workers: workers, Window: win})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, TVLARow{Workload: k.Name, Policy: pol, Traces: traces,
+				MaxAbsT: rep.MaxAbsT, Leak: rep.Leak})
+		}
+	}
+	return rows, nil
+}
+
 // AblationResult captures one design-choice ablation: whether the key still
 // leaks and what the run cost.
 type AblationResult struct {
@@ -802,6 +894,17 @@ func RunAll(w io.Writer, dpaTraces int) error {
 			row.UJ[compiler.PolicyNone], row.UJ[compiler.PolicySelective],
 			row.UJ[compiler.PolicyAllSecure], row.MaskedFlat)
 	}
+
+	p("\n== TVLA: fixed-vs-random Welch t-test (streaming engine) ==")
+	tv, err := TVLATable(32, 0)
+	if err != nil {
+		return err
+	}
+	p("%-8s %-16s %8s %14s %6s", "workload", "policy", "traces", "max |t|", "leak")
+	for _, row := range tv {
+		p("%-8s %-16s %8d %14.2f %6v", row.Workload, row.Policy, row.Traces, row.MaxAbsT, row.Leak)
+	}
+	p("threshold |t| = %.1f; secret varies between populations, window = masked region", leakstat.DefaultThreshold)
 
 	p("\n== Leak verification (dynamic shadow taint, energy-model independent) ==")
 	lv, err := VerifyLeaks()

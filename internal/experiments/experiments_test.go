@@ -350,3 +350,29 @@ func TestFullKeyRecoveryAt256Traces(t *testing.T) {
 		t.Errorf("recovered %016X, true %016X", att.RecoveredKey, DefaultKey)
 	}
 }
+
+func TestTVLATable(t *testing.T) {
+	rows, err := TVLATable(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12 (4 workloads x 3 policies)", len(rows))
+	}
+	for _, row := range rows {
+		switch row.Policy {
+		case compiler.PolicyNone:
+			if !row.Leak {
+				t.Errorf("%s/%s: unprotected build shows max|t|=%.2f, want a leak verdict",
+					row.Workload, row.Policy, row.MaxAbsT)
+			}
+		case compiler.PolicySelective, compiler.PolicyAllSecure:
+			// Noise-free simulation: sound masking is energy-flat across
+			// secrets, so t is exactly zero, not merely below threshold.
+			if row.Leak || row.MaxAbsT != 0 {
+				t.Errorf("%s/%s: masked build shows max|t|=%v, want exactly 0",
+					row.Workload, row.Policy, row.MaxAbsT)
+			}
+		}
+	}
+}

@@ -63,6 +63,34 @@ func (r *Report) LeaksOutsideRegion(lo, hi uint32) []Leak {
 	return out
 }
 
+// TaintRange names one secret input region: Words words starting at Addr.
+type TaintRange struct {
+	Addr  uint32
+	Words int
+}
+
+// CheckProgram is the one-call check used by the assessment tools: run prog
+// with the given regions poked with fixed nonzero values and tainted,
+// returning the taint report. It answers "does this build leak outside its
+// declassification points" without the caller wiring a Checker by hand;
+// anything subtler (per-word values, batch checks) still uses New/CheckJob.
+func CheckProgram(prog *asm.Program, secrets []TaintRange) (*Report, error) {
+	c, err := New(prog)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range secrets {
+		for i := 0; i < s.Words; i++ {
+			// Arbitrary distinct nonzero values; taint, not data, drives the
+			// verdict.
+			if err := c.SetWord(s.Addr+uint32(4*i), uint32(i)*0x9e37+1, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c.Run()
+}
+
 // CheckJob is one independent leak check: a compiled program plus the taint
 // setup that pokes and marks its secret inputs.
 type CheckJob struct {

@@ -260,3 +260,40 @@ func TestCheckerErrors(t *testing.T) {
 		t.Error("runaway program should fail")
 	}
 }
+
+func TestCheckProgram(t *testing.T) {
+	mSel, err := desprog.New(compiler.PolicySelective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyAddr := mSel.Res.Program.Symbols[compiler.GlobalLabel("key")]
+	rep, err := CheckProgram(mSel.Res.Program, []TaintRange{{Addr: keyAddr, Words: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := mSel.Res.Program.Symbols["f_output_permutation"]
+	hi := mSel.Res.Program.Symbols["f_main"]
+	if outside := rep.LeaksOutsideRegion(lo, hi); len(outside) != 0 {
+		t.Fatalf("selective build leaks outside declassification: %d sites", len(outside))
+	}
+	mNone, err := desprog.New(compiler.PolicyNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyAddr = mNone.Res.Program.Symbols[compiler.GlobalLabel("key")]
+	rep, err = CheckProgram(mNone.Res.Program, []TaintRange{{Addr: keyAddr, Words: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LeakCount() == 0 {
+		t.Fatal("unprotected build reported leak-free")
+	}
+	// No tainted regions: nothing can leak.
+	rep, err = CheckProgram(mSel.Res.Program, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Leaks) != 0 {
+		t.Fatalf("untainted run reported %d leak sites", len(rep.Leaks))
+	}
+}

@@ -1,0 +1,235 @@
+package leakstat
+
+import (
+	"fmt"
+
+	"desmask/internal/cpu"
+	"desmask/internal/energy"
+	"desmask/internal/sim"
+	"desmask/internal/trace"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultShards is the fixed partition count of the trace population.
+	// The shard count — never the worker count — determines the reduction
+	// tree, so it is part of a verdict's identity.
+	DefaultShards = 32
+	// DefaultThreshold is the conventional TVLA decision threshold on |t|.
+	DefaultThreshold = 4.5
+)
+
+// Config parameterises one assessment.
+type Config struct {
+	// NumTraces is the total number of traces across both populations
+	// (assignment is a deterministic seeded interleave, roughly half each).
+	NumTraces int
+	// Seed drives the fixed/random assignment; sources conventionally use
+	// the same seed to derive their per-trace random inputs.
+	Seed int64
+	// Shards is the fixed population partition (0 = DefaultShards). Each
+	// shard accumulates its contiguous index range in order and shards
+	// merge in index order, so the result is a pure function of
+	// (source, Seed, NumTraces, Shards, Window) — worker count and
+	// scheduling cannot change a single bit of it.
+	Shards int
+	// Workers sizes the shard worker pool; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Threshold is the |t| decision threshold (0 = DefaultThreshold).
+	Threshold float64
+	// Window is the half-open cycle range to assess. Every run must cover
+	// it: a run that halts (or exhausts its budget) before Window.End is an
+	// error, so truncation can never silently weaken a verdict.
+	Window trace.Window
+}
+
+// Source supplies the trace population: one simulation session plus a job
+// constructor. Job(i, fixed) must return the job of trace i — the fixed
+// input when fixed, an input derived deterministically from i otherwise
+// (sim.DeriveSeed keeps it independent of scheduling).
+type Source struct {
+	Runner *sim.Runner
+	Job    func(i int, fixed bool) (sim.Job, error)
+}
+
+// Report is the outcome of one assessment.
+type Report struct {
+	NumTraces int `json:"traces"`
+	FixedN    int `json:"fixed_n"`
+	RandomN   int `json:"random_n"`
+	Shards    int `json:"shards"`
+
+	WindowStart int `json:"window_start"`
+	WindowEnd   int `json:"window_end"`
+
+	Threshold float64 `json:"threshold"`
+	// MaxAbsT is the largest |t| over the window (clamped to MaxFloat64 if
+	// a zero-variance mean difference produced ±Inf) and MaxTCycle the
+	// absolute cycle where it occurred.
+	MaxAbsT   float64 `json:"max_abs_t"`
+	MaxTCycle int     `json:"max_t_cycle"`
+	// Leak reports MaxAbsT > Threshold: the energy behavior is
+	// data-dependent at TVLA confidence.
+	Leak bool `json:"leak"`
+
+	// StateBytes is the total accumulator footprint the assessment held —
+	// O(Shards × window length), independent of NumTraces.
+	StateBytes int `json:"state_bytes"`
+
+	// T is the per-sample t-statistic (plot/debug use; omitted from JSON).
+	T []float64 `json:"-"`
+	// Fixed and Random are the final merged population accumulators.
+	Fixed  *Vec `json:"-"`
+	Random *Vec `json:"-"`
+}
+
+// Assignment returns the deterministic fixed/random split for a seed: out[i]
+// is true when trace i belongs to the fixed population. It is exposed so
+// baselines and tests can reproduce the engine's population split exactly.
+func Assignment(seed int64, numTraces int) []bool {
+	out := make([]bool, numTraces)
+	for i := range out {
+		// A different derivation base than the per-trace input seeds, so
+		// group membership and input values come from independent streams.
+		out[i] = sim.DeriveSeed(^seed, i)&1 == 0
+	}
+	return out
+}
+
+// sampleProbe folds each committed cycle's energy inside the window into
+// the current target accumulator. It is rebound to the session worker's
+// meter via Job.MeterProbes on every run and reused sequentially within a
+// shard — never shared across in-flight jobs.
+type sampleProbe struct {
+	meter      *energy.Probe
+	vec        *Vec
+	start, end uint64
+	filled     int
+}
+
+func (p *sampleProbe) OnCycle(ci cpu.CycleInfo) {
+	if ci.Cycle < p.start || ci.Cycle >= p.end {
+		return
+	}
+	p.vec.Set(int(ci.Cycle-p.start), p.meter.LastPJ())
+	p.filled++
+}
+
+// Assess runs the one-pass fixed-vs-random Welch t-test over cfg.NumTraces
+// simulations drawn from src. Traces are never materialized: each run's
+// energy streams through a per-job probe into its shard's accumulator pair,
+// shards fan out across the worker pool, and the shard accumulators merge
+// in fixed index order — the determinism contract of PR 1 extended to
+// statistics: bit-identical verdicts for any worker count.
+func Assess(src Source, cfg Config) (*Report, error) {
+	if src.Runner == nil || src.Job == nil {
+		return nil, fmt.Errorf("leakstat: source needs a Runner and a Job constructor")
+	}
+	if cfg.NumTraces < 4 {
+		return nil, fmt.Errorf("leakstat: need at least 4 traces (2 per population), got %d", cfg.NumTraces)
+	}
+	win := cfg.Window
+	if win.Start < 0 || win.End <= win.Start {
+		return nil, fmt.Errorf("leakstat: invalid window [%d,%d)", win.Start, win.End)
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if shards > cfg.NumTraces {
+		shards = cfg.NumTraces
+	}
+	threshold := cfg.Threshold
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+
+	fixed := Assignment(cfg.Seed, cfg.NumTraces)
+	nFixed := 0
+	for _, f := range fixed {
+		if f {
+			nFixed++
+		}
+	}
+	if nFixed < 2 || cfg.NumTraces-nFixed < 2 {
+		return nil, fmt.Errorf("leakstat: degenerate assignment (%d fixed / %d random); add traces or change the seed",
+			nFixed, cfg.NumTraces-nFixed)
+	}
+
+	L := win.Len()
+	type part struct{ f, r *Vec }
+	parts := make([]part, shards)
+	err := sim.ForEach(shards, cfg.Workers, func(s int) error {
+		p := part{f: NewVec(L), r: NewVec(L)}
+		probe := &sampleProbe{start: uint64(win.Start), end: uint64(win.End)}
+		meterProbes := func(m *energy.Probe) []cpu.Probe {
+			probe.meter = m
+			return []cpu.Probe{probe}
+		}
+		lo, hi := s*cfg.NumTraces/shards, (s+1)*cfg.NumTraces/shards
+		for i := lo; i < hi; i++ {
+			job, err := src.Job(i, fixed[i])
+			if err != nil {
+				return fmt.Errorf("leakstat: trace %d: %w", i, err)
+			}
+			job.Trace = false // reduced in-flight; never materialized
+			job.MeterProbes = meterProbes
+			if fixed[i] {
+				probe.vec = p.f
+			} else {
+				probe.vec = p.r
+			}
+			probe.vec.BeginTrace()
+			probe.filled = 0
+			res := src.Runner.Run(job)
+			if res.Err != nil {
+				return fmt.Errorf("leakstat: trace %d: %w", i, res.Err)
+			}
+			if probe.filled != L {
+				return fmt.Errorf("leakstat: trace %d covered %d/%d window samples — run ended before Window.End=%d",
+					i, probe.filled, L, win.End)
+			}
+		}
+		parts[s] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Fixed-order fold over shards: the one reduction tree, regardless of
+	// which workers produced which shard.
+	F, R := NewVec(L), NewVec(L)
+	stateBytes := F.StateBytes() + R.StateBytes()
+	for _, p := range parts {
+		stateBytes += p.f.StateBytes() + p.r.StateBytes()
+		if err := F.Merge(p.f); err != nil {
+			return nil, err
+		}
+		if err := R.Merge(p.r); err != nil {
+			return nil, err
+		}
+	}
+	t, err := WelchT(F, R)
+	if err != nil {
+		return nil, err
+	}
+	peak, at := MaxAbs(t)
+	rep := &Report{
+		NumTraces:   cfg.NumTraces,
+		FixedN:      nFixed,
+		RandomN:     cfg.NumTraces - nFixed,
+		Shards:      shards,
+		WindowStart: win.Start,
+		WindowEnd:   win.End,
+		Threshold:   threshold,
+		MaxAbsT:     clampFinite(peak),
+		MaxTCycle:   win.Start + at,
+		Leak:        peak > threshold,
+		StateBytes:  stateBytes,
+		T:           t,
+		Fixed:       F,
+		Random:      R,
+	}
+	return rep, nil
+}

@@ -1,0 +1,143 @@
+package leakstat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"desmask/internal/desprog"
+	"desmask/internal/kernels"
+	"desmask/internal/sim"
+	"desmask/internal/trace"
+)
+
+// DESKeySource builds the canonical DES fixed-vs-random-KEY population:
+// fixed traces encrypt plaintext under fixedKey, random traces under a key
+// derived from sim.DeriveSeed(seed, i). Varying the key (not the plaintext)
+// keeps the deliberately insecure initial permutation — which handles only
+// public plaintext bits — out of the comparison, so the verdict measures
+// exactly what the paper masks: key-dependent energy behavior.
+func DESKeySource(m *desprog.Machine, fixedKey, plaintext uint64, seed int64, maxCycles uint64) Source {
+	return Source{
+		Runner: m.Runner(),
+		Job: func(i int, fixed bool) (sim.Job, error) {
+			key := fixedKey
+			if !fixed {
+				key = rand.New(rand.NewSource(sim.DeriveSeed(seed, i))).Uint64()
+			}
+			return m.EncryptJob(key, plaintext, maxCycles, false)
+		},
+	}
+}
+
+// DESPlaintextSource builds the fixed-vs-random-PLAINTEXT population under
+// one key. Use it with a window that starts after the initial permutation
+// (DESRound1Window): the IP region is insecure by design and would flag any
+// policy.
+func DESPlaintextSource(m *desprog.Machine, key, fixedPlain uint64, seed int64, maxCycles uint64) Source {
+	return Source{
+		Runner: m.Runner(),
+		Job: func(i int, fixed bool) (sim.Job, error) {
+			pt := fixedPlain
+			if !fixed {
+				pt = rand.New(rand.NewSource(sim.DeriveSeed(seed, i))).Uint64()
+			}
+			return m.EncryptJob(key, pt, maxCycles, false)
+		},
+	}
+}
+
+// KernelSecretSource builds a fixed-vs-random-SECRET population for a
+// non-DES kernel: random traces draw each secret word from
+// sim.DeriveSeed(seed, i) masked by wordMask (0xff for aes128's byte-valued
+// state, 0xffffffff for tea/sha1 full words).
+func KernelSecretSource(m *kernels.Machine, fixedSecret, public []uint32, wordMask uint32, seed int64, maxCycles uint64) Source {
+	return Source{
+		Runner: m.Runner(),
+		Job: func(i int, fixed bool) (sim.Job, error) {
+			secret := fixedSecret
+			if !fixed {
+				rng := rand.New(rand.NewSource(sim.DeriveSeed(seed, i)))
+				secret = make([]uint32, len(fixedSecret))
+				for j := range secret {
+					secret[j] = rng.Uint32() & wordMask
+				}
+			}
+			job, err := m.Job(secret, public, false)
+			if err != nil {
+				return sim.Job{}, err
+			}
+			job.MaxCycles = maxCycles
+			return job, nil
+		},
+	}
+}
+
+// DESMaskedWindow locates the DES assessment window [0, entry of the output
+// permutation): everything the paper requires to be energy-flat across keys.
+// The output permutation itself declassifies the ciphertext and is insecure
+// by design. Cycle counts are input-independent per program, so the window
+// found on one probe run holds for every run. A maxCycles > 0 budget clamps
+// the window so budget-bounded assessment runs still cover it.
+func DESMaskedWindow(m *desprog.Machine, key, plaintext uint64, maxCycles uint64) (trace.Window, error) {
+	tr, _, err := m.Trace(key, plaintext)
+	if err != nil {
+		return trace.Window{}, err
+	}
+	entry, err := m.EntryPC(desprog.FuncOutputPermutation)
+	if err != nil {
+		return trace.Window{}, err
+	}
+	end := tr.Len()
+	for i, pc := range tr.PCs {
+		if pc == entry {
+			end = i
+			break
+		}
+	}
+	w := trace.Window{Start: 0, End: end}
+	if maxCycles > 0 {
+		w = w.Clamp(int(maxCycles))
+	}
+	if w.Len() <= 0 {
+		return trace.Window{}, fmt.Errorf("leakstat: empty DES masked window")
+	}
+	return w, nil
+}
+
+// DESRound1Window locates round 1 of the DES encryption — the window the
+// vary-plaintext population is assessed over, past the insecure initial
+// permutation.
+func DESRound1Window(m *desprog.Machine, key, plaintext uint64, maxCycles uint64) (trace.Window, error) {
+	tr, _, err := m.Trace(key, plaintext)
+	if err != nil {
+		return trace.Window{}, err
+	}
+	w, err := m.RoundWindow(tr, 0)
+	if err != nil {
+		return trace.Window{}, err
+	}
+	if maxCycles > 0 {
+		w = w.Clamp(int(maxCycles))
+	}
+	if w.Len() <= 0 {
+		return trace.Window{}, fmt.Errorf("leakstat: round-1 window outside the %d-cycle budget", maxCycles)
+	}
+	return w, nil
+}
+
+// KernelMaskedWindow locates a kernel's assessment window [0, start of
+// output emission) from one probe run.
+func KernelMaskedWindow(m *kernels.Machine, secret, public []uint32) (trace.Window, error) {
+	_, tr, err := m.Trace(secret, public)
+	if err != nil {
+		return trace.Window{}, err
+	}
+	end, err := m.MaskedRegionEnd(tr)
+	if err != nil {
+		return trace.Window{}, err
+	}
+	if end <= 0 {
+		return trace.Window{}, fmt.Errorf("leakstat: %s: empty masked region", m.Kernel.Name)
+	}
+	return trace.Window{Start: 0, End: end}, nil
+}

@@ -1,0 +1,218 @@
+// Package leakstat is the streaming leakage-assessment engine: a one-pass
+// fixed-vs-random Welch t-test (TVLA, as used by modern countermeasure
+// evaluations) over per-cycle energy traces, built on numerically stable
+// Welford/Chan accumulators that merge across sim.Runner workers. Traces are
+// reduced in-flight by a per-job probe reading the session's energy meter,
+// so memory stays O(trace length) — never O(number of traces) — and the
+// sharded reduction is bit-identical for every worker count.
+//
+// It is the statistical generalization of package leakcheck: leakcheck
+// proves, on one concrete run, that no insecure instruction touched
+// secret-derived data; leakstat measures, over thousands to millions of
+// runs, that the energy behavior itself carries no statistically detectable
+// data dependence.
+package leakstat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Acc is a scalar Welford accumulator: running count, mean, and sum of
+// squared deviations from the running mean (M2). Adding is numerically
+// stable for any magnitude mix; Merge combines two independent
+// accumulations with the Chan et al. parallel update.
+type Acc struct {
+	N    uint64
+	Mean float64
+	// M2 is the sum of squared deviations from the running mean; the sample
+	// variance is M2/(N-1).
+	M2 float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Acc) Add(x float64) {
+	a.N++
+	d := x - a.Mean
+	a.Mean += d / float64(a.N)
+	a.M2 += d * (x - a.Mean)
+}
+
+// Merge folds another accumulator into a (Chan et al. pairwise update).
+// Merging is exact bookkeeping for counts and stable for moments, but like
+// all floating-point reductions its rounding depends on grouping — callers
+// that need bit-identical results must fix the merge order (as the
+// assessment engine does: shards merge in shard-index order).
+func (a *Acc) Merge(b Acc) {
+	if b.N == 0 {
+		return
+	}
+	if a.N == 0 {
+		*a = b
+		return
+	}
+	n := a.N + b.N
+	d := b.Mean - a.Mean
+	fa, fb, fn := float64(a.N), float64(b.N), float64(n)
+	a.Mean += d * fb / fn
+	a.M2 += b.M2 + d*d*fa*fb/fn
+	a.N = n
+}
+
+// Variance returns the sample variance (M2/(N-1)), zero below two
+// observations.
+func (a Acc) Variance() float64 {
+	if a.N < 2 {
+		return 0
+	}
+	return a.M2 / float64(a.N-1)
+}
+
+// Vec is a vector of per-sample Welford accumulators sharing one
+// observation count: each absorbed trace contributes exactly one value to
+// every sample position. The shared count lets the hot path hoist the 1/n
+// factor to one reciprocal per trace (a multiply per sample instead of a
+// divide), which keeps in-flight reduction at trace-recorder cost; the
+// update sequence is still fixed, so results are deterministic.
+type Vec struct {
+	n   uint64
+	inv float64 // 1/n for the trace currently being absorbed
+	// Mean[j] is the running mean of sample j; M2[j] its sum of squared
+	// deviations from that mean.
+	Mean []float64
+	M2   []float64
+}
+
+// NewVec returns an empty vector accumulator over traces of n samples.
+func NewVec(n int) *Vec {
+	return &Vec{Mean: make([]float64, n), M2: make([]float64, n)}
+}
+
+// Len returns the number of sample positions.
+func (v *Vec) Len() int { return len(v.Mean) }
+
+// N returns the number of absorbed traces.
+func (v *Vec) N() uint64 { return v.n }
+
+// BeginTrace opens the next trace: every sample position must then receive
+// exactly one Set before the following BeginTrace (the streaming probe
+// enforces this via its coverage count).
+func (v *Vec) BeginTrace() {
+	v.n++
+	v.inv = 1 / float64(v.n)
+}
+
+// Set folds the current trace's value at sample j into the accumulator.
+func (v *Vec) Set(j int, x float64) {
+	d := x - v.Mean[j]
+	v.Mean[j] += d * v.inv
+	v.M2[j] += d * (x - v.Mean[j])
+}
+
+// AddTrace absorbs one whole materialized trace (the batch-analysis path
+// used by the dpa attacks; the TVLA engine streams via BeginTrace/Set).
+func (v *Vec) AddTrace(seg []float64) {
+	if len(seg) != len(v.Mean) {
+		panic(fmt.Sprintf("leakstat: trace of %d samples into a %d-sample accumulator", len(seg), len(v.Mean)))
+	}
+	v.BeginTrace()
+	for j, x := range seg {
+		d := x - v.Mean[j]
+		v.Mean[j] += d * v.inv
+		v.M2[j] += d * (x - v.Mean[j])
+	}
+}
+
+// Merge folds o into v sample-by-sample (Chan et al.). Merge order must be
+// fixed by the caller for bit-identical results.
+func (v *Vec) Merge(o *Vec) error {
+	if len(o.Mean) != len(v.Mean) {
+		return fmt.Errorf("leakstat: merging accumulators of %d and %d samples", len(v.Mean), len(o.Mean))
+	}
+	if o.n == 0 {
+		return nil
+	}
+	if v.n == 0 {
+		v.n = o.n
+		copy(v.Mean, o.Mean)
+		copy(v.M2, o.M2)
+		return nil
+	}
+	n := v.n + o.n
+	fa, fb, fn := float64(v.n), float64(o.n), float64(n)
+	for j := range v.Mean {
+		d := o.Mean[j] - v.Mean[j]
+		v.Mean[j] += d * fb / fn
+		v.M2[j] += o.M2[j] + d*d*fa*fb/fn
+	}
+	v.n = n
+	return nil
+}
+
+// VarianceAt returns the sample variance of sample j.
+func (v *Vec) VarianceAt(j int) float64 {
+	if v.n < 2 {
+		return 0
+	}
+	return v.M2[j] / float64(v.n-1)
+}
+
+// StateBytes returns the accumulator's in-memory footprint — the quantity
+// that stays constant as traces stream through.
+func (v *Vec) StateBytes() int { return 8 * (len(v.Mean) + len(v.M2)) }
+
+// WelchT returns the per-sample Welch t-statistic between two populations:
+// t[j] = (mean_f[j] - mean_r[j]) / sqrt(var_f[j]/n_f + var_r[j]/n_r).
+// Samples where both populations have zero variance (constant energy — the
+// norm across a correctly masked region) carry no evidence either way and
+// yield t = 0 when the means agree; a mean difference with zero variance on
+// both sides is a perfectly deterministic leak and yields ±Inf. Both
+// populations need at least two traces.
+func WelchT(f, r *Vec) ([]float64, error) {
+	if f.Len() != r.Len() {
+		return nil, fmt.Errorf("leakstat: population lengths differ: %d vs %d", f.Len(), r.Len())
+	}
+	if f.n < 2 || r.n < 2 {
+		return nil, fmt.Errorf("leakstat: Welch t-test needs >= 2 traces per population (fixed %d, random %d)", f.n, r.n)
+	}
+	nf, nr := float64(f.n), float64(r.n)
+	out := make([]float64, f.Len())
+	for j := range out {
+		d := f.Mean[j] - r.Mean[j]
+		se2 := f.M2[j]/(nf-1)/nf + r.M2[j]/(nr-1)/nr
+		switch {
+		case se2 > 0:
+			out[j] = d / math.Sqrt(se2)
+		case d != 0:
+			out[j] = math.Inf(sign(d))
+		}
+	}
+	return out, nil
+}
+
+func sign(d float64) int {
+	if d < 0 {
+		return -1
+	}
+	return 1
+}
+
+// clampFinite maps ±Inf (a zero-variance deterministic leak) to
+// MaxFloat64 so reports stay JSON-encodable; finite values pass through.
+func clampFinite(x float64) float64 {
+	if math.IsInf(x, 0) {
+		return math.MaxFloat64
+	}
+	return x
+}
+
+// MaxAbs returns the largest |v| and its index (-1 when v is empty).
+func MaxAbs(v []float64) (float64, int) {
+	peak, at := 0.0, -1
+	for j, x := range v {
+		if a := math.Abs(x); at < 0 || a > peak {
+			peak, at = a, j
+		}
+	}
+	return peak, at
+}

@@ -92,6 +92,16 @@ type Job struct {
 	// probes are attached for that run. Safe in batches: every job gets
 	// fresh probe instances, so nothing is shared across workers.
 	NewProbes func() []cpu.Probe
+	// MeterProbes, when non-nil, is called once per execution with the
+	// session worker's energy meter; the returned probes are attached after
+	// the meter (and the trace recorder, if any), so their observers read
+	// each committed cycle's energy via meter.LastPJ()/Last(). This is the
+	// hook for in-flight trace reduction: streaming consumers (the leakstat
+	// accumulators) fold every cycle's energy into constant-size state
+	// instead of materializing the trace. In batches the factory runs
+	// concurrently on workers and must not hand the same probe instance to
+	// two in-flight jobs; sequential Run calls may reuse one instance.
+	MeterProbes func(meter *energy.Probe) []cpu.Probe
 }
 
 // Result is the outcome of one job.
@@ -253,6 +263,11 @@ func (r *Runner) runOn(w *worker, job Job) Result {
 	}
 	if job.NewProbes != nil {
 		for _, p := range job.NewProbes() {
+			w.c.Attach(p)
+		}
+	}
+	if job.MeterProbes != nil {
+		for _, p := range job.MeterProbes(w.meter) {
 			w.c.Attach(p)
 		}
 	}

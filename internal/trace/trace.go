@@ -191,6 +191,19 @@ type Window struct {
 // Len returns the window length in cycles.
 func (w Window) Len() int { return w.End - w.Start }
 
+// Clamp bounds the window to the first n cycles, so a window located on a
+// full probe run can be applied to budget-limited runs. A window entirely
+// past the bound comes back empty (Len() <= 0).
+func (w Window) Clamp(n int) Window {
+	if w.End > n {
+		w.End = n
+	}
+	if w.Start > w.End {
+		w.Start = w.End
+	}
+	return w
+}
+
 // FindWindow locates the cycle window during which execution stayed within
 // the program region [loPC, hiPC): the first and last+1 cycles whose EX PC
 // falls inside. ok is false when the region was never executed.
