@@ -2,12 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json experiments csv verify fmt vet clean
+.PHONY: all build test test-short bench bench-json experiments csv verify fmt vet clean leakd
 
 all: build test
 
 build:
 	$(GO) build ./...
+
+# The leakage-assessment daemon (see README "The assessment service").
+leakd:
+	$(GO) build -o leakd ./cmd/leakd
 
 test:
 	$(GO) test ./...

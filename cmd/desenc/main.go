@@ -18,8 +18,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"strconv"
 
+	"desmask/internal/cliconf"
 	"desmask/internal/compiler"
 	"desmask/internal/core"
 	"desmask/internal/des"
@@ -27,36 +27,26 @@ import (
 	"desmask/internal/sim"
 )
 
-func parseHex64(name, s string) uint64 {
-	v, err := strconv.ParseUint(s, 16, 64)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "desenc: bad %s %q: must be up to 16 hex digits\n", name, s)
-		os.Exit(2)
-	}
-	return v
-}
-
-func policyByName(name string) (compiler.Policy, bool) {
-	for _, p := range compiler.Policies() {
-		if p.String() == name {
-			return p, true
-		}
-	}
-	return 0, false
-}
-
 func main() {
 	keyStr := flag.String("key", "133457799BBCDFF1", "64-bit key, hex")
 	blockStr := flag.String("block", "0123456789ABCDEF", "64-bit block, hex")
 	decrypt := flag.Bool("decrypt", false, "decrypt instead of encrypt")
 	simulate := flag.Bool("sim", false, "run on the simulated smart-card processor")
-	policyStr := flag.String("policy", "selective", "protection policy: none | seeds-only | selective | naive-loadstore | all-secure")
+	policyStr := flag.String("policy", "selective", "protection policy: "+cliconf.PolicyUsage())
 	stats := flag.Bool("stats", false, "print cycle and energy statistics (with -sim)")
 	trials := flag.Int("trials", 0, "batch-verify N random blocks against the reference (with -sim)")
 	flag.Parse()
 
-	key := parseHex64("key", *keyStr)
-	block := parseHex64("block", *blockStr)
+	key, err := cliconf.ParseHex64("key", *keyStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "desenc:", err)
+		os.Exit(2)
+	}
+	block, err := cliconf.ParseHex64("block", *blockStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "desenc:", err)
+		os.Exit(2)
+	}
 
 	if !*simulate {
 		if *decrypt {
@@ -67,9 +57,9 @@ func main() {
 		return
 	}
 
-	pol, ok := policyByName(*policyStr)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "desenc: unknown policy %q\n", *policyStr)
+	pol, err := cliconf.ParsePolicy(*policyStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "desenc:", err)
 		os.Exit(2)
 	}
 	var out uint64

@@ -19,13 +19,14 @@ import (
 	"fmt"
 	"os"
 
+	"desmask/internal/cliconf"
 	"desmask/internal/compiler"
 	"desmask/internal/leakcheck"
 	"desmask/internal/sim"
 )
 
 func main() {
-	policyStr := flag.String("policy", "selective", "protection policy: none | seeds-only | selective | naive-loadstore | all-secure")
+	policyStr := flag.String("policy", "selective", "protection policy: "+cliconf.PolicyUsage())
 	all := flag.Bool("all", false, "check every policy in parallel and print a summary table")
 	flag.Parse()
 
@@ -45,15 +46,9 @@ func main() {
 		}
 		return
 	}
-	var policy compiler.Policy
-	found := false
-	for _, p := range compiler.Policies() {
-		if p.String() == *policyStr {
-			policy, found = p, true
-		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "leakcheck: unknown policy %q\n", *policyStr)
+	policy, err := cliconf.ParsePolicy(*policyStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leakcheck:", err)
 		os.Exit(2)
 	}
 	res, err := compiler.Compile(string(src), policy)

@@ -1,0 +1,78 @@
+// Command leakd serves leakage assessments over HTTP: POST a workload (or a
+// MiniC source program), a masking policy and a trace count to /v1/assess
+// and receive the TVLA verdict as JSON. See internal/server for the service
+// semantics (admission control, per-request deadlines, compiled-program
+// cache) and DESIGN.md §11 for the architecture.
+//
+// Usage:
+//
+//	leakd [-addr :8090] [-concurrency N] [-queue N] [-cache N]
+//	      [-timeout 60s] [-max-traces N] [-workers N] [-drain 10s]
+//
+// The daemon drains gracefully on SIGTERM/SIGINT: in-flight assessments get
+// the drain window to finish, new connections are refused immediately.
+//
+// Example:
+//
+//	curl -s localhost:8090/v1/assess -d '{"kernel":"des","policy":"selective","traces":200}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"desmask/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	concurrency := flag.Int("concurrency", 2, "assessments executing at once")
+	queue := flag.Int("queue", 8, "bounded wait queue; overflow is rejected with 429")
+	cacheSize := flag.Int("cache", 16, "compiled-program LRU capacity")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline")
+	maxTraces := flag.Int("max-traces", 0, "per-request trace cap (0 = unlimited)")
+	workers := flag.Int("workers", 0, "default shard worker pool per assessment (0 = GOMAXPROCS)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown window on SIGTERM")
+	flag.Parse()
+
+	s := server.New(server.Config{
+		MaxConcurrent:  *concurrency,
+		MaxQueue:       *queue,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTraces:      *maxTraces,
+		Workers:        *workers,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("leakd: listening on %s (concurrency=%d queue=%d cache=%d timeout=%s)\n",
+		*addr, *concurrency, *queue, *cacheSize, *timeout)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "leakd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("leakd: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "leakd: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Println("leakd: stopped")
+}

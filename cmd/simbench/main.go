@@ -25,7 +25,7 @@ import (
 	"runtime/pprof"
 	"time"
 
-	"desmask/internal/compiler"
+	"desmask/internal/cliconf"
 	"desmask/internal/desprog"
 	"desmask/internal/dpa"
 )
@@ -120,27 +120,25 @@ func writeJSON(path string, v any) {
 }
 
 func main() {
-	traces := flag.Int("traces", 64, "traces to collect per batch configuration")
-	trials := flag.Int("trials", 5, "full encryptions per core-throughput configuration")
-	maxCycles := flag.Uint64("max", 25_000, "cycle budget per trace (first-round window)")
-	policyStr := flag.String("policy", "none", "protection policy to benchmark")
+	batch := cliconf.Batch{Traces: 64, Trials: 5, MaxCycles: 25_000}
+	batch.AddFlags(flag.CommandLine)
+	policyStr := flag.String("policy", "none", "protection policy to benchmark: "+cliconf.PolicyUsage())
 	out := flag.String("o", "BENCH_parallel_traces.json", "batch benchmark output JSON file")
 	coreOut := flag.String("core-o", "BENCH_predecode.json", "core benchmark output JSON file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	var policy compiler.Policy
-	found := false
-	for _, p := range compiler.Policies() {
-		if p.String() == *policyStr {
-			policy, found = p, true
-		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "simbench: unknown policy %q\n", *policyStr)
+	if err := batch.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
 		os.Exit(2)
 	}
+	policy, err := cliconf.ParsePolicy(*policyStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(2)
+	}
+	traces, trials, maxCycles := &batch.Traces, &batch.Trials, &batch.MaxCycles
 	m, err := desprog.New(policy)
 	if err != nil {
 		fatal(err)
@@ -198,6 +196,9 @@ func main() {
 		fatal(err)
 	}
 	parWorkers := runtime.GOMAXPROCS(0)
+	if batch.Workers > 0 {
+		parWorkers = batch.Workers
+	}
 	parTS, parSec, err := collect(parWorkers)
 	if err != nil {
 		fatal(err)

@@ -37,6 +37,7 @@ import (
 	"runtime"
 	"time"
 
+	"desmask/internal/cliconf"
 	"desmask/internal/compiler"
 	"desmask/internal/desprog"
 	"desmask/internal/dpa"
@@ -60,23 +61,6 @@ func writeJSON(path string, v any) {
 		fatal(err)
 	}
 	fmt.Println("wrote", path)
-}
-
-func lookupPolicy(name string) (compiler.Policy, bool) {
-	for _, p := range compiler.Policies() {
-		if p.String() == name {
-			return p, true
-		}
-	}
-	return compiler.Policy(0), false
-}
-
-func parseHex64(name, s string) uint64 {
-	var v uint64
-	if _, err := fmt.Sscanf(s, "%x", &v); err != nil {
-		fatal(fmt.Errorf("bad -%s %q: %w", name, s, err))
-	}
-	return v
 }
 
 // assessment is one policy's report-mode record.
@@ -143,15 +127,8 @@ func assess(kernel string, policy compiler.Policy, vary string, key, plain uint6
 			taintN = &n
 		}
 	default:
-		var k kernels.Kernel
-		switch kernel {
-		case "aes128":
-			k = kernels.AES128()
-		case "tea":
-			k = kernels.TEA()
-		case "sha1":
-			k = kernels.SHA1()
-		default:
+		k, ok := kernels.ByName(kernel)
+		if !ok {
 			return nil, fmt.Errorf("unknown -kernel %q (want des, aes128, tea or sha1)", kernel)
 		}
 		if vary != "key" {
@@ -161,7 +138,7 @@ func assess(kernel string, policy compiler.Policy, vary string, key, plain uint6
 		if err != nil {
 			return nil, err
 		}
-		secret, public, mask := kernelTVLAInputs(k)
+		secret, public, mask := kernels.TVLAInputs(k)
 		src = leakstat.KernelSecretSource(m, secret, public, mask, cfg.Seed, maxCycles)
 		win, err = leakstat.KernelMaskedWindow(m, secret, public)
 		if err != nil {
@@ -196,29 +173,6 @@ func assess(kernel string, policy compiler.Policy, vary string, key, plain uint6
 	}, nil
 }
 
-// kernelTVLAInputs mirrors the experiments tables' canonical kernel inputs.
-func kernelTVLAInputs(k kernels.Kernel) (secret, public []uint32, wordMask uint32) {
-	secretLen, publicLen := 16, 16
-	wordMask = uint32(0xffffffff)
-	switch k.Name {
-	case "aes128":
-		wordMask = 0xff
-	case "tea":
-		secretLen, publicLen = 4, 2
-	case "sha1":
-		secretLen, publicLen = 5, 16
-	}
-	secret = make([]uint32, secretLen)
-	public = make([]uint32, publicLen)
-	for i := range secret {
-		secret[i] = uint32(i+1) & wordMask
-	}
-	for i := range public {
-		public[i] = uint32(i * 9)
-	}
-	return secret, public, wordMask
-}
-
 func printAssessment(a *assessment) {
 	verdict := "no leak"
 	if a.Leak {
@@ -235,51 +189,35 @@ func printAssessment(a *assessment) {
 }
 
 func main() {
-	kernel := flag.String("kernel", "des", "workload: des, aes128, tea or sha1")
-	policyStr := flag.String("policy", "selective", "protection policy to assess")
+	params := cliconf.DefaultAssess()
+	params.AddFlags(flag.CommandLine)
 	all := flag.Bool("all", false, "assess every policy")
-	vary := flag.String("vary", "key", "DES population variable: key or plaintext")
-	traces := flag.Int("traces", 1000, "total traces across both populations")
-	seed := flag.Int64("seed", 7, "seed for group assignment and random inputs")
-	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-	shards := flag.Int("shards", 0, "fixed shard partition (0 = default 32)")
-	threshold := flag.Float64("threshold", 0, "|t| decision threshold (0 = 4.5)")
-	maxCycles := flag.Uint64("max", 25_000, "cycle budget per trace (0 = full run; window is clamped to it)")
-	keyHex := flag.String("key", "133457799BBCDFF1", "fixed DES key (hex)")
-	plainHex := flag.String("plaintext", "0123456789ABCDEF", "DES plaintext (hex)")
 	runLeakcheck := flag.Bool("leakcheck", false, "also run the dynamic taint check on each build")
 	bench := flag.Bool("bench", false, "benchmark mode: acceptance checks + BENCH_tvla.json")
 	baselineTraces := flag.Int("baseline-traces", 1024, "materialized-baseline collection size (bench mode)")
 	out := flag.String("o", "", "write the report/benchmark as JSON to this file")
 	flag.Parse()
 
-	key := parseHex64("key", *keyHex)
-	plain := parseHex64("plaintext", *plainHex)
+	r, err := params.Validate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvla:", err)
+		os.Exit(2)
+	}
 
 	if *bench {
-		runBench(*traces, *baselineTraces, *workers, *maxCycles, key, plain, *seed, *out)
+		runBench(r.Traces, *baselineTraces, r.Workers, r.MaxCycles, r.KeyV, r.PlaintextV, r.Seed, *out)
 		return
 	}
 
-	pols := []compiler.Policy{}
+	pols := []compiler.Policy{r.PolicyV}
 	if *all {
 		pols = compiler.Policies()
-	} else {
-		p, ok := lookupPolicy(*policyStr)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "tvla: unknown policy %q\n", *policyStr)
-			os.Exit(2)
-		}
-		pols = append(pols, p)
 	}
 
-	cfg := leakstat.Config{
-		NumTraces: *traces, Seed: *seed, Shards: *shards,
-		Workers: *workers, Threshold: *threshold,
-	}
+	cfg := r.Config()
 	var reports []*assessment
 	for _, pol := range pols {
-		a, err := assess(*kernel, pol, *vary, key, plain, cfg, *maxCycles, *runLeakcheck)
+		a, err := assess(r.Kernel, pol, r.Vary, r.KeyV, r.PlaintextV, cfg, r.MaxCycles, *runLeakcheck)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,237 @@
+// Package cliconf centralizes the parameter surface shared by the
+// command-line tools and the leakd service. The window/workers/trials knobs
+// used to be parsed (and bounds-checked) independently by cmd/tvla,
+// cmd/simbench, cmd/leakcheck and cmd/desenc; they are defined once here,
+// so a parameter accepted by a CLI flag and the same parameter arriving in
+// a leakd HTTP request pass through identical validation.
+package cliconf
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"desmask/internal/compiler"
+	"desmask/internal/kernels"
+	"desmask/internal/leakstat"
+)
+
+// ParseHex64 parses a 64-bit hex value (no 0x prefix), naming the parameter
+// in the error.
+func ParseHex64(name, s string) (uint64, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q: must be up to 16 hex digits", name, s)
+	}
+	return v, nil
+}
+
+// ParsePolicy resolves a protection-policy name; the error lists the valid
+// names.
+func ParsePolicy(name string) (compiler.Policy, error) {
+	for _, p := range compiler.Policies() {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown policy %q (want %s)", name, PolicyUsage())
+}
+
+// PolicyUsage renders the valid policy names for flag usage strings.
+func PolicyUsage() string {
+	names := make([]string, 0, len(compiler.Policies()))
+	for _, p := range compiler.Policies() {
+		names = append(names, p.String())
+	}
+	return strings.Join(names, " | ")
+}
+
+// KernelNames are the built-in workload names an assessment accepts.
+var KernelNames = []string{"des", "aes128", "tea", "sha1"}
+
+// validKernel reports whether name is a built-in workload.
+func validKernel(name string) bool {
+	for _, k := range KernelNames {
+		if k == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Assess is the canonical parameter set of one leakage assessment — the
+// exact surface cmd/tvla exposes as flags and leakd accepts as JSON. Zero
+// values mean "use the default" wherever a default exists.
+type Assess struct {
+	// Kernel is the workload: des, aes128, tea or sha1.
+	Kernel string `json:"kernel"`
+	// Policy is the protection policy name.
+	Policy string `json:"policy"`
+	// Vary selects the DES population variable: key or plaintext. Non-DES
+	// kernels always vary the secret.
+	Vary string `json:"vary"`
+	// Traces is the total trace count across both populations.
+	Traces int `json:"traces"`
+	// Seed drives group assignment and random input derivation.
+	Seed int64 `json:"seed"`
+	// Workers sizes the shard worker pool (0 = GOMAXPROCS).
+	Workers int `json:"workers"`
+	// Shards is the fixed population partition (0 = leakstat default).
+	Shards int `json:"shards"`
+	// Threshold is the |t| decision threshold (0 = leakstat default).
+	Threshold float64 `json:"threshold"`
+	// MaxCycles is the per-trace cycle budget (0 = full run); assessment
+	// windows are clamped to it.
+	MaxCycles uint64 `json:"max_cycles"`
+	// Key is the fixed DES key, hex.
+	Key string `json:"key"`
+	// Plaintext is the DES plaintext, hex.
+	Plaintext string `json:"plaintext"`
+}
+
+// DefaultAssess returns the defaults shared by cmd/tvla and leakd.
+func DefaultAssess() Assess {
+	return Assess{
+		Kernel:    "des",
+		Policy:    "selective",
+		Vary:      "key",
+		Traces:    1000,
+		Seed:      7,
+		MaxCycles: 25_000,
+		Key:       "133457799BBCDFF1",
+		Plaintext: "0123456789ABCDEF",
+	}
+}
+
+// AddFlags registers the assessment parameters on a flag set, using the
+// receiver's current values as defaults.
+func (a *Assess) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&a.Kernel, "kernel", a.Kernel, "workload: "+strings.Join(KernelNames, ", "))
+	fs.StringVar(&a.Policy, "policy", a.Policy, "protection policy: "+PolicyUsage())
+	fs.StringVar(&a.Vary, "vary", a.Vary, "DES population variable: key or plaintext")
+	fs.IntVar(&a.Traces, "traces", a.Traces, "total traces across both populations")
+	fs.Int64Var(&a.Seed, "seed", a.Seed, "seed for group assignment and random inputs")
+	fs.IntVar(&a.Workers, "workers", a.Workers, "worker pool size (0 = GOMAXPROCS)")
+	fs.IntVar(&a.Shards, "shards", a.Shards, "fixed shard partition (0 = default 32)")
+	fs.Float64Var(&a.Threshold, "threshold", a.Threshold, "|t| decision threshold (0 = 4.5)")
+	fs.Uint64Var(&a.MaxCycles, "max", a.MaxCycles, "cycle budget per trace (0 = full run; window is clamped to it)")
+	fs.StringVar(&a.Key, "key", a.Key, "fixed DES key (hex)")
+	fs.StringVar(&a.Plaintext, "plaintext", a.Plaintext, "DES plaintext (hex)")
+}
+
+// ResolvedAssess is a validated assessment parameter set with the
+// string-encoded fields parsed.
+type ResolvedAssess struct {
+	Assess
+	// PolicyV is the resolved protection policy.
+	PolicyV compiler.Policy
+	// KeyV and PlaintextV are the parsed 64-bit DES inputs.
+	KeyV, PlaintextV uint64
+}
+
+// Validate normalizes and checks the parameter set; exactly the same rules
+// gate a CLI invocation and a leakd request. The window is not part of this
+// surface — it is derived from the workload by the caller.
+func (a Assess) Validate() (*ResolvedAssess, error) {
+	r := &ResolvedAssess{Assess: a}
+	if r.Kernel == "" {
+		r.Kernel = "des"
+	}
+	if !validKernel(r.Kernel) {
+		return nil, fmt.Errorf("unknown kernel %q (want %s)", r.Kernel, strings.Join(KernelNames, ", "))
+	}
+	if r.Kernel != "des" {
+		if _, ok := kernels.ByName(r.Kernel); !ok {
+			return nil, fmt.Errorf("unknown kernel %q", r.Kernel)
+		}
+	}
+	var err error
+	if r.PolicyV, err = ParsePolicy(r.Policy); err != nil {
+		return nil, err
+	}
+	switch r.Vary {
+	case "", "key":
+		r.Vary = "key"
+	case "plaintext":
+		if r.Kernel != "des" {
+			return nil, fmt.Errorf("-vary plaintext is DES-only; kernel populations always vary the secret")
+		}
+	default:
+		return nil, fmt.Errorf("unknown vary %q (want key or plaintext)", r.Vary)
+	}
+	if r.Traces < 4 {
+		return nil, fmt.Errorf("need at least 4 traces (2 per population), got %d", r.Traces)
+	}
+	if r.Workers < 0 {
+		return nil, fmt.Errorf("workers must be >= 0, got %d", r.Workers)
+	}
+	if r.Shards < 0 {
+		return nil, fmt.Errorf("shards must be >= 0, got %d", r.Shards)
+	}
+	if r.Threshold < 0 {
+		return nil, fmt.Errorf("threshold must be >= 0, got %v", r.Threshold)
+	}
+	if r.Key == "" {
+		r.Key = DefaultAssess().Key
+	}
+	if r.Plaintext == "" {
+		r.Plaintext = DefaultAssess().Plaintext
+	}
+	if r.KeyV, err = ParseHex64("key", r.Key); err != nil {
+		return nil, err
+	}
+	if r.PlaintextV, err = ParseHex64("plaintext", r.Plaintext); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Config assembles the leakstat configuration of the resolved parameters
+// (the window is supplied by the caller once the workload is built).
+func (r *ResolvedAssess) Config() leakstat.Config {
+	return leakstat.Config{
+		NumTraces: r.Traces,
+		Seed:      r.Seed,
+		Shards:    r.Shards,
+		Workers:   r.Workers,
+		Threshold: r.Threshold,
+	}
+}
+
+// Batch is the shared execution-shape surface of the batch benchmarks and
+// encrypt CLIs: how many jobs, how many verification trials, how many
+// workers, and the per-job cycle budget.
+type Batch struct {
+	// Traces is the batch size.
+	Traces int `json:"traces"`
+	// Trials is the verification/measurement repetition count.
+	Trials int `json:"trials"`
+	// Workers sizes the worker pool (0 = GOMAXPROCS).
+	Workers int `json:"workers"`
+	// MaxCycles is the per-job cycle budget (0 = runner default).
+	MaxCycles uint64 `json:"max_cycles"`
+}
+
+// AddFlags registers the batch parameters on a flag set, using the
+// receiver's current values as defaults.
+func (b *Batch) AddFlags(fs *flag.FlagSet) {
+	fs.IntVar(&b.Traces, "traces", b.Traces, "traces to collect per batch configuration")
+	fs.IntVar(&b.Trials, "trials", b.Trials, "repetitions per configuration")
+	fs.IntVar(&b.Workers, "workers", b.Workers, "worker pool size (0 = GOMAXPROCS)")
+	fs.Uint64Var(&b.MaxCycles, "max", b.MaxCycles, "cycle budget per job (0 = runner default)")
+}
+
+// Validate bounds-checks the batch parameters.
+func (b Batch) Validate() error {
+	if b.Traces < 0 {
+		return fmt.Errorf("traces must be >= 0, got %d", b.Traces)
+	}
+	if b.Trials < 0 {
+		return fmt.Errorf("trials must be >= 0, got %d", b.Trials)
+	}
+	if b.Workers < 0 {
+		return fmt.Errorf("workers must be >= 0, got %d", b.Workers)
+	}
+	return nil
+}

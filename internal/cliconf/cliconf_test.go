@@ -1,0 +1,108 @@
+package cliconf
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"desmask/internal/compiler"
+)
+
+func TestParseHex64(t *testing.T) {
+	v, err := ParseHex64("key", "133457799BBCDFF1")
+	if err != nil || v != 0x133457799BBCDFF1 {
+		t.Fatalf("got %x, %v", v, err)
+	}
+	for _, bad := range []string{"", "xyz", "11223344556677889"} {
+		if _, err := ParseHex64("key", bad); err == nil {
+			t.Fatalf("ParseHex64 accepted %q", bad)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	p, err := ParsePolicy("selective")
+	if err != nil || p != compiler.PolicySelective {
+		t.Fatalf("got %v, %v", p, err)
+	}
+	if _, err := ParsePolicy("nope"); err == nil || !strings.Contains(err.Error(), "selective") {
+		t.Fatalf("error should list valid names, got %v", err)
+	}
+}
+
+// TestAssessFlagsRoundTrip: the flag surface and the struct are the same
+// thing — values set via flags land in the struct and validate.
+func TestAssessFlagsRoundTrip(t *testing.T) {
+	a := DefaultAssess()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	a.AddFlags(fs)
+	err := fs.Parse([]string{
+		"-kernel", "aes128", "-policy", "all-secure", "-traces", "64",
+		"-seed", "3", "-workers", "2", "-shards", "8", "-max", "9000",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kernel != "aes128" || r.PolicyV != compiler.PolicyAllSecure || r.Traces != 64 {
+		t.Fatalf("resolved %+v", r)
+	}
+	cfg := r.Config()
+	if cfg.NumTraces != 64 || cfg.Seed != 3 || cfg.Workers != 2 || cfg.Shards != 8 {
+		t.Fatalf("config %+v", cfg)
+	}
+}
+
+// TestAssessValidation is the contract the leakd request schema relies on:
+// the same rules reject bad CLI flags and bad HTTP parameters.
+func TestAssessValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Assess)
+		want string
+	}{
+		{"bad kernel", func(a *Assess) { a.Kernel = "des3" }, "unknown kernel"},
+		{"bad policy", func(a *Assess) { a.Policy = "paranoid" }, "unknown policy"},
+		{"bad vary", func(a *Assess) { a.Vary = "rounds" }, "unknown vary"},
+		{"vary plaintext non-des", func(a *Assess) { a.Kernel, a.Vary = "tea", "plaintext" }, "DES-only"},
+		{"too few traces", func(a *Assess) { a.Traces = 3 }, "at least 4 traces"},
+		{"negative workers", func(a *Assess) { a.Workers = -1 }, "workers"},
+		{"negative shards", func(a *Assess) { a.Shards = -2 }, "shards"},
+		{"bad key", func(a *Assess) { a.Key = "zz" }, "bad key"},
+		{"bad plaintext", func(a *Assess) { a.Plaintext = "-3" }, "bad plaintext"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := DefaultAssess()
+			tc.mut(&a)
+			_, err := a.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+
+	// Zero-valued optional fields resolve to defaults.
+	a := Assess{Traces: 8, Policy: "none"}
+	r, err := a.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kernel != "des" || r.Vary != "key" || r.KeyV == 0 {
+		t.Fatalf("defaults not applied: %+v", r)
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	if err := (Batch{Traces: 10, Trials: 2}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Batch{{Traces: -1}, {Trials: -1}, {Workers: -1}} {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("Batch %+v validated", b)
+		}
+	}
+}

@@ -374,7 +374,7 @@ func (m *Machine) Encrypt(key, plaintext uint64, maxCycles uint64, probes ...cpu
 	if err != nil {
 		return 0, sim.Stats{}, false, err
 	}
-	job.Probes = probes
+	job.Probe = sim.SharedProbes(probes...)
 	res := m.Runner().Run(job)
 	if res.Err != nil {
 		return 0, sim.Stats{}, false, res.Err

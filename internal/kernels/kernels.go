@@ -115,7 +115,7 @@ func (m *Machine) Run(secret, public []uint32, probes ...cpu.Probe) ([]uint32, s
 	if err != nil {
 		return nil, sim.Stats{}, err
 	}
-	job.Probes = probes
+	job.Probe = sim.SharedProbes(probes...)
 	return m.output(m.Runner().Run(job))
 }
 
@@ -145,6 +145,46 @@ func (m *Machine) Trace(secret, public []uint32) ([]uint32, *trace.Trace, error)
 		return nil, nil, err
 	}
 	return out, res.Trace, nil
+}
+
+// TVLAInputs returns the kernel's canonical fixed TVLA population inputs —
+// the fixed secret, the public input, and the word mask bounding random
+// secret draws (0xff for aes128's byte-valued state, full words otherwise).
+// The experiments tables, cmd/tvla and the leakd service all assess the
+// same populations through this one definition.
+func TVLAInputs(k Kernel) (secret, public []uint32, wordMask uint32) {
+	secretLen, publicLen := 16, 16
+	wordMask = uint32(0xffffffff)
+	switch k.Name {
+	case "aes128":
+		wordMask = 0xff
+	case "tea":
+		secretLen, publicLen = 4, 2
+	case "sha1":
+		secretLen, publicLen = 5, 16
+	}
+	secret = make([]uint32, secretLen)
+	public = make([]uint32, publicLen)
+	for i := range secret {
+		secret[i] = uint32(i+1) & wordMask
+	}
+	for i := range public {
+		public[i] = uint32(i * 9)
+	}
+	return secret, public, wordMask
+}
+
+// ByName returns the named built-in kernel (tea, aes128, sha1).
+func ByName(name string) (Kernel, bool) {
+	switch name {
+	case "tea":
+		return TEA(), true
+	case "aes128":
+		return AES128(), true
+	case "sha1":
+		return SHA1(), true
+	}
+	return Kernel{}, false
 }
 
 // MaskedRegionEnd returns the cycle at which the kernel's output emission

@@ -4,9 +4,9 @@ import (
 	"testing"
 
 	"desmask/internal/compiler"
-	"desmask/internal/cpu"
 	"desmask/internal/desprog"
 	"desmask/internal/leakcheck"
+	"desmask/internal/sim"
 )
 
 // TestProbeMatchesChecker is the differential comparator: the pipeline taint
@@ -42,7 +42,7 @@ func TestProbeMatchesChecker(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			job.Probes = []cpu.Probe{probe}
+			job.Probe = sim.SharedProbes(probe)
 			res := m.Runner().Run(job)
 			if res.Err != nil {
 				t.Fatal(res.Err)
@@ -100,7 +100,7 @@ func TestProbeReset(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		job.Probes = []cpu.Probe{p}
+		job.Probe = sim.SharedProbes(p)
 		res := m.Runner().Run(job)
 		if res.Err != nil || !res.Done {
 			t.Fatalf("run failed: err=%v done=%v", res.Err, res.Done)

@@ -1,0 +1,87 @@
+package leakstat
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"desmask/internal/compiler"
+	"desmask/internal/sim"
+)
+
+// TestAssessContextCancel cancels an assessment mid-sweep: the engine must
+// return only the context error (no partial report), stop launching traces,
+// and leak no shard goroutines.
+func TestAssessContextCancel(t *testing.T) {
+	m := desMachine(t, compiler.PolicyNone)
+	const maxCycles = 8000
+	win, err := DESMaskedWindow(m, testKey, testPlain, maxCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	src := DESKeySource(m, testKey, testPlain, 7, maxCycles)
+	wrapped := Source{
+		Runner: src.Runner,
+		Job: func(i int, fixed bool) (sim.Job, error) {
+			// Cancel from inside the sweep so some traces have run and the
+			// rest must be skipped.
+			cancel()
+			return src.Job(i, fixed)
+		},
+	}
+	rep, err := AssessContext(ctx, wrapped, Config{
+		NumTraces: 512, Seed: 7, Workers: 4, Window: win,
+	})
+	if rep != nil {
+		t.Fatal("cancelled assessment returned a partial report")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d alive, started with %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAssessContextUncancelledBitIdentical: the context path with a live
+// context must produce the exact t-vector of the context-free entry point.
+func TestAssessContextUncancelledBitIdentical(t *testing.T) {
+	m := desMachine(t, compiler.PolicyNone)
+	const maxCycles = 8000
+	win, err := DESMaskedWindow(m, testKey, testPlain, maxCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{NumTraces: 64, Seed: 7, Workers: 4, Window: win}
+	src := DESKeySource(m, testKey, testPlain, 7, maxCycles)
+	ref, err := Assess(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	got, err := AssessContext(ctx, src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.T) != len(ref.T) {
+		t.Fatalf("t-vector length %d vs %d", len(got.T), len(ref.T))
+	}
+	for i := range ref.T {
+		if math.Float64bits(got.T[i]) != math.Float64bits(ref.T[i]) {
+			t.Fatalf("T[%d] differs between Assess and AssessContext", i)
+		}
+	}
+	if got.CyclesSimulated == 0 || got.CyclesSimulated != ref.CyclesSimulated {
+		t.Fatalf("CyclesSimulated %d vs %d", got.CyclesSimulated, ref.CyclesSimulated)
+	}
+}

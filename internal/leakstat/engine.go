@@ -1,6 +1,7 @@
 package leakstat
 
 import (
+	"context"
 	"fmt"
 
 	"desmask/internal/cpu"
@@ -76,6 +77,11 @@ type Report struct {
 	// O(Shards × window length), independent of NumTraces.
 	StateBytes int `json:"state_bytes"`
 
+	// CyclesSimulated is the total simulated cycles the assessment executed
+	// across every trace (summed per shard in index order, so it is as
+	// deterministic as the verdict itself).
+	CyclesSimulated uint64 `json:"cycles_simulated"`
+
 	// T is the per-sample t-statistic (plot/debug use; omitted from JSON).
 	T []float64 `json:"-"`
 	// Fixed and Random are the final merged population accumulators.
@@ -98,8 +104,8 @@ func Assignment(seed int64, numTraces int) []bool {
 
 // sampleProbe folds each committed cycle's energy inside the window into
 // the current target accumulator. It is rebound to the session worker's
-// meter via Job.MeterProbes on every run and reused sequentially within a
-// shard — never shared across in-flight jobs.
+// meter via sim.PerRunMeterProbes on every run and reused sequentially
+// within a shard — never shared across in-flight jobs.
 type sampleProbe struct {
 	meter      *energy.Probe
 	vec        *Vec
@@ -120,8 +126,20 @@ func (p *sampleProbe) OnCycle(ci cpu.CycleInfo) {
 // energy streams through a per-job probe into its shard's accumulator pair,
 // shards fan out across the worker pool, and the shard accumulators merge
 // in fixed index order — the determinism contract of PR 1 extended to
-// statistics: bit-identical verdicts for any worker count.
+// statistics: bit-identical verdicts for any worker count. Equivalent to
+// AssessContext with a background context.
 func Assess(src Source, cfg Config) (*Report, error) {
+	return AssessContext(context.Background(), src, cfg)
+}
+
+// AssessContext is Assess under a cancellable context: shard workers check
+// the context between trace executions, so a per-request deadline or a
+// client disconnect stops the sweep within one simulation's latency. On
+// cancellation every partial shard accumulator is discarded and only the
+// context's error is returned — a cancelled assessment never yields a
+// truncated (and therefore statistically weaker) verdict. Uncancelled runs
+// are bit-identical to Assess.
+func AssessContext(ctx context.Context, src Source, cfg Config) (*Report, error) {
 	if src.Runner == nil || src.Job == nil {
 		return nil, fmt.Errorf("leakstat: source needs a Runner and a Job constructor")
 	}
@@ -157,23 +175,32 @@ func Assess(src Source, cfg Config) (*Report, error) {
 	}
 
 	L := win.Len()
-	type part struct{ f, r *Vec }
+	type part struct {
+		f, r   *Vec
+		cycles uint64
+	}
 	parts := make([]part, shards)
-	err := sim.ForEach(shards, cfg.Workers, func(s int) error {
+	err := sim.ForEachContext(ctx, shards, cfg.Workers, func(s int) error {
 		p := part{f: NewVec(L), r: NewVec(L)}
 		probe := &sampleProbe{start: uint64(win.Start), end: uint64(win.End)}
-		meterProbes := func(m *energy.Probe) []cpu.Probe {
+		spec := sim.PerRunMeterProbes(func(m *energy.Probe) []cpu.Probe {
 			probe.meter = m
 			return []cpu.Probe{probe}
-		}
+		})
 		lo, hi := s*cfg.NumTraces/shards, (s+1)*cfg.NumTraces/shards
 		for i := lo; i < hi; i++ {
+			// Cancellation point: an in-flight simulation completes, but no
+			// further trace of this shard starts once the context is done.
+			// The shard's partial accumulators are dropped with the error.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			job, err := src.Job(i, fixed[i])
 			if err != nil {
 				return fmt.Errorf("leakstat: trace %d: %w", i, err)
 			}
 			job.Trace = false // reduced in-flight; never materialized
-			job.MeterProbes = meterProbes
+			job.Probe = spec
 			if fixed[i] {
 				probe.vec = p.f
 			} else {
@@ -185,6 +212,7 @@ func Assess(src Source, cfg Config) (*Report, error) {
 			if res.Err != nil {
 				return fmt.Errorf("leakstat: trace %d: %w", i, res.Err)
 			}
+			p.cycles += res.Stats.Cycles
 			if probe.filled != L {
 				return fmt.Errorf("leakstat: trace %d covered %d/%d window samples — run ended before Window.End=%d",
 					i, probe.filled, L, win.End)
@@ -201,8 +229,10 @@ func Assess(src Source, cfg Config) (*Report, error) {
 	// which workers produced which shard.
 	F, R := NewVec(L), NewVec(L)
 	stateBytes := F.StateBytes() + R.StateBytes()
+	var cycles uint64
 	for _, p := range parts {
 		stateBytes += p.f.StateBytes() + p.r.StateBytes()
+		cycles += p.cycles
 		if err := F.Merge(p.f); err != nil {
 			return nil, err
 		}
@@ -216,20 +246,21 @@ func Assess(src Source, cfg Config) (*Report, error) {
 	}
 	peak, at := MaxAbs(t)
 	rep := &Report{
-		NumTraces:   cfg.NumTraces,
-		FixedN:      nFixed,
-		RandomN:     cfg.NumTraces - nFixed,
-		Shards:      shards,
-		WindowStart: win.Start,
-		WindowEnd:   win.End,
-		Threshold:   threshold,
-		MaxAbsT:     clampFinite(peak),
-		MaxTCycle:   win.Start + at,
-		Leak:        peak > threshold,
-		StateBytes:  stateBytes,
-		T:           t,
-		Fixed:       F,
-		Random:      R,
+		NumTraces:       cfg.NumTraces,
+		FixedN:          nFixed,
+		RandomN:         cfg.NumTraces - nFixed,
+		Shards:          shards,
+		WindowStart:     win.Start,
+		WindowEnd:       win.End,
+		Threshold:       threshold,
+		MaxAbsT:         clampFinite(peak),
+		MaxTCycle:       win.Start + at,
+		Leak:            peak > threshold,
+		StateBytes:      stateBytes,
+		CyclesSimulated: cycles,
+		T:               t,
+		Fixed:           F,
+		Random:          R,
 	}
 	return rep, nil
 }

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// programCache is a bounded LRU of compiled+predecoded machines keyed by
+// (source identity, policy, optimize). A hit skips the entire maskcc
+// pipeline and micro-op predecode; repeat submissions of the same program
+// reuse one sim.Runner and its warm worker pool.
+//
+// Concurrent requests for the same missing key build once: the first caller
+// owns the build, later callers block on the entry's ready channel. A failed
+// build is not retained — the error propagates to every waiter and the key
+// is removed so a later submission can retry.
+type programCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[cacheKey]*cacheEntry
+	order   *list.List // front = most recently used; values are cacheKey
+
+	hits, misses uint64
+}
+
+// cacheKey identifies one compiled program build.
+type cacheKey struct {
+	// Source is "workload:<name>" for built-ins or "sha256:<hex>" for
+	// submitted MiniC source.
+	Source   string
+	Policy   string
+	Optimize bool
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed once value/err are set
+	value any
+	err   error
+	elem  *list.Element
+}
+
+func newProgramCache(max int) *programCache {
+	if max <= 0 {
+		max = 16
+	}
+	return &programCache{
+		max:     max,
+		entries: make(map[cacheKey]*cacheEntry),
+		order:   list.New(),
+	}
+}
+
+// getOrBuild returns the cached value for key, building it with build on a
+// miss. The second result reports whether this was a hit (including hitting
+// an entry another request is still building).
+func (c *programCache) getOrBuild(key cacheKey, build func() (any, error)) (any, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(e.elem)
+		c.mu.Unlock()
+		<-e.ready
+		return e.value, true, e.err
+	}
+	c.misses++
+	e := &cacheEntry{ready: make(chan struct{})}
+	e.elem = c.order.PushFront(key)
+	c.entries[key] = e
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		k := oldest.Value.(cacheKey)
+		c.order.Remove(oldest)
+		delete(c.entries, k)
+	}
+	c.mu.Unlock()
+
+	e.value, e.err = build()
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		// Only remove if the key still maps to this failed entry (it may
+		// already have been evicted).
+		if cur, ok := c.entries[key]; ok && cur == e {
+			c.order.Remove(e.elem)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.value, false, e.err
+}
+
+// stats returns the lifetime hit/miss counters.
+func (c *programCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// len reports the current entry count.
+func (c *programCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

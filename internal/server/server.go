@@ -1,0 +1,409 @@
+// Package server implements leakd, the long-running leakage-assessment
+// service: an HTTP/JSON daemon that accepts TVLA assessment jobs (a named
+// workload or submitted MiniC source, a masking policy, a trace count), runs
+// them on shared sim.Runner pools through internal/leakstat, and returns the
+// leakage verdict.
+//
+// The service layers three things on top of the batch engines without
+// touching their determinism contract (DESIGN.md §10):
+//
+//   - Admission control: a semaphore bounds concurrently executing
+//     assessments and a bounded wait queue sheds load with 429 once full.
+//   - Cancellation: every request runs under a context with a per-request
+//     deadline; leakstat.AssessContext stops launching traces once the
+//     context dies and the request returns 504 with its workers freed.
+//   - Observability: /metrics (Prometheus text format), /healthz, and
+//     /debug/pprof.
+//
+// Compiled programs are cached in an LRU keyed by (source identity, policy,
+// optimize), so a repeat submission skips the masking compiler and micro-op
+// predecode and lands on a warm worker pool.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"desmask/internal/cliconf"
+	"desmask/internal/compiler"
+	"desmask/internal/desprog"
+	"desmask/internal/energy"
+	"desmask/internal/kernels"
+	"desmask/internal/leakstat"
+	"desmask/internal/trace"
+)
+
+// Config sizes the service.
+type Config struct {
+	// MaxConcurrent bounds assessments executing at once (<= 0: 2).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an execution slot; one more
+	// request is rejected with 429 (<= 0: 8).
+	MaxQueue int
+	// CacheSize bounds the compiled-program LRU (<= 0: 16).
+	CacheSize int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (<= 0: 60s).
+	DefaultTimeout time.Duration
+	// MaxTraces caps the per-request trace count (<= 0: unlimited).
+	MaxTraces int
+	// Workers is the default shard worker pool size per assessment when the
+	// request leaves workers at 0 (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Server is the leakd HTTP service.
+type Server struct {
+	cfg     Config
+	cache   *programCache
+	metrics *metrics
+	sem     chan struct{}
+	mux     *http.ServeMux
+}
+
+// New builds a Server with its routes registered.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 8
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   newProgramCache(cfg.CacheSize),
+		metrics: newMetrics(),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/assess", s.handleAssess)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// AssessRequest is the JSON body of POST /v1/assess. The embedded
+// cliconf.Assess carries exactly the parameter surface of the cmd/tvla
+// flags, validated by the same rules.
+type AssessRequest struct {
+	cliconf.Assess
+
+	// Source, when non-empty, submits a MiniC program instead of a named
+	// kernel. The program's secure-annotated secret global, public input
+	// global and output global must be named, and it must define an
+	// emit_output function bounding the masked region. Secret and Public
+	// are the fixed-population input words.
+	Source       string   `json:"source,omitempty"`
+	SecretGlobal string   `json:"secret_global,omitempty"`
+	PublicGlobal string   `json:"public_global,omitempty"`
+	OutputGlobal string   `json:"output_global,omitempty"`
+	OutputLen    int      `json:"output_len,omitempty"`
+	Secret       []uint32 `json:"secret,omitempty"`
+	Public       []uint32 `json:"public,omitempty"`
+
+	// Optimize compiles with the taint-sound optimizing pass pipeline
+	// (maskcc -O); part of the program-cache key.
+	Optimize bool `json:"optimize,omitempty"`
+
+	// TimeoutMS bounds the request (0 = server default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// AssessResponse is the JSON verdict of one assessment.
+type AssessResponse struct {
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"`
+	Vary     string `json:"vary"`
+	Optimize bool   `json:"optimize"`
+	*leakstat.Report
+	Seconds  float64 `json:"seconds"`
+	CacheHit bool    `json:"cache_hit"`
+}
+
+// errorResponse is the JSON error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, hits, misses, s.cache.len())
+}
+
+// resolve validates the request onto the shared cliconf surface. A submitted
+// source program reuses the common validation with the workload name pinned;
+// its own fields are checked here.
+func (s *Server) resolve(req *AssessRequest) (*cliconf.ResolvedAssess, error) {
+	a := req.Assess
+	if req.Source != "" {
+		if a.Kernel != "" && a.Kernel != "custom" {
+			return nil, errors.New("source and kernel are mutually exclusive (use at most kernel \"custom\")")
+		}
+		if a.Vary == "plaintext" {
+			return nil, errors.New("vary plaintext is DES-only; source programs always vary the secret")
+		}
+		if req.SecretGlobal == "" || req.PublicGlobal == "" || req.OutputGlobal == "" || req.OutputLen <= 0 {
+			return nil, errors.New("source programs need secret_global, public_global, output_global and output_len")
+		}
+		if len(req.Secret) == 0 {
+			return nil, errors.New("source programs need a fixed secret input array")
+		}
+		a.Kernel, a.Vary = "des", "key" // placeholders for the shared rules
+	}
+	r, err := a.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.MaxTraces > 0 && r.Traces > s.cfg.MaxTraces {
+		return nil, fmt.Errorf("traces %d exceeds the server limit %d", r.Traces, s.cfg.MaxTraces)
+	}
+	if r.Workers == 0 {
+		r.Workers = s.cfg.Workers
+	}
+	return r, nil
+}
+
+// workload is a ready-to-assess population: a trace source and its window.
+type workload struct {
+	name string
+	src  leakstat.Source
+	win  trace.Window
+}
+
+// cacheKeyFor derives the program-cache key: built-in workloads are keyed by
+// name, submitted source by its SHA-256 (plus the globals that shape the
+// job), and both by (policy, optimize).
+func cacheKeyFor(req *AssessRequest, r *cliconf.ResolvedAssess) cacheKey {
+	src := "workload:" + r.Kernel
+	if req.Source != "" {
+		h := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%s\x00%s\x00%s\x00%d",
+			req.Source, req.SecretGlobal, req.PublicGlobal, req.OutputGlobal, req.OutputLen)))
+		src = fmt.Sprintf("sha256:%x", h)
+	}
+	return cacheKey{Source: src, Policy: r.PolicyV.String(), Optimize: req.Optimize}
+}
+
+// buildWorkload compiles (or fetches from cache) the program and locates the
+// assessment window. The compile stage is only timed on a miss; the window
+// probe run is timed per request.
+func (s *Server) buildWorkload(req *AssessRequest, r *cliconf.ResolvedAssess) (*workload, bool, error) {
+	opt := compiler.Options{Policy: r.PolicyV, Optimize: req.Optimize}
+	key := cacheKeyFor(req, r)
+
+	switch {
+	case req.Source != "":
+		k := kernels.Kernel{
+			Name:         "custom",
+			Source:       req.Source,
+			SecretGlobal: req.SecretGlobal,
+			PublicGlobal: req.PublicGlobal,
+			OutputGlobal: req.OutputGlobal,
+			OutputLen:    req.OutputLen,
+		}
+		m, hit, err := s.cachedKernelMachine(key, k, opt)
+		if err != nil {
+			return nil, hit, err
+		}
+		return s.kernelWorkload("custom", m, req.Secret, req.Public, 0xffffffff, r, hit)
+	case r.Kernel == "des":
+		v, hit, err := s.cache.getOrBuild(key, func() (any, error) {
+			start := time.Now()
+			m, err := desprog.NewFull(opt, energy.DefaultConfig())
+			if err == nil {
+				s.metrics.observeStage("compile", time.Since(start).Seconds())
+			}
+			return m, err
+		})
+		if err != nil {
+			return nil, hit, err
+		}
+		m := v.(*desprog.Machine)
+		var (
+			src  leakstat.Source
+			win  trace.Window
+			err2 error
+		)
+		winStart := time.Now()
+		if r.Vary == "plaintext" {
+			src = leakstat.DESPlaintextSource(m, r.KeyV, r.PlaintextV, r.Seed, r.MaxCycles)
+			win, err2 = leakstat.DESRound1Window(m, r.KeyV, r.PlaintextV, r.MaxCycles)
+		} else {
+			src = leakstat.DESKeySource(m, r.KeyV, r.PlaintextV, r.Seed, r.MaxCycles)
+			win, err2 = leakstat.DESMaskedWindow(m, r.KeyV, r.PlaintextV, r.MaxCycles)
+		}
+		if err2 != nil {
+			return nil, hit, err2
+		}
+		s.metrics.observeStage("window", time.Since(winStart).Seconds())
+		return &workload{name: "des", src: src, win: win}, hit, nil
+	default:
+		k, _ := kernels.ByName(r.Kernel)
+		m, hit, err := s.cachedKernelMachine(key, k, opt)
+		if err != nil {
+			return nil, hit, err
+		}
+		secret, public, mask := kernels.TVLAInputs(k)
+		return s.kernelWorkload(r.Kernel, m, secret, public, mask, r, hit)
+	}
+}
+
+// cachedKernelMachine fetches or builds a kernels.Machine under the cache.
+func (s *Server) cachedKernelMachine(key cacheKey, k kernels.Kernel, opt compiler.Options) (*kernels.Machine, bool, error) {
+	v, hit, err := s.cache.getOrBuild(key, func() (any, error) {
+		start := time.Now()
+		m, err := kernels.Build(k, opt, energy.DefaultConfig())
+		if err == nil {
+			s.metrics.observeStage("compile", time.Since(start).Seconds())
+		}
+		return m, err
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*kernels.Machine), hit, nil
+}
+
+// kernelWorkload assembles the fixed-vs-random-secret population of a kernel
+// machine and its masked window.
+func (s *Server) kernelWorkload(name string, m *kernels.Machine, secret, public []uint32, mask uint32, r *cliconf.ResolvedAssess, hit bool) (*workload, bool, error) {
+	winStart := time.Now()
+	win, err := leakstat.KernelMaskedWindow(m, secret, public)
+	if err != nil {
+		return nil, hit, err
+	}
+	if r.MaxCycles > 0 {
+		win = win.Clamp(int(r.MaxCycles))
+		if win.Len() <= 0 {
+			return nil, hit, fmt.Errorf("masked window outside the %d-cycle budget", r.MaxCycles)
+		}
+	}
+	s.metrics.observeStage("window", time.Since(winStart).Seconds())
+	src := leakstat.KernelSecretSource(m, secret, public, mask, r.Seed, r.MaxCycles)
+	return &workload{name: name, src: src, win: win}, hit, nil
+}
+
+// handleAssess runs one assessment request end to end: admission, program
+// build (through the cache), windowed TVLA sweep, verdict.
+func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req AssessRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.jobDone("rejected")
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	resolved, err := s.resolve(&req)
+	if err != nil {
+		s.metrics.jobDone("rejected")
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Admission: bounded wait queue in front of the execution semaphore.
+	if depth := s.metrics.queueDepth.Add(1); depth > int64(s.cfg.MaxQueue) {
+		s.metrics.queueDepth.Add(-1)
+		s.metrics.jobDone("rejected")
+		writeError(w, http.StatusTooManyRequests, "queue full (%d waiting)", depth-1)
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.queueDepth.Add(-1)
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.metrics.queueDepth.Add(-1)
+		s.metrics.jobDone("timeout")
+		writeError(w, http.StatusGatewayTimeout, "request expired while queued: %v", ctx.Err())
+		return
+	}
+
+	s.metrics.running.Add(1)
+	defer s.metrics.running.Add(-1)
+
+	start := time.Now()
+	wl, hit, err := s.buildWorkload(&req, resolved)
+	if err != nil {
+		s.metrics.jobDone("failed")
+		writeError(w, http.StatusUnprocessableEntity, "build failed: %v", err)
+		return
+	}
+
+	cfg := resolved.Config()
+	cfg.Window = wl.win
+	assessStart := time.Now()
+	rep, err := leakstat.AssessContext(ctx, wl.src, cfg)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.metrics.jobDone("timeout")
+			writeError(w, http.StatusGatewayTimeout, "assessment cancelled: %v", err)
+			return
+		}
+		s.metrics.jobDone("failed")
+		writeError(w, http.StatusUnprocessableEntity, "assessment failed: %v", err)
+		return
+	}
+	s.metrics.observeStage("assess", time.Since(assessStart).Seconds())
+	s.metrics.cyclesSimulated.Add(rep.CyclesSimulated)
+	s.metrics.jobDone("completed")
+
+	vary := resolved.Vary
+	if wl.name != "des" {
+		vary = "secret"
+	}
+	writeJSON(w, http.StatusOK, AssessResponse{
+		Workload: wl.name,
+		Policy:   resolved.PolicyV.String(),
+		Vary:     vary,
+		Optimize: req.Optimize,
+		Report:   rep,
+		Seconds:  time.Since(start).Seconds(),
+		CacheHit: hit,
+	})
+}

@@ -251,6 +251,26 @@ func line(v []string, i int) string {
 	return "<missing>"
 }
 
+// goldenEntry loads one (workload, policy) cell of the golden manifest, if
+// the manifest exists.
+func goldenEntry(t *testing.T, workload, policy string) (cosimEntry, bool) {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_cosim.json"))
+	if err != nil {
+		return cosimEntry{}, false
+	}
+	var entries []cosimEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Workload == workload && e.Policy == policy {
+			return e, true
+		}
+	}
+	return cosimEntry{}, false
+}
+
 // TestGoldenBatchMatchesGolden re-runs one golden cell through RunBatch to
 // tie the batch path to the same fixture (worker pooling must not perturb
 // traces).

@@ -14,9 +14,17 @@
 // batch. RunBatch therefore returns bit-identical results (traces, energy
 // totals, statistics, memory read-backs) in job order regardless of worker
 // count or scheduling.
+//
+// Cancellation: RunBatchContext and ForEachContext accept a context and
+// check it between executions — an in-flight simulation always runs to its
+// cycle budget, but no further job starts once the context is done.
+// Cancellation never perturbs completed results: every job that ran is
+// bit-identical to what an uncancelled batch would have produced for that
+// index, and every job that did not run carries the context's error.
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -68,6 +76,71 @@ func (s Stats) AvgPJPerCycle() float64 {
 	return s.Energy.Total / float64(s.Cycles)
 }
 
+// ProbeSpec declares the extra observation probes of a job. The zero value
+// attaches nothing. A spec is built by exactly one of the constructors:
+//
+//   - SharedProbes: fixed probe instances, attached as-is to every run the
+//     spec is used for. The instances accumulate across runs, so the jobs
+//     that carry a shared spec are executed sequentially in index order —
+//     Run does this trivially, and RunBatch schedules them on a single
+//     worker so the instances observe one deterministic stream.
+//   - PerRunProbes: a factory invoked once per execution; every run gets
+//     fresh instances, so these jobs fan out freely across batch workers.
+//   - PerRunMeterProbes: like PerRunProbes, but the factory receives the
+//     session worker's energy meter, already attached first, so the
+//     returned probes can read each committed cycle's energy via
+//     meter.LastPJ()/Last(). This is the hook for in-flight trace
+//     reduction: streaming consumers (the leakstat accumulators) fold every
+//     cycle's energy into constant-size state instead of materializing the
+//     trace.
+//
+// Collapsing the former Probes/NewProbes/MeterProbes fields into this one
+// type removes the old batch-time "shared probe instances" runtime error:
+// sharing is now part of the spec, and the scheduler serializes exactly the
+// jobs that need it.
+type ProbeSpec struct {
+	shared   []cpu.Probe
+	perRun   func() []cpu.Probe
+	perMeter func(meter *energy.Probe) []cpu.Probe
+}
+
+// SharedProbes builds a spec that attaches the given probe instances to
+// every run. Jobs carrying the spec are serialized (in index order within a
+// batch), so the instances never observe two simulations at once.
+func SharedProbes(probes ...cpu.Probe) ProbeSpec {
+	return ProbeSpec{shared: probes}
+}
+
+// PerRunProbes builds a spec whose factory is called once per execution;
+// each run attaches the fresh instances the factory returns.
+func PerRunProbes(fn func() []cpu.Probe) ProbeSpec {
+	return ProbeSpec{perRun: fn}
+}
+
+// PerRunMeterProbes builds a spec whose factory is called once per
+// execution with the session worker's energy meter (attached first, per the
+// meter protocol), so the returned probes read committed per-cycle energy.
+func PerRunMeterProbes(fn func(meter *energy.Probe) []cpu.Probe) ProbeSpec {
+	return ProbeSpec{perMeter: fn}
+}
+
+// IsShared reports whether the spec carries fixed probe instances and so
+// forces sequential execution of the jobs that use it.
+func (s ProbeSpec) IsShared() bool { return len(s.shared) > 0 }
+
+// instantiate returns the probes to attach for one run.
+func (s ProbeSpec) instantiate(meter *energy.Probe) []cpu.Probe {
+	switch {
+	case len(s.shared) > 0:
+		return s.shared
+	case s.perRun != nil:
+		return s.perRun()
+	case s.perMeter != nil:
+		return s.perMeter(meter)
+	}
+	return nil
+}
+
 // Job is one independent simulation: input pokes, a cycle budget, and what
 // to capture.
 type Job struct {
@@ -83,25 +156,31 @@ type Job struct {
 	// matching cpu.ErrCycleLimit) instead of the default Done=false partial
 	// run, for callers that consider an unfinished program a failure.
 	RequireHalt bool
-	// Probes are attached to the core for this run, after the runner's own
-	// energy meter and trace recorder. Honored by Run only; RunBatch rejects
-	// jobs with shared probe instances because they would race across
-	// workers and break the determinism contract — use NewProbes there.
+	// Probe declares the job's extra probes; see ProbeSpec. Probes are
+	// attached after the runner's own energy meter and trace recorder.
+	Probe ProbeSpec
+
+	// Probes is a deprecated shim for SharedProbes.
+	//
+	// Deprecated: set Probe = SharedProbes(p...) instead. Removed next
+	// release.
 	Probes []cpu.Probe
-	// NewProbes, when non-nil, is called once per execution and the returned
-	// probes are attached for that run. Safe in batches: every job gets
-	// fresh probe instances, so nothing is shared across workers.
+	// NewProbes is a deprecated shim for PerRunProbes.
+	//
+	// Deprecated: set Probe = PerRunProbes(fn) instead. Removed next
+	// release.
 	NewProbes func() []cpu.Probe
-	// MeterProbes, when non-nil, is called once per execution with the
-	// session worker's energy meter; the returned probes are attached after
-	// the meter (and the trace recorder, if any), so their observers read
-	// each committed cycle's energy via meter.LastPJ()/Last(). This is the
-	// hook for in-flight trace reduction: streaming consumers (the leakstat
-	// accumulators) fold every cycle's energy into constant-size state
-	// instead of materializing the trace. In batches the factory runs
-	// concurrently on workers and must not hand the same probe instance to
-	// two in-flight jobs; sequential Run calls may reuse one instance.
+	// MeterProbes is a deprecated shim for PerRunMeterProbes.
+	//
+	// Deprecated: set Probe = PerRunMeterProbes(fn) instead. Removed next
+	// release.
 	MeterProbes func(meter *energy.Probe) []cpu.Probe
+}
+
+// sharedProbes reports whether the job (spec or deprecated shim) carries
+// fixed probe instances, which the batch scheduler must serialize.
+func (j *Job) sharedProbes() bool {
+	return j.Probe.IsShared() || len(j.Probes) > 0
 }
 
 // Result is the outcome of one job.
@@ -120,9 +199,34 @@ type Result struct {
 	Mem [][]uint32
 	// Regs is the architectural register file after the run.
 	Regs [isa.NumRegs]uint32
-	// Err is the job's failure, if any.
+	// Err is the job's failure, if any. A job skipped because the batch
+	// context was cancelled carries that context's error.
 	Err error
 }
+
+// JobError is a batch failure tied to the job that caused it: RunBatch and
+// RunBatchContext report the lowest-index failing job this way, so callers
+// multiplexing a batch across independent requests (the leakd service) can
+// map the failure back to exactly one of them. It unwraps to the underlying
+// cause, so errors.Is/As against cpu.ErrCycleLimit, context.Canceled,
+// context.DeadlineExceeded and friends keep working.
+type JobError struct {
+	// Index is the failing job's position in the batch.
+	Index int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *JobError) Error() string {
+	// A cycle-limit expiry (RequireHalt jobs) is a budget problem, not a
+	// program fault; say so instead of surfacing a bare limit error.
+	if errors.Is(e.Err, cpu.ErrCycleLimit) {
+		return fmt.Sprintf("sim: job %d did not halt within its cycle budget: %v", e.Index, e.Err)
+	}
+	return fmt.Sprintf("sim: job %d: %v", e.Index, e.Err)
+}
+
+func (e *JobError) Unwrap() error { return e.Err }
 
 // Options configures batch execution.
 type Options struct {
@@ -172,6 +276,9 @@ type Runner struct {
 	// traceHint remembers the previous captured run length so batch
 	// recorders pre-size their buffers instead of regrowing per cycle.
 	traceHint atomic.Int64
+	// cycles counts every simulated cycle the session has executed, for
+	// service observability (leakd's /metrics).
+	cycles atomic.Uint64
 }
 
 // NewRunner builds a session for the compiled program under the given
@@ -185,6 +292,10 @@ func (r *Runner) Program() *asm.Program { return r.prog }
 
 // Config returns the session's energy configuration.
 func (r *Runner) Config() energy.Config { return r.cfg }
+
+// CyclesSimulated returns the total simulated cycles executed by this
+// session since construction, across all runs and batches.
+func (r *Runner) CyclesSimulated() uint64 { return r.cycles.Load() }
 
 // worker bundles the per-worker reusable simulator state: the core, its
 // energy meter, and a trace recorder reading from that meter.
@@ -258,6 +369,10 @@ func (r *Runner) runOn(w *worker, job Job) Result {
 		w.rec.Reserve(r.reserveHint(budget))
 		w.c.Attach(&w.rec)
 	}
+	for _, p := range job.Probe.instantiate(w.meter) {
+		w.c.Attach(p)
+	}
+	// Deprecated shim fields, honored one release behind the spec.
 	for _, p := range job.Probes {
 		w.c.Attach(p)
 	}
@@ -278,6 +393,7 @@ func (r *Runner) runOn(w *worker, job Job) Result {
 		Energy: w.meter.Total(),
 		PeakPJ: w.meter.PeakPJ(),
 	}
+	r.cycles.Add(res.Stats.Cycles)
 	for reg := isa.Reg(0); reg < isa.NumRegs; reg++ {
 		res.Regs[reg] = w.c.Reg(reg)
 	}
@@ -320,55 +436,91 @@ func (r *Runner) Run(job Job) Result {
 }
 
 // RunBatch executes every job across the worker pool and returns results in
-// job order. The returned error is the lowest-index job error (all results
-// are still returned, each carrying its own Err), so error reporting is as
-// deterministic as the results themselves.
+// job order. Equivalent to RunBatchContext with a background context.
 func (r *Runner) RunBatch(jobs []Job, opts Options) ([]Result, error) {
+	return r.RunBatchContext(context.Background(), jobs, opts)
+}
+
+// RunBatchContext executes every job across the worker pool and returns
+// results in job order. Jobs whose ProbeSpec carries shared probe instances
+// are executed sequentially in index order on a single worker (so the
+// instances observe one deterministic stream); all other jobs fan out.
+//
+// Workers check the context between executions: an in-flight simulation
+// runs to completion, but once ctx is done no further job starts and every
+// unexecuted job's Result carries the context's error. The returned error
+// is a *JobError for the lowest-index failing job (all results are still
+// returned, each carrying its own Err), so error reporting is as
+// deterministic as the results themselves.
+func (r *Runner) RunBatchContext(ctx context.Context, jobs []Job, opts Options) ([]Result, error) {
 	results := make([]Result, len(jobs))
 	if len(jobs) == 0 {
-		return results, nil
+		return results, ctx.Err()
 	}
+	// Partition the batch: shared-probe jobs are serialized in index order,
+	// the rest fan out across the pool.
+	var par, seq []int
 	for i := range jobs {
-		if len(jobs[i].Probes) > 0 {
-			return nil, fmt.Errorf("sim: job %d: shared probe instances are not supported in batches (use Job.NewProbes)", i)
+		if jobs[i].sharedProbes() {
+			seq = append(seq, i)
+		} else {
+			par = append(par, i)
 		}
 	}
-	workers := opts.resolve(len(jobs))
-	var next atomic.Int64
 	var wg sync.WaitGroup
-	for k := 0; k < workers; k++ {
+	if len(par) > 0 {
+		workers := opts.resolve(len(par))
+		var next atomic.Int64
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w, werr := r.getWorker()
+				if werr == nil {
+					defer r.pool.Put(w)
+				}
+				for {
+					n := int(next.Add(1) - 1)
+					if n >= len(par) {
+						return
+					}
+					i := par[n]
+					switch {
+					case werr != nil:
+						results[i] = Result{Err: werr}
+					case ctx.Err() != nil:
+						results[i] = Result{Err: ctx.Err()}
+					default:
+						results[i] = r.runOn(w, jobs[i])
+					}
+				}
+			}()
+		}
+	}
+	if len(seq) > 0 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w, err := r.getWorker()
-			if err != nil {
-				for {
-					i := int(next.Add(1) - 1)
-					if i >= len(jobs) {
-						return
-					}
-					results[i] = Result{Err: err}
-				}
+			w, werr := r.getWorker()
+			if werr == nil {
+				defer r.pool.Put(w)
 			}
-			defer r.pool.Put(w)
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= len(jobs) {
-					return
+			for _, i := range seq {
+				switch {
+				case werr != nil:
+					results[i] = Result{Err: werr}
+				case ctx.Err() != nil:
+					results[i] = Result{Err: ctx.Err()}
+				default:
+					results[i] = r.runOn(w, jobs[i])
 				}
-				results[i] = r.runOn(w, jobs[i])
 			}
 		}()
 	}
 	wg.Wait()
 	for i := range results {
 		if err := results[i].Err; err != nil {
-			// A cycle-limit expiry (RequireHalt jobs) is a budget problem, not
-			// a program fault; say so instead of surfacing a bare limit error.
-			if errors.Is(err, cpu.ErrCycleLimit) {
-				return results, fmt.Errorf("sim: job %d did not halt within its cycle budget: %w", i, err)
-			}
-			return results, fmt.Errorf("sim: job %d: %w", i, err)
+			return results, &JobError{Index: i, Err: err}
 		}
 	}
 	return results, nil
@@ -380,8 +532,16 @@ func (r *Runner) RunBatch(jobs []Job, opts Options) ([]Result, error) {
 // machines per policy, leak-check sweeps, ablation grids — with the same
 // deterministic contract: fn must touch only state owned by its index.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachContext(context.Background(), n, workers, fn)
+}
+
+// ForEachContext is ForEach with cancellation: the context is checked
+// before each call, an in-flight fn always completes, and indices skipped
+// after cancellation report the context's error (so the lowest-index error
+// the caller sees is deterministic for a given cancellation point).
+func ForEachContext(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	errs := make([]error, n)
 	workers = Options{Workers: workers}.resolve(n)
@@ -395,6 +555,10 @@ func ForEach(n, workers int, fn func(i int) error) error {
 				i := int(next.Add(1) - 1)
 				if i >= n {
 					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
 				}
 				errs[i] = fn(i)
 			}

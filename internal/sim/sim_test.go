@@ -202,18 +202,46 @@ func TestRunBudgetExpiry(t *testing.T) {
 	}
 }
 
-func TestRunBatchRejectsSharedProbes(t *testing.T) {
+// TestRunBatchSharedProbesSerialized pins the redesigned shared-probe
+// semantics: a batch job carrying SharedProbes is legal (the old runtime
+// rejection is gone) because the scheduler serializes those jobs in index
+// order on one worker. The shared instance therefore observes every
+// carrying job exactly once, with no data race, while the per-job results
+// stay bit-identical to an all-parallel batch.
+func TestRunBatchSharedProbesSerialized(t *testing.T) {
 	r, syms := newTestRunner(t)
-	job := testJob(syms, 0, false)
-	job.Probes = []cpu.Probe{cpu.ProbeFunc(func(cpu.CycleInfo) {})}
-	if _, err := r.RunBatch([]sim.Job{job}, sim.Options{}); err == nil {
-		t.Fatal("RunBatch accepted a job with shared probe instances")
+	const n = 8
+	var sharedCycles uint64
+	shared := sim.SharedProbes(cpu.ProbeFunc(func(cpu.CycleInfo) { sharedCycles++ }))
+	jobs := make([]sim.Job, n)
+	for i := range jobs {
+		jobs[i] = testJob(syms, i, false)
+		if i%2 == 0 {
+			jobs[i].Probe = shared
+		}
+	}
+	results, err := r.RunBatch(jobs, sim.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for i, res := range results {
+		if out := wantOut(syms, i); !reflect.DeepEqual(res.Mem[0], out) {
+			t.Fatalf("job %d: out=%v want %v", i, res.Mem[0], out)
+		}
+		if i%2 == 0 {
+			want += res.Stats.Cycles
+		}
+	}
+	if sharedCycles != want {
+		t.Fatalf("shared probe saw %d cycles across its jobs, want %d", sharedCycles, want)
 	}
 }
 
-// TestRunBatchNewProbes verifies the batch-safe probe path: every job gets a
-// fresh probe instance from its factory, and each sees exactly its own run.
-func TestRunBatchNewProbes(t *testing.T) {
+// TestRunBatchPerRunProbes verifies the batch-safe probe path: every job
+// gets a fresh probe instance from its factory, and each sees exactly its
+// own run.
+func TestRunBatchPerRunProbes(t *testing.T) {
 	r, syms := newTestRunner(t)
 	const n = 8
 	counts := make([]uint64, n)
@@ -221,9 +249,9 @@ func TestRunBatchNewProbes(t *testing.T) {
 	for i := range jobs {
 		i := i
 		jobs[i] = testJob(syms, i, false)
-		jobs[i].NewProbes = func() []cpu.Probe {
+		jobs[i].Probe = sim.PerRunProbes(func() []cpu.Probe {
 			return []cpu.Probe{cpu.ProbeFunc(func(cpu.CycleInfo) { counts[i]++ })}
-		}
+		})
 	}
 	results, err := r.RunBatch(jobs, sim.Options{Workers: 4})
 	if err != nil {
@@ -232,6 +260,52 @@ func TestRunBatchNewProbes(t *testing.T) {
 	for i, res := range results {
 		if counts[i] != res.Stats.Cycles {
 			t.Fatalf("job %d: probe saw %d cycles, stats report %d", i, counts[i], res.Stats.Cycles)
+		}
+	}
+}
+
+// TestDeprecatedProbeShims keeps the one-release compatibility fields
+// (Job.Probes, Job.NewProbes, Job.MeterProbes) working until they are
+// deleted: each must attach exactly like its ProbeSpec replacement.
+func TestDeprecatedProbeShims(t *testing.T) {
+	r, syms := newTestRunner(t)
+
+	var sharedN uint64
+	job := testJob(syms, 0, false)
+	job.Probes = []cpu.Probe{cpu.ProbeFunc(func(cpu.CycleInfo) { sharedN++ })}
+	res := r.Run(job)
+	if res.Err != nil || sharedN != res.Stats.Cycles {
+		t.Fatalf("Probes shim: err=%v saw %d cycles, stats %d", res.Err, sharedN, res.Stats.Cycles)
+	}
+
+	const n = 4
+	counts := make([]uint64, n)
+	meterSeen := make([]bool, n)
+	jobs := make([]sim.Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = testJob(syms, i, false)
+		jobs[i].NewProbes = func() []cpu.Probe {
+			return []cpu.Probe{cpu.ProbeFunc(func(cpu.CycleInfo) { counts[i]++ })}
+		}
+		jobs[i].MeterProbes = func(m *energy.Probe) []cpu.Probe {
+			return []cpu.Probe{cpu.ProbeFunc(func(cpu.CycleInfo) {
+				if m.LastPJ() > 0 {
+					meterSeen[i] = true
+				}
+			})}
+		}
+	}
+	results, err := r.RunBatch(jobs, sim.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if counts[i] != res.Stats.Cycles {
+			t.Fatalf("NewProbes shim: job %d saw %d cycles, stats %d", i, counts[i], res.Stats.Cycles)
+		}
+		if !meterSeen[i] {
+			t.Fatalf("MeterProbes shim: job %d probe never read a committed cycle energy", i)
 		}
 	}
 }
