@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	maskcc [-policy selective] [-O] [-o out.s] [-slice] [-dump-ir] [-no-secure-indexing] prog.c
+//	maskcc [-policy selective] [-isa pisa] [-O] [-o out.s] [-slice]
+//	       [-dump-ir] [-no-secure-indexing] prog.c
 package main
 
 import (
@@ -11,11 +12,14 @@ import (
 	"fmt"
 	"os"
 
+	"desmask/internal/cliconf"
 	"desmask/internal/compiler"
+	"desmask/internal/isa"
 )
 
 func main() {
-	policyStr := flag.String("policy", "selective", "protection policy: none | seeds-only | selective | naive-loadstore | all-secure")
+	policyStr := flag.String("policy", "selective", "protection policy: "+cliconf.PolicyUsage())
+	isaStr := flag.String("isa", "", "target ISA backend: "+isa.TargetUsage())
 	out := flag.String("o", "", "write assembly to this file (default stdout)")
 	slice := flag.Bool("slice", false, "print the forward-slice report instead of assembly")
 	noIdx := flag.Bool("no-secure-indexing", false, "disable the secure-indexing treatment (ablation)")
@@ -32,19 +36,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "maskcc:", err)
 		os.Exit(1)
 	}
-	var policy compiler.Policy
-	found := false
-	for _, p := range compiler.Policies() {
-		if p.String() == *policyStr {
-			policy, found = p, true
-		}
+	policy, err := cliconf.ParsePolicy(*policyStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maskcc:", err)
+		os.Exit(2)
 	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "maskcc: unknown policy %q\n", *policyStr)
+	target, err := cliconf.ParseISA(*isaStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maskcc:", err)
 		os.Exit(2)
 	}
 	opts := compiler.Options{
 		Policy:                policy,
+		Target:                target,
 		DisableSecureIndexing: *noIdx,
 		Optimize:              *optimize,
 	}

@@ -1,10 +1,13 @@
-// Command simrun assembles a .s file for the desmask ISA and executes it on
-// the cycle-accurate simulator through a simulation session, optionally
-// dumping the per-cycle energy trace as CSV.
+// Command simrun executes a program on the cycle-accurate simulator through
+// a simulation session, optionally dumping the per-cycle energy trace as
+// CSV. The input is either a .s file assembled for the PISA target, or — with
+// -c — MiniC source compiled in-process for any registered ISA backend (the
+// text assembler is PISA-only, so non-PISA targets require -c).
 //
 // Usage:
 //
 //	simrun [-max N] [-trace out.csv] [-bucket N] [-listing] [-regs] prog.s
+//	simrun -c [-policy selective] [-isa pisa] [-O] prog.c
 package main
 
 import (
@@ -13,6 +16,8 @@ import (
 	"os"
 
 	"desmask/internal/asm"
+	"desmask/internal/cliconf"
+	"desmask/internal/compiler"
 	"desmask/internal/cpu"
 	"desmask/internal/energy"
 	"desmask/internal/isa"
@@ -21,6 +26,10 @@ import (
 )
 
 func main() {
+	compile := flag.Bool("c", false, "input is MiniC source; compile it in-process (required for non-PISA targets)")
+	policyStr := flag.String("policy", "selective", "protection policy with -c: "+cliconf.PolicyUsage())
+	isaStr := flag.String("isa", "", "target ISA backend with -c: "+isa.TargetUsage())
+	optimize := flag.Bool("O", false, "enable the optimization passes with -c")
 	maxCycles := flag.Uint64("max", 10_000_000, "maximum simulated cycles")
 	traceOut := flag.String("trace", "", "write the per-cycle energy trace to this CSV file")
 	bucket := flag.Int("bucket", 1, "aggregate the trace every N cycles (with -trace)")
@@ -29,7 +38,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: simrun [flags] prog.s")
+		fmt.Fprintln(os.Stderr, "usage: simrun [flags] prog.s  |  simrun -c [flags] prog.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -37,10 +46,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simrun:", err)
 		os.Exit(1)
 	}
-	prog, err := asm.Assemble(string(src))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "simrun:", err)
-		os.Exit(1)
+	var prog *asm.Program
+	if *compile {
+		policy, err := cliconf.ParsePolicy(*policyStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simrun:", err)
+			os.Exit(2)
+		}
+		target, err := cliconf.ParseISA(*isaStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simrun:", err)
+			os.Exit(2)
+		}
+		res, err := compiler.CompileWithOptions(string(src), compiler.Options{
+			Policy: policy, Target: target, Optimize: *optimize,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simrun:", err)
+			os.Exit(1)
+		}
+		prog = res.Program
+	} else {
+		if *isaStr != "" && *isaStr != isa.PISA.Name() {
+			fmt.Fprintf(os.Stderr, "simrun: -isa %s requires -c; the text assembler is PISA-only\n", *isaStr)
+			os.Exit(2)
+		}
+		prog, err = asm.Assemble(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simrun:", err)
+			os.Exit(1)
+		}
 	}
 	if *listing {
 		fmt.Print(prog.Listing())

@@ -41,6 +41,8 @@ import (
 	"desmask/internal/compiler"
 	"desmask/internal/desprog"
 	"desmask/internal/dpa"
+	"desmask/internal/energy"
+	"desmask/internal/isa"
 	"desmask/internal/kernels"
 	"desmask/internal/leakcheck"
 	"desmask/internal/leakstat"
@@ -67,6 +69,7 @@ func writeJSON(path string, v any) {
 type assessment struct {
 	Workload string `json:"workload"`
 	Policy   string `json:"policy"`
+	ISA      string `json:"isa"`
 	Vary     string `json:"vary"`
 	*leakstat.Report
 	Seconds      float64 `json:"seconds"`
@@ -76,8 +79,8 @@ type assessment struct {
 }
 
 // desSetup builds the machine, source, and window of one DES assessment.
-func desSetup(policy compiler.Policy, vary string, key, plain uint64, seed int64, maxCycles uint64) (*desprog.Machine, leakstat.Source, trace.Window, error) {
-	m, err := desprog.New(policy)
+func desSetup(policy compiler.Policy, target isa.Target, vary string, key, plain uint64, seed int64, maxCycles uint64) (*desprog.Machine, leakstat.Source, trace.Window, error) {
+	m, err := desprog.NewFull(compiler.Options{Policy: policy, Target: target}, energy.DefaultConfig())
 	if err != nil {
 		return nil, leakstat.Source{}, trace.Window{}, err
 	}
@@ -96,7 +99,7 @@ func desSetup(policy compiler.Policy, vary string, key, plain uint64, seed int64
 	return m, src, win, err
 }
 
-func assess(kernel string, policy compiler.Policy, vary string, key, plain uint64,
+func assess(kernel string, policy compiler.Policy, target isa.Target, vary string, key, plain uint64,
 	cfg leakstat.Config, maxCycles uint64, runLeakcheck bool) (*assessment, error) {
 	var (
 		src leakstat.Source
@@ -108,7 +111,7 @@ func assess(kernel string, policy compiler.Policy, vary string, key, plain uint6
 	switch kernel {
 	case "des":
 		var m *desprog.Machine
-		m, src, win, err = desSetup(policy, vary, key, plain, cfg.Seed, maxCycles)
+		m, src, win, err = desSetup(policy, target, vary, key, plain, cfg.Seed, maxCycles)
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +137,7 @@ func assess(kernel string, policy compiler.Policy, vary string, key, plain uint6
 		if vary != "key" {
 			return nil, fmt.Errorf("-vary %s is DES-only; kernel populations always vary the secret", vary)
 		}
-		m, err := kernels.BuildSimple(k, policy)
+		m, err := kernels.Build(k, compiler.Options{Policy: policy, Target: target}, energy.DefaultConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -167,7 +170,7 @@ func assess(kernel string, policy compiler.Policy, vary string, key, plain uint6
 	}
 	sec := time.Since(start).Seconds()
 	return &assessment{
-		Workload: kernel, Policy: policy.String(), Vary: vary,
+		Workload: kernel, Policy: policy.String(), ISA: target.Name(), Vary: vary,
 		Report: rep, Seconds: sec, TracesPerSec: float64(rep.NumTraces) / sec,
 		TaintLeakSites: taintN,
 	}, nil
@@ -178,8 +181,8 @@ func printAssessment(a *assessment) {
 	if a.Leak {
 		verdict = "LEAK"
 	}
-	fmt.Printf("%-8s %-16s vary=%-9s traces=%d window=[%d,%d) max|t|=%.4g @%d  %s (threshold %.1f)\n",
-		a.Workload, a.Policy, a.Vary, a.NumTraces, a.WindowStart, a.WindowEnd,
+	fmt.Printf("%-8s %-16s isa=%-4s vary=%-9s traces=%d window=[%d,%d) max|t|=%.4g @%d  %s (threshold %.1f)\n",
+		a.Workload, a.Policy, a.ISA, a.Vary, a.NumTraces, a.WindowStart, a.WindowEnd,
 		a.MaxAbsT, a.MaxTCycle, verdict, a.Threshold)
 	fmt.Printf("         fixed/random=%d/%d shards=%d state=%.1f KiB  %.1f traces/s\n",
 		a.FixedN, a.RandomN, a.Shards, float64(a.StateBytes)/1024, a.TracesPerSec)
@@ -217,7 +220,7 @@ func main() {
 	cfg := r.Config()
 	var reports []*assessment
 	for _, pol := range pols {
-		a, err := assess(r.Kernel, pol, r.Vary, r.KeyV, r.PlaintextV, cfg, r.MaxCycles, *runLeakcheck)
+		a, err := assess(r.Kernel, pol, r.TargetV, r.Vary, r.KeyV, r.PlaintextV, cfg, r.MaxCycles, *runLeakcheck)
 		if err != nil {
 			fatal(err)
 		}
@@ -316,7 +319,7 @@ func runBench(traces, baselineTraces, workers int, maxCycles uint64, key, plain 
 	sound := []compiler.Policy{compiler.PolicyNone, compiler.PolicySelective, compiler.PolicyAllSecure}
 	workerCounts := []int{1, 4, 16}
 	for _, pol := range sound {
-		_, src, win, err := desSetup(pol, "key", key, plain, seed, maxCycles)
+		_, src, win, err := desSetup(pol, isa.PISA, "key", key, plain, seed, maxCycles)
 		if err != nil {
 			fatal(err)
 		}
@@ -366,7 +369,7 @@ func runBench(traces, baselineTraces, workers int, maxCycles uint64, key, plain 
 	// leaves non-seed key loads unprotected, naive-loadstore leaves ALU ops
 	// on secrets unprotected; TVLA should rediscover both.
 	for _, pol := range []compiler.Policy{compiler.PolicySeedsOnly, compiler.PolicyNaiveLoadStore} {
-		_, src, win, err := desSetup(pol, "key", key, plain, seed, maxCycles)
+		_, src, win, err := desSetup(pol, isa.PISA, "key", key, plain, seed, maxCycles)
 		if err != nil {
 			fatal(err)
 		}

@@ -18,6 +18,7 @@ import (
 // reuse the assembler's exact sizing and encoding rules, so a Builder-built
 // Program matches what assembling the equivalent text would produce.
 type Builder struct {
+	target   isa.Target
 	textBase uint32
 	dataBase uint32
 
@@ -45,14 +46,27 @@ type fixup struct {
 	kind  fixupKind
 }
 
-// NewBuilder returns an empty builder with the default segment bases.
-func NewBuilder() *Builder {
+// NewBuilder returns an empty builder for the default PISA target.
+func NewBuilder() *Builder { return NewBuilderFor(isa.PISA) }
+
+// NewBuilderFor returns an empty builder for the given ISA backend, with the
+// default segment bases. Instruction validation and the pseudo-instruction
+// expansions (LoadImm, LoadAddr, MemDirect, Nor) follow the target's
+// encoding rules.
+func NewBuilderFor(t isa.Target) *Builder {
+	if t == nil {
+		t = isa.PISA
+	}
 	return &Builder{
+		target:   t,
 		textBase: DefaultTextBase,
 		dataBase: DefaultDataBase,
 		symbols:  map[string]uint32{},
 	}
 }
+
+// Target returns the builder's ISA backend.
+func (b *Builder) Target() isa.Target { return b.target }
 
 func (b *Builder) errorf(format string, args ...interface{}) {
 	if len(b.errs) < 20 {
@@ -102,7 +116,8 @@ func (b *Builder) Symbol(name string) (uint32, bool) {
 }
 
 func (b *Builder) push(in isa.Inst) {
-	if _, err := isa.Encode(in); err != nil {
+	pc := b.textBase + uint32(4*len(b.text))
+	if _, err := b.target.Encode(in, pc); err != nil {
 		b.errorf("%v", err)
 	}
 	b.text = append(b.text, in)
@@ -112,55 +127,51 @@ func (b *Builder) push(in isa.Inst) {
 // Inst appends one machine instruction, validating that it encodes.
 func (b *Builder) Inst(in isa.Inst) { b.push(in) }
 
-// LoadImm materialises a 32-bit constant into rt using the assembler's
-// 1/2/5-word li expansion. Every expansion word carries the secure bit, as
-// with the li.s pseudo-op.
+// LoadImm materialises a 32-bit constant into rt using the target's li
+// expansion. Every expansion word carries the secure bit, as with the li.s
+// pseudo-op.
 func (b *Builder) LoadImm(rt isa.Reg, v int32, secure bool) {
-	for _, step := range liExpansion(v) {
-		in := isa.Inst{Op: step.op, Secure: secure, Imm: step.imm}
-		switch step.op {
-		case isa.OpLui:
-			in.Rt = rt
-		case isa.OpSll:
-			in.Rd, in.Rt = rt, rt
-		default: // addiu/ori
-			in.Rt = rt
-			if step.useRt {
-				in.Rs = rt
-			} else {
-				in.Rs = isa.Zero
-			}
-		}
+	for _, in := range b.target.LoadImm(rt, v, secure) {
 		b.push(in)
 	}
 }
 
-// LoadAddr loads the address of a bound symbol into rt (the la expansion:
-// lui+ori, both carrying the secure bit).
+// LoadAddr loads the address of a bound symbol into rt (the la expansion,
+// every word carrying the secure bit).
 func (b *Builder) LoadAddr(rt isa.Reg, sym string, secure bool) {
 	addr, ok := b.symbols[sym]
 	if !ok {
 		b.errorf("LoadAddr: undefined symbol %q", sym)
 		return
 	}
-	hi, lo := splitAddrForOri(addr)
-	b.push(isa.Inst{Op: isa.OpLui, Rt: rt, Imm: hi, Secure: secure})
-	b.push(isa.Inst{Op: isa.OpOri, Rt: rt, Rs: rt, Imm: lo, Secure: secure})
+	for _, in := range b.target.LoadAddr(rt, addr, secure) {
+		b.push(in)
+	}
 }
 
-// MemDirect emits a direct-symbol load/store (lui $at, hi; op rt, lo($at)).
-// As in the text assembler, the address-forming lui stays insecure even for
-// secure accesses: the paper does not consider data addresses sensitive, only
-// key-derived ones (which go through secure address formation instead).
+// MemDirect emits a direct-symbol load/store (on PISA: lui $at, hi;
+// op rt, lo($at)). On every target, the address-forming instruction stays
+// insecure even for secure accesses: the paper does not consider data
+// addresses sensitive, only key-derived ones (which go through secure
+// address formation instead).
 func (b *Builder) MemDirect(op isa.Opcode, rt isa.Reg, sym string, off int32, secure bool) {
 	addr, ok := b.symbols[sym]
 	if !ok {
 		b.errorf("MemDirect: undefined symbol %q", sym)
 		return
 	}
-	hi, lo := splitAddrForMem(addr + uint32(off))
-	b.push(isa.Inst{Op: isa.OpLui, Rt: isa.AT, Imm: hi})
-	b.push(isa.Inst{Op: op, Secure: secure, Rt: rt, Rs: isa.AT, Imm: lo})
+	for _, in := range b.target.MemDirect(op, rt, addr+uint32(off), secure) {
+		b.push(in)
+	}
+}
+
+// Nor emits rd = ^(ra|rb), legalized per target: a single nor where the
+// encoding has one, or an or + xori -1 pair (every word carrying the secure
+// bit) where it does not.
+func (b *Builder) Nor(rd, ra, rb isa.Reg, secure bool) {
+	for _, in := range b.target.Nor(rd, ra, rb, secure) {
+		b.push(in)
+	}
 }
 
 // Branch emits a conditional branch to a label, patched at Finish.
@@ -192,7 +203,7 @@ func (b *Builder) Finish() (*Program, error) {
 		case fixJump:
 			in.Imm = int32(target / 4)
 		}
-		if _, err := isa.Encode(in); err != nil {
+		if _, err := b.target.Encode(in, b.textBase+uint32(4*fx.idx)); err != nil {
 			b.errorf("patching %q: %v", fx.label, err)
 		}
 		b.text[fx.idx] = in
@@ -211,6 +222,7 @@ func (b *Builder) Finish() (*Program, error) {
 		Symbols:  b.symbols,
 		Lines:    b.lines,
 		Entry:    b.textBase,
+		Target:   b.target,
 	}
 	if addr, ok := p.Symbols["main"]; ok {
 		p.Entry = addr

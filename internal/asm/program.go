@@ -36,6 +36,20 @@ type Program struct {
 	// Lines maps a text word index to the 1-based source line that produced
 	// it, for diagnostics and trace annotation.
 	Lines []int
+
+	// Target is the ISA backend the program was built for. nil means the
+	// default PISA target (every program predates pluggable backends or came
+	// from the PISA-only text assembler); consumers go through
+	// TargetOrDefault.
+	Target isa.Target
+}
+
+// TargetOrDefault returns the program's ISA backend, defaulting to PISA.
+func (p *Program) TargetOrDefault() isa.Target {
+	if p.Target == nil {
+		return isa.PISA
+	}
+	return p.Target
 }
 
 // SymbolAt returns the label with the highest address not exceeding addr

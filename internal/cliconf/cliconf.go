@@ -13,9 +13,23 @@ import (
 	"strings"
 
 	"desmask/internal/compiler"
+	"desmask/internal/isa"
 	"desmask/internal/kernels"
 	"desmask/internal/leakstat"
 )
+
+// ParseISA resolves an ISA backend name; the error lists the valid names.
+// An empty name resolves to the default PISA target.
+func ParseISA(name string) (isa.Target, error) {
+	if name == "" {
+		return isa.PISA, nil
+	}
+	t, ok := isa.TargetByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown isa %q (want %s)", name, strings.Join(isa.Targets(), " | "))
+	}
+	return t, nil
+}
 
 // ParseHex64 parses a 64-bit hex value (no 0x prefix), naming the parameter
 // in the error.
@@ -68,6 +82,8 @@ type Assess struct {
 	Kernel string `json:"kernel"`
 	// Policy is the protection policy name.
 	Policy string `json:"policy"`
+	// ISA is the target backend name (empty = pisa).
+	ISA string `json:"isa,omitempty"`
 	// Vary selects the DES population variable: key or plaintext. Non-DES
 	// kernels always vary the secret.
 	Vary string `json:"vary"`
@@ -109,6 +125,7 @@ func DefaultAssess() Assess {
 func (a *Assess) AddFlags(fs *flag.FlagSet) {
 	fs.StringVar(&a.Kernel, "kernel", a.Kernel, "workload: "+strings.Join(KernelNames, ", "))
 	fs.StringVar(&a.Policy, "policy", a.Policy, "protection policy: "+PolicyUsage())
+	fs.StringVar(&a.ISA, "isa", a.ISA, "target ISA backend: "+isa.TargetUsage())
 	fs.StringVar(&a.Vary, "vary", a.Vary, "DES population variable: key or plaintext")
 	fs.IntVar(&a.Traces, "traces", a.Traces, "total traces across both populations")
 	fs.Int64Var(&a.Seed, "seed", a.Seed, "seed for group assignment and random inputs")
@@ -126,6 +143,8 @@ type ResolvedAssess struct {
 	Assess
 	// PolicyV is the resolved protection policy.
 	PolicyV compiler.Policy
+	// TargetV is the resolved ISA backend (never nil; pisa when unset).
+	TargetV isa.Target
 	// KeyV and PlaintextV are the parsed 64-bit DES inputs.
 	KeyV, PlaintextV uint64
 }
@@ -150,6 +169,10 @@ func (a Assess) Validate() (*ResolvedAssess, error) {
 	if r.PolicyV, err = ParsePolicy(r.Policy); err != nil {
 		return nil, err
 	}
+	if r.TargetV, err = ParseISA(r.ISA); err != nil {
+		return nil, err
+	}
+	r.ISA = r.TargetV.Name()
 	switch r.Vary {
 	case "", "key":
 		r.Vary = "key"

@@ -30,6 +30,21 @@ func TestParsePolicy(t *testing.T) {
 	}
 }
 
+func TestParseISA(t *testing.T) {
+	for name, want := range map[string]string{
+		"": "pisa", "pisa": "pisa", "PISA": "pisa", "rv32": "rv32", "RV32": "rv32",
+	} {
+		tg, err := ParseISA(name)
+		if err != nil || tg.Name() != want {
+			t.Fatalf("ParseISA(%q) = %v, %v; want %s", name, tg, err, want)
+		}
+	}
+	_, err := ParseISA("mips64")
+	if err == nil || !strings.Contains(err.Error(), "pisa") || !strings.Contains(err.Error(), "rv32") {
+		t.Fatalf("error should list valid backends, got %v", err)
+	}
+}
+
 // TestAssessFlagsRoundTrip: the flag surface and the struct are the same
 // thing — values set via flags land in the struct and validate.
 func TestAssessFlagsRoundTrip(t *testing.T) {
@@ -66,6 +81,10 @@ func TestAssessValidation(t *testing.T) {
 	}{
 		{"bad kernel", func(a *Assess) { a.Kernel = "des3" }, "unknown kernel"},
 		{"bad policy", func(a *Assess) { a.Policy = "paranoid" }, "unknown policy"},
+		{"bad isa", func(a *Assess) { a.ISA = "arm64" }, "unknown isa"},
+		{"bad isa valid policy", func(a *Assess) { a.Policy, a.ISA = "all-secure", "riscv" }, "unknown isa"},
+		{"bad policy valid isa", func(a *Assess) { a.Policy, a.ISA = "paranoid", "rv32" }, "unknown policy"},
+		{"bad isa on kernel", func(a *Assess) { a.Kernel, a.ISA = "tea", "x86" }, "unknown isa"},
 		{"bad vary", func(a *Assess) { a.Vary = "rounds" }, "unknown vary"},
 		{"vary plaintext non-des", func(a *Assess) { a.Kernel, a.Vary = "tea", "plaintext" }, "DES-only"},
 		{"too few traces", func(a *Assess) { a.Traces = 3 }, "at least 4 traces"},
@@ -85,7 +104,7 @@ func TestAssessValidation(t *testing.T) {
 		})
 	}
 
-	// Zero-valued optional fields resolve to defaults.
+	// Zero-valued optional fields resolve to defaults, including the ISA.
 	a := Assess{Traces: 8, Policy: "none"}
 	r, err := a.Validate()
 	if err != nil {
@@ -93,6 +112,19 @@ func TestAssessValidation(t *testing.T) {
 	}
 	if r.Kernel != "des" || r.Vary != "key" || r.KeyV == 0 {
 		t.Fatalf("defaults not applied: %+v", r)
+	}
+	if r.ISA != "pisa" || r.TargetV == nil || r.TargetV.Name() != "pisa" {
+		t.Fatalf("default ISA not resolved to pisa: %q %v", r.ISA, r.TargetV)
+	}
+
+	// An explicit backend resolves and normalizes (case folded).
+	a = Assess{Traces: 8, Policy: "selective", ISA: "RV32"}
+	r, err = a.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ISA != "rv32" || r.TargetV.Name() != "rv32" {
+		t.Fatalf("explicit ISA not resolved: %q %v", r.ISA, r.TargetV)
 	}
 }
 

@@ -21,8 +21,17 @@ import (
 	"strings"
 
 	"desmask/internal/asm"
+	"desmask/internal/isa"
 	"desmask/internal/minic"
 )
+
+// targetOrDefault resolves an Options.Target, defaulting to PISA.
+func (o Options) targetOrDefault() isa.Target {
+	if o.Target == nil {
+		return isa.PISA
+	}
+	return o.Target
+}
 
 // Policy selects which operations are protected with secure instructions.
 type Policy int
@@ -124,6 +133,11 @@ type Result struct {
 // Options bundles compilation knobs beyond the policy.
 type Options struct {
 	Policy Policy
+	// Target selects the ISA backend the program is emitted for. nil means
+	// the default PISA target. Register allocation is target-independent
+	// (logical registers map 1:1 onto every backend's physical file); the
+	// target governs immediate reach, pseudo-op expansion and encoding.
+	Target isa.Target
 	// DisableSecureIndexing turns off the paper's secure-indexing treatment
 	// (§4.2): tainted array indices no longer force secure address
 	// formation and secure table loads. This is the ablation showing why

@@ -69,13 +69,15 @@ func (e *emitter) label(name string) {
 
 // emitModule drives emission and returns the Program plus its listing.
 func emitModule(m *irModule, opts Options, allocs map[*irFunc]*allocation) (*asm.Program, string, error) {
-	e := &emitter{opts: opts, b: asm.NewBuilder(), gpOff: map[string]int32{}, policy: opts.Policy}
+	target := opts.targetOrDefault()
+	lim := target.Limits()
+	e := &emitter{opts: opts, b: asm.NewBuilderFor(target), gpOff: map[string]int32{}, policy: opts.Policy}
 
 	e.writeLine("\t.data")
 	for _, d := range m.file.Globals {
 		e.writeLine(GlobalLabel(d.Name) + ":")
 		off := e.b.DataLabel(GlobalLabel(d.Name))
-		if opts.Optimize && off <= uint32(immMax) {
+		if opts.Optimize && off <= uint32(lim.SImmMax) {
 			e.gpOff[d.Name] = int32(off)
 		}
 		n := 1
@@ -246,6 +248,13 @@ func (e *emitter) emitInstr(f *irFunc, al *allocation, in *irInstr, spillBase in
 		op := binRType[in.Bin]
 		rd, ra, rb := al.reg(in.Dst), al.reg(in.A), al.reg(in.B)
 		e.code("%s%s %s, %s, %s", op, sfx(in.Secure), rd, ra, rb)
+		if in.Bin == binNor {
+			// Targets without a native nor legalize through the builder
+			// (or + xori -1, every word carrying the secure bit); on PISA
+			// this is the single nor it always was.
+			e.b.Nor(rd, ra, rb, in.Secure)
+			return
+		}
 		e.b.Inst(isa.Inst{Op: op, Rd: rd, Rs: ra, Rt: rb, Secure: in.Secure})
 
 	case opBinImm:

@@ -1,6 +1,7 @@
 package compiler
 
 import (
+	"desmask/internal/isa"
 	"desmask/internal/minic"
 )
 
@@ -31,14 +32,15 @@ type passStats struct {
 // runPasses optimizes every function in place and returns the tallies.
 func runPasses(m *irModule, opts Options) passStats {
 	var st passStats
+	lim := opts.targetOrDefault().Limits()
 	for _, f := range m.funcs {
-		st.Folded += constFold(f)
+		st.Folded += constFold(f, lim)
 		st.Branches += branchSimp(f)
 		fw, ds := rle(f, opts.Policy)
 		st.Forwarded += fw
 		st.DeadStores += ds
 		st.Copies += copyProp(f)
-		st.Folded += constFold(f)
+		st.Folded += constFold(f, lim)
 		st.DeadStores += deadStoreLocals(f)
 		st.DeadCode += dce(f)
 		st.Branches += branchSimp(f)
@@ -78,21 +80,17 @@ func constVals(f *irFunc) map[valueID]int32 {
 	return c
 }
 
-// immediate ranges of the 15-bit ISA immediate field.
-const (
-	immMin  = -16384
-	immMax  = 16383
-	uimmMax = 32767
-)
-
-func fitsImm(v int32) bool  { return v >= immMin && v <= immMax }
-func fitsUImm(v int32) bool { return v >= 0 && v <= uimmMax }
+// Immediate reach is a target property (isa.Limits): signed immediates for
+// addiu/slti and unsigned for the logical ops, within the range where every
+// backend's extension rule agrees with zero-extension.
+func fitsImm(v int32, lim isa.Limits) bool  { return v >= lim.SImmMin && v <= lim.SImmMax }
+func fitsUImm(v int32, lim isa.Limits) bool { return v >= 0 && v <= lim.UImmMax }
 
 // constFold folds constant operands: a binary op with two known operands
-// becomes a const, one known operand becomes an immediate form when the ISA
-// has one with matching semantics. The rewritten instruction keeps the
-// original's Secure bit (taint-sound: never weaker).
-func constFold(f *irFunc) int {
+// becomes a const, one known operand becomes an immediate form when the
+// target ISA has one with matching semantics. The rewritten instruction
+// keeps the original's Secure bit (taint-sound: never weaker).
+func constFold(f *irFunc, lim isa.Limits) int {
 	n := 0
 	for changed := true; changed; {
 		changed = false
@@ -141,7 +139,7 @@ func constFold(f *irFunc) int {
 					switch bin {
 					case binSub:
 						// a - c  ==>  a + (-c), the addiu form.
-						if !cok || !fitsImm(-imm) {
+						if !cok || !fitsImm(-imm, lim) {
 							continue
 						}
 						bin, imm = binAdd, -imm
@@ -149,11 +147,11 @@ func constFold(f *irFunc) int {
 						if bin != binAdd && !cok {
 							continue
 						}
-						if !fitsImm(imm) {
+						if !fitsImm(imm, lim) {
 							continue
 						}
 					case binXor, binAnd, binOr:
-						if !fitsUImm(imm) {
+						if !fitsUImm(imm, lim) {
 							continue
 						}
 					case binShl, binShr, binShrU:

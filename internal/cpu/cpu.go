@@ -112,7 +112,7 @@ func New(p *asm.Program, m *mem.Memory) (*CPU, error) {
 	if len(p.Text) == 0 {
 		return nil, errors.New("cpu: empty program")
 	}
-	uops, err := isa.PredecodeProgram(p.Text, p.TextBase)
+	uops, err := isa.PredecodeProgramFor(p.TargetOrDefault(), p.Text, p.TextBase)
 	if err != nil {
 		return nil, fmt.Errorf("cpu: %w", err)
 	}
@@ -421,6 +421,8 @@ func execUOp(u *isa.UOp, a, b uint32) (res, target uint32, taken bool, err error
 		res = a * b
 	case isa.ClassLui:
 		res = b << 15
+	case isa.ClassLui12:
+		res = b << 12
 	case isa.ClassMem:
 		res = a + u.Off // address; b carries the store value
 	case isa.ClassBeq:

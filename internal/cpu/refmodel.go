@@ -32,7 +32,7 @@ func NewRef(p *asm.Program, m *mem.Memory) (*RefModel, error) {
 	if len(p.Text) == 0 {
 		return nil, errors.New("cpu: empty program")
 	}
-	uops, err := isa.PredecodeProgram(p.Text, p.TextBase)
+	uops, err := isa.PredecodeProgramFor(p.TargetOrDefault(), p.Text, p.TextBase)
 	if err != nil {
 		return nil, fmt.Errorf("cpu: %w", err)
 	}

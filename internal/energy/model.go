@@ -262,6 +262,16 @@ func (m *Model) aluSecureConstPJ() float64 {
 // ALUOp reports an ALU operation with input operands a, b and result r.
 // isXor selects the dedicated XOR unit with the paper's 0.3/0.6 pJ behaviour.
 func (m *Model) ALUOp(a, b, r uint32, isXor, secure bool) {
+	m.ALUOpScaled(1, a, b, r, isXor, secure)
+}
+
+// ALUOpScaled is ALUOp with the target's per-op coefficient applied to the
+// data-independent base energy (Params.AluOpPJ). Operand-dependent toggle
+// energy and the XOR unit are never scaled, so a backend's coefficient
+// table shifts means without creating or hiding operand leakage. A scale of
+// 1 is exact: ALUOpScaled(1, ...) charges bit-identically to the historical
+// ALUOp path.
+func (m *Model) ALUOpScaled(scale float64, a, b, r uint32, isXor, secure bool) {
 	p := m.cfg.Params
 	switch {
 	case isXor && secure && m.cfg.DualRailPrecharge:
@@ -277,14 +287,14 @@ func (m *Model) ALUOp(a, b, r uint32, isXor, secure bool) {
 			m.charge(CompComplementary, e)
 		}
 	case secure && m.cfg.DualRailPrecharge:
-		c := m.aluSecureConstPJ()
+		c := 2*p.AluOpPJ*scale + 96*p.ALUTogglePJ
 		m.charge(CompALU, c/2)
 		m.charge(CompComplementary, c/2)
 		m.aluPrevA, m.aluPrevB, m.aluPrevR = prechargeValue, prechargeValue, prechargeValue
 	default:
 		t := bits.OnesCount32(m.aluPrevA^a) + bits.OnesCount32(m.aluPrevB^b) + bits.OnesCount32(m.aluPrevR^r)
 		m.aluPrevA, m.aluPrevB, m.aluPrevR = a, b, r
-		e := p.AluOpPJ + float64(t)*p.ALUTogglePJ
+		e := p.AluOpPJ*scale + float64(t)*p.ALUTogglePJ
 		m.charge(CompALU, e)
 		if secure || !m.cfg.ClockGating {
 			m.charge(CompComplementary, e)

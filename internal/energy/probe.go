@@ -21,6 +21,7 @@ import (
 // both preserved by the probe protocol.
 type Probe struct {
 	model  *Model
+	scale  [isa.NumExecClasses]float64 // per-ExecClass base-ALU-energy scale
 	last   CycleEnergy
 	total  CycleEnergy
 	peak   float64
@@ -28,9 +29,21 @@ type Probe struct {
 }
 
 // NewProbe returns an energy meter over a fresh Model with the given
-// configuration, ready to observe cycle 0.
+// configuration, ready to observe cycle 0, using the default (PISA)
+// coefficient of 1 for every operation class.
 func NewProbe(cfg Config) *Probe {
+	return NewProbeFor(cfg, nil)
+}
+
+// NewProbeFor returns an energy meter whose per-op ALU coefficients come
+// from the given ISA backend's ALUOpScale table. A nil target means the
+// PISA scale (all ones), which meters bit-identically to NewProbe.
+func NewProbeFor(cfg Config, target isa.Target) *Probe {
 	p := &Probe{model: NewModel(cfg)}
+	if target == nil {
+		target = isa.PISA
+	}
+	p.scale = target.ALUOpScale()
 	p.model.BeginCycle()
 	return p
 }
@@ -81,7 +94,7 @@ func (p *Probe) OnIssue(e cpu.IssueEvent) {
 // OnExec implements cpu.ExecObserver.
 func (p *Probe) OnExec(e cpu.ExecEvent) {
 	p.model.OperandLatch(e.A, e.B, e.U.Secure)
-	p.model.ALUOp(e.A, e.B, e.Result, e.U.XorUnit, e.U.Secure)
+	p.model.ALUOpScaled(p.scale[e.U.Class], e.A, e.B, e.Result, e.U.XorUnit, e.U.Secure)
 	p.model.Result(e.Result, e.U.Secure)
 }
 

@@ -22,6 +22,7 @@ import (
 	"desmask/internal/desprog"
 	"desmask/internal/dpa"
 	"desmask/internal/energy"
+	"desmask/internal/isa"
 	"desmask/internal/kernels"
 	"desmask/internal/leakcheck"
 	"desmask/internal/leakstat"
@@ -670,6 +671,140 @@ func TVLATable(traces, workers int) ([]TVLARow, error) {
 	return rows, nil
 }
 
+// CrossISARow is one (workload, policy) pair built for every registered ISA
+// backend from the same MiniC source under the same protection policy. The
+// table is the experiments-level witness that the masking pipeline is
+// ISA-independent: architectural outputs must agree across targets, and the
+// TVLA verdict (leak / no leak over the masked window) must agree too.
+// Absolute |t| values may differ — per-op energies are target-specific — so
+// only the verdicts are compared.
+type CrossISARow struct {
+	Workload string
+	Policy   compiler.Policy
+	Traces   int
+	// ISAs, MaxAbsT and Leak are parallel, one entry per target.
+	ISAs    []string
+	MaxAbsT []float64
+	Leak    []bool
+	// OutputsMatch reports that every target produced identical
+	// architectural output words; VerdictsMatch that every target reached
+	// the same TVLA verdict.
+	OutputsMatch  bool
+	VerdictsMatch bool
+}
+
+// crossISADES assesses the DES workload under one policy on one target.
+func crossISADES(pol compiler.Policy, target isa.Target, traces, workers int) (out []uint32, maxT float64, leak bool, err error) {
+	const desCycles = 25_000
+	m, err := desprog.NewFull(compiler.Options{Policy: pol, Target: target}, energy.DefaultConfig())
+	if err != nil {
+		return nil, 0, false, err
+	}
+	cipher, _, done, err := m.Encrypt(DefaultKey, DefaultPlain, 0)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if !done {
+		return nil, 0, false, fmt.Errorf("experiments: %s/%s: encryption did not halt", pol, target.Name())
+	}
+	win, err := leakstat.DESMaskedWindow(m, DefaultKey, DefaultPlain, desCycles)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	rep, err := leakstat.Assess(
+		leakstat.DESKeySource(m, DefaultKey, DefaultPlain, 7, desCycles),
+		leakstat.Config{NumTraces: traces, Seed: 7, Workers: workers, Window: win})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return []uint32{uint32(cipher >> 32), uint32(cipher)}, rep.MaxAbsT, rep.Leak, nil
+}
+
+// crossISAKernel assesses one kernel under one policy on one target.
+func crossISAKernel(k kernels.Kernel, pol compiler.Policy, target isa.Target, traces, workers int) (out []uint32, maxT float64, leak bool, err error) {
+	secret, public, mask := kernelInputs(k)
+	m, err := kernels.Build(k, compiler.Options{Policy: pol, Target: target}, energy.DefaultConfig())
+	if err != nil {
+		return nil, 0, false, err
+	}
+	out, _, err = m.Run(secret, public)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	win, err := leakstat.KernelMaskedWindow(m, secret, public)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	rep, err := leakstat.Assess(
+		leakstat.KernelSecretSource(m, secret, public, mask, 7, 0),
+		leakstat.Config{NumTraces: traces, Seed: 7, Workers: workers, Window: win})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return out, rep.MaxAbsT, rep.Leak, nil
+}
+
+// CrossISATable runs the same kernels under the same policies on every
+// registered ISA backend and cross-checks outputs and TVLA verdicts.
+func CrossISATable(traces, workers int) ([]CrossISARow, error) {
+	targets := make([]isa.Target, 0, 2)
+	for _, name := range isa.Targets() {
+		t, _ := isa.TargetByName(name)
+		targets = append(targets, t)
+	}
+	pols := []compiler.Policy{compiler.PolicyNone, compiler.PolicySelective}
+
+	type workload struct {
+		name string
+		run  func(pol compiler.Policy, t isa.Target) ([]uint32, float64, bool, error)
+	}
+	wls := []workload{
+		{"des", func(pol compiler.Policy, t isa.Target) ([]uint32, float64, bool, error) {
+			return crossISADES(pol, t, traces, workers)
+		}},
+		{"tea", func(pol compiler.Policy, t isa.Target) ([]uint32, float64, bool, error) {
+			return crossISAKernel(kernels.TEA(), pol, t, traces, workers)
+		}},
+	}
+
+	var rows []CrossISARow
+	for _, wl := range wls {
+		for _, pol := range pols {
+			row := CrossISARow{Workload: wl.name, Policy: pol, Traces: traces,
+				OutputsMatch: true, VerdictsMatch: true}
+			var refOut []uint32
+			for i, t := range targets {
+				out, maxT, leak, err := wl.run(pol, t)
+				if err != nil {
+					return nil, err
+				}
+				row.ISAs = append(row.ISAs, t.Name())
+				row.MaxAbsT = append(row.MaxAbsT, maxT)
+				row.Leak = append(row.Leak, leak)
+				if i == 0 {
+					refOut = out
+					continue
+				}
+				if len(out) != len(refOut) {
+					row.OutputsMatch = false
+				} else {
+					for j := range out {
+						if out[j] != refOut[j] {
+							row.OutputsMatch = false
+							break
+						}
+					}
+				}
+				if leak != row.Leak[0] {
+					row.VerdictsMatch = false
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
 // AblationResult captures one design-choice ablation: whether the key still
 // leaks and what the run cost.
 type AblationResult struct {
@@ -905,6 +1040,25 @@ func RunAll(w io.Writer, dpaTraces int) error {
 		p("%-8s %-16s %8d %14.2f %6v", row.Workload, row.Policy, row.Traces, row.MaxAbsT, row.Leak)
 	}
 	p("threshold |t| = %.1f; secret varies between populations, window = masked region", leakstat.DefaultThreshold)
+
+	p("\n== Cross-ISA: same source, same policy, every backend ==")
+	ci, err := CrossISATable(32, 0)
+	if err != nil {
+		return err
+	}
+	p("%-8s %-16s %8s  %-24s %-12s %8s %8s", "workload", "policy", "traces", "max |t| per ISA", "leak per ISA", "outputs", "verdicts")
+	for _, row := range ci {
+		var ts, ls []string
+		for i := range row.ISAs {
+			ts = append(ts, fmt.Sprintf("%s=%.2f", row.ISAs[i], row.MaxAbsT[i]))
+			ls = append(ls, fmt.Sprintf("%v", row.Leak[i]))
+		}
+		p("%-8s %-16s %8d  %-24s %-12s %8v %8v", row.Workload, row.Policy, row.Traces,
+			strings.Join(ts, " "), strings.Join(ls, "/"), row.OutputsMatch, row.VerdictsMatch)
+		if !row.OutputsMatch || !row.VerdictsMatch {
+			return fmt.Errorf("experiments: cross-ISA disagreement for %s/%s", row.Workload, row.Policy)
+		}
+	}
 
 	p("\n== Leak verification (dynamic shadow taint, energy-model independent) ==")
 	lv, err := VerifyLeaks()

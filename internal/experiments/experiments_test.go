@@ -351,6 +351,45 @@ func TestFullKeyRecoveryAt256Traces(t *testing.T) {
 	}
 }
 
+// TestCrossISATable is the experiments half of the cross-ISA cosim suite:
+// the same source under the same policy must produce identical architectural
+// outputs and the same TVLA verdict on every registered backend, and the
+// verdicts themselves must track policy soundness on each target.
+func TestCrossISATable(t *testing.T) {
+	rows, err := CrossISATable(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 workloads x 2 policies)", len(rows))
+	}
+	for _, row := range rows {
+		if len(row.ISAs) < 2 {
+			t.Fatalf("%s/%s: only %d targets assessed, want at least 2", row.Workload, row.Policy, len(row.ISAs))
+		}
+		if !row.OutputsMatch {
+			t.Errorf("%s/%s: architectural outputs differ across %v", row.Workload, row.Policy, row.ISAs)
+		}
+		if !row.VerdictsMatch {
+			t.Errorf("%s/%s: TVLA verdicts differ across %v: %v", row.Workload, row.Policy, row.ISAs, row.Leak)
+		}
+		for i, leak := range row.Leak {
+			switch row.Policy {
+			case compiler.PolicyNone:
+				if !leak {
+					t.Errorf("%s/%s on %s: unprotected build shows max|t|=%.2f, want a leak verdict",
+						row.Workload, row.Policy, row.ISAs[i], row.MaxAbsT[i])
+				}
+			case compiler.PolicySelective:
+				if leak || row.MaxAbsT[i] != 0 {
+					t.Errorf("%s/%s on %s: masked build shows max|t|=%v, want exactly 0",
+						row.Workload, row.Policy, row.ISAs[i], row.MaxAbsT[i])
+				}
+			}
+		}
+	}
+}
+
 func TestTVLATable(t *testing.T) {
 	rows, err := TVLATable(16, 4)
 	if err != nil {

@@ -1,0 +1,116 @@
+package isa
+
+// pisaTarget is the original backend: the MIPS/PISA-flavoured encoding this
+// package has always implemented. Its Target methods delegate to the
+// package-level Encode/Decode/Predecode, so a program built through the
+// target handle is bit-identical to one built through the historical free
+// functions — the golden traces in internal/sim/testdata pin this.
+type pisaTarget struct{}
+
+// PISA is the default target: the paper's secure smart-card core.
+var PISA Target = pisaTarget{}
+
+func init() { registerTarget(PISA) }
+
+func (pisaTarget) Name() string { return "pisa" }
+
+func (pisaTarget) Limits() Limits {
+	return Limits{
+		SImmMin:   MinImm,
+		SImmMax:   MaxImm,
+		UImmMax:   MaxUImm,
+		LuiShift:  15,
+		NorNative: true,
+	}
+}
+
+func (pisaTarget) RegName(r Reg) string { return r.String() }
+
+func (pisaTarget) Encode(in Inst, pc uint32) (uint32, error) { return Encode(in) }
+
+func (pisaTarget) Decode(word, pc uint32) (Inst, error) { return Decode(word) }
+
+func (pisaTarget) Predecode(in Inst, pc uint32) (UOp, error) { return Predecode(in, pc) }
+
+// LoadImm is the assembler's 1/2/5-word li expansion: addiu or ori when the
+// constant fits one immediate, lui+ori below 2^30, and an ori/sll ladder for
+// full 32-bit constants.
+func (pisaTarget) LoadImm(rt Reg, v int32, secure bool) []Inst {
+	type liStep struct {
+		op    Opcode
+		imm   int32
+		useRt bool
+	}
+	var steps []liStep
+	u := uint32(v)
+	switch {
+	case v >= MinImm && v <= MaxImm:
+		steps = []liStep{{op: OpAddiu, imm: v}}
+	case v >= 0 && v <= MaxUImm:
+		steps = []liStep{{op: OpOri, imm: v}}
+	case u < 1<<30:
+		steps = []liStep{
+			{op: OpLui, imm: int32(u >> 15)},
+			{op: OpOri, imm: int32(u & 0x7fff), useRt: true},
+		}
+	default:
+		steps = []liStep{
+			{op: OpOri, imm: int32(u >> 17)},
+			{op: OpSll, imm: 2, useRt: true},
+			{op: OpOri, imm: int32(u >> 15 & 0x3), useRt: true},
+			{op: OpSll, imm: 15, useRt: true},
+			{op: OpOri, imm: int32(u & 0x7fff), useRt: true},
+		}
+	}
+	out := make([]Inst, 0, len(steps))
+	for _, step := range steps {
+		in := Inst{Op: step.op, Secure: secure, Imm: step.imm}
+		switch step.op {
+		case OpLui:
+			in.Rt = rt
+		case OpSll:
+			in.Rd, in.Rt = rt, rt
+		default: // addiu/ori
+			in.Rt = rt
+			if step.useRt {
+				in.Rs = rt
+			} else {
+				in.Rs = Zero
+			}
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// LoadAddr is the la expansion: lui+ori tiling the 30-bit address space.
+func (pisaTarget) LoadAddr(rt Reg, addr uint32, secure bool) []Inst {
+	hi, lo := int32(addr>>15), int32(addr&0x7fff)
+	return []Inst{
+		{Op: OpLui, Rt: rt, Imm: hi, Secure: secure},
+		{Op: OpOri, Rt: rt, Rs: rt, Imm: lo, Secure: secure},
+	}
+}
+
+// MemDirect is the direct-symbol access: lui $at, hi; op rt, lo($at), with
+// hi rounded so lo fits the signed 15-bit displacement.
+func (pisaTarget) MemDirect(op Opcode, rt Reg, addr uint32, secure bool) []Inst {
+	hi := int32((addr + 0x4000) >> 15)
+	lo := int32(addr) - hi<<15
+	return []Inst{
+		{Op: OpLui, Rt: AT, Imm: hi},
+		{Op: op, Secure: secure, Rt: rt, Rs: AT, Imm: lo},
+	}
+}
+
+func (pisaTarget) Nor(rd, ra, rb Reg, secure bool) []Inst {
+	return []Inst{{Op: OpNor, Secure: secure, Rd: rd, Rs: ra, Rt: rb}}
+}
+
+func (pisaTarget) ALUOpScale() [NumExecClasses]float64 {
+	var s [NumExecClasses]float64
+	for i := range s {
+		s[i] = 1
+	}
+	return s
+}

@@ -1,0 +1,458 @@
+package isa
+
+import "fmt"
+
+// rv32Target is an RV32I(+M mul)-flavoured backend with a secure-op
+// extension in the custom opcode space, modelled on the secure RISC-V
+// cores of CryptRISC and Stangherlin & Sachdev: every securable operation
+// has a masked twin on a custom major opcode that runs the dual-rail
+// precharged datapath, exactly mirroring the PISA secure bit.
+//
+// The architectural layer stays the shared Inst type; this target maps it
+// onto RV32 encodings:
+//
+//   - R-type ALU ops land on OP (0110011) with the standard funct3/funct7,
+//     mul on the M-extension encoding; their secure twins on custom-0.
+//   - Immediate ALU ops land on OP-IMM / custom-1; lui on LUI / the
+//     reserved 1101011 major; loads on LOAD / custom-2; stores on
+//     STORE / custom-3.
+//   - nor has no RV32 encoding — the compiler legalizes it via Nor into
+//     or + xori -1 (both carrying the secure bit).
+//   - blez/bgtz rs encode as bge/blt x0, rs; j/jal as jal x0/ra; jr as
+//     jalr x0, rs, 0; halt as ebreak.
+//
+// Control-flow immediates are PC-relative on the wire (B/J-type byte
+// offsets) while Inst.Imm keeps its portable semantic reading (branch =
+// word displacement from pc+4, FmtJ = absolute word target) — Encode and
+// Decode convert using pc.
+type rv32Target struct{}
+
+// RV32 is the RV32I-flavoured secure core.
+var RV32 Target = rv32Target{}
+
+func init() { registerTarget(RV32) }
+
+// RV32 major opcodes (bits [6:0]).
+const (
+	rvOP     = 0b0110011
+	rvOPIMM  = 0b0010011
+	rvLOAD   = 0b0000011
+	rvSTORE  = 0b0100011
+	rvBRANCH = 0b1100011
+	rvLUI    = 0b0110111
+	rvJAL    = 0b1101111
+	rvJALR   = 0b1100111
+	rvSYSTEM = 0b1110011
+
+	// Masked (dual-rail) twins of the securable majors, in the custom /
+	// reserved opcode space so the base ISA stays untouched.
+	rvSecOP    = 0b0001011 // custom-0
+	rvSecOPIMM = 0b0101011 // custom-1
+	rvSecLOAD  = 0b1011011 // custom-2
+	rvSecSTORE = 0b1111011 // custom-3
+	rvSecLUI   = 0b1101011 // reserved
+)
+
+const rvEbreak = 0x00100073
+
+// rv32Phys maps the architectural (MIPS-role) register to its RV32 physical
+// register, a bijection chosen so each role lands on the RISC-V register
+// with the matching ABI role where one exists (sp->x2, gp->x3, ra->x1,
+// args->a-regs, saved->s-regs).
+var rv32Phys = [NumRegs]uint8{
+	Zero: 0, AT: 31, V0: 10, V1: 11,
+	A0: 12, A1: 13, A2: 14, A3: 15,
+	T0: 5, T1: 6, T2: 7, T3: 28, T4: 29, T5: 30, T6: 16, T7: 17,
+	S0: 8, S1: 9, S2: 18, S3: 19, S4: 20, S5: 21, S6: 22, S7: 23,
+	T8: 24, T9: 25, K0: 26, K1: 27,
+	GP: 3, SP: 2, FP: 4, RA: 1,
+}
+
+// rv32Arch is the inverse mapping, physical -> architectural.
+var rv32Arch [NumRegs]Reg
+
+func init() {
+	for arch, phys := range rv32Phys {
+		rv32Arch[phys] = Reg(arch)
+	}
+}
+
+// rv32RegNames are the standard RV32 ABI names, indexed by physical number.
+var rv32RegNames = [NumRegs]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+func (rv32Target) Name() string { return "rv32" }
+
+func (rv32Target) Limits() Limits {
+	return Limits{
+		SImmMin: -2048,
+		SImmMax: 2047,
+		// RV32 sign-extends andi/ori/xori immediates; restricting the
+		// portable unsigned range to [0, 2047] keeps zero- and
+		// sign-extension in agreement.
+		UImmMax:   2047,
+		LuiShift:  12,
+		NorNative: false,
+	}
+}
+
+func (rv32Target) RegName(r Reg) string {
+	if int(r) < NumRegs {
+		return rv32RegNames[rv32Phys[r]]
+	}
+	return fmt.Sprintf("x?%d", uint8(r))
+}
+
+// rvALUEnc is the funct7/funct3 pair of an R-type ALU operation.
+type rvALUEnc struct{ funct7, funct3 uint32 }
+
+var rvRType = map[Opcode]rvALUEnc{
+	OpAddu: {0x00, 0}, OpSubu: {0x20, 0}, OpMul: {0x01, 0},
+	OpSllv: {0x00, 1}, OpSlt: {0x00, 2}, OpSltu: {0x00, 3},
+	OpXor: {0x00, 4}, OpSrlv: {0x00, 5}, OpSrav: {0x20, 5},
+	OpOr: {0x00, 6}, OpAnd: {0x00, 7},
+}
+
+var rvIType = map[Opcode]uint32{ // funct3 of OP-IMM ops
+	OpAddiu: 0, OpSlti: 2, OpSltiu: 3, OpXori: 4, OpOri: 6, OpAndi: 7,
+}
+
+func rvSignExtend12(v uint32) int32 { return int32(v<<20) >> 20 }
+
+func (t rv32Target) Encode(in Inst, pc uint32) (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, &EncodeError{in, "invalid opcode"}
+	}
+	if in.Secure && !in.Op.Securable() {
+		return 0, &EncodeError{in, "no secure variant exists for this opcode"}
+	}
+	sel := func(plain, secure uint32) uint32 {
+		if in.Secure {
+			return secure
+		}
+		return plain
+	}
+	reg := func(r Reg) (uint32, bool) {
+		if r < NumRegs {
+			return uint32(rv32Phys[r]), true
+		}
+		return 0, false
+	}
+	switch in.Op.Format() {
+	case FmtR:
+		enc, ok := rvRType[in.Op]
+		if !ok {
+			return 0, &EncodeError{in, "no rv32 encoding (legalize nor via Target.Nor)"}
+		}
+		rd, ok1 := reg(in.Rd)
+		rs1, ok2 := reg(in.Rs)
+		rs2, ok3 := reg(in.Rt)
+		if !ok1 || !ok2 || !ok3 {
+			return 0, &EncodeError{in, "register out of range"}
+		}
+		return enc.funct7<<25 | rs2<<20 | rs1<<15 | enc.funct3<<12 | rd<<7 | sel(rvOP, rvSecOP), nil
+	case FmtRShift:
+		rd, ok1 := reg(in.Rd)
+		rs1, ok2 := reg(in.Rt)
+		if !ok1 || !ok2 {
+			return 0, &EncodeError{in, "register out of range"}
+		}
+		if in.Imm < 0 || in.Imm > 31 {
+			return 0, &EncodeError{in, "shift amount out of range"}
+		}
+		var f3, top uint32
+		switch in.Op {
+		case OpSll:
+			f3, top = 1, 0x00
+		case OpSrl:
+			f3, top = 5, 0x00
+		case OpSra:
+			f3, top = 5, 0x20
+		}
+		return top<<25 | uint32(in.Imm)<<20 | rs1<<15 | f3<<12 | rd<<7 | sel(rvOPIMM, rvSecOPIMM), nil
+	case FmtRJump: // jr rs -> jalr x0, rs, 0
+		rs1, ok := reg(in.Rs)
+		if !ok {
+			return 0, &EncodeError{in, "register out of range"}
+		}
+		return rs1<<15 | rvJALR, nil
+	case FmtI:
+		f3 := rvIType[in.Op]
+		rd, ok1 := reg(in.Rt)
+		rs1, ok2 := reg(in.Rs)
+		if !ok1 || !ok2 {
+			return 0, &EncodeError{in, "register out of range"}
+		}
+		if in.Imm < -2048 || in.Imm > 2047 {
+			return 0, &EncodeError{in, fmt.Sprintf("immediate %d out of rv32 range [-2048,2047]", in.Imm)}
+		}
+		return (uint32(in.Imm)&0xfff)<<20 | rs1<<15 | f3<<12 | rd<<7 | sel(rvOPIMM, rvSecOPIMM), nil
+	case FmtILui:
+		rd, ok := reg(in.Rt)
+		if !ok {
+			return 0, &EncodeError{in, "register out of range"}
+		}
+		if in.Imm < 0 || in.Imm > 0xfffff {
+			return 0, &EncodeError{in, fmt.Sprintf("upper immediate %d out of rv32 range [0,%d]", in.Imm, 0xfffff)}
+		}
+		return uint32(in.Imm)<<12 | rd<<7 | sel(rvLUI, rvSecLUI), nil
+	case FmtIMem:
+		if in.Imm < -2048 || in.Imm > 2047 {
+			return 0, &EncodeError{in, fmt.Sprintf("displacement %d out of rv32 range [-2048,2047]", in.Imm)}
+		}
+		rt, ok1 := reg(in.Rt)
+		rs1, ok2 := reg(in.Rs)
+		if !ok1 || !ok2 {
+			return 0, &EncodeError{in, "register out of range"}
+		}
+		imm := uint32(in.Imm) & 0xfff
+		if in.Op.IsStore() {
+			return (imm>>5)<<25 | rt<<20 | rs1<<15 | 2<<12 | (imm&0x1f)<<7 | sel(rvSTORE, rvSecSTORE), nil
+		}
+		return imm<<20 | rs1<<15 | 2<<12 | rt<<7 | sel(rvLOAD, rvSecLOAD), nil
+	case FmtIBranch:
+		boff := int64(in.Imm+1) * 4 // byte offset from pc (Imm counts words from pc+4)
+		if boff < -4096 || boff > 4094 {
+			return 0, &EncodeError{in, fmt.Sprintf("branch offset %d bytes out of rv32 range [-4096,4094]", boff)}
+		}
+		var f3, rs1, rs2 uint32
+		switch in.Op {
+		case OpBeq, OpBne:
+			r1, ok1 := reg(in.Rs)
+			r2, ok2 := reg(in.Rt)
+			if !ok1 || !ok2 {
+				return 0, &EncodeError{in, "register out of range"}
+			}
+			rs1, rs2 = r1, r2
+			if in.Op == OpBne {
+				f3 = 1
+			}
+		case OpBlez: // rs <= 0  <=>  bge x0, rs
+			r, ok := reg(in.Rs)
+			if !ok {
+				return 0, &EncodeError{in, "register out of range"}
+			}
+			f3, rs1, rs2 = 5, 0, r
+		case OpBgtz: // rs > 0  <=>  blt x0, rs
+			r, ok := reg(in.Rs)
+			if !ok {
+				return 0, &EncodeError{in, "register out of range"}
+			}
+			f3, rs1, rs2 = 4, 0, r
+		}
+		ub := uint32(boff) & 0x1fff
+		return (ub>>12&1)<<31 | (ub>>5&0x3f)<<25 | rs2<<20 | rs1<<15 | f3<<12 |
+			(ub>>1&0xf)<<8 | (ub>>11&1)<<7 | rvBRANCH, nil
+	case FmtJ:
+		if in.Imm < 0 {
+			return 0, &EncodeError{in, "jump target out of range"}
+		}
+		joff := int64(in.Imm)*4 - int64(pc)
+		if joff < -(1<<20) || joff > 1<<20-2 {
+			return 0, &EncodeError{in, fmt.Sprintf("jump offset %d bytes out of rv32 range", joff)}
+		}
+		var rd uint32 // x0 for j
+		if in.Op == OpJal {
+			rd = uint32(rv32Phys[RA]) // x1
+		}
+		uj := uint32(joff) & 0x1fffff
+		return (uj>>20&1)<<31 | (uj>>1&0x3ff)<<21 | (uj>>11&1)<<20 | (uj>>12&0xff)<<12 | rd<<7 | rvJAL, nil
+	case FmtNone: // halt
+		return rvEbreak, nil
+	}
+	return 0, &EncodeError{in, "unknown format"}
+}
+
+func (t rv32Target) Decode(w, pc uint32) (Inst, error) {
+	major := w & 0x7f
+	secure := false
+	switch major {
+	case rvSecOP:
+		major, secure = rvOP, true
+	case rvSecOPIMM:
+		major, secure = rvOPIMM, true
+	case rvSecLOAD:
+		major, secure = rvLOAD, true
+	case rvSecSTORE:
+		major, secure = rvSTORE, true
+	case rvSecLUI:
+		major, secure = rvLUI, true
+	}
+	bad := func(format string, args ...interface{}) (Inst, error) {
+		return Inst{Op: OpInvalid}, fmt.Errorf("isa: rv32: "+format+" in word %#08x", append(args, w)...)
+	}
+	rdP := w >> 7 & 0x1f
+	rs1P := w >> 15 & 0x1f
+	rs2P := w >> 20 & 0x1f
+	rd, rs1, rs2 := rv32Arch[rdP], rv32Arch[rs1P], rv32Arch[rs2P]
+	f3 := w >> 12 & 7
+	f7 := w >> 25
+	i := Inst{Secure: secure}
+	switch major {
+	case rvOP:
+		for op, enc := range rvRType {
+			if enc.funct7 == f7 && enc.funct3 == f3 {
+				i.Op, i.Rd, i.Rs, i.Rt = op, rd, rs1, rs2
+				return i, nil
+			}
+		}
+		return bad("unknown OP funct7=%#x funct3=%d", f7, f3)
+	case rvOPIMM:
+		switch f3 {
+		case 1, 5:
+			shamt := int32(rs2P)
+			switch {
+			case f3 == 1 && f7 == 0x00:
+				i.Op = OpSll
+			case f3 == 5 && f7 == 0x00:
+				i.Op = OpSrl
+			case f3 == 5 && f7 == 0x20:
+				i.Op = OpSra
+			default:
+				return bad("unknown shift funct7=%#x funct3=%d", f7, f3)
+			}
+			i.Rd, i.Rt, i.Imm = rd, rs1, shamt
+			return i, nil
+		}
+		for op, of3 := range rvIType {
+			if of3 == f3 {
+				i.Op, i.Rt, i.Rs, i.Imm = op, rd, rs1, rvSignExtend12(w>>20)
+				return i, nil
+			}
+		}
+		return bad("unknown OP-IMM funct3=%d", f3)
+	case rvLOAD:
+		if f3 != 2 {
+			return bad("unsupported load width funct3=%d", f3)
+		}
+		i.Op, i.Rt, i.Rs, i.Imm = OpLw, rd, rs1, rvSignExtend12(w>>20)
+		return i, nil
+	case rvSTORE:
+		if f3 != 2 {
+			return bad("unsupported store width funct3=%d", f3)
+		}
+		i.Op, i.Rt, i.Rs, i.Imm = OpSw, rs2, rs1, rvSignExtend12(f7<<5|rdP)
+		return i, nil
+	case rvBRANCH:
+		ub := (w>>31&1)<<12 | (w>>7&1)<<11 | (w>>25&0x3f)<<5 | (w>>8&0xf)<<1
+		boff := int32(ub<<19) >> 19 // sign-extend 13 bits
+		i.Imm = boff/4 - 1
+		switch f3 {
+		case 0:
+			i.Op, i.Rs, i.Rt = OpBeq, rs1, rs2
+		case 1:
+			i.Op, i.Rs, i.Rt = OpBne, rs1, rs2
+		case 4:
+			if rs1P != 0 {
+				return bad("blt is only supported as bgtz (blt x0, rs)")
+			}
+			i.Op, i.Rs = OpBgtz, rs2
+		case 5:
+			if rs1P != 0 {
+				return bad("bge is only supported as blez (bge x0, rs)")
+			}
+			i.Op, i.Rs = OpBlez, rs2
+		default:
+			return bad("unknown branch funct3=%d", f3)
+		}
+		return i, nil
+	case rvLUI:
+		i.Op, i.Rt, i.Imm = OpLui, rd, int32(w>>12)
+		return i, nil
+	case rvJAL:
+		uj := (w>>31&1)<<20 | (w>>12&0xff)<<12 | (w>>20&1)<<11 | (w>>21&0x3ff)<<1
+		joff := int32(uj<<11) >> 11 // sign-extend 21 bits
+		switch rdP {
+		case 0:
+			i.Op = OpJ
+		case 1:
+			i.Op = OpJal
+		default:
+			return bad("jal link register must be x0 or x1, got x%d", rdP)
+		}
+		i.Imm = int32((pc + uint32(joff)) / 4)
+		return i, nil
+	case rvJALR:
+		if f3 != 0 || rdP != 0 || w>>20 != 0 {
+			return bad("jalr is only supported as jr (jalr x0, rs, 0)")
+		}
+		i.Op, i.Rs = OpJr, rs1
+		return i, nil
+	case rvSYSTEM:
+		if w != rvEbreak {
+			return bad("unsupported SYSTEM instruction")
+		}
+		i.Op = OpHalt
+		return i, nil
+	}
+	return bad("unknown major opcode %#02x", major)
+}
+
+func (t rv32Target) Predecode(in Inst, pc uint32) (UOp, error) {
+	word, err := t.Encode(in, pc)
+	if err != nil {
+		return UOp{}, fmt.Errorf("isa: predecode at pc %#x: %w", pc, err)
+	}
+	u, err := predecodeWord(in, pc, word)
+	if err != nil {
+		return UOp{}, err
+	}
+	if in.Op == OpLui {
+		u.Class = ClassLui12
+	}
+	return u, nil
+}
+
+// LoadImm materialises v with addi, or lui + addi (the standard RV32 li
+// recipe with the +0x800 rounding so the low part fits a signed 12-bit add).
+func (rv32Target) LoadImm(rt Reg, v int32, secure bool) []Inst {
+	if v >= -2048 && v <= 2047 {
+		return []Inst{{Op: OpAddiu, Rt: rt, Rs: Zero, Imm: v, Secure: secure}}
+	}
+	u := uint32(v)
+	hi := int32((u + 0x800) >> 12 & 0xfffff)
+	lo := rvSignExtend12(u - uint32(hi)<<12)
+	out := []Inst{{Op: OpLui, Rt: rt, Imm: hi, Secure: secure}}
+	if lo != 0 {
+		out = append(out, Inst{Op: OpAddiu, Rt: rt, Rs: rt, Imm: lo, Secure: secure})
+	}
+	return out
+}
+
+func (t rv32Target) LoadAddr(rt Reg, addr uint32, secure bool) []Inst {
+	return t.LoadImm(rt, int32(addr), secure)
+}
+
+func (rv32Target) MemDirect(op Opcode, rt Reg, addr uint32, secure bool) []Inst {
+	hi := int32((addr + 0x800) >> 12 & 0xfffff)
+	lo := rvSignExtend12(addr - uint32(hi)<<12)
+	return []Inst{
+		{Op: OpLui, Rt: AT, Imm: hi},
+		{Op: op, Secure: secure, Rt: rt, Rs: AT, Imm: lo},
+	}
+}
+
+// Nor legalizes rd = ^(ra|rb) as or + xori -1; both instructions carry the
+// secure bit so the legalized form is exactly as masked as a native nor.
+func (rv32Target) Nor(rd, ra, rb Reg, secure bool) []Inst {
+	return []Inst{
+		{Op: OpOr, Secure: secure, Rd: rd, Rs: ra, Rt: rb},
+		{Op: OpXori, Secure: secure, Rt: rd, Rs: rd, Imm: -1},
+	}
+}
+
+// ALUOpScale charges the M-extension multiplier array above the PISA
+// baseline; the scale applies to the data-independent base cost only, so
+// it shifts means without affecting operand-dependent leakage.
+func (rv32Target) ALUOpScale() [NumExecClasses]float64 {
+	var s [NumExecClasses]float64
+	for i := range s {
+		s[i] = 1
+	}
+	s[ClassMul] = 1.5
+	return s
+}

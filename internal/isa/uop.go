@@ -32,13 +32,14 @@ const (
 	ClassJal
 	ClassJr
 	ClassHalt
+	ClassLui12 // lui on 20-bit-immediate targets: result = imm << 12
 	NumExecClasses
 )
 
 var execClassNames = [NumExecClasses]string{
 	"add", "sub", "and", "or", "xor", "nor", "sll", "srl", "sra",
 	"slt", "sltu", "mul", "lui", "mem", "beq", "bne", "blez", "bgtz",
-	"j", "jal", "jr", "halt",
+	"j", "jal", "jr", "halt", "lui12",
 }
 
 // String returns the class name.
@@ -135,13 +136,22 @@ func execClassOf(op Opcode) (ExecClass, bool) {
 // register read ($zero when the format has no first operand), B is either a
 // forwarded register read or a constant.
 func Predecode(in Inst, pc uint32) (UOp, error) {
-	class, ok := execClassOf(in.Op)
-	if !ok {
-		return UOp{}, fmt.Errorf("isa: cannot predecode opcode %v at pc %#x", in.Op, pc)
-	}
 	word, err := Encode(in)
 	if err != nil {
 		return UOp{}, fmt.Errorf("isa: predecode at pc %#x: %w", pc, err)
+	}
+	return predecodeWord(in, pc, word)
+}
+
+// predecodeWord builds the micro-op for an instruction whose target-specific
+// binary encoding is already known. The operand routing, control-flow targets
+// and flags depend only on the architectural instruction, so every target
+// shares this body; callers overlay target-specific EX classes (ClassLui12)
+// afterwards.
+func predecodeWord(in Inst, pc, word uint32) (UOp, error) {
+	class, ok := execClassOf(in.Op)
+	if !ok {
+		return UOp{}, fmt.Errorf("isa: cannot predecode opcode %v at pc %#x", in.Op, pc)
 	}
 	u := UOp{
 		PC:      pc,

@@ -146,6 +146,7 @@ type Checker struct {
 	wasted uint64
 
 	maxInsts uint64
+	luiShift uint // target's lui shift (15 on PISA, 12 on RV32)
 }
 
 // New builds a checker with the program image loaded.
@@ -164,6 +165,7 @@ func New(p *asm.Program) (*Checker, error) {
 		pc:       p.Entry,
 		leaks:    map[uint32]*Leak{},
 		maxInsts: 50_000_000,
+		luiShift: p.TargetOrDefault().Limits().LuiShift,
 	}
 	c.regs[isa.SP] = p.DataEnd() + 4096
 	c.regs[isa.GP] = p.DataBase
@@ -324,7 +326,7 @@ func (c *Checker) step() error {
 		c.halted = true
 	default:
 		// ALU operations.
-		res, err := aluResult(in, a, b)
+		res, err := c.aluResult(in, a, b)
 		if err != nil {
 			return fmt.Errorf("leakcheck: pc %#x: %w", pc, err)
 		}
@@ -343,7 +345,7 @@ func (c *Checker) step() error {
 }
 
 // aluResult mirrors the EX-stage semantics for datapath operations.
-func aluResult(in isa.Inst, a, b uint32) (uint32, error) {
+func (c *Checker) aluResult(in isa.Inst, a, b uint32) (uint32, error) {
 	switch in.Op {
 	case isa.OpAddu, isa.OpAddiu:
 		return a + b, nil
@@ -376,7 +378,7 @@ func aluResult(in isa.Inst, a, b uint32) (uint32, error) {
 	case isa.OpMul:
 		return a * b, nil
 	case isa.OpLui:
-		return b << 15, nil
+		return b << c.luiShift, nil
 	}
 	return 0, fmt.Errorf("leakcheck: unimplemented opcode %v", in.Op)
 }

@@ -29,6 +29,7 @@ type cacheKey struct {
 	// submitted MiniC source.
 	Source   string
 	Policy   string
+	ISA      string
 	Optimize bool
 }
 

@@ -130,6 +130,7 @@ type AssessRequest struct {
 type AssessResponse struct {
 	Workload string `json:"workload"`
 	Policy   string `json:"policy"`
+	ISA      string `json:"isa"`
 	Vary     string `json:"vary"`
 	Optimize bool   `json:"optimize"`
 	*leakstat.Report
@@ -214,14 +215,14 @@ func cacheKeyFor(req *AssessRequest, r *cliconf.ResolvedAssess) cacheKey {
 			req.Source, req.SecretGlobal, req.PublicGlobal, req.OutputGlobal, req.OutputLen)))
 		src = fmt.Sprintf("sha256:%x", h)
 	}
-	return cacheKey{Source: src, Policy: r.PolicyV.String(), Optimize: req.Optimize}
+	return cacheKey{Source: src, Policy: r.PolicyV.String(), ISA: r.TargetV.Name(), Optimize: req.Optimize}
 }
 
 // buildWorkload compiles (or fetches from cache) the program and locates the
 // assessment window. The compile stage is only timed on a miss; the window
 // probe run is timed per request.
 func (s *Server) buildWorkload(req *AssessRequest, r *cliconf.ResolvedAssess) (*workload, bool, error) {
-	opt := compiler.Options{Policy: r.PolicyV, Optimize: req.Optimize}
+	opt := compiler.Options{Policy: r.PolicyV, Target: r.TargetV, Optimize: req.Optimize}
 	key := cacheKeyFor(req, r)
 
 	switch {
@@ -400,6 +401,7 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, AssessResponse{
 		Workload: wl.name,
 		Policy:   resolved.PolicyV.String(),
+		ISA:      resolved.TargetV.Name(),
 		Vary:     vary,
 		Optimize: req.Optimize,
 		Report:   rep,

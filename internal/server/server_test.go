@@ -189,6 +189,8 @@ func TestAssessValidation(t *testing.T) {
 	}{
 		{"bad policy", func(r *AssessRequest) { r.Policy = "paranoid" }, "unknown policy"},
 		{"bad kernel", func(r *AssessRequest) { r.Kernel = "des3" }, "unknown kernel"},
+		{"bad isa", func(r *AssessRequest) { r.ISA = "riscv64" }, "unknown isa"},
+		{"bad isa valid policy", func(r *AssessRequest) { r.Policy, r.ISA = "selective", "arm" }, "unknown isa"},
 		{"too few traces", func(r *AssessRequest) { r.Traces = 2 }, "at least 4"},
 		{"over server cap", func(r *AssessRequest) { r.Traces = 101 }, "server limit"},
 		{"source missing globals", func(r *AssessRequest) { r.Kernel, r.Source = "", "void main() {}" }, "secret_global"},
@@ -202,6 +204,38 @@ func TestAssessValidation(t *testing.T) {
 				t.Fatalf("status %d body %s, want 400 containing %q", code, body, tc.want)
 			}
 		})
+	}
+}
+
+// TestAssessCrossISA: an `isa` request field selects the backend; the same
+// unprotected workload leaks on both cores and the two builds are cached
+// under distinct keys.
+func TestAssessCrossISA(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	for _, isaName := range []string{"pisa", "rv32"} {
+		req := smallDES(64)
+		req.ISA = isaName
+		code, rep, body := postAssess(t, ts.URL, req)
+		if code != http.StatusOK {
+			t.Fatalf("isa=%s: status %d: %s", isaName, code, body)
+		}
+		if rep.ISA != isaName {
+			t.Fatalf("isa=%s: response echoes %q", isaName, rep.ISA)
+		}
+		if !rep.Leak {
+			t.Fatalf("isa=%s: unprotected DES did not leak", isaName)
+		}
+		if rep.CacheHit {
+			t.Fatalf("isa=%s: first build reported a cache hit — ISA missing from the cache key", isaName)
+		}
+	}
+	if _, misses := s.cache.stats(); misses != 2 {
+		t.Fatalf("cache misses = %d, want 2 (one per backend)", misses)
+	}
+	// An omitted isa field is the PISA build — it must hit the PISA entry.
+	code, rep, body := postAssess(t, ts.URL, smallDES(64))
+	if code != http.StatusOK || !rep.CacheHit || rep.ISA != "pisa" {
+		t.Fatalf("default-isa request: code=%d hit=%v isa=%q (%s)", code, rep.CacheHit, rep.ISA, body)
 	}
 }
 

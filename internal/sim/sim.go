@@ -159,28 +159,12 @@ type Job struct {
 	// Probe declares the job's extra probes; see ProbeSpec. Probes are
 	// attached after the runner's own energy meter and trace recorder.
 	Probe ProbeSpec
-
-	// Probes is a deprecated shim for SharedProbes.
-	//
-	// Deprecated: set Probe = SharedProbes(p...) instead. Removed next
-	// release.
-	Probes []cpu.Probe
-	// NewProbes is a deprecated shim for PerRunProbes.
-	//
-	// Deprecated: set Probe = PerRunProbes(fn) instead. Removed next
-	// release.
-	NewProbes func() []cpu.Probe
-	// MeterProbes is a deprecated shim for PerRunMeterProbes.
-	//
-	// Deprecated: set Probe = PerRunMeterProbes(fn) instead. Removed next
-	// release.
-	MeterProbes func(meter *energy.Probe) []cpu.Probe
 }
 
-// sharedProbes reports whether the job (spec or deprecated shim) carries
-// fixed probe instances, which the batch scheduler must serialize.
+// sharedProbes reports whether the job carries fixed probe instances, which
+// the batch scheduler must serialize.
 func (j *Job) sharedProbes() bool {
-	return j.Probe.IsShared() || len(j.Probes) > 0
+	return j.Probe.IsShared()
 }
 
 // Result is the outcome of one job.
@@ -313,7 +297,7 @@ func (r *Runner) getWorker() (*worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &worker{c: c, meter: energy.NewProbe(r.cfg)}
+	w := &worker{c: c, meter: energy.NewProbeFor(r.cfg, r.prog.TargetOrDefault())}
 	w.rec.Meter = w.meter
 	return w, nil
 }
@@ -371,20 +355,6 @@ func (r *Runner) runOn(w *worker, job Job) Result {
 	}
 	for _, p := range job.Probe.instantiate(w.meter) {
 		w.c.Attach(p)
-	}
-	// Deprecated shim fields, honored one release behind the spec.
-	for _, p := range job.Probes {
-		w.c.Attach(p)
-	}
-	if job.NewProbes != nil {
-		for _, p := range job.NewProbes() {
-			w.c.Attach(p)
-		}
-	}
-	if job.MeterProbes != nil {
-		for _, p := range job.MeterProbes(w.meter) {
-			w.c.Attach(p)
-		}
 	}
 
 	runErr := w.c.Run(budget)

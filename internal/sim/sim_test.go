@@ -264,52 +264,6 @@ func TestRunBatchPerRunProbes(t *testing.T) {
 	}
 }
 
-// TestDeprecatedProbeShims keeps the one-release compatibility fields
-// (Job.Probes, Job.NewProbes, Job.MeterProbes) working until they are
-// deleted: each must attach exactly like its ProbeSpec replacement.
-func TestDeprecatedProbeShims(t *testing.T) {
-	r, syms := newTestRunner(t)
-
-	var sharedN uint64
-	job := testJob(syms, 0, false)
-	job.Probes = []cpu.Probe{cpu.ProbeFunc(func(cpu.CycleInfo) { sharedN++ })}
-	res := r.Run(job)
-	if res.Err != nil || sharedN != res.Stats.Cycles {
-		t.Fatalf("Probes shim: err=%v saw %d cycles, stats %d", res.Err, sharedN, res.Stats.Cycles)
-	}
-
-	const n = 4
-	counts := make([]uint64, n)
-	meterSeen := make([]bool, n)
-	jobs := make([]sim.Job, n)
-	for i := range jobs {
-		i := i
-		jobs[i] = testJob(syms, i, false)
-		jobs[i].NewProbes = func() []cpu.Probe {
-			return []cpu.Probe{cpu.ProbeFunc(func(cpu.CycleInfo) { counts[i]++ })}
-		}
-		jobs[i].MeterProbes = func(m *energy.Probe) []cpu.Probe {
-			return []cpu.Probe{cpu.ProbeFunc(func(cpu.CycleInfo) {
-				if m.LastPJ() > 0 {
-					meterSeen[i] = true
-				}
-			})}
-		}
-	}
-	results, err := r.RunBatch(jobs, sim.Options{Workers: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i, res := range results {
-		if counts[i] != res.Stats.Cycles {
-			t.Fatalf("NewProbes shim: job %d saw %d cycles, stats %d", i, counts[i], res.Stats.Cycles)
-		}
-		if !meterSeen[i] {
-			t.Fatalf("MeterProbes shim: job %d probe never read a committed cycle energy", i)
-		}
-	}
-}
-
 // TestRequireHalt verifies the typed cycle-limit error: budget expiry on a
 // RequireHalt job is a *cpu.CycleLimitError matching cpu.ErrCycleLimit, and
 // RunBatch reports it as a budget problem — while program faults don't match.
