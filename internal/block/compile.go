@@ -1,0 +1,230 @@
+package block
+
+import (
+	"fmt"
+
+	"desmask/internal/cpu"
+	"desmask/internal/energy"
+	"desmask/internal/isa"
+)
+
+// opFn is one fused straight-line micro-op: it mutates the engine's
+// architectural state and reports false after latching a fault into e.err.
+type opFn func(e *Engine) bool
+
+// compiledBlock is one translated basic block: the fused closures of its
+// straight-line body plus the precomputed pipeline-state delta of executing
+// it. The terminator is not part of code — the dispatch loop resolves it
+// through cpu.ExecUOp because its outcome (taken/target) is dynamic.
+type compiledBlock struct {
+	start   int32
+	n       int          // micro-ops including the terminator
+	term    isa.TermKind // never TermNone: such blocks fail to compile
+	termIdx int32
+	fallIdx int32 // first micro-op after the block (may be == len(uops))
+
+	code []opFn
+
+	// exLast is the EX-cycle offset of the terminator relative to the EX
+	// cycle of the block's first micro-op: n-1 sequential steps plus every
+	// intra-block load-use stall.
+	exLast uint64
+	// stalls is the block's total load-use stall cycles; stalls never cross
+	// block boundaries (a fall-through predecessor is a branch, never a
+	// load, and a taken transfer inserts flush bubbles).
+	stalls uint64
+	// secure counts micro-ops carrying the secure bit.
+	secure uint64
+	// flushTaken is the number of younger instructions squashed when the
+	// terminator is taken: the ID occupant if one was fetched, plus the IF
+	// occupant unless fetch was suppressed (halt in decode) or off the end
+	// of the text segment.
+	flushTaken uint64
+
+	// staticPJ is the data-independent energy of the block's n micro-ops;
+	// squashTakenPJ adds the squashed slots' fetch/decode statics on a taken
+	// exit. Zero when the engine accounts no energy.
+	staticPJ      float64
+	squashTakenPJ float64
+}
+
+// compile translates the basic block entered at micro-op index idx.
+func (e *Engine) compile(idx int32) (*compiledBlock, error) {
+	bb := isa.ScanBlock(e.uops, int(idx))
+	if bb.Term == isa.TermNone {
+		// The block runs off the end of the text segment: in the pipelined
+		// core that drains into a fetch fault. Replay reports it exactly.
+		return nil, e.deoptf(e.uops[idx].PC, nil, "block runs past end of text segment")
+	}
+	b := &compiledBlock{
+		start:   idx,
+		n:       bb.N,
+		term:    bb.Term,
+		termIdx: idx + int32(bb.N) - 1,
+		fallIdx: idx + int32(bb.N),
+	}
+	if bb.N > 1 {
+		b.code = make([]opFn, 0, bb.N-1)
+	}
+	spec := e.spec
+	var ex uint64
+	for i := 0; i < bb.N; i++ {
+		u := &e.uops[int(idx)+i]
+		if !isa.BlockLegalUOp(u) {
+			return nil, e.deoptf(u.PC, nil, "unsupported exec class %v", u.Class)
+		}
+		if u.Secure {
+			b.secure++
+		}
+		if e.energyOn {
+			b.staticPJ += energy.StaticUOpPJ(u, &e.cfg, e.scale[u.Class])
+		}
+		if i > 0 {
+			prev := &e.uops[int(idx)+i-1]
+			if prev.Load && prev.Dest != isa.Zero &&
+				(prev.Dest == u.SrcA || (u.BReg && prev.Dest == u.SrcB)) {
+				stall := uint64(spec.LoadUseStall)
+				b.stalls += stall
+				ex += stall
+			}
+			ex++
+		}
+		if i < bb.N-1 {
+			b.code = append(b.code, compileOp(u))
+		}
+	}
+	b.exLast = ex
+
+	if bb.Term != isa.TermHalt {
+		// Taken-exit squash geometry, mirroring the pipelined core's redirect
+		// cycle: the ID occupant (termIdx+1) was fetched and issued before the
+		// redirect; the IF occupant (termIdx+2) was fetched that same cycle
+		// unless a halt in decode had already suppressed fetch, or the fetch
+		// ran past the text segment (a non-fatal wrong-path stall).
+		t := int(b.termIdx)
+		if t+1 < len(e.uops) {
+			b.flushTaken++
+			if e.energyOn {
+				b.squashTakenPJ += energy.StaticSquashIssuePJ(&e.uops[t+1], &e.cfg)
+			}
+			if e.uops[t+1].Class != isa.ClassHalt && t+2 < len(e.uops) {
+				b.flushTaken++
+				if e.energyOn {
+					b.squashTakenPJ += energy.StaticSquashFetchPJ(&e.cfg)
+				}
+			}
+		}
+	}
+	return b, nil
+}
+
+// compileOp fuses one straight-line micro-op into a specialized closure. The
+// hot ALU classes and memory ops get direct closures; everything else routes
+// through cpu.ExecUOp, so the fused semantics are the pipelined core's by
+// construction either way (the specializations are pinned against ExecUOp by
+// the package's fuzz test).
+func compileOp(u *isa.UOp) opFn {
+	sa, sb, d := u.SrcA, u.SrcB, u.Dest
+	bc, off, pc := u.BConst, u.Off, u.PC
+
+	switch {
+	case u.Load:
+		if d == isa.Zero {
+			return func(e *Engine) bool {
+				if _, err := e.mem.LoadWord(e.regs[sa] + off); err != nil {
+					e.err = fmt.Errorf("cpu: pc %#x: %w", pc, err)
+					return false
+				}
+				return true
+			}
+		}
+		return func(e *Engine) bool {
+			v, err := e.mem.LoadWord(e.regs[sa] + off)
+			if err != nil {
+				e.err = fmt.Errorf("cpu: pc %#x: %w", pc, err)
+				return false
+			}
+			e.regs[d] = v
+			return true
+		}
+	case u.Store:
+		return func(e *Engine) bool {
+			if err := e.mem.StoreWord(e.regs[sa]+off, e.regs[sb]); err != nil {
+				e.err = fmt.Errorf("cpu: pc %#x: %w", pc, err)
+				return false
+			}
+			return true
+		}
+	}
+
+	// Pure ALU op. With no destination it is architecturally a no-op (it
+	// still occupies a pipeline slot, which the block's timing delta counts).
+	if d == isa.Zero {
+		return func(*Engine) bool { return true }
+	}
+	// Both operands compile-time constant ($zero source, immediate B): fold
+	// the result at translation time.
+	if sa == isa.Zero && !u.BReg {
+		v, _, _, err := cpu.ExecUOp(u, 0, bc)
+		if err == nil {
+			return func(e *Engine) bool {
+				e.regs[d] = v
+				return true
+			}
+		}
+	}
+	if u.BReg {
+		switch u.Class {
+		case isa.ClassAdd:
+			return func(e *Engine) bool { e.regs[d] = e.regs[sa] + e.regs[sb]; return true }
+		case isa.ClassSub:
+			return func(e *Engine) bool { e.regs[d] = e.regs[sa] - e.regs[sb]; return true }
+		case isa.ClassAnd:
+			return func(e *Engine) bool { e.regs[d] = e.regs[sa] & e.regs[sb]; return true }
+		case isa.ClassOr:
+			return func(e *Engine) bool { e.regs[d] = e.regs[sa] | e.regs[sb]; return true }
+		case isa.ClassXor:
+			return func(e *Engine) bool { e.regs[d] = e.regs[sa] ^ e.regs[sb]; return true }
+		case isa.ClassSll:
+			return func(e *Engine) bool { e.regs[d] = e.regs[sa] << (e.regs[sb] & 31); return true }
+		case isa.ClassSrl:
+			return func(e *Engine) bool { e.regs[d] = e.regs[sa] >> (e.regs[sb] & 31); return true }
+		}
+		uu := u
+		return func(e *Engine) bool {
+			res, _, _, err := cpu.ExecUOp(uu, e.regs[sa], e.regs[sb])
+			if err != nil {
+				e.err = err
+				return false
+			}
+			e.regs[d] = res
+			return true
+		}
+	}
+	switch u.Class {
+	case isa.ClassAdd:
+		return func(e *Engine) bool { e.regs[d] = e.regs[sa] + bc; return true }
+	case isa.ClassAnd:
+		return func(e *Engine) bool { e.regs[d] = e.regs[sa] & bc; return true }
+	case isa.ClassOr:
+		return func(e *Engine) bool { e.regs[d] = e.regs[sa] | bc; return true }
+	case isa.ClassXor:
+		return func(e *Engine) bool { e.regs[d] = e.regs[sa] ^ bc; return true }
+	case isa.ClassSll:
+		sh := bc & 31
+		return func(e *Engine) bool { e.regs[d] = e.regs[sa] << sh; return true }
+	case isa.ClassSrl:
+		sh := bc & 31
+		return func(e *Engine) bool { e.regs[d] = e.regs[sa] >> sh; return true }
+	}
+	uu := u
+	return func(e *Engine) bool {
+		res, _, _, err := cpu.ExecUOp(uu, e.regs[sa], bc)
+		if err != nil {
+			e.err = err
+			return false
+		}
+		e.regs[d] = res
+		return true
+	}
+}

@@ -112,7 +112,19 @@ func New(p *asm.Program, m *mem.Memory) (*CPU, error) {
 	if len(p.Text) == 0 {
 		return nil, errors.New("cpu: empty program")
 	}
-	uops, err := isa.PredecodeProgramFor(p.TargetOrDefault(), p.Text, p.TextBase)
+	target := p.TargetOrDefault()
+	// The pipelined core implements exactly the five-stage geometry; a target
+	// declaring anything else must not run here, or its declared spec and the
+	// simulated timing would silently disagree (the block-compiled engine in
+	// internal/block derives its precomputed timing from the same spec).
+	if spec := target.Pipeline(); spec != isa.FiveStage {
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("cpu: target %s: %w", target.Name(), err)
+		}
+		return nil, fmt.Errorf("cpu: target %s declares pipeline %+v, but this core implements only the five-stage geometry %+v",
+			target.Name(), spec, isa.FiveStage)
+	}
+	uops, err := isa.PredecodeProgramFor(target, p.Text, p.TextBase)
 	if err != nil {
 		return nil, fmt.Errorf("cpu: %w", err)
 	}
@@ -249,7 +261,7 @@ func (c *CPU) Step() error {
 		a, b := c.forward(u, oldIDEX.a, oldIDEX.b, oldEXMEM, oldMEMWB)
 		execU = u
 
-		res, target, taken, err := execUOp(u, a, b)
+		res, target, taken, err := ExecUOp(u, a, b)
 		if err != nil {
 			return err
 		}
@@ -383,11 +395,12 @@ func (c *CPU) forward(u *isa.UOp, a, b uint32, exm exmemLatch, mwb memwbLatch) (
 	return a, b
 }
 
-// execUOp computes the EX-stage result of one micro-op: the ALU output (or
+// ExecUOp computes the EX-stage result of one micro-op: the ALU output (or
 // memory address), plus branch/jump resolution. It is shared by the pipelined
-// CPU and the RefModel golden model so that co-simulation isolates
-// pipeline-control bugs.
-func execUOp(u *isa.UOp, a, b uint32) (res, target uint32, taken bool, err error) {
+// CPU, the RefModel golden model and the block-compiled engine
+// (internal/block), so that co-simulation isolates pipeline-control bugs and
+// block-fused execution can never drift from the cycle-accurate EX semantics.
+func ExecUOp(u *isa.UOp, a, b uint32) (res, target uint32, taken bool, err error) {
 	switch u.Class {
 	case isa.ClassAdd:
 		res = a + b

@@ -11,7 +11,7 @@ import (
 
 // RefModel is a functional, one-instruction-at-a-time golden model of the
 // ISA with no pipeline. It executes the same predecoded micro-op table with
-// the same EX-stage semantics (execUOp) as the pipelined CPU, so
+// the same EX-stage semantics (ExecUOp) as the pipelined CPU, so
 // co-simulating the two validates exactly the machinery that can go wrong in
 // the pipeline: operand bypassing, load-use stalls, control-flow flushes, and
 // writeback ordering.
@@ -97,7 +97,7 @@ func (r *RefModel) Step() error {
 		b = r.regs[u.SrcB]
 	}
 
-	res, target, taken, err := execUOp(u, a, b)
+	res, target, taken, err := ExecUOp(u, a, b)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,104 @@
+package isa
+
+// Basic-block discovery over the predecoded micro-op table: the ISA-level
+// half of the block-compiled simulator core (internal/block). A basic block
+// is a maximal straight-line run of micro-ops beginning at an entry index and
+// ending at the first control-transfer or halt micro-op (inclusive), or at
+// the end of the text segment. Blocks are discovered per entry point — a jump
+// into the middle of an already-discovered block simply yields a second,
+// overlapping block — so discovery needs no global leader analysis and is
+// correct for dynamically computed jr targets.
+
+// TermKind classifies how a basic block ends.
+type TermKind uint8
+
+// Block terminators.
+const (
+	// TermNone marks a block that runs to the end of the text segment
+	// without a terminator; executing past it is a fetch fault.
+	TermNone TermKind = iota
+	// TermBranch is a conditional branch (beq/bne/blez/bgtz).
+	TermBranch
+	// TermJump is an unconditional jump with a static target (j).
+	TermJump
+	// TermJal is a jump-and-link: static target plus a link-register write.
+	TermJal
+	// TermJr is a register-indirect jump with a dynamic target.
+	TermJr
+	// TermHalt retires the program.
+	TermHalt
+)
+
+var termNames = [...]string{"none", "branch", "jump", "jal", "jr", "halt"}
+
+// String returns the terminator name.
+func (k TermKind) String() string {
+	if int(k) < len(termNames) {
+		return termNames[k]
+	}
+	return "term?"
+}
+
+// TermKindOf classifies an exec class as a block terminator, or TermNone for
+// straight-line classes.
+func TermKindOf(c ExecClass) TermKind {
+	switch c {
+	case ClassBeq, ClassBne, ClassBlez, ClassBgtz:
+		return TermBranch
+	case ClassJ:
+		return TermJump
+	case ClassJal:
+		return TermJal
+	case ClassJr:
+		return TermJr
+	case ClassHalt:
+		return TermHalt
+	}
+	return TermNone
+}
+
+// BasicBlock is one discovered straight-line run.
+type BasicBlock struct {
+	// Start is the micro-op index of the block's entry (leader).
+	Start int
+	// N is the number of micro-ops in the block, including the terminator
+	// when Term != TermNone.
+	N int
+	// Term classifies the final micro-op. TermNone means the block ran to
+	// the end of the table without one.
+	Term TermKind
+}
+
+// ScanBlock discovers the basic block entered at micro-op index start. It
+// panics if start is out of range; callers bound-check entries (a jump
+// outside the text segment is a fetch fault, not a block).
+func ScanBlock(uops []UOp, start int) BasicBlock {
+	b := BasicBlock{Start: start}
+	for i := start; i < len(uops); i++ {
+		b.N++
+		if k := TermKindOf(uops[i].Class); k != TermNone {
+			b.Term = k
+			return b
+		}
+	}
+	return b
+}
+
+// BlockLegalUOp reports whether the block translator understands this
+// micro-op. Every class the predecoder currently emits is legal; the check
+// exists so a future target introducing a new exec class degrades to the
+// cycle-accurate core instead of being mis-fused.
+func BlockLegalUOp(u *UOp) bool {
+	return u.Class < NumExecClasses
+}
+
+// BlockCompilable reports whether programs for this target may be block
+// compiled: the target must declare the five-stage geometry the translator's
+// precomputed stall/flush/retire effects are derived for. Other geometries
+// fall back to the cycle-accurate core.
+func BlockCompilable(t Target) bool {
+	if t == nil {
+		t = PISA
+	}
+	return t.Pipeline() == FiveStage
+}

@@ -1,0 +1,103 @@
+package isa
+
+import "testing"
+
+func uopsOf(classes ...ExecClass) []UOp {
+	uops := make([]UOp, len(classes))
+	for i, c := range classes {
+		uops[i] = UOp{Class: c, PC: uint32(4 * i)}
+	}
+	return uops
+}
+
+func TestTermKindOf(t *testing.T) {
+	want := map[ExecClass]TermKind{
+		ClassBeq: TermBranch, ClassBne: TermBranch,
+		ClassBlez: TermBranch, ClassBgtz: TermBranch,
+		ClassJ: TermJump, ClassJal: TermJal, ClassJr: TermJr,
+		ClassHalt: TermHalt,
+	}
+	for c := ExecClass(0); c < NumExecClasses; c++ {
+		k, ok := want[c]
+		if !ok {
+			k = TermNone
+		}
+		if got := TermKindOf(c); got != k {
+			t.Errorf("TermKindOf(%v) = %v, want %v", c, got, k)
+		}
+	}
+}
+
+func TestScanBlock(t *testing.T) {
+	uops := uopsOf(ClassAdd, ClassMem, ClassBne, ClassXor, ClassOr, ClassHalt)
+	cases := []struct {
+		start int
+		want  BasicBlock
+	}{
+		{0, BasicBlock{Start: 0, N: 3, Term: TermBranch}},
+		// Entry into the branch's fall-through path.
+		{3, BasicBlock{Start: 3, N: 3, Term: TermHalt}},
+		// Entry overlapping the first block: discovery is per entry point.
+		{1, BasicBlock{Start: 1, N: 2, Term: TermBranch}},
+		// Entry directly at a terminator: a one-op block.
+		{2, BasicBlock{Start: 2, N: 1, Term: TermBranch}},
+		{5, BasicBlock{Start: 5, N: 1, Term: TermHalt}},
+	}
+	for _, c := range cases {
+		if got := ScanBlock(uops, c.start); got != c.want {
+			t.Errorf("ScanBlock(start=%d) = %+v, want %+v", c.start, got, c.want)
+		}
+	}
+
+	// A block running off the end of the text segment has no terminator.
+	open := uopsOf(ClassAdd, ClassSub)
+	if got := ScanBlock(open, 0); got != (BasicBlock{Start: 0, N: 2, Term: TermNone}) {
+		t.Errorf("open-ended block = %+v", got)
+	}
+}
+
+func TestPipelineSpecValidate(t *testing.T) {
+	if err := FiveStage.Validate(); err != nil {
+		t.Fatalf("FiveStage invalid: %v", err)
+	}
+	bad := []PipelineSpec{
+		{},
+		{Stages: 5, BranchResolveStage: 5, LoadUseStall: 1, FlushSlots: 2, FillLatency: 2, DrainLatency: 2},
+		{Stages: 5, BranchResolveStage: 2, LoadUseStall: -1, FlushSlots: 2, FillLatency: 2, DrainLatency: 2},
+		// FillLatency disagreeing with the branch resolution stage.
+		{Stages: 5, BranchResolveStage: 2, LoadUseStall: 1, FlushSlots: 2, FillLatency: 3, DrainLatency: 2},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d (%+v) unexpectedly valid", i, s)
+		}
+	}
+}
+
+// TestTargetsDeclareFiveStage pins the current state of the backend registry:
+// every registered target declares the five-stage geometry, so every target
+// is block compilable and accepted by the cycle-accurate core.
+func TestTargetsDeclareFiveStage(t *testing.T) {
+	for _, name := range Targets() {
+		target, ok := TargetByName(name)
+		if !ok {
+			t.Fatalf("registry lists unknown target %q", name)
+		}
+		spec := target.Pipeline()
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if spec != FiveStage {
+			t.Errorf("%s: pipeline %+v, want FiveStage", name, spec)
+		}
+		if !BlockCompilable(target) {
+			t.Errorf("%s: not block compilable", name)
+		}
+	}
+	if !BlockCompilable(nil) {
+		t.Error("nil target (PISA default) should be block compilable")
+	}
+	if FiveStage.RedirectPenalty() != 3 {
+		t.Errorf("FiveStage redirect penalty %d, want 3", FiveStage.RedirectPenalty())
+	}
+}

@@ -114,3 +114,6 @@ func (pisaTarget) ALUOpScale() [NumExecClasses]float64 {
 	}
 	return s
 }
+
+// Pipeline declares the classic five-stage in-order geometry.
+func (pisaTarget) Pipeline() PipelineSpec { return FiveStage }

@@ -456,3 +456,7 @@ func (rv32Target) ALUOpScale() [NumExecClasses]float64 {
 	s[ClassMul] = 1.5
 	return s
 }
+
+// Pipeline declares the classic five-stage in-order geometry; the RV32 core
+// shares the PISA pipeline and differs only in encoding and energy scales.
+func (rv32Target) Pipeline() PipelineSpec { return FiveStage }

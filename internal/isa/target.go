@@ -95,6 +95,14 @@ type Target interface {
 	// data-independent base cost — operand-dependent toggle energy is
 	// shared — so differing coefficients cannot flip a TVLA verdict.
 	ALUOpScale() [NumExecClasses]float64
+
+	// Pipeline returns the geometry of this target's core: branch
+	// resolution stage, load-use latency, flush depth, fill/drain
+	// latencies. The cycle-accurate core validates at construction that it
+	// implements this geometry, and the block translator derives its
+	// precomputed stall/flush/retire effects from it (falling back to the
+	// cycle-accurate core for geometries it cannot reproduce).
+	Pipeline() PipelineSpec
 }
 
 // targets is the backend registry, keyed by lower-case name.

@@ -1,0 +1,269 @@
+package sim_test
+
+// Session-level tests of block mode (Job.Blocks): for every job the runner
+// may route to the block-compiled engine, the Result must be bit-identical
+// to the cycle-accurate run of the same job — ciphertexts, full cpu.Stats,
+// registers, memory read-back, and identical errors (including the exact
+// *cpu.CycleLimitError) when the engine deopts and the job replays.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"desmask/internal/compiler"
+	"desmask/internal/cpu"
+	"desmask/internal/desprog"
+	"desmask/internal/energy"
+	"desmask/internal/isa"
+	"desmask/internal/sim"
+)
+
+const desCipher = uint64(0x85E813540F0AB405)
+
+// packBits packs the 64 one-bit words of the DES cipher global (MSB first),
+// mirroring desprog's internal layout.
+func packBits(words []uint32) uint64 {
+	var v uint64
+	for i := 0; i < 64; i++ {
+		v = v<<1 | uint64(words[i]&1)
+	}
+	return v
+}
+
+func desMachine(t *testing.T, policy compiler.Policy, isaName string) *desprog.Machine {
+	t.Helper()
+	target, ok := isa.TargetByName(isaName)
+	if !ok {
+		t.Fatalf("unknown target %q", isaName)
+	}
+	m, err := desprog.NewFull(compiler.Options{Policy: policy, Target: target}, energy.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runBoth runs one job in cycle mode and in block mode on the same runner
+// and demands identical architectural results.
+func runBoth(t *testing.T, m *desprog.Machine, job sim.Job) (cycleRes, blockRes sim.Result) {
+	t.Helper()
+	r := m.Runner()
+	job.Blocks = false
+	cycleRes = r.Run(job)
+	job.Blocks = true
+	before := r.BlockRuns()
+	blockRes = r.Run(job)
+	if r.BlockRuns() == before && blockRes.Err == nil && blockRes.Done {
+		t.Error("completed Blocks job was not counted as a block run")
+	}
+
+	if (cycleRes.Err == nil) != (blockRes.Err == nil) {
+		t.Fatalf("error divergence: cycle %v, block %v", cycleRes.Err, blockRes.Err)
+	}
+	if cycleRes.Err != nil && cycleRes.Err.Error() != blockRes.Err.Error() {
+		t.Fatalf("errors differ: cycle %q, block %q", cycleRes.Err, blockRes.Err)
+	}
+	if cycleRes.Done != blockRes.Done {
+		t.Fatalf("done divergence: cycle %v, block %v", cycleRes.Done, blockRes.Done)
+	}
+	if cycleRes.Stats.Stats != blockRes.Stats.Stats {
+		t.Errorf("cpu stats diverge:\n cycle %+v\n block %+v", cycleRes.Stats.Stats, blockRes.Stats.Stats)
+	}
+	if cycleRes.Regs != blockRes.Regs {
+		t.Error("register files diverge")
+	}
+	if len(cycleRes.Mem) != len(blockRes.Mem) {
+		t.Fatalf("mem read-back count: %d vs %d", len(cycleRes.Mem), len(blockRes.Mem))
+	}
+	for i := range cycleRes.Mem {
+		if fmt.Sprint(cycleRes.Mem[i]) != fmt.Sprint(blockRes.Mem[i]) {
+			t.Errorf("mem read %d diverges", i)
+		}
+	}
+	return cycleRes, blockRes
+}
+
+// TestBlocksDESEquivalence runs the DES known-answer encryption in both
+// modes under every policy on both ISAs: identical ciphertext, stats,
+// registers and memory, with block mode reporting a static-energy floor
+// below the metered total.
+func TestBlocksDESEquivalence(t *testing.T) {
+	for _, isaName := range []string{"pisa", "rv32"} {
+		for _, policy := range compiler.Policies() {
+			t.Run(isaName+"/"+policy.String(), func(t *testing.T) {
+				m := desMachine(t, policy, isaName)
+				job, err := m.EncryptJob(0x133457799BBCDFF1, 0x0123456789ABCDEF, 0, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cycleRes, blockRes := runBoth(t, m, job)
+				if !blockRes.Done {
+					t.Fatal("encryption did not complete")
+				}
+				if got := packBits(blockRes.Mem[0]); got != desCipher {
+					t.Fatalf("block-mode ciphertext %#016x, want %#016x", got, desCipher)
+				}
+				metered := cycleRes.Stats.Energy.Total
+				static := blockRes.Stats.StaticPJ
+				if static <= 0 || static > metered {
+					t.Errorf("static floor %.1f pJ outside (0, metered %.1f]", static, metered)
+				}
+				if blockRes.Stats.Energy.Total != 0 || blockRes.Stats.PeakPJ != 0 {
+					t.Error("block mode reported metered energy without a meter")
+				}
+				// The manifest locks the cycle-accurate core; block mode must
+				// agree with it through the cycle path it was compared against.
+				if entry, ok := goldenEntry(t, "des", policy.String()); ok && isaName == "pisa" {
+					if blockRes.Stats.Cycles != entry.Cycles ||
+						blockRes.Stats.Insts != entry.Insts ||
+						blockRes.Stats.SecureInst != entry.SecureInst {
+						t.Errorf("block stats diverge from golden manifest: got %d/%d/%d, want %d/%d/%d",
+							blockRes.Stats.Cycles, blockRes.Stats.Insts, blockRes.Stats.SecureInst,
+							entry.Cycles, entry.Insts, entry.SecureInst)
+					}
+					if out := fmt.Sprintf("%016x", packBits(blockRes.Mem[0])); out != entry.Output {
+						t.Errorf("block output %s, want golden %s", out, entry.Output)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBlocksCycleLimit pins deopt-and-replay for budgets that expire
+// mid-run: the block engine cannot complete, the job replays on the
+// cycle-accurate core, and the partial Result (or the RequireHalt error) is
+// identical in both modes, down to the exact *cpu.CycleLimitError.
+func TestBlocksCycleLimit(t *testing.T) {
+	m := desMachine(t, compiler.PolicyNone, "pisa")
+	job, err := m.EncryptJob(0x133457799BBCDFF1, 0x0123456789ABCDEF, 2000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := m.Runner()
+	deoptsBefore := r.BlockDeopts()
+	cycleRes, blockRes := runBoth(t, m, job)
+	if cycleRes.Done || blockRes.Done {
+		t.Fatal("2000-cycle budget unexpectedly completed DES")
+	}
+	if r.BlockDeopts() == deoptsBefore {
+		t.Error("mid-run budget expiry was not counted as a deopt")
+	}
+	if blockRes.Stats.Cycles != 2000 {
+		t.Errorf("partial run simulated %d cycles, want exactly the 2000 budget", blockRes.Stats.Cycles)
+	}
+
+	job.RequireHalt = true
+	cycleRes, blockRes = runBoth(t, m, job)
+	var cl, bl *cpu.CycleLimitError
+	if !errors.As(cycleRes.Err, &cl) || !errors.As(blockRes.Err, &bl) {
+		t.Fatalf("RequireHalt errors: cycle %v, block %v; want cycle-limit errors", cycleRes.Err, blockRes.Err)
+	}
+	if cl.Limit != bl.Limit {
+		t.Errorf("cycle-limit errors disagree on the limit: %d vs %d", cl.Limit, bl.Limit)
+	}
+}
+
+// TestBlocksObservedJobsFallBack pins the observation-only invariant: jobs
+// that capture traces or attach probes never enter block mode, and their
+// traces remain bit-identical to the golden manifest.
+func TestBlocksObservedJobsFallBack(t *testing.T) {
+	m, err := desprog.New(compiler.PolicySelective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Runner()
+
+	t.Run("trace", func(t *testing.T) {
+		job, err := m.EncryptJob(goldenKey, goldenPlaintext, 0, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job.Blocks = true
+		before := r.BlockRuns()
+		res := r.Run(job)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if r.BlockRuns() != before {
+			t.Error("traced job entered block mode")
+		}
+		if res.Trace == nil {
+			t.Fatal("traced job captured no trace")
+		}
+		if entry, ok := goldenEntry(t, "des", compiler.PolicySelective.String()); ok {
+			if got := traceHash(res.Trace); got != entry.TraceHash {
+				t.Errorf("trace hash %s, want golden %s", got, entry.TraceHash)
+			}
+			if bits := fmt.Sprintf("%016x", math.Float64bits(res.Stats.Energy.Total)); bits != entry.EnergyBits {
+				t.Errorf("energy bits %s, want golden %s", bits, entry.EnergyBits)
+			}
+		}
+	})
+
+	t.Run("probe", func(t *testing.T) {
+		job, err := m.EncryptJob(goldenKey, goldenPlaintext, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job.Blocks = true
+		var cycles uint64
+		job.Probe = sim.SharedProbes(cpu.ProbeFunc(func(cpu.CycleInfo) { cycles++ }))
+		before := r.BlockRuns()
+		res := r.Run(job)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if r.BlockRuns() != before {
+			t.Error("probed job entered block mode")
+		}
+		if cycles != res.Stats.Cycles {
+			t.Errorf("probe observed %d cycles, run reported %d", cycles, res.Stats.Cycles)
+		}
+	})
+}
+
+// TestBlocksBatch fans a block-mode batch across workers and checks every
+// result against the cycle-mode batch of the same jobs.
+func TestBlocksBatch(t *testing.T) {
+	m := desMachine(t, compiler.PolicyAllSecure, "rv32")
+	plaintexts := []uint64{0x0123456789ABCDEF, 0xFFFFFFFFFFFFFFFF, 0, 0x0123456789ABCDEF ^ 1}
+	jobs := make([]sim.Job, len(plaintexts))
+	for i, pt := range plaintexts {
+		job, err := m.EncryptJob(0x133457799BBCDFF1, pt, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = job
+	}
+	r := m.Runner()
+	base, err := r.RunBatch(jobs, sim.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		jobs[i].Blocks = true
+	}
+	before := r.BlockRuns()
+	blk, err := r.RunBatch(jobs, sim.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.BlockRuns() - before; got != uint64(len(jobs)) {
+		t.Errorf("%d of %d batch jobs ran in block mode", got, len(jobs))
+	}
+	for i := range base {
+		if base[i].Stats.Stats != blk[i].Stats.Stats {
+			t.Errorf("job %d stats diverge: %+v vs %+v", i, base[i].Stats.Stats, blk[i].Stats.Stats)
+		}
+		if packBits(base[i].Mem[0]) != packBits(blk[i].Mem[0]) {
+			t.Errorf("job %d ciphertext diverges", i)
+		}
+		if !blk[i].Done {
+			t.Errorf("job %d did not complete in block mode", i)
+		}
+	}
+}

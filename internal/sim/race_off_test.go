@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim_test
+
+// raceEnabled gates allocation-count assertions: the race detector
+// instruments allocations and would make exact counts meaningless.
+const raceEnabled = false
