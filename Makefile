@@ -33,10 +33,14 @@ bench:
 #  - streaming TVLA acceptance run: 10k-trace fixed-vs-random DES per policy
 #    at workers 1/4/16 (bit-identity, verdicts, traces/sec, constant memory
 #    vs the materialized dpa.Collect baseline) (BENCH_tvla.json)
+#  - gang-scheduled lockstep assessment vs the scalar path per policy
+#    (traces/sec, speedup, t-vector bit-identity) (BENCH_gang.json)
 bench-json:
 	$(GO) run ./cmd/simbench -traces 64 -trials 10 \
 		-o BENCH_parallel_traces.json -core-o BENCH_predecode.json
 	$(GO) run ./cmd/simbench -blocks -trials 20 -blocks-o BENCH_blockcompile.json
+	$(GO) run ./cmd/simbench -gang 16 -traces 128 -max 12000 -workers 1 \
+		-gang-o BENCH_gang.json
 	$(GO) run ./cmd/optbench -o BENCH_compiler_opt.json
 	$(GO) run ./cmd/tvla -bench -traces 10000 -max 12000 -o BENCH_tvla.json
 

@@ -13,11 +13,17 @@
 // cycle-accurate core on both ISAs, verifying bit-identical ciphertexts and
 // statistics, and writes BENCH_blockcompile.json.
 //
+// With -gang N (N > 1) it instead benchmarks gang-scheduled lockstep
+// assessment against the scalar path on the fixed-vs-random DES TVLA
+// workload for every protection policy, verifying that the gang t-vector is
+// bit-identical to the scalar one, and writes BENCH_gang.json.
+//
 // Usage:
 //
 //	simbench [-traces N] [-trials N] [-max N] [-policy none]
 //	         [-o BENCH_parallel_traces.json] [-core-o BENCH_predecode.json]
 //	         [-blocks] [-blocks-o BENCH_blockcompile.json]
+//	         [-gang N] [-gang-o BENCH_gang.json]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -25,6 +31,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -36,14 +44,20 @@ import (
 	"desmask/internal/dpa"
 	"desmask/internal/energy"
 	"desmask/internal/isa"
+	"desmask/internal/leakstat"
 )
 
 // Result is the batch-acquisition benchmark record emitted as JSON.
 type Result struct {
-	Policy            string  `json:"policy"`
-	Traces            int     `json:"traces"`
-	MaxCycles         uint64  `json:"max_cycles"`
-	GOMAXPROCS        int     `json:"gomaxprocs"`
+	Policy     string `json:"policy"`
+	Traces     int    `json:"traces"`
+	MaxCycles  uint64 `json:"max_cycles"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// CoresLimited flags runs where the machine has fewer physical cores
+	// than requested workers, so the parallel number understates what the
+	// session layer delivers on adequate hardware.
+	CoresLimited      bool    `json:"cores_limited"`
 	SequentialSeconds float64 `json:"sequential_seconds"`
 	ParallelSeconds   float64 `json:"parallel_seconds"`
 	SequentialPerSec  float64 `json:"sequential_traces_per_sec"`
@@ -90,6 +104,37 @@ type BlockResult struct {
 	Policy string        `json:"policy"`
 	Trials int           `json:"trials"`
 	Runs   []BlockISARun `json:"runs"`
+}
+
+// GangPolicyRun is the scalar-vs-gang assessment comparison for one policy.
+type GangPolicyRun struct {
+	Policy        string  `json:"policy"`
+	ScalarSeconds float64 `json:"scalar_seconds"`
+	GangSeconds   float64 `json:"gang_seconds"`
+	ScalarPerSec  float64 `json:"scalar_traces_per_sec"`
+	GangPerSec    float64 `json:"gang_traces_per_sec"`
+	Speedup       float64 `json:"speedup"`
+	// BitIdentical reports that the gang run's per-sample t-vector (and so
+	// the verdict) matched the scalar run bit-for-bit.
+	BitIdentical bool    `json:"bit_identical"`
+	THash        string  `json:"t_hash"`
+	MaxAbsT      float64 `json:"max_abs_t"`
+	Leak         bool    `json:"leak"`
+	GangRuns     uint64  `json:"gang_runs"`
+	GangDeopts   uint64  `json:"gang_deopts"`
+}
+
+// GangResult is the gang benchmark record (BENCH_gang.json).
+type GangResult struct {
+	Traces       int             `json:"traces"`
+	MaxCycles    uint64          `json:"max_cycles"`
+	Gang         int             `json:"gang"`
+	Workers      int             `json:"workers"`
+	Shards       int             `json:"shards"`
+	GOMAXPROCS   int             `json:"gomaxprocs"`
+	NumCPU       int             `json:"num_cpu"`
+	CoresLimited bool            `json:"cores_limited"`
+	Runs         []GangPolicyRun `json:"runs"`
 }
 
 func fatal(err error) {
@@ -195,6 +240,100 @@ func benchBlocks(policy compiler.Policy, trials int) (BlockResult, error) {
 	return res, nil
 }
 
+// tBitsHash is an order-sensitive FNV-1a hash over the raw float64 bits of a
+// t-vector: equal hashes mean bit-identical statistics.
+func tBitsHash(t []float64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, x := range t {
+		b := math.Float64bits(x)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(b >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// benchGang times the fixed-vs-random DES assessment once scalar and once
+// gang-scheduled for every protection policy, asserting that both paths
+// produce the same t-vector bit-for-bit. The shard count is part of the
+// verdict's identity, so both runs pin the same Shards.
+func benchGang(traces, gangW, workers int, maxCycles uint64) (GangResult, error) {
+	const (
+		key    = 0x133457799BBCDFF1
+		plain  = 0x0123456789ABCDEF
+		shards = 2
+	)
+	res := GangResult{
+		Traces:       traces,
+		MaxCycles:    maxCycles,
+		Gang:         gangW,
+		Workers:      workers,
+		Shards:       shards,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		CoresLimited: runtime.NumCPU() < workers,
+	}
+	for _, policy := range []compiler.Policy{compiler.PolicyNone, compiler.PolicySelective, compiler.PolicyAllSecure} {
+		m, err := desprog.New(policy)
+		if err != nil {
+			return res, err
+		}
+		win, err := leakstat.DESMaskedWindow(m, key, plain, maxCycles)
+		if err != nil {
+			return res, fmt.Errorf("%s: window: %w", policy, err)
+		}
+		src := leakstat.DESKeySource(m, key, plain, 7, maxCycles)
+		cfg := leakstat.Config{
+			NumTraces: traces,
+			Seed:      7,
+			Shards:    shards,
+			Workers:   workers,
+			Window:    win,
+		}
+		var runs0, deopts0 uint64
+		assess := func(gang int) (*leakstat.Report, float64, error) {
+			c := cfg
+			c.Gang = gang
+			// Warm the session's worker pool (and gang engines) so the
+			// timed run sees the steady state; the lockstep counters are
+			// snapshotted after warming so the deltas cover the timed run.
+			if _, err := leakstat.Assess(src, c); err != nil {
+				return nil, 0, err
+			}
+			runs0, deopts0 = m.Runner().GangRuns(), m.Runner().GangDeopts()
+			start := time.Now()
+			rep, err := leakstat.Assess(src, c)
+			return rep, time.Since(start).Seconds(), err
+		}
+		scalarRep, scalarSec, err := assess(0)
+		if err != nil {
+			return res, fmt.Errorf("%s: scalar assess: %w", policy, err)
+		}
+		gangRep, gangSec, err := assess(gangW)
+		if err != nil {
+			return res, fmt.Errorf("%s: gang assess: %w", policy, err)
+		}
+		scalarHash, gangHash := tBitsHash(scalarRep.T), tBitsHash(gangRep.T)
+		res.Runs = append(res.Runs, GangPolicyRun{
+			Policy:        policy.String(),
+			ScalarSeconds: scalarSec,
+			GangSeconds:   gangSec,
+			ScalarPerSec:  float64(traces) / scalarSec,
+			GangPerSec:    float64(traces) / gangSec,
+			Speedup:       scalarSec / gangSec,
+			BitIdentical:  scalarHash == gangHash && scalarRep.Leak == gangRep.Leak,
+			THash:         gangHash,
+			MaxAbsT:       gangRep.MaxAbsT,
+			Leak:          gangRep.Leak,
+			GangRuns:      m.Runner().GangRuns() - runs0,
+			GangDeopts:    m.Runner().GangDeopts() - deopts0,
+		})
+	}
+	return res, nil
+}
+
 func writeJSON(path string, v any) {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
@@ -214,6 +353,7 @@ func main() {
 	coreOut := flag.String("core-o", "BENCH_predecode.json", "core benchmark output JSON file")
 	blocks := flag.Bool("blocks", false, "benchmark the block-compiled engine vs the cycle-accurate core on both ISAs")
 	blocksOut := flag.String("blocks-o", "BENCH_blockcompile.json", "block benchmark output JSON file")
+	gangOut := flag.String("gang-o", "BENCH_gang.json", "gang benchmark output JSON file (used with -gang N)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -243,6 +383,35 @@ func main() {
 			fatal(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if batch.Gang > 1 {
+		workers := batch.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		res, err := benchGang(*traces, batch.Gang, workers, *maxCycles)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("gang (traces=%d max=%d gang=%d workers=%d shards=%d):\n",
+			res.Traces, res.MaxCycles, res.Gang, res.Workers, res.Shards)
+		if res.CoresLimited {
+			fmt.Fprintf(os.Stderr, "simbench: warning: only %d CPUs for %d workers; parallel numbers are core-limited\n",
+				res.NumCPU, res.Workers)
+		}
+		ok := true
+		for _, r := range res.Runs {
+			fmt.Printf("  %-10s scalar %7.1f traces/s  gang %7.1f traces/s  speedup %.2fx  bit-identical: %v  (gang runs %d, deopts %d)\n",
+				r.Policy, r.ScalarPerSec, r.GangPerSec, r.Speedup, r.BitIdentical, r.GangRuns, r.GangDeopts)
+			ok = ok && r.BitIdentical
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "simbench: FAIL: gang t-vector diverged from scalar")
+			os.Exit(1)
+		}
+		writeJSON(*gangOut, res)
+		return
 	}
 
 	if *blocks {
@@ -337,6 +506,8 @@ func main() {
 		Traces:            *traces,
 		MaxCycles:         *maxCycles,
 		GOMAXPROCS:        parWorkers,
+		NumCPU:            runtime.NumCPU(),
+		CoresLimited:      runtime.NumCPU() < parWorkers,
 		SequentialSeconds: seqSec,
 		ParallelSeconds:   parSec,
 		SequentialPerSec:  float64(*traces) / seqSec,
@@ -350,6 +521,10 @@ func main() {
 	fmt.Printf("  sequential: %6.2f traces/s (%.2fs, 1 worker)\n", res.SequentialPerSec, seqSec)
 	fmt.Printf("  parallel:   %6.2f traces/s (%.2fs, %d workers)\n", res.ParallelPerSec, parSec, parWorkers)
 	fmt.Printf("  speedup: %.2fx  bit-identical: %v\n", res.Speedup, res.BitIdentical)
+	if res.CoresLimited {
+		fmt.Fprintf(os.Stderr, "simbench: warning: only %d CPUs for %d workers; parallel speedup is core-limited\n",
+			res.NumCPU, parWorkers)
+	}
 	if !identical {
 		fmt.Fprintln(os.Stderr, "simbench: FAIL: parallel trace set diverged from sequential")
 		os.Exit(1)

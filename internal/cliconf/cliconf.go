@@ -95,6 +95,10 @@ type Assess struct {
 	Workers int `json:"workers"`
 	// Shards is the fixed population partition (0 = leakstat default).
 	Shards int `json:"shards"`
+	// Gang is the lockstep gang width: > 1 runs each shard's traces in
+	// gangs of up to Gang lanes through the gang-scheduled engine. A pure
+	// throughput knob — the verdict is bit-identical for any value.
+	Gang int `json:"gang,omitempty"`
 	// Threshold is the |t| decision threshold (0 = leakstat default).
 	Threshold float64 `json:"threshold"`
 	// MaxCycles is the per-trace cycle budget (0 = full run); assessment
@@ -131,6 +135,7 @@ func (a *Assess) AddFlags(fs *flag.FlagSet) {
 	fs.Int64Var(&a.Seed, "seed", a.Seed, "seed for group assignment and random inputs")
 	fs.IntVar(&a.Workers, "workers", a.Workers, "worker pool size (0 = GOMAXPROCS)")
 	fs.IntVar(&a.Shards, "shards", a.Shards, "fixed shard partition (0 = default 32)")
+	fs.IntVar(&a.Gang, "gang", a.Gang, "lockstep gang width (<= 1 = scalar execution; verdict is identical either way)")
 	fs.Float64Var(&a.Threshold, "threshold", a.Threshold, "|t| decision threshold (0 = 4.5)")
 	fs.Uint64Var(&a.MaxCycles, "max", a.MaxCycles, "cycle budget per trace (0 = full run; window is clamped to it)")
 	fs.StringVar(&a.Key, "key", a.Key, "fixed DES key (hex)")
@@ -192,6 +197,9 @@ func (a Assess) Validate() (*ResolvedAssess, error) {
 	if r.Shards < 0 {
 		return nil, fmt.Errorf("shards must be >= 0, got %d", r.Shards)
 	}
+	if r.Gang < 0 {
+		return nil, fmt.Errorf("gang must be >= 0, got %d", r.Gang)
+	}
 	if r.Threshold < 0 {
 		return nil, fmt.Errorf("threshold must be >= 0, got %v", r.Threshold)
 	}
@@ -218,6 +226,7 @@ func (r *ResolvedAssess) Config() leakstat.Config {
 		Seed:      r.Seed,
 		Shards:    r.Shards,
 		Workers:   r.Workers,
+		Gang:      r.Gang,
 		Threshold: r.Threshold,
 	}
 }
@@ -234,6 +243,8 @@ type Batch struct {
 	Workers int `json:"workers"`
 	// MaxCycles is the per-job cycle budget (0 = runner default).
 	MaxCycles uint64 `json:"max_cycles"`
+	// Gang is the lockstep gang width for batch execution (<= 1 = scalar).
+	Gang int `json:"gang,omitempty"`
 }
 
 // AddFlags registers the batch parameters on a flag set, using the
@@ -243,6 +254,7 @@ func (b *Batch) AddFlags(fs *flag.FlagSet) {
 	fs.IntVar(&b.Trials, "trials", b.Trials, "repetitions per configuration")
 	fs.IntVar(&b.Workers, "workers", b.Workers, "worker pool size (0 = GOMAXPROCS)")
 	fs.Uint64Var(&b.MaxCycles, "max", b.MaxCycles, "cycle budget per job (0 = runner default)")
+	fs.IntVar(&b.Gang, "gang", b.Gang, "lockstep gang width (<= 1 = scalar execution)")
 }
 
 // Validate bounds-checks the batch parameters.
@@ -255,6 +267,9 @@ func (b Batch) Validate() error {
 	}
 	if b.Workers < 0 {
 		return fmt.Errorf("workers must be >= 0, got %d", b.Workers)
+	}
+	if b.Gang < 0 {
+		return fmt.Errorf("gang must be >= 0, got %d", b.Gang)
 	}
 	return nil
 }

@@ -55,7 +55,6 @@ func (e *CycleLimitError) Is(target error) bool { return target == ErrCycleLimit
 type CPU struct {
 	prog *asm.Program
 	uops []isa.UOp // predecoded text, index = (pc-TextBase)/4
-	mem  *mem.Memory
 
 	probes   []Probe
 	fetchObs []FetchObserver
@@ -64,44 +63,27 @@ type CPU struct {
 	memObs   []MemObserver
 	wbObs    []WritebackObserver
 
-	regs [isa.NumRegs]uint32
+	lane Lane // per-instance architectural state (registers, memory, latch data)
 	pc   uint32
 
-	ifid  ifidLatch
-	idex  idexLatch
-	exmem exmemLatch
-	memwb memwbLatch
+	ifid  latch
+	idex  latch
+	exmem latch
+	memwb latch
 
 	draining bool // halt decoded; stop fetching
 	halted   bool
 	stats    Stats
 }
 
-// Pipeline latches hold an index into the micro-op table plus the dynamic
-// values produced so far; everything static about the instruction is read
-// from the table.
-type ifidLatch struct {
+// latch is the control half of a pipeline latch: occupancy plus an index
+// into the micro-op table. The data values the latch carries live in the
+// Lane (see lane.go); everything static about the instruction is read from
+// the table. The split is what lets the gang engine share one set of control
+// latches across N lockstepped lanes.
+type latch struct {
 	valid bool
 	idx   int32
-}
-
-type idexLatch struct {
-	valid bool
-	idx   int32
-	a, b  uint32 // register operands as read in ID (pre-forwarding)
-}
-
-type exmemLatch struct {
-	valid    bool
-	idx      int32
-	aluOut   uint32
-	storeVal uint32
-}
-
-type memwbLatch struct {
-	valid bool
-	idx   int32
-	value uint32
 }
 
 // New builds a CPU with the program loaded: the text segment is predecoded
@@ -128,12 +110,10 @@ func New(p *asm.Program, m *mem.Memory) (*CPU, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cpu: %w", err)
 	}
-	c := &CPU{prog: p, uops: uops, mem: m, pc: p.Entry}
-	if err := m.LoadImage(p.DataBase, p.Data); err != nil {
+	c := &CPU{prog: p, uops: uops, lane: Lane{Mem: m}, pc: p.Entry}
+	if err := c.lane.Init(p); err != nil {
 		return nil, err
 	}
-	c.regs[isa.SP] = p.DataEnd() + 4096
-	c.regs[isa.GP] = p.DataBase
 	return c, nil
 }
 
@@ -143,27 +123,23 @@ func New(p *asm.Program, m *mem.Memory) (*CPU, error) {
 // micro-op table and attached probes are retained; reset probe state
 // separately. A reset core is bit-identical to a fresh one.
 func (c *CPU) Reset() error {
-	c.mem.Reset()
-	if err := c.mem.LoadImage(c.prog.DataBase, c.prog.Data); err != nil {
+	if err := c.lane.Reset(c.prog); err != nil {
 		return err
 	}
-	c.regs = [isa.NumRegs]uint32{}
-	c.regs[isa.SP] = c.prog.DataEnd() + 4096
-	c.regs[isa.GP] = c.prog.DataBase
 	c.pc = c.prog.Entry
-	c.ifid, c.idex, c.exmem, c.memwb = ifidLatch{}, idexLatch{}, exmemLatch{}, memwbLatch{}
+	c.ifid, c.idex, c.exmem, c.memwb = latch{}, latch{}, latch{}, latch{}
 	c.draining, c.halted = false, false
 	c.stats = Stats{}
 	return nil
 }
 
 // Reg returns the current architectural value of r.
-func (c *CPU) Reg(r isa.Reg) uint32 { return c.regs[r] }
+func (c *CPU) Reg(r isa.Reg) uint32 { return c.lane.Regs[r] }
 
 // SetReg sets an architectural register (test and loader use).
 func (c *CPU) SetReg(r isa.Reg, v uint32) {
 	if r != isa.Zero {
-		c.regs[r] = v
+		c.lane.Regs[r] = v
 	}
 }
 
@@ -177,7 +153,7 @@ func (c *CPU) Halted() bool { return c.halted }
 func (c *CPU) Stats() Stats { return c.stats }
 
 // Mem returns the data memory.
-func (c *CPU) Mem() *mem.Memory { return c.mem }
+func (c *CPU) Mem() *mem.Memory { return c.lane.Mem }
 
 // UOps exposes the predecoded micro-op table (read-only; probe inspection).
 func (c *CPU) UOps() []isa.UOp { return c.uops }
@@ -203,8 +179,13 @@ func (c *CPU) Step() error {
 	}
 	cycle := c.stats.Cycles
 
-	// Snapshot the latches: all stages observe start-of-cycle state.
+	// Snapshot the control latches and the lane's latch data: all stages
+	// observe start-of-cycle state.
 	oldIFID, oldIDEX, oldEXMEM, oldMEMWB := c.ifid, c.idex, c.exmem, c.memwb
+	ln := &c.lane
+	oldIDA, oldIDB := ln.IDA, ln.IDB
+	oldEXOut, oldEXStore := ln.EXOut, ln.EXStore
+	oldWBVal := ln.WBVal
 
 	var execU *isa.UOp // EX occupant this cycle, nil for a bubble
 
@@ -212,10 +193,10 @@ func (c *CPU) Step() error {
 	if oldMEMWB.valid {
 		u := &c.uops[oldMEMWB.idx]
 		for _, o := range c.wbObs {
-			o.OnWriteback(WritebackEvent{Cycle: cycle, U: u, Value: oldMEMWB.value})
+			o.OnWriteback(WritebackEvent{Cycle: cycle, U: u, Value: oldWBVal})
 		}
 		if u.Dest != isa.Zero {
-			c.regs[u.Dest] = oldMEMWB.value
+			ln.Regs[u.Dest] = oldWBVal
 		}
 		c.stats.Insts++
 		if u.Secure {
@@ -227,38 +208,46 @@ func (c *CPU) Step() error {
 	}
 
 	// ---- MEM -----------------------------------------------------------
-	var newMEMWB memwbLatch
+	newMEMWB := latch{}
 	if oldEXMEM.valid {
 		u := &c.uops[oldEXMEM.idx]
-		value := oldEXMEM.aluOut
+		value := oldEXOut
 		switch {
 		case u.Load:
-			v, err := c.mem.LoadWord(oldEXMEM.aluOut)
+			v, err := ln.Mem.LoadWord(oldEXOut)
 			if err != nil {
 				return fmt.Errorf("cpu: pc %#x: %w", u.PC, err)
 			}
 			value = v
 			for _, o := range c.memObs {
-				o.OnMem(MemEvent{Cycle: cycle, U: u, Addr: oldEXMEM.aluOut, Data: v})
+				o.OnMem(MemEvent{Cycle: cycle, U: u, Addr: oldEXOut, Data: v})
 			}
 		case u.Store:
-			if err := c.mem.StoreWord(oldEXMEM.aluOut, oldEXMEM.storeVal); err != nil {
+			if err := ln.Mem.StoreWord(oldEXOut, oldEXStore); err != nil {
 				return fmt.Errorf("cpu: pc %#x: %w", u.PC, err)
 			}
 			for _, o := range c.memObs {
-				o.OnMem(MemEvent{Cycle: cycle, U: u, Addr: oldEXMEM.aluOut, Data: oldEXMEM.storeVal})
+				o.OnMem(MemEvent{Cycle: cycle, U: u, Addr: oldEXOut, Data: oldEXStore})
 			}
 		}
-		newMEMWB = memwbLatch{valid: true, idx: oldEXMEM.idx, value: value}
+		ln.WBVal = value
+		newMEMWB = latch{valid: true, idx: oldEXMEM.idx}
 	}
 
 	// ---- EX ------------------------------------------------------------
-	var newEXMEM exmemLatch
+	newEXMEM := latch{}
 	redirect := false
 	var redirectPC uint32
 	if oldIDEX.valid {
 		u := &c.uops[oldIDEX.idx]
-		a, b := c.forward(u, oldIDEX.a, oldIDEX.b, oldEXMEM, oldMEMWB)
+		var exmU, mwbU *isa.UOp
+		if oldEXMEM.valid {
+			exmU = &c.uops[oldEXMEM.idx]
+		}
+		if oldMEMWB.valid {
+			mwbU = &c.uops[oldMEMWB.idx]
+		}
+		a, b := ForwardOperands(u, oldIDA, oldIDB, exmU, oldEXOut, mwbU, oldWBVal)
 		execU = u
 
 		res, target, taken, err := ExecUOp(u, a, b)
@@ -269,35 +258,33 @@ func (c *CPU) Step() error {
 			o.OnExec(ExecEvent{Cycle: cycle, U: u, A: a, B: b, Result: res, Taken: taken, Target: target})
 		}
 
-		newEXMEM = exmemLatch{valid: true, idx: oldIDEX.idx, aluOut: res, storeVal: b}
+		ln.EXOut, ln.EXStore = res, b
+		newEXMEM = latch{valid: true, idx: oldIDEX.idx}
 		if taken {
 			redirect, redirectPC = true, target
 		}
 	}
 
 	// ---- ID ------------------------------------------------------------
-	var newIDEX idexLatch
+	newIDEX := latch{}
 	stall := false
 	if oldIFID.valid {
 		u := &c.uops[oldIFID.idx]
 		// Load-use hazard: the load's value is only available after MEM.
-		if oldIDEX.valid {
-			eu := &c.uops[oldIDEX.idx]
-			if eu.Load && eu.Dest != isa.Zero &&
-				(eu.Dest == u.SrcA || (u.BReg && eu.Dest == u.SrcB)) {
-				stall = true
-			}
+		if oldIDEX.valid && LoadUseHazard(&c.uops[oldIDEX.idx], u) {
+			stall = true
 		}
 		if !stall {
-			a := c.regs[u.SrcA]
+			a := ln.Regs[u.SrcA]
 			b := u.BConst
 			if u.BReg {
-				b = c.regs[u.SrcB]
+				b = ln.Regs[u.SrcB]
 			}
 			for _, o := range c.issueObs {
 				o.OnIssue(IssueEvent{Cycle: cycle, U: u, A: a, B: b})
 			}
-			newIDEX = idexLatch{valid: true, idx: oldIFID.idx, a: a, b: b}
+			ln.IDA, ln.IDB = a, b
+			newIDEX = latch{valid: true, idx: oldIFID.idx}
 			if u.Class == isa.ClassHalt {
 				c.draining = true
 			}
@@ -312,7 +299,7 @@ func (c *CPU) Step() error {
 	if stall {
 		// Freeze IF/ID and PC; bubble already inserted into EX.
 	} else {
-		newIFID = ifidLatch{}
+		newIFID = latch{}
 		if !c.draining {
 			idx := (c.pc - c.prog.TextBase) / 4
 			if c.pc < c.prog.TextBase || int(idx) >= len(c.uops) || c.pc%4 != 0 {
@@ -325,7 +312,7 @@ func (c *CPU) Step() error {
 				for _, o := range c.fetchObs {
 					o.OnFetch(FetchEvent{Cycle: cycle, PC: c.pc, Word: c.uops[idx].Word})
 				}
-				newIFID = ifidLatch{valid: true, idx: int32(idx)}
+				newIFID = latch{valid: true, idx: int32(idx)}
 				c.pc += 4
 			}
 		}
@@ -340,8 +327,8 @@ func (c *CPU) Step() error {
 		if newIFID.valid {
 			c.stats.Flushes++
 		}
-		newIDEX = idexLatch{}
-		newIFID = ifidLatch{}
+		newIDEX = latch{}
+		newIFID = latch{}
 		c.pc = redirectPC
 		c.draining = false // a jump may legitimately leave a halt shadow
 	}
@@ -362,37 +349,6 @@ func (c *CPU) Step() error {
 		p.OnCycle(info)
 	}
 	return nil
-}
-
-// forward resolves the EX-stage operand values using the standard forwarding
-// paths: EX/MEM (one instruction ahead, ALU results only — load-use pairs
-// are separated by the ID stall) and MEM/WB (two ahead, including load data).
-// Predecoded operand routing makes this uniform: A forwards when SrcA is a
-// real register, B only when the micro-op reads B from the register file.
-func (c *CPU) forward(u *isa.UOp, a, b uint32, exm exmemLatch, mwb memwbLatch) (uint32, uint32) {
-	// MEM/WB first so the younger EX/MEM result can override it.
-	if mwb.valid {
-		if d := c.uops[mwb.idx].Dest; d != isa.Zero {
-			if d == u.SrcA {
-				a = mwb.value
-			}
-			if u.BReg && d == u.SrcB {
-				b = mwb.value
-			}
-		}
-	}
-	if exm.valid {
-		eu := &c.uops[exm.idx]
-		if d := eu.Dest; d != isa.Zero && !eu.Load {
-			if d == u.SrcA {
-				a = exm.aluOut
-			}
-			if u.BReg && d == u.SrcB {
-				b = exm.aluOut
-			}
-		}
-	}
-	return a, b
 }
 
 // ExecUOp computes the EX-stage result of one micro-op: the ALU output (or

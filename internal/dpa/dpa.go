@@ -33,6 +33,10 @@ type Config struct {
 	// Workers sizes the acquisition worker pool; <= 0 uses GOMAXPROCS.
 	// Collected trace sets are bit-identical for every worker count.
 	Workers int
+	// Gang is the lockstep gang width (sim.Options.GangWidth): > 1 groups
+	// acquisitions into gang-scheduled lockstep runs. Trace sets are
+	// bit-identical for any gang width; the knob only changes throughput.
+	Gang int
 }
 
 // DefaultConfig returns a configuration comparable to the paper's reference
@@ -78,7 +82,7 @@ func Collect(m *desprog.Machine, key uint64, cfg Config) (*TraceSet, error) {
 	for i := range plaintexts {
 		plaintexts[i] = rng.Uint64()
 	}
-	results, err := m.EncryptBatch(key, plaintexts, cfg.MaxCycles, true, sim.Options{Workers: cfg.Workers})
+	results, err := m.EncryptBatch(key, plaintexts, cfg.MaxCycles, true, sim.Options{Workers: cfg.Workers, GangWidth: cfg.Gang})
 	if err != nil {
 		return nil, err
 	}

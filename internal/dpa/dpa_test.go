@@ -466,3 +466,39 @@ func TestCollectRecordsLengths(t *testing.T) {
 		t.Fatal("cycle-aligned collection must not report truncation")
 	}
 }
+
+// TestCollectGangBitIdentity: gang-scheduled acquisition is a pure
+// throughput knob — the collected trace set must be bit-identical to scalar
+// collection for the same seed, per sample.
+func TestCollectGangBitIdentity(t *testing.T) {
+	m, err := desprog.New(compiler.PolicyNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{NumTraces: 10, Seed: 42, MaxCycles: 2000}
+	ref, err := Collect(m, attackKey, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers, cfg.Gang = 3, 4
+	got, err := Collect(m, attackKey, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ref.Len() {
+		t.Fatalf("gang set has %d traces, scalar %d", got.Len(), ref.Len())
+	}
+	for i := range ref.Traces {
+		if got.Plaintexts[i] != ref.Plaintexts[i] {
+			t.Fatalf("trace %d plaintext diverges", i)
+		}
+		if len(got.Traces[i]) != len(ref.Traces[i]) {
+			t.Fatalf("trace %d length %d vs %d", i, len(got.Traces[i]), len(ref.Traces[i]))
+		}
+		for j := range ref.Traces[i] {
+			if math.Float64bits(got.Traces[i][j]) != math.Float64bits(ref.Traces[i][j]) {
+				t.Fatalf("trace %d sample %d: gang %v, scalar %v", i, j, got.Traces[i][j], ref.Traces[i][j])
+			}
+		}
+	}
+}

@@ -36,6 +36,14 @@ type Config struct {
 	Shards int
 	// Workers sizes the shard worker pool; <= 0 uses GOMAXPROCS.
 	Workers int
+	// Gang > 1 runs each shard's traces through the gang-scheduled lockstep
+	// engine in gangs of up to Gang lanes (sim.Options.GangWidth semantics):
+	// one shared control computation per cycle, per-lane energy sampling,
+	// and transparent scalar replay for any lane that diverges. The shard's
+	// accumulator sees the exact same per-trace sample stream in the exact
+	// same order either way, so the verdict is bit-identical for any Gang
+	// value — the knob only changes throughput. <= 1 keeps the scalar path.
+	Gang int
 	// Threshold is the |t| decision threshold (0 = DefaultThreshold).
 	Threshold float64
 	// Window is the half-open cycle range to assess. Every run must cover
@@ -180,14 +188,19 @@ func AssessContext(ctx context.Context, src Source, cfg Config) (*Report, error)
 		cycles uint64
 	}
 	parts := make([]part, shards)
-	err := sim.ForEachContext(ctx, shards, cfg.Workers, func(s int) error {
-		p := part{f: NewVec(L), r: NewVec(L)}
+
+	// runScalarShard streams traces [lo, hi) one at a time through a per-run
+	// meter probe straight into the shard's accumulators. The probe and its
+	// one-element probe slice are allocated once per shard and reused for
+	// every trace, so the steady state allocates nothing per trace beyond
+	// the job itself.
+	runScalarShard := func(p *part, lo, hi int) error {
 		probe := &sampleProbe{start: uint64(win.Start), end: uint64(win.End)}
+		probes := []cpu.Probe{probe}
 		spec := sim.PerRunMeterProbes(func(m *energy.Probe) []cpu.Probe {
 			probe.meter = m
-			return []cpu.Probe{probe}
+			return probes
 		})
-		lo, hi := s*cfg.NumTraces/shards, (s+1)*cfg.NumTraces/shards
 		for i := lo; i < hi; i++ {
 			// Cancellation point: an in-flight simulation completes, but no
 			// further trace of this shard starts once the context is done.
@@ -217,6 +230,89 @@ func AssessContext(ctx context.Context, src Source, cfg Config) (*Report, error)
 				return fmt.Errorf("leakstat: trace %d covered %d/%d window samples — run ended before Window.End=%d",
 					i, probe.filled, L, win.End)
 			}
+		}
+		return nil
+	}
+
+	// runGangShard feeds the same trace range through the lockstep engine in
+	// gangs of up to cfg.Gang lanes, then folds each lane's window samples
+	// into the accumulators in trace-index order — the identical sequence of
+	// Vec operations the scalar path performs, so the fold is bit-exact. The
+	// sample buffers are allocated once per shard and reused across gangs.
+	runGangShard := func(p *part, lo, hi int) error {
+		width := cfg.Gang
+		if n := hi - lo; width > n {
+			width = n
+		}
+		bufs := make([][]float64, width)
+		for g := range bufs {
+			bufs[g] = make([]float64, L)
+		}
+		jobs := make([]sim.Job, 0, width)
+		idx := make([]int, 0, width)
+		for i := lo; i < hi; {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			jobs, idx = jobs[:0], idx[:0]
+			for ; i < hi && len(jobs) < width; i++ {
+				job, err := src.Job(i, fixed[i])
+				if err != nil {
+					return fmt.Errorf("leakstat: trace %d: %w", i, err)
+				}
+				// Gang-shape the job exactly as the scalar path does: the
+				// engine owns the observation, so source-provided trace or
+				// probe requests are overridden, never combined.
+				job.Trace = false
+				job.Blocks = false
+				job.Probe = sim.ProbeSpec{}
+				jobs = append(jobs, job)
+				idx = append(idx, i)
+			}
+			results := src.Runner.RunGangSampled(jobs, uint64(win.Start), uint64(win.End), bufs[:len(jobs)])
+			for k := range results {
+				ti := idx[k]
+				res := &results[k]
+				if res.Err != nil {
+					return fmt.Errorf("leakstat: trace %d: %w", ti, res.Err)
+				}
+				p.cycles += res.Stats.Cycles
+				// Same coverage contract as the scalar probe's filled count:
+				// the run must commit every cycle of the window.
+				covered := 0
+				if res.Stats.Cycles > uint64(win.Start) {
+					covered = int(res.Stats.Cycles - uint64(win.Start))
+					if covered > L {
+						covered = L
+					}
+				}
+				if covered != L {
+					return fmt.Errorf("leakstat: trace %d covered %d/%d window samples — run ended before Window.End=%d",
+						ti, covered, L, win.End)
+				}
+				vec := p.r
+				if fixed[ti] {
+					vec = p.f
+				}
+				// AddTrace performs exactly the BeginTrace + per-sample Set
+				// sequence of the scalar probe, so the fold stays bit-exact.
+				vec.AddTrace(bufs[k][:L])
+			}
+		}
+		return nil
+	}
+
+	err := sim.ForEachContext(ctx, shards, cfg.Workers, func(s int) error {
+		p := part{f: NewVec(L), r: NewVec(L)}
+		lo, hi := s*cfg.NumTraces/shards, (s+1)*cfg.NumTraces/shards
+		var serr error
+		if cfg.Gang > 1 {
+			serr = runGangShard(&p, lo, hi)
+		} else {
+			serr = runScalarShard(&p, lo, hi)
+		}
+		if serr != nil {
+			return serr
 		}
 		parts[s] = p
 		return nil

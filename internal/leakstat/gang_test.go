@@ -1,0 +1,171 @@
+package leakstat
+
+// Gang-mode assessment properties: Config.Gang is a pure throughput knob.
+// The t-vector — the verdict's identity — must be bit-identical to the
+// scalar engine for every gang width, worker count, policy and ISA backend,
+// and the coverage/error contract must not weaken.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"desmask/internal/compiler"
+	"desmask/internal/desprog"
+	"desmask/internal/energy"
+	"desmask/internal/isa"
+	"desmask/internal/trace"
+)
+
+// assessDESGang is assessDES with an explicit machine and gang width.
+func assessDESGang(t *testing.T, m *desprog.Machine, traces, workers, gangW int, maxCycles uint64) *Report {
+	t.Helper()
+	win, err := DESMaskedWindow(m, testKey, testPlain, maxCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gangs form within a shard (the shard is the reduction unit), so the
+	// shard count must leave several traces per shard for lockstep to engage.
+	// It is part of the verdict's identity, so reference and gang runs use
+	// the same value.
+	rep, err := Assess(DESKeySource(m, testKey, testPlain, 7, maxCycles), Config{
+		NumTraces: traces,
+		Seed:      7,
+		Shards:    2,
+		Workers:   workers,
+		Gang:      gangW,
+		Window:    win,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func requireSameT(t *testing.T, label string, got, ref *Report) {
+	t.Helper()
+	if len(got.T) != len(ref.T) {
+		t.Fatalf("%s: T length %d vs %d", label, len(got.T), len(ref.T))
+	}
+	for j := range ref.T {
+		if math.Float64bits(got.T[j]) != math.Float64bits(ref.T[j]) {
+			t.Fatalf("%s: T[%d] differs: %x vs %x",
+				label, j, math.Float64bits(got.T[j]), math.Float64bits(ref.T[j]))
+		}
+	}
+	if got.MaxAbsT != ref.MaxAbsT || got.MaxTCycle != ref.MaxTCycle || got.Leak != ref.Leak {
+		t.Fatalf("%s: verdict (%g@%d leak=%v) vs (%g@%d leak=%v)", label,
+			got.MaxAbsT, got.MaxTCycle, got.Leak, ref.MaxAbsT, ref.MaxTCycle, ref.Leak)
+	}
+	if got.CyclesSimulated != ref.CyclesSimulated {
+		t.Fatalf("%s: cycles %d vs %d", label, got.CyclesSimulated, ref.CyclesSimulated)
+	}
+}
+
+// TestAssessGangBitIdentity is the assessment-level acceptance property:
+// for every policy and ISA backend, the full t-vector of a gang-mode
+// assessment is bit-identical to the scalar engine's for every (gang width,
+// worker count) combination.
+func TestAssessGangBitIdentity(t *testing.T) {
+	combos := [][2]int{{1, 4}, {4, 1}, {4, 4}, {16, 16}}
+	if !testing.Short() {
+		combos = nil
+		for _, g := range []int{1, 4, 16} {
+			for _, w := range []int{1, 4, 16} {
+				combos = append(combos, [2]int{g, w})
+			}
+		}
+	}
+	for _, isaName := range []string{"pisa", "rv32"} {
+		target, ok := isa.TargetByName(isaName)
+		if !ok {
+			t.Fatalf("unknown target %q", isaName)
+		}
+		for _, policy := range []compiler.Policy{compiler.PolicyNone, compiler.PolicySelective, compiler.PolicyAllSecure} {
+			t.Run(isaName+"/"+policy.String(), func(t *testing.T) {
+				m, err := desprog.NewFull(compiler.Options{Policy: policy, Target: target}, energy.DefaultConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := assessDESGang(t, m, 24, 2, 0, 6000)
+				for _, gw := range combos {
+					g, w := gw[0], gw[1]
+					got := assessDESGang(t, m, 24, w, g, 6000)
+					requireSameT(t, fmt.Sprintf("gang=%d workers=%d", g, w), got, ref)
+				}
+				if g := m.Runner().GangRuns(); g == 0 {
+					t.Error("no trace ran in lockstep across the gang sweep")
+				}
+			})
+		}
+	}
+}
+
+// TestAssessGangCoverageError: the gang path must fail a too-short window
+// exactly as loudly as the scalar path.
+func TestAssessGangCoverageError(t *testing.T) {
+	m := desMachine(t, compiler.PolicyNone)
+	src := DESKeySource(m, testKey, testPlain, 7, 3000)
+	for _, gangW := range []int{0, 4} {
+		_, err := Assess(src, Config{
+			NumTraces: 8,
+			Seed:      7,
+			Gang:      gangW,
+			Window:    trace.Window{Start: 0, End: 5000},
+		})
+		if err == nil {
+			t.Fatalf("gang=%d: want coverage error, got nil", gangW)
+		}
+	}
+}
+
+// TestAssessSteadyStateAllocs pins the per-trace allocation budget of both
+// engines: scratch (probes, sample buffers, gang lanes) is allocated per
+// shard, never per trace, so the marginal cost of a trace is just its job
+// construction plus the fixed result bookkeeping.
+func TestAssessSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments allocations")
+	}
+	m := desMachine(t, compiler.PolicyNone)
+	const maxCycles = 3000
+	win, err := DESMaskedWindow(m, testKey, testPlain, maxCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := DESKeySource(m, testKey, testPlain, 7, maxCycles)
+	// The budget is dominated by per-trace job construction (the DES key and
+	// plaintext spread into ~130 Write entries, plus the random-population
+	// key derivation) and the fixed Result bookkeeping — engine scratch is
+	// per-shard and must not show up here.
+	for _, tc := range []struct {
+		name  string
+		gangW int
+		max   float64
+	}{
+		{"scalar", 0, 16},
+		{"gang", 8, 16},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			assess := func(n int) float64 {
+				return testing.AllocsPerRun(2, func() {
+					if _, err := Assess(src, Config{
+						NumTraces: n,
+						Seed:      7,
+						Shards:    1,
+						Workers:   1,
+						Gang:      tc.gangW,
+						Window:    win,
+					}); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			small, large := assess(16), assess(48)
+			perTrace := (large - small) / 32
+			if perTrace > tc.max {
+				t.Errorf("%.2f allocs per trace, want <= %.0f (fixed overhead %.0f)", perTrace, tc.max, small)
+			}
+		})
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package leakstat
+
+// raceEnabled gates allocation-count assertions: the race detector
+// instruments allocations, so counts are only meaningful without it.
+const raceEnabled = false

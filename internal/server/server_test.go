@@ -85,6 +85,26 @@ func TestAssessDeterministicAcrossRequests(t *testing.T) {
 	}
 }
 
+// TestAssessGangMatchesScalar: the gang knob is a pure execution-strategy
+// switch — a gang-scheduled assessment must return the exact scalar verdict.
+func TestAssessGangMatchesScalar(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, scalar, body := postAssess(t, ts.URL, smallDES(64))
+	if code != http.StatusOK {
+		t.Fatalf("scalar status %d: %s", code, body)
+	}
+	req := smallDES(64)
+	req.Gang = 8
+	code, gang, body := postAssess(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("gang status %d: %s", code, body)
+	}
+	if scalar.MaxAbsT != gang.MaxAbsT || scalar.MaxTCycle != gang.MaxTCycle ||
+		scalar.Leak != gang.Leak || scalar.CyclesSimulated != gang.CyclesSimulated {
+		t.Fatalf("gang verdict diverged from scalar:\nscalar %+v\ngang   %+v", scalar.Report, gang.Report)
+	}
+}
+
 // TestAssessCacheHit: a repeated identical submission must hit the
 // compiled-program cache.
 func TestAssessCacheHit(t *testing.T) {

@@ -35,6 +35,7 @@ import (
 	"desmask/internal/block"
 	"desmask/internal/cpu"
 	"desmask/internal/energy"
+	"desmask/internal/gang"
 	"desmask/internal/isa"
 	"desmask/internal/mem"
 	"desmask/internal/trace"
@@ -241,6 +242,14 @@ func (e *JobError) Unwrap() error { return e.Err }
 type Options struct {
 	// Workers sizes the worker pool; <= 0 uses GOMAXPROCS.
 	Workers int
+	// GangWidth > 1 opts the batch into gang-scheduled lockstep execution:
+	// runs of same-shaped, probe-free jobs are grouped into gangs of up to
+	// GangWidth lanes sharing one fetch/decode/control computation per cycle
+	// (internal/gang), with per-lane deopt replay on the cycle-accurate core.
+	// Results are bit-identical to scalar execution for any width and worker
+	// count, except that — like block mode — gang-mode results carry no
+	// Stats.Energy/PeakPJ accumulation. <= 1 disables gangs.
+	GangWidth int
 }
 
 // resolve returns the effective worker count for n jobs.
@@ -293,6 +302,10 @@ type Runner struct {
 	// cycle-accurate core, for observability and the deopt-contract tests.
 	blockRuns   atomic.Uint64
 	blockDeopts atomic.Uint64
+	// gangRuns and gangDeopts count lanes completed in lockstep by the gang
+	// engine and lanes peeled off and replayed on the cycle-accurate core.
+	gangRuns   atomic.Uint64
+	gangDeopts atomic.Uint64
 }
 
 // NewRunner builds a session for the compiled program under the given
@@ -319,6 +332,14 @@ func (r *Runner) BlockRuns() uint64 { return r.blockRuns.Load() }
 // replayed on the cycle-accurate core after a deoptimization.
 func (r *Runner) BlockDeopts() uint64 { return r.blockDeopts.Load() }
 
+// GangRuns returns the number of lanes completed in lockstep by the gang
+// engine since construction.
+func (r *Runner) GangRuns() uint64 { return r.gangRuns.Load() }
+
+// GangDeopts returns the number of lanes that entered a gang but were peeled
+// off and replayed on the cycle-accurate core.
+func (r *Runner) GangDeopts() uint64 { return r.gangDeopts.Load() }
+
 // Probe attach states of a pooled worker's core, tracked so consecutive jobs
 // with the same observation shape skip the detach/re-attach round trip.
 const (
@@ -339,6 +360,11 @@ type worker struct {
 
 	blocks       *block.Engine
 	blocksBroken bool // engine construction failed; don't retry per job
+
+	gang       *gang.Engine // lockstep engine, built/widened on first gang use
+	gangBroken bool         // construction failed; don't retry per group
+	gangReps   []int        // mirror-grouping scratch: engine lane -> job index
+	gangLaneOf []int        // mirror-grouping scratch: job index -> engine lane
 }
 
 func (r *Runner) getWorker() (*worker, error) {
@@ -572,7 +598,9 @@ func (r *Runner) RunBatchContext(ctx context.Context, jobs []Job, opts Options) 
 		}
 	}
 	var wg sync.WaitGroup
-	if len(par) > 0 {
+	if len(par) > 0 && opts.GangWidth > 1 {
+		r.runParGang(ctx, jobs, par, results, opts, &wg)
+	} else if len(par) > 0 {
 		workers := opts.resolve(len(par))
 		var next atomic.Int64
 		for k := 0; k < workers; k++ {
