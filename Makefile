@@ -35,6 +35,8 @@ bench:
 #    vs the materialized dpa.Collect baseline) (BENCH_tvla.json)
 #  - gang-scheduled lockstep assessment vs the scalar path per policy
 #    (traces/sec, speedup, t-vector bit-identity) (BENCH_gang.json)
+#  - leakd under concurrent client load: per-second 200/429/504 curves,
+#    cache-hit rate and latency percentiles (BENCH_leakd.json)
 bench-json:
 	$(GO) run ./cmd/simbench -traces 64 -trials 10 \
 		-o BENCH_parallel_traces.json -core-o BENCH_predecode.json
@@ -43,6 +45,8 @@ bench-json:
 		-gang-o BENCH_gang.json
 	$(GO) run ./cmd/optbench -o BENCH_compiler_opt.json
 	$(GO) run ./cmd/tvla -bench -traces 10000 -max 12000 -o BENCH_tvla.json
+	$(GO) run ./cmd/leakload -clients 64 -requests 512 -traces 32 \
+		-concurrency 4 -queue 16 -o BENCH_leakd.json
 
 # Regenerate every figure and table of the paper (text report + plots).
 experiments:

@@ -8,6 +8,14 @@
 //
 //	leakd [-addr :8090] [-concurrency N] [-queue N] [-cache N]
 //	      [-timeout 60s] [-max-traces N] [-workers N] [-drain 10s]
+//	      [-data DIR] [-shard-workers URL,URL,...]
+//
+// With -data, accepted assessments are persisted before admission (a kill —
+// even SIGKILL — loses no accepted work; incomplete jobs resume on restart
+// with exactly-once verdicts), and the async job API (/v1/jobs, per-shard
+// result streaming) is enabled. With -shard-workers, an assessment's shard
+// sub-jobs fan out across the listed peer leakd processes via their
+// /v1/shard endpoints; the fold is bit-identical to a single-node run.
 //
 // The daemon drains gracefully on SIGTERM/SIGINT: in-flight assessments get
 // the drain window to finish, new connections are refused immediately.
@@ -25,9 +33,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"desmask/internal/jobstore"
 	"desmask/internal/server"
 )
 
@@ -40,16 +50,41 @@ func main() {
 	maxTraces := flag.Int("max-traces", 0, "per-request trace cap (0 = unlimited)")
 	workers := flag.Int("workers", 0, "default shard worker pool per assessment (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown window on SIGTERM")
+	data := flag.String("data", "", "job store directory; enables durable jobs and /v1/jobs (empty = stateless)")
+	shardWorkers := flag.String("shard-workers", "", "comma-separated peer leakd base URLs to fan shard sub-jobs across")
 	flag.Parse()
 
-	s := server.New(server.Config{
+	cfg := server.Config{
 		MaxConcurrent:  *concurrency,
 		MaxQueue:       *queue,
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *timeout,
 		MaxTraces:      *maxTraces,
 		Workers:        *workers,
-	})
+	}
+	if *data != "" {
+		st, err := jobstore.Open(*data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "leakd:", err)
+			os.Exit(1)
+		}
+		cfg.Store = st
+	}
+	if *shardWorkers != "" {
+		for _, u := range strings.Split(*shardWorkers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cfg.ShardWorkers = append(cfg.ShardWorkers, u)
+			}
+		}
+	}
+
+	s := server.New(cfg)
+	if n, err := s.Recover(); err != nil {
+		fmt.Fprintln(os.Stderr, "leakd: recover:", err)
+		os.Exit(1)
+	} else if n > 0 {
+		fmt.Printf("leakd: resumed %d incomplete job(s)\n", n)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
@@ -74,5 +109,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "leakd: shutdown:", err)
 		os.Exit(1)
 	}
+	// Stop async job runners; interrupted jobs stay pending in the store
+	// and resume on the next start.
+	s.Close()
 	fmt.Println("leakd: stopped")
 }

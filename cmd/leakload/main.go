@@ -1,0 +1,238 @@
+// Command leakload drives concurrent assessment load against a leakd
+// instance and records the service's behavior under pressure: per-second
+// status curves (200 / 429 shed / 504 expired), cache-hit counts, and
+// end-to-end latency percentiles, written as a machine-readable JSON
+// artifact (BENCH_leakd.json).
+//
+// By default it spins up an in-process leakd on a loopback listener
+// (-self), so the artifact characterizes the admission-control design
+// itself; point -url at a running daemon (or a coordinator fronting shard
+// workers) to load-test a real deployment.
+//
+// Usage:
+//
+//	leakload [-url http://host:8090 | -self] [-clients 64] [-requests 512]
+//	         [-traces 32] [-policy none] [-concurrency 2] [-queue 8]
+//	         [-o BENCH_leakd.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"desmask/internal/server"
+)
+
+type result struct {
+	second   int
+	status   int
+	cacheHit bool
+	latency  time.Duration
+}
+
+type secondBucket struct {
+	T         int `json:"t"`
+	OK        int `json:"ok"`
+	Rejected  int `json:"rejected"`
+	Expired   int `json:"expired"`
+	Other     int `json:"other"`
+	CacheHits int `json:"cache_hits"`
+}
+
+type latencySummary struct {
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+type artifact struct {
+	URL         string         `json:"url"`
+	Clients     int            `json:"clients"`
+	Requests    int            `json:"requests"`
+	Traces      int            `json:"traces"`
+	Policy      string         `json:"policy"`
+	Seconds     float64        `json:"seconds"`
+	RPS         float64        `json:"rps"`
+	OK          int            `json:"ok"`
+	Rejected    int            `json:"rejected"`
+	Expired     int            `json:"expired"`
+	Other       int            `json:"other"`
+	CacheHits   int            `json:"cache_hits"`
+	CacheHitPct float64        `json:"cache_hit_pct"`
+	Latency     latencySummary `json:"latency"`
+	PerSecond   []secondBucket `json:"per_second"`
+	Generated   time.Time      `json:"generated"`
+	SelfConfig  *server.Config `json:"self_config,omitempty"`
+}
+
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+func main() {
+	url := flag.String("url", "", "leakd base URL (empty = start an in-process instance)")
+	self := flag.Bool("self", true, "run against an in-process leakd when -url is empty")
+	clients := flag.Int("clients", 64, "concurrent clients")
+	requests := flag.Int("requests", 512, "total requests across all clients")
+	traces := flag.Int("traces", 32, "traces per assessment")
+	maxCycles := flag.Uint64("max-cycles", 6000, "per-trace cycle budget")
+	policy := flag.String("policy", "none", "protection policy")
+	timeoutMS := flag.Int("timeout-ms", 0, "per-request timeout_ms (0 = server default)")
+	concurrency := flag.Int("concurrency", 2, "self instance: assessments executing at once")
+	queue := flag.Int("queue", 8, "self instance: bounded wait queue")
+	out := flag.String("o", "BENCH_leakd.json", "output artifact path")
+	flag.Parse()
+
+	base := *url
+	var selfCfg *server.Config
+	if base == "" {
+		if !*self {
+			fmt.Fprintln(os.Stderr, "leakload: need -url or -self")
+			os.Exit(1)
+		}
+		cfg := server.Config{MaxConcurrent: *concurrency, MaxQueue: *queue}
+		s := server.New(cfg)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "leakload:", err)
+			os.Exit(1)
+		}
+		go http.Serve(ln, s.Handler())
+		base = "http://" + ln.Addr().String()
+		selfCfg = &cfg
+		fmt.Printf("leakload: in-process leakd on %s (concurrency=%d queue=%d)\n",
+			base, *concurrency, *queue)
+	}
+
+	body, err := json.Marshal(map[string]any{
+		"kernel":     "des",
+		"policy":     *policy,
+		"traces":     *traces,
+		"max_cycles": *maxCycles,
+		"workers":    1,
+		"timeout_ms": *timeoutMS,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leakload:", err)
+		os.Exit(1)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	results := make([]result, 0, *requests)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	work := make(chan struct{})
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				t0 := time.Now()
+				r := result{second: int(t0.Sub(start).Seconds())}
+				resp, err := client.Post(base+"/v1/assess", "application/json", bytes.NewReader(body))
+				if err != nil {
+					r.status = -1
+				} else {
+					r.status = resp.StatusCode
+					if resp.StatusCode == http.StatusOK {
+						var v struct {
+							CacheHit bool `json:"cache_hit"`
+						}
+						json.NewDecoder(resp.Body).Decode(&v)
+						r.cacheHit = v.CacheHit
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				r.latency = time.Since(t0)
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < *requests; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	art := artifact{
+		URL: base, Clients: *clients, Requests: *requests,
+		Traces: *traces, Policy: *policy,
+		Seconds: elapsed.Seconds(), Generated: time.Now().UTC(),
+		SelfConfig: selfCfg,
+	}
+	buckets := map[int]*secondBucket{}
+	var okLat []time.Duration
+	for _, r := range results {
+		b := buckets[r.second]
+		if b == nil {
+			b = &secondBucket{T: r.second}
+			buckets[r.second] = b
+		}
+		switch r.status {
+		case http.StatusOK:
+			art.OK++
+			b.OK++
+			okLat = append(okLat, r.latency)
+			if r.cacheHit {
+				art.CacheHits++
+				b.CacheHits++
+			}
+		case http.StatusTooManyRequests:
+			art.Rejected++
+			b.Rejected++
+		case http.StatusGatewayTimeout:
+			art.Expired++
+			b.Expired++
+		default:
+			art.Other++
+			b.Other++
+		}
+	}
+	for _, b := range buckets {
+		art.PerSecond = append(art.PerSecond, *b)
+	}
+	sort.Slice(art.PerSecond, func(i, j int) bool { return art.PerSecond[i].T < art.PerSecond[j].T })
+	sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+	art.Latency = latencySummary{
+		P50Ms: percentileMs(okLat, 0.50),
+		P90Ms: percentileMs(okLat, 0.90),
+		P99Ms: percentileMs(okLat, 0.99),
+		MaxMs: percentileMs(okLat, 1.00),
+	}
+	art.RPS = float64(len(results)) / elapsed.Seconds()
+	if art.OK > 0 {
+		art.CacheHitPct = 100 * float64(art.CacheHits) / float64(art.OK)
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leakload:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "leakload:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("leakload: %d requests in %.1fs (%.1f rps): %d ok (%d cache hits, p50 %.1fms p99 %.1fms), %d shed, %d expired, %d other -> %s\n",
+		len(results), art.Seconds, art.RPS, art.OK, art.CacheHits,
+		art.Latency.P50Ms, art.Latency.P99Ms, art.Rejected, art.Expired, art.Other, *out)
+}

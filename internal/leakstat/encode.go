@@ -1,0 +1,122 @@
+package leakstat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Binary accumulator serialization. Welford state is pure float64
+// bookkeeping, so the wire format carries the exact IEEE-754 bit patterns
+// (math.Float64bits, little endian): a Vec that round-trips through
+// MarshalBinary/UnmarshalBinary is indistinguishable from the original in
+// every subsequent Merge, which is what lets a shard computed on a remote
+// worker fold into the coordinator's reduction bit-identically to one
+// computed in-process. A CRC-32 trailer makes torn or corrupted files and
+// payloads detectable, so a durable job store can treat a bad shard file as
+// "not computed yet" instead of folding garbage into a verdict.
+
+// shardAccumMagic identifies (and versions) the ShardAccum wire format.
+const shardAccumMagic = "LSA1"
+
+// MarshalBinary encodes the accumulator as (n, len, Mean bits…, M2 bits…).
+func (v *Vec) MarshalBinary() ([]byte, error) {
+	return v.appendBinary(make([]byte, 0, 16+16*len(v.Mean))), nil
+}
+
+func (v *Vec) appendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, v.n)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(v.Mean)))
+	for _, x := range v.Mean {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+	}
+	for _, x := range v.M2 {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+	}
+	return b
+}
+
+// UnmarshalBinary decodes a MarshalBinary encoding, replacing v's state.
+func (v *Vec) UnmarshalBinary(data []byte) error {
+	rest, err := v.consumeBinary(data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("leakstat: %d trailing bytes after accumulator", len(rest))
+	}
+	return nil
+}
+
+func (v *Vec) consumeBinary(b []byte) ([]byte, error) {
+	if len(b) < 16 {
+		return nil, fmt.Errorf("leakstat: accumulator header truncated (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint64(b)
+	ln := binary.LittleEndian.Uint64(b[8:])
+	b = b[16:]
+	if ln > uint64(len(b)/16) {
+		return nil, fmt.Errorf("leakstat: accumulator of %d samples truncated (%d payload bytes)", ln, len(b))
+	}
+	v.n = n
+	v.inv = 0
+	if n > 0 {
+		v.inv = 1 / float64(n)
+	}
+	v.Mean = make([]float64, ln)
+	v.M2 = make([]float64, ln)
+	for j := range v.Mean {
+		v.Mean[j] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*j:]))
+	}
+	b = b[8*int(ln):]
+	for j := range v.M2 {
+		v.M2[j] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*j:]))
+	}
+	return b[8*int(ln):], nil
+}
+
+// MarshalBinary encodes the shard accumulator pair with a magic/version
+// header and a CRC-32 trailer.
+func (a *ShardAccum) MarshalBinary() ([]byte, error) {
+	if a.Fixed == nil || a.Random == nil {
+		return nil, fmt.Errorf("leakstat: shard %d accumulator incomplete", a.Shard)
+	}
+	b := make([]byte, 0, 4+8+8+32+16*(a.Fixed.Len()+a.Random.Len()))
+	b = append(b, shardAccumMagic...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(a.Shard))
+	b = binary.LittleEndian.AppendUint64(b, a.Cycles)
+	b = a.Fixed.appendBinary(b)
+	b = a.Random.appendBinary(b)
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	return b, nil
+}
+
+// UnmarshalBinary decodes and checksum-verifies a MarshalBinary encoding.
+func (a *ShardAccum) UnmarshalBinary(data []byte) error {
+	if len(data) < 4+8+8+4 {
+		return fmt.Errorf("leakstat: shard accumulator truncated (%d bytes)", len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return fmt.Errorf("leakstat: shard accumulator checksum mismatch (%08x != %08x)", got, want)
+	}
+	if string(body[:4]) != shardAccumMagic {
+		return fmt.Errorf("leakstat: bad shard accumulator magic %q", body[:4])
+	}
+	a.Shard = int(binary.LittleEndian.Uint64(body[4:]))
+	a.Cycles = binary.LittleEndian.Uint64(body[12:])
+	a.Fixed, a.Random = new(Vec), new(Vec)
+	rest, err := a.Fixed.consumeBinary(body[20:])
+	if err != nil {
+		return err
+	}
+	rest, err = a.Random.consumeBinary(rest)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("leakstat: %d trailing bytes after shard accumulator", len(rest))
+	}
+	return nil
+}

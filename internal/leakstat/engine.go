@@ -110,6 +110,45 @@ func Assignment(seed int64, numTraces int) []bool {
 	return out
 }
 
+// NumShards returns the normalized shard count of a configuration — the
+// partition a coordinator must enumerate when fanning an assessment out as
+// per-shard sub-jobs.
+func NumShards(cfg Config) int {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if shards > cfg.NumTraces {
+		shards = cfg.NumTraces
+	}
+	return shards
+}
+
+// ShardRange returns the half-open trace index range [lo, hi) of shard s in
+// the fixed contiguous partition. It is the one place the partition is
+// defined; every executor — local, gang, remote worker — covers exactly this
+// range for a shard, which is what makes the fold bit-identical no matter
+// where shards ran.
+func ShardRange(s, shards, numTraces int) (lo, hi int) {
+	return s * numTraces / shards, (s + 1) * numTraces / shards
+}
+
+// ShardAccum is one shard's complete contribution to an assessment: the
+// fixed- and random-population accumulators over the window plus the shard's
+// simulated-cycle count. Accumulators are mergeable (Vec.Merge) and
+// serializable (MarshalBinary) with exact float64 bits, so a shard computed
+// on a remote worker folds into the coordinator's reduction bit-identically
+// to one computed in-process.
+type ShardAccum struct {
+	// Shard is the shard index in [0, NumShards(cfg)).
+	Shard int
+	// Fixed and Random are the shard's population accumulators.
+	Fixed  *Vec
+	Random *Vec
+	// Cycles is the total simulated cycles the shard's traces executed.
+	Cycles uint64
+}
+
 // sampleProbe folds each committed cycle's energy inside the window into
 // the current target accumulator. It is rebound to the session worker's
 // meter via sim.PerRunMeterProbes on every run and reused sequentially
@@ -148,9 +187,112 @@ func Assess(src Source, cfg Config) (*Report, error) {
 // truncated (and therefore statistically weaker) verdict. Uncancelled runs
 // are bit-identical to Assess.
 func AssessContext(ctx context.Context, src Source, cfg Config) (*Report, error) {
-	if src.Runner == nil || src.Job == nil {
-		return nil, fmt.Errorf("leakstat: source needs a Runner and a Job constructor")
+	p, err := newPlan(cfg)
+	if err != nil {
+		return nil, err
 	}
+	parts := make([]*ShardAccum, p.shards)
+	err = sim.ForEachContext(ctx, p.shards, cfg.Workers, func(s int) error {
+		acc, serr := p.runShard(ctx, src, s)
+		if serr != nil {
+			return serr
+		}
+		parts[s] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return FoldReport(cfg, parts)
+}
+
+// AssessShard runs exactly one shard of the assessment described by cfg:
+// traces ShardRange(shard, …) of the population, reduced into a fresh
+// accumulator pair. It executes the identical per-trace code path as
+// AssessContext — AssessContext is a fan-out over AssessShard plus
+// FoldReport — so a shard computed here (possibly in another process) and
+// folded in shard order reproduces the single-node verdict bit for bit.
+func AssessShard(ctx context.Context, src Source, cfg Config, shard int) (*ShardAccum, error) {
+	p, err := newPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if shard < 0 || shard >= p.shards {
+		return nil, fmt.Errorf("leakstat: shard %d out of range [0,%d)", shard, p.shards)
+	}
+	return p.runShard(ctx, src, shard)
+}
+
+// FoldReport merges per-shard accumulators in shard-index order — the one
+// reduction tree, regardless of which worker or which machine produced each
+// shard — and computes the verdict. parts must hold every shard of the
+// normalized partition exactly once; the fold performs the exact Merge
+// sequence of a single-node assessment, so the resulting t-vector is
+// bit-identical to AssessContext over the same configuration.
+func FoldReport(cfg Config, parts []*ShardAccum) (*Report, error) {
+	p, err := newPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) != p.shards {
+		return nil, fmt.Errorf("leakstat: folding %d shard accumulators, want %d", len(parts), p.shards)
+	}
+	F, R := NewVec(p.L), NewVec(p.L)
+	stateBytes := F.StateBytes() + R.StateBytes()
+	var cycles uint64
+	for s, acc := range parts {
+		if acc == nil || acc.Fixed == nil || acc.Random == nil {
+			return nil, fmt.Errorf("leakstat: missing accumulator for shard %d", s)
+		}
+		if acc.Shard != s {
+			return nil, fmt.Errorf("leakstat: shard %d accumulator at fold position %d", acc.Shard, s)
+		}
+		stateBytes += acc.Fixed.StateBytes() + acc.Random.StateBytes()
+		cycles += acc.Cycles
+		if err := F.Merge(acc.Fixed); err != nil {
+			return nil, err
+		}
+		if err := R.Merge(acc.Random); err != nil {
+			return nil, err
+		}
+	}
+	t, err := WelchT(F, R)
+	if err != nil {
+		return nil, err
+	}
+	peak, at := MaxAbs(t)
+	return &Report{
+		NumTraces:       cfg.NumTraces,
+		FixedN:          p.nFixed,
+		RandomN:         cfg.NumTraces - p.nFixed,
+		Shards:          p.shards,
+		WindowStart:     p.win.Start,
+		WindowEnd:       p.win.End,
+		Threshold:       p.threshold,
+		MaxAbsT:         clampFinite(peak),
+		MaxTCycle:       p.win.Start + at,
+		Leak:            peak > p.threshold,
+		StateBytes:      stateBytes,
+		CyclesSimulated: cycles,
+		T:               t,
+		Fixed:           F,
+		Random:          R,
+	}, nil
+}
+
+// plan is a validated, normalized assessment configuration plus the derived
+// population split — everything shard execution and the fold agree on.
+type plan struct {
+	cfg       Config
+	win       trace.Window
+	shards    int
+	threshold float64
+	fixed     []bool
+	nFixed    int
+	L         int
+}
+
+func newPlan(cfg Config) (*plan, error) {
 	if cfg.NumTraces < 4 {
 		return nil, fmt.Errorf("leakstat: need at least 4 traces (2 per population), got %d", cfg.NumTraces)
 	}
@@ -158,18 +300,10 @@ func AssessContext(ctx context.Context, src Source, cfg Config) (*Report, error)
 	if win.Start < 0 || win.End <= win.Start {
 		return nil, fmt.Errorf("leakstat: invalid window [%d,%d)", win.Start, win.End)
 	}
-	shards := cfg.Shards
-	if shards <= 0 {
-		shards = DefaultShards
-	}
-	if shards > cfg.NumTraces {
-		shards = cfg.NumTraces
-	}
 	threshold := cfg.Threshold
 	if threshold <= 0 {
 		threshold = DefaultThreshold
 	}
-
 	fixed := Assignment(cfg.Seed, cfg.NumTraces)
 	nFixed := 0
 	for _, f := range fixed {
@@ -181,182 +315,145 @@ func AssessContext(ctx context.Context, src Source, cfg Config) (*Report, error)
 		return nil, fmt.Errorf("leakstat: degenerate assignment (%d fixed / %d random); add traces or change the seed",
 			nFixed, cfg.NumTraces-nFixed)
 	}
+	return &plan{
+		cfg:       cfg,
+		win:       win,
+		shards:    NumShards(cfg),
+		threshold: threshold,
+		fixed:     fixed,
+		nFixed:    nFixed,
+		L:         win.Len(),
+	}, nil
+}
 
-	L := win.Len()
-	type part struct {
-		f, r   *Vec
-		cycles uint64
+// runShard executes one shard's trace range into a fresh accumulator pair.
+func (p *plan) runShard(ctx context.Context, src Source, s int) (*ShardAccum, error) {
+	if src.Runner == nil || src.Job == nil {
+		return nil, fmt.Errorf("leakstat: source needs a Runner and a Job constructor")
 	}
-	parts := make([]part, shards)
+	acc := &ShardAccum{Shard: s, Fixed: NewVec(p.L), Random: NewVec(p.L)}
+	lo, hi := ShardRange(s, p.shards, p.cfg.NumTraces)
+	var err error
+	if p.cfg.Gang > 1 {
+		err = p.runGangShard(ctx, src, acc, lo, hi)
+	} else {
+		err = p.runScalarShard(ctx, src, acc, lo, hi)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
 
-	// runScalarShard streams traces [lo, hi) one at a time through a per-run
-	// meter probe straight into the shard's accumulators. The probe and its
-	// one-element probe slice are allocated once per shard and reused for
-	// every trace, so the steady state allocates nothing per trace beyond
-	// the job itself.
-	runScalarShard := func(p *part, lo, hi int) error {
-		probe := &sampleProbe{start: uint64(win.Start), end: uint64(win.End)}
-		probes := []cpu.Probe{probe}
-		spec := sim.PerRunMeterProbes(func(m *energy.Probe) []cpu.Probe {
-			probe.meter = m
-			return probes
-		})
-		for i := lo; i < hi; i++ {
-			// Cancellation point: an in-flight simulation completes, but no
-			// further trace of this shard starts once the context is done.
-			// The shard's partial accumulators are dropped with the error.
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			job, err := src.Job(i, fixed[i])
+// runScalarShard streams traces [lo, hi) one at a time through a per-run
+// meter probe straight into the shard's accumulators. The probe and its
+// one-element probe slice are allocated once per shard and reused for
+// every trace, so the steady state allocates nothing per trace beyond
+// the job itself.
+func (p *plan) runScalarShard(ctx context.Context, src Source, acc *ShardAccum, lo, hi int) error {
+	probe := &sampleProbe{start: uint64(p.win.Start), end: uint64(p.win.End)}
+	probes := []cpu.Probe{probe}
+	spec := sim.PerRunMeterProbes(func(m *energy.Probe) []cpu.Probe {
+		probe.meter = m
+		return probes
+	})
+	for i := lo; i < hi; i++ {
+		// Cancellation point: an in-flight simulation completes, but no
+		// further trace of this shard starts once the context is done.
+		// The shard's partial accumulators are dropped with the error.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		job, err := src.Job(i, p.fixed[i])
+		if err != nil {
+			return fmt.Errorf("leakstat: trace %d: %w", i, err)
+		}
+		job.Trace = false // reduced in-flight; never materialized
+		job.Probe = spec
+		if p.fixed[i] {
+			probe.vec = acc.Fixed
+		} else {
+			probe.vec = acc.Random
+		}
+		probe.vec.BeginTrace()
+		probe.filled = 0
+		res := src.Runner.Run(job)
+		if res.Err != nil {
+			return fmt.Errorf("leakstat: trace %d: %w", i, res.Err)
+		}
+		acc.Cycles += res.Stats.Cycles
+		if probe.filled != p.L {
+			return fmt.Errorf("leakstat: trace %d covered %d/%d window samples — run ended before Window.End=%d",
+				i, probe.filled, p.L, p.win.End)
+		}
+	}
+	return nil
+}
+
+// runGangShard feeds the same trace range through the lockstep engine in
+// gangs of up to cfg.Gang lanes, then folds each lane's window samples
+// into the accumulators in trace-index order — the identical sequence of
+// Vec operations the scalar path performs, so the fold is bit-exact. The
+// sample buffers are allocated once per shard and reused across gangs.
+func (p *plan) runGangShard(ctx context.Context, src Source, acc *ShardAccum, lo, hi int) error {
+	width := p.cfg.Gang
+	if n := hi - lo; width > n {
+		width = n
+	}
+	bufs := make([][]float64, width)
+	for g := range bufs {
+		bufs[g] = make([]float64, p.L)
+	}
+	jobs := make([]sim.Job, 0, width)
+	idx := make([]int, 0, width)
+	for i := lo; i < hi; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		jobs, idx = jobs[:0], idx[:0]
+		for ; i < hi && len(jobs) < width; i++ {
+			job, err := src.Job(i, p.fixed[i])
 			if err != nil {
 				return fmt.Errorf("leakstat: trace %d: %w", i, err)
 			}
-			job.Trace = false // reduced in-flight; never materialized
-			job.Probe = spec
-			if fixed[i] {
-				probe.vec = p.f
-			} else {
-				probe.vec = p.r
-			}
-			probe.vec.BeginTrace()
-			probe.filled = 0
-			res := src.Runner.Run(job)
+			// Gang-shape the job exactly as the scalar path does: the
+			// engine owns the observation, so source-provided trace or
+			// probe requests are overridden, never combined.
+			job.Trace = false
+			job.Blocks = false
+			job.Probe = sim.ProbeSpec{}
+			jobs = append(jobs, job)
+			idx = append(idx, i)
+		}
+		results := src.Runner.RunGangSampled(jobs, uint64(p.win.Start), uint64(p.win.End), bufs[:len(jobs)])
+		for k := range results {
+			ti := idx[k]
+			res := &results[k]
 			if res.Err != nil {
-				return fmt.Errorf("leakstat: trace %d: %w", i, res.Err)
+				return fmt.Errorf("leakstat: trace %d: %w", ti, res.Err)
 			}
-			p.cycles += res.Stats.Cycles
-			if probe.filled != L {
+			acc.Cycles += res.Stats.Cycles
+			// Same coverage contract as the scalar probe's filled count:
+			// the run must commit every cycle of the window.
+			covered := 0
+			if res.Stats.Cycles > uint64(p.win.Start) {
+				covered = int(res.Stats.Cycles - uint64(p.win.Start))
+				if covered > p.L {
+					covered = p.L
+				}
+			}
+			if covered != p.L {
 				return fmt.Errorf("leakstat: trace %d covered %d/%d window samples — run ended before Window.End=%d",
-					i, probe.filled, L, win.End)
+					ti, covered, p.L, p.win.End)
 			}
-		}
-		return nil
-	}
-
-	// runGangShard feeds the same trace range through the lockstep engine in
-	// gangs of up to cfg.Gang lanes, then folds each lane's window samples
-	// into the accumulators in trace-index order — the identical sequence of
-	// Vec operations the scalar path performs, so the fold is bit-exact. The
-	// sample buffers are allocated once per shard and reused across gangs.
-	runGangShard := func(p *part, lo, hi int) error {
-		width := cfg.Gang
-		if n := hi - lo; width > n {
-			width = n
-		}
-		bufs := make([][]float64, width)
-		for g := range bufs {
-			bufs[g] = make([]float64, L)
-		}
-		jobs := make([]sim.Job, 0, width)
-		idx := make([]int, 0, width)
-		for i := lo; i < hi; {
-			if err := ctx.Err(); err != nil {
-				return err
+			vec := acc.Random
+			if p.fixed[ti] {
+				vec = acc.Fixed
 			}
-			jobs, idx = jobs[:0], idx[:0]
-			for ; i < hi && len(jobs) < width; i++ {
-				job, err := src.Job(i, fixed[i])
-				if err != nil {
-					return fmt.Errorf("leakstat: trace %d: %w", i, err)
-				}
-				// Gang-shape the job exactly as the scalar path does: the
-				// engine owns the observation, so source-provided trace or
-				// probe requests are overridden, never combined.
-				job.Trace = false
-				job.Blocks = false
-				job.Probe = sim.ProbeSpec{}
-				jobs = append(jobs, job)
-				idx = append(idx, i)
-			}
-			results := src.Runner.RunGangSampled(jobs, uint64(win.Start), uint64(win.End), bufs[:len(jobs)])
-			for k := range results {
-				ti := idx[k]
-				res := &results[k]
-				if res.Err != nil {
-					return fmt.Errorf("leakstat: trace %d: %w", ti, res.Err)
-				}
-				p.cycles += res.Stats.Cycles
-				// Same coverage contract as the scalar probe's filled count:
-				// the run must commit every cycle of the window.
-				covered := 0
-				if res.Stats.Cycles > uint64(win.Start) {
-					covered = int(res.Stats.Cycles - uint64(win.Start))
-					if covered > L {
-						covered = L
-					}
-				}
-				if covered != L {
-					return fmt.Errorf("leakstat: trace %d covered %d/%d window samples — run ended before Window.End=%d",
-						ti, covered, L, win.End)
-				}
-				vec := p.r
-				if fixed[ti] {
-					vec = p.f
-				}
-				// AddTrace performs exactly the BeginTrace + per-sample Set
-				// sequence of the scalar probe, so the fold stays bit-exact.
-				vec.AddTrace(bufs[k][:L])
-			}
-		}
-		return nil
-	}
-
-	err := sim.ForEachContext(ctx, shards, cfg.Workers, func(s int) error {
-		p := part{f: NewVec(L), r: NewVec(L)}
-		lo, hi := s*cfg.NumTraces/shards, (s+1)*cfg.NumTraces/shards
-		var serr error
-		if cfg.Gang > 1 {
-			serr = runGangShard(&p, lo, hi)
-		} else {
-			serr = runScalarShard(&p, lo, hi)
-		}
-		if serr != nil {
-			return serr
-		}
-		parts[s] = p
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	// Fixed-order fold over shards: the one reduction tree, regardless of
-	// which workers produced which shard.
-	F, R := NewVec(L), NewVec(L)
-	stateBytes := F.StateBytes() + R.StateBytes()
-	var cycles uint64
-	for _, p := range parts {
-		stateBytes += p.f.StateBytes() + p.r.StateBytes()
-		cycles += p.cycles
-		if err := F.Merge(p.f); err != nil {
-			return nil, err
-		}
-		if err := R.Merge(p.r); err != nil {
-			return nil, err
+			// AddTrace performs exactly the BeginTrace + per-sample Set
+			// sequence of the scalar probe, so the fold stays bit-exact.
+			vec.AddTrace(bufs[k][:p.L])
 		}
 	}
-	t, err := WelchT(F, R)
-	if err != nil {
-		return nil, err
-	}
-	peak, at := MaxAbs(t)
-	rep := &Report{
-		NumTraces:       cfg.NumTraces,
-		FixedN:          nFixed,
-		RandomN:         cfg.NumTraces - nFixed,
-		Shards:          shards,
-		WindowStart:     win.Start,
-		WindowEnd:       win.End,
-		Threshold:       threshold,
-		MaxAbsT:         clampFinite(peak),
-		MaxTCycle:       win.Start + at,
-		Leak:            peak > threshold,
-		StateBytes:      stateBytes,
-		CyclesSimulated: cycles,
-		T:               t,
-		Fixed:           F,
-		Random:          R,
-	}
-	return rep, nil
+	return nil
 }

@@ -1,0 +1,187 @@
+package leakstat
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"desmask/internal/compiler"
+	"desmask/internal/desprog"
+	"desmask/internal/energy"
+)
+
+// shardTestSource builds a small unprotected DES population for shard tests.
+func shardTestSource(t *testing.T) (Source, Config) {
+	t.Helper()
+	m, err := desprog.NewFull(compiler.Options{Policy: compiler.PolicyNone}, energy.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, pt := uint64(0x133457799BBCDFF1), uint64(0x0123456789ABCDEF)
+	win, err := DESMaskedWindow(m, key, pt, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := DESKeySource(m, key, pt, 7, 5000)
+	cfg := Config{NumTraces: 48, Seed: 7, Shards: 8, Workers: 2, Window: win}
+	return src, cfg
+}
+
+// TestAssessShardFoldBitIdentical: computing every shard independently via
+// AssessShard and folding with FoldReport must reproduce the single-node
+// AssessContext verdict bit for bit — the invariant that makes distribution
+// a transport problem. Shards are also computed out of order to prove the
+// fold, not the execution order, fixes the reduction tree.
+func TestAssessShardFoldBitIdentical(t *testing.T) {
+	src, cfg := shardTestSource(t)
+	ref, err := Assess(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shards := NumShards(cfg)
+	parts := make([]*ShardAccum, shards)
+	order := rand.New(rand.NewSource(1)).Perm(shards)
+	for _, s := range order {
+		acc, err := AssessShard(context.Background(), src, cfg, s)
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		if acc.Shard != s {
+			t.Fatalf("shard %d accumulator labeled %d", s, acc.Shard)
+		}
+		parts[s] = acc
+	}
+	got, err := FoldReport(cfg, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxAbsT != ref.MaxAbsT || got.MaxTCycle != ref.MaxTCycle ||
+		got.CyclesSimulated != ref.CyclesSimulated || got.Leak != ref.Leak {
+		t.Fatalf("folded verdict diverged:\nfold %+v\nref  %+v", got, ref)
+	}
+	for j := range ref.T {
+		if math.Float64bits(got.T[j]) != math.Float64bits(ref.T[j]) {
+			t.Fatalf("t[%d] differs: %x vs %x", j, math.Float64bits(got.T[j]), math.Float64bits(ref.T[j]))
+		}
+	}
+}
+
+// TestShardAccumRoundTrip: serialization carries the exact float64 bit
+// patterns, so a round-tripped shard folds bit-identically.
+func TestShardAccumRoundTrip(t *testing.T) {
+	src, cfg := shardTestSource(t)
+	ref, err := Assess(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := NumShards(cfg)
+	parts := make([]*ShardAccum, shards)
+	for s := 0; s < shards; s++ {
+		acc, err := AssessShard(context.Background(), src, cfg, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := acc.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := new(ShardAccum)
+		if err := rt.UnmarshalBinary(b); err != nil {
+			t.Fatalf("shard %d decode: %v", s, err)
+		}
+		if rt.Shard != acc.Shard || rt.Cycles != acc.Cycles ||
+			rt.Fixed.N() != acc.Fixed.N() || rt.Random.N() != acc.Random.N() {
+			t.Fatalf("shard %d header diverged: %+v vs %+v", s, rt, acc)
+		}
+		for j := range acc.Fixed.Mean {
+			if math.Float64bits(rt.Fixed.Mean[j]) != math.Float64bits(acc.Fixed.Mean[j]) ||
+				math.Float64bits(rt.Fixed.M2[j]) != math.Float64bits(acc.Fixed.M2[j]) ||
+				math.Float64bits(rt.Random.Mean[j]) != math.Float64bits(acc.Random.Mean[j]) ||
+				math.Float64bits(rt.Random.M2[j]) != math.Float64bits(acc.Random.M2[j]) {
+				t.Fatalf("shard %d sample %d bits diverged after round trip", s, j)
+			}
+		}
+		parts[s] = rt
+	}
+	got, err := FoldReport(cfg, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range ref.T {
+		if math.Float64bits(got.T[j]) != math.Float64bits(ref.T[j]) {
+			t.Fatalf("t[%d] differs after serialization round trip", j)
+		}
+	}
+}
+
+// TestShardAccumCorruption: a flipped byte or a truncated encoding is
+// rejected — the durability layer depends on never folding a torn file.
+func TestShardAccumCorruption(t *testing.T) {
+	acc := &ShardAccum{Shard: 3, Cycles: 99, Fixed: NewVec(4), Random: NewVec(4)}
+	acc.Fixed.AddTrace([]float64{1, 2, 3, 4})
+	acc.Fixed.AddTrace([]float64{2, 3, 4, 5})
+	acc.Random.AddTrace([]float64{5, 6, 7, 8})
+	acc.Random.AddTrace([]float64{6, 7, 8, 9})
+	b, err := acc.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := new(ShardAccum).UnmarshalBinary(b); err != nil {
+		t.Fatalf("clean encoding rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"flipped byte", func(d []byte) []byte { d[len(d)/2] ^= 0x40; return d }},
+		{"truncated", func(d []byte) []byte { return d[:len(d)-5] }},
+		{"empty", func(d []byte) []byte { return nil }},
+		{"bad magic", func(d []byte) []byte { d[0] = 'X'; return d }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.mut(append([]byte(nil), b...))
+			if err := new(ShardAccum).UnmarshalBinary(d); err == nil {
+				t.Fatal("corrupted encoding accepted")
+			}
+		})
+	}
+}
+
+// TestShardRangeCovers: the fixed partition tiles the population exactly.
+func TestShardRangeCovers(t *testing.T) {
+	for _, n := range []int{4, 31, 32, 33, 100, 1000} {
+		for _, shards := range []int{1, 3, 8, 32} {
+			if shards > n {
+				continue
+			}
+			next := 0
+			for s := 0; s < shards; s++ {
+				lo, hi := ShardRange(s, shards, n)
+				if lo != next || hi < lo {
+					t.Fatalf("n=%d shards=%d: shard %d range [%d,%d), want lo=%d", n, shards, s, lo, hi, next)
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("n=%d shards=%d: partition ends at %d", n, shards, next)
+			}
+		}
+	}
+}
+
+// TestWindowContextCancelled: a dead context skips the window-probe
+// simulation instead of burning a worker on it.
+func TestWindowContextCancelled(t *testing.T) {
+	m, err := desprog.NewFull(compiler.Options{Policy: compiler.PolicyNone}, energy.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DESMaskedWindowContext(ctx, m, 1, 2, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled window probe returned %v, want context.Canceled", err)
+	}
+}

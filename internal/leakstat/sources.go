@@ -1,6 +1,7 @@
 package leakstat
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -79,7 +80,15 @@ func KernelSecretSource(m *kernels.Machine, fixedSecret, public []uint32, wordMa
 // found on one probe run holds for every run. A maxCycles > 0 budget clamps
 // the window so budget-bounded assessment runs still cover it.
 func DESMaskedWindow(m *desprog.Machine, key, plaintext uint64, maxCycles uint64) (trace.Window, error) {
-	tr, _, err := m.Trace(key, plaintext)
+	return DESMaskedWindowContext(context.Background(), m, key, plaintext, maxCycles)
+}
+
+// DESMaskedWindowContext is DESMaskedWindow under a cancellable context: the
+// window-probe simulation (a full traced encryption) is skipped when the
+// context is already dead, so a deadline-bound service never burns a worker
+// locating a window for an expired request.
+func DESMaskedWindowContext(ctx context.Context, m *desprog.Machine, key, plaintext uint64, maxCycles uint64) (trace.Window, error) {
+	tr, _, err := m.TraceContext(ctx, key, plaintext)
 	if err != nil {
 		return trace.Window{}, err
 	}
@@ -108,7 +117,12 @@ func DESMaskedWindow(m *desprog.Machine, key, plaintext uint64, maxCycles uint64
 // vary-plaintext population is assessed over, past the insecure initial
 // permutation.
 func DESRound1Window(m *desprog.Machine, key, plaintext uint64, maxCycles uint64) (trace.Window, error) {
-	tr, _, err := m.Trace(key, plaintext)
+	return DESRound1WindowContext(context.Background(), m, key, plaintext, maxCycles)
+}
+
+// DESRound1WindowContext is DESRound1Window under a cancellable context.
+func DESRound1WindowContext(ctx context.Context, m *desprog.Machine, key, plaintext uint64, maxCycles uint64) (trace.Window, error) {
+	tr, _, err := m.TraceContext(ctx, key, plaintext)
 	if err != nil {
 		return trace.Window{}, err
 	}
@@ -128,7 +142,13 @@ func DESRound1Window(m *desprog.Machine, key, plaintext uint64, maxCycles uint64
 // KernelMaskedWindow locates a kernel's assessment window [0, start of
 // output emission) from one probe run.
 func KernelMaskedWindow(m *kernels.Machine, secret, public []uint32) (trace.Window, error) {
-	_, tr, err := m.Trace(secret, public)
+	return KernelMaskedWindowContext(context.Background(), m, secret, public)
+}
+
+// KernelMaskedWindowContext is KernelMaskedWindow under a cancellable
+// context.
+func KernelMaskedWindowContext(ctx context.Context, m *kernels.Machine, secret, public []uint32) (trace.Window, error) {
+	_, tr, err := m.TraceContext(ctx, secret, public)
 	if err != nil {
 		return trace.Window{}, err
 	}

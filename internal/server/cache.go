@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"sync"
 )
 
@@ -53,26 +54,27 @@ func newProgramCache(max int) *programCache {
 
 // getOrBuild returns the cached value for key, building it with build on a
 // miss. The second result reports whether this was a hit (including hitting
-// an entry another request is still building).
-func (c *programCache) getOrBuild(key cacheKey, build func() (any, error)) (any, bool, error) {
+// an entry another request is still building). A waiter whose context dies
+// before the build finishes returns the context's error; the build itself
+// continues and lands in the cache for later requests.
+func (c *programCache) getOrBuild(ctx context.Context, key cacheKey, build func() (any, error)) (any, bool, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
 		c.order.MoveToFront(e.elem)
 		c.mu.Unlock()
-		<-e.ready
-		return e.value, true, e.err
+		select {
+		case <-e.ready:
+			return e.value, true, e.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
 	}
 	c.misses++
 	e := &cacheEntry{ready: make(chan struct{})}
 	e.elem = c.order.PushFront(key)
 	c.entries[key] = e
-	for c.order.Len() > c.max {
-		oldest := c.order.Back()
-		k := oldest.Value.(cacheKey)
-		c.order.Remove(oldest)
-		delete(c.entries, k)
-	}
+	c.evictCompleted()
 	c.mu.Unlock()
 
 	e.value, e.err = build()
@@ -88,6 +90,29 @@ func (c *programCache) getOrBuild(key cacheKey, build func() (any, error)) (any,
 		c.mu.Unlock()
 	}
 	return e.value, false, e.err
+}
+
+// evictCompleted trims the cache to max, least recently used first, skipping
+// entries whose build is still in flight. Evicting an in-flight entry would
+// detach it from the key while its owner still runs: a concurrent identical
+// submission would miss and silently start a duplicate compile, and the
+// owner's failed-build cleanup would then operate on an already-removed list
+// element. If every surplus entry is still building, the cache transiently
+// exceeds max instead. Callers hold c.mu.
+func (c *programCache) evictCompleted() {
+	for el := c.order.Back(); el != nil && c.order.Len() > c.max; {
+		prev := el.Prev()
+		k := el.Value.(cacheKey)
+		e := c.entries[k]
+		select {
+		case <-e.ready:
+			c.order.Remove(el)
+			delete(c.entries, k)
+		default:
+			// Build in flight — not evictable yet.
+		}
+		el = prev
+	}
 }
 
 // stats returns the lifetime hit/miss counters.

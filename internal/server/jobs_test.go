@@ -1,0 +1,501 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"desmask/internal/jobstore"
+	"desmask/internal/leakstat"
+)
+
+// TestAdmitFastPathAndQueueAccounting: a request that finds a free execution
+// slot must not consume wait-queue capacity — a burst of exactly
+// MaxConcurrent+MaxQueue concurrent requests is fully admitted, and only the
+// next one is shed with 429.
+func TestAdmitFastPathAndQueueAccounting(t *testing.T) {
+	s := New(Config{MaxConcurrent: 2, MaxQueue: 2})
+	ctx := context.Background()
+
+	// Fill both execution slots on the fast path.
+	var slots []func()
+	for i := 0; i < 2; i++ {
+		rel, status, err := s.admit(ctx)
+		if err != nil {
+			t.Fatalf("fast-path admit %d: status %d: %v", i, status, err)
+		}
+		slots = append(slots, rel)
+	}
+	if d := s.metrics.queueDepth.Load(); d != 0 {
+		t.Fatalf("fast-path acquisitions consumed queue capacity: depth %d", d)
+	}
+
+	// Two more requests wait in the (now exactly full) queue.
+	admitted := make(chan func(), 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			rel, status, err := s.admit(ctx)
+			if err != nil {
+				t.Errorf("queued admit: status %d: %v", status, err)
+				return
+			}
+			admitted <- rel
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.metrics.queueDepth.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth %d, want 2", s.metrics.queueDepth.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Request MaxConcurrent+MaxQueue+1 is the first one shed.
+	if _, status, err := s.admit(ctx); err == nil || status != http.StatusTooManyRequests {
+		t.Fatalf("overflow admit: status %d err %v, want 429", status, err)
+	}
+
+	// Freed slots drain the queue in turn.
+	slots[0]()
+	slots[1]()
+	rel := <-admitted
+	rel()
+	rel = <-admitted
+	rel()
+
+	// A queued request whose deadline expires is released with 504.
+	r1, _, err := s.admit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := s.admit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expCtx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, status, err := s.admit(expCtx); err == nil || status != http.StatusGatewayTimeout {
+		t.Fatalf("expired admit: status %d err %v, want 504", status, err)
+	}
+	if d := s.metrics.queueDepth.Load(); d != 0 {
+		t.Fatalf("expired waiter leaked queue depth %d", d)
+	}
+	r1()
+	r2()
+}
+
+// TestCacheInFlightNotEvicted: under a size-1 cache, inserting a second key
+// while the first is still building must not evict the in-flight entry — a
+// concurrent identical submission joins the running build instead of
+// silently compiling a duplicate.
+func TestCacheInFlightNotEvicted(t *testing.T) {
+	c := newProgramCache(1)
+	k1 := cacheKey{Source: "workload:one"}
+	k2 := cacheKey{Source: "workload:two"}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var builds atomic.Int32
+	first := make(chan any, 1)
+	go func() {
+		v, _, err := c.getOrBuild(context.Background(), k1, func() (any, error) {
+			builds.Add(1)
+			close(started)
+			<-release
+			return "v1", nil
+		})
+		if err != nil {
+			first <- err
+		} else {
+			first <- v
+		}
+	}()
+	<-started
+
+	// The insert that used to evict the in-flight entry.
+	if v, _, err := c.getOrBuild(context.Background(), k2, func() (any, error) { return "v2", nil }); err != nil || v != "v2" {
+		t.Fatalf("second key: %v %v", v, err)
+	}
+
+	// A concurrent identical submission must block on the running build
+	// (and would instead return "dup" immediately if k1 had been evicted).
+	joined := make(chan any, 1)
+	go func() {
+		v, _, err := c.getOrBuild(context.Background(), k1, func() (any, error) {
+			builds.Add(1)
+			return "dup", nil
+		})
+		if err != nil {
+			joined <- err
+		} else {
+			joined <- v
+		}
+	}()
+	select {
+	case v := <-joined:
+		t.Fatalf("identical submission did not join the in-flight build: got %v", v)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if v := <-first; v != "v1" {
+		t.Fatalf("owner got %v", v)
+	}
+	if v := <-joined; v != "v1" {
+		t.Fatalf("joiner got %v", v)
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("key built %d times, want 1", n)
+	}
+
+	// A waiter whose context dies mid-build gets the context error while
+	// the build itself carries on for later requests.
+	k3 := cacheKey{Source: "workload:three"}
+	started3 := make(chan struct{})
+	release3 := make(chan struct{})
+	go func() {
+		c.getOrBuild(context.Background(), k3, func() (any, error) {
+			close(started3)
+			<-release3
+			return "v3", nil
+		})
+	}()
+	<-started3
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.getOrBuild(dead, k3, func() (any, error) { return nil, nil }); err != context.Canceled {
+		t.Fatalf("dead waiter returned %v, want context.Canceled", err)
+	}
+	close(release3)
+}
+
+// TestAssessDeadlineMidBuild: a request whose deadline expires during the
+// (cold-cache) program build returns 504 — not 422 — and frees its
+// execution slot for the next request.
+func TestAssessDeadlineMidBuild(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 1})
+	req := smallDES(16)
+	req.TimeoutMS = 1 // expires long before the DES build can finish
+	code, _, body := postAssess(t, ts.URL, req)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("mid-build expiry: status %d, want 504: %s", code, body)
+	}
+	code, rep, body := postAssess(t, ts.URL, smallDES(16))
+	if code != http.StatusOK {
+		t.Fatalf("slot not freed after mid-build expiry: status %d: %s", code, body)
+	}
+	if !rep.Leak {
+		t.Fatal("unprotected DES did not leak")
+	}
+}
+
+// TestDurableResumeBitIdentical is the durability acceptance matrix: a job
+// killed mid-assessment (only a few shard accumulators reached disk) and
+// resumed by a fresh daemon — fanning the remaining shards across peer
+// worker processes — must land the exact verdict of an uninterrupted
+// single-node run, with the merged t-vector bit-identical, for sim workers
+// 1/4 × shard workers 1/4. A replay of the completed job returns the stored
+// verdict without executing.
+func TestDurableResumeBitIdentical(t *testing.T) {
+	for _, simW := range []int{1, 4} {
+		for _, shardW := range []int{1, 4} {
+			t.Run(fmt.Sprintf("sim%d_shard%d", simW, shardW), func(t *testing.T) {
+				req := smallDES(32)
+				req.Workers = simW
+				req.Shards = 8
+
+				// Uninterrupted single-node reference, full t-vector.
+				refS := New(Config{})
+				resolved, err := refS.resolve(&req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wl, _, err := refS.buildWorkload(context.Background(), &req, resolved)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := resolved.Config()
+				cfg.Window = wl.win
+				ref, err := leakstat.Assess(wl.src, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// "Crash": the first run persisted shards 0, 2 and 5, then
+				// died before admitting anything else to disk.
+				dir := t.TempDir()
+				st, err := jobstore.Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				canon, err := canonicalRequest(&req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				id := jobstore.JobID(canon)
+				if _, _, err := st.Create(id, canon, 8); err != nil {
+					t.Fatal(err)
+				}
+				if err := st.SetRunning(id); err != nil {
+					t.Fatal(err)
+				}
+				for _, sh := range []int{0, 2, 5} {
+					acc, err := leakstat.AssessShard(context.Background(), wl.src, cfg, sh)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := st.PutShard(id, acc); err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				// Restart: a fresh daemon over the same store, with shardW
+				// peer leakd workers, resumes the job synchronously.
+				var peers []string
+				for i := 0; i < shardW; i++ {
+					_, wts := newTestServer(t, Config{})
+					peers = append(peers, wts.URL)
+				}
+				st2, err := jobstore.Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, ts := newTestServer(t, Config{Store: st2, ShardWorkers: peers})
+				code, rep, body := postAssess(t, ts.URL, req)
+				if code != http.StatusOK {
+					t.Fatalf("resumed assessment: status %d: %s", code, body)
+				}
+				if math.Float64bits(rep.MaxAbsT) != math.Float64bits(ref.MaxAbsT) ||
+					rep.MaxTCycle != ref.MaxTCycle || rep.Leak != ref.Leak ||
+					rep.CyclesSimulated != ref.CyclesSimulated {
+					t.Fatalf("resumed verdict diverged from single-node:\nresumed %+v\nref     %+v", rep.Report, ref)
+				}
+
+				// Every shard is now on disk; folding the persisted
+				// accumulators reproduces the reference t-vector bit for bit.
+				stored, err := st2.Shards(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parts := make([]*leakstat.ShardAccum, 8)
+				for i := range parts {
+					if parts[i] = stored[i]; parts[i] == nil {
+						t.Fatalf("shard %d not persisted after resume", i)
+					}
+				}
+				fold, err := leakstat.FoldReport(cfg, parts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := range ref.T {
+					if math.Float64bits(fold.T[j]) != math.Float64bits(ref.T[j]) {
+						t.Fatalf("t[%d] differs after crash-resume: %x vs %x",
+							j, math.Float64bits(fold.T[j]), math.Float64bits(ref.T[j]))
+					}
+				}
+
+				// Exactly-once: the job is done, and a resubmission replays
+				// the stored verdict.
+				rec, err := st2.Get(id)
+				if err != nil || rec.State != jobstore.StateDone {
+					t.Fatalf("record after resume: %+v err=%v", rec, err)
+				}
+				code, rep2, body := postAssess(t, ts.URL, req)
+				if code != http.StatusOK {
+					t.Fatalf("replay: status %d: %s", code, body)
+				}
+				if math.Float64bits(rep2.MaxAbsT) != math.Float64bits(rep.MaxAbsT) ||
+					rep2.CyclesSimulated != rep.CyclesSimulated {
+					t.Fatalf("replayed verdict diverged: %+v vs %+v", rep2.Report, rep.Report)
+				}
+			})
+		}
+	}
+}
+
+// TestJobsAsyncAndStream: the async job API — submit returns 202 with the
+// pending record, the SSE stream delivers per-shard progress frames, the
+// record converges to done with a verdict, and a resubmission returns the
+// terminal record.
+func TestJobsAsyncAndStream(t *testing.T) {
+	st, err := jobstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Store: st})
+	req := smallDES(32)
+	req.Shards = 8
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec jobstore.Record
+	err = json.NewDecoder(resp.Body).Decode(&rec)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted || rec.ID == "" {
+		t.Fatalf("submit: status %d rec %+v err %v", resp.StatusCode, rec, err)
+	}
+
+	// Stream progress while the job runs. If the job already finished, the
+	// stream degrades to a single terminal snapshot frame — still final.
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + rec.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var frames []progressEvent
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev progressEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad frame %q: %v", line, err)
+		}
+		frames = append(frames, ev)
+	}
+	if len(frames) == 0 {
+		t.Fatal("stream delivered no frames")
+	}
+	prevDone := -1
+	for _, ev := range frames {
+		if ev.Total != 8 {
+			t.Fatalf("frame total %d, want 8: %+v", ev.Total, ev)
+		}
+		if ev.Done < prevDone {
+			t.Fatalf("progress went backwards: %+v", frames)
+		}
+		prevDone = ev.Done
+	}
+
+	// The record converges to done with a leak verdict.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + rec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&rec)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.State == jobstore.StateDone {
+			break
+		}
+		if rec.State == jobstore.StateFailed || time.Now().After(deadline) {
+			t.Fatalf("job did not complete: %+v", rec)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var verdict AssessResponse
+	if err := json.Unmarshal(rec.Verdict, &verdict); err != nil || !verdict.Leak {
+		t.Fatalf("verdict %s: err %v", rec.Verdict, err)
+	}
+
+	// Resubmission of the completed job returns the terminal record.
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replay jobstore.Record
+	err = json.NewDecoder(resp.Body).Decode(&replay)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || replay.State != jobstore.StateDone {
+		t.Fatalf("replay: status %d rec %+v err %v", resp.StatusCode, replay, err)
+	}
+
+	// The listing includes the job; unknown ids are 404.
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Jobs []*jobstore.Record `json:"jobs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil || len(listing.Jobs) != 1 || listing.Jobs[0].ID != rec.ID {
+		t.Fatalf("listing: %+v err %v", listing, err)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/no-such-job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", resp.StatusCode)
+	}
+	s.Close()
+}
+
+// TestRecoverResumesIncompleteJobs: a daemon restarted over a store holding
+// an incomplete job re-runs it to the same verdict without a new submission
+// — the crash/restart contract exercised end to end in-process.
+func TestRecoverResumesIncompleteJobs(t *testing.T) {
+	req := smallDES(32)
+	req.Shards = 8
+	canon, err := canonicalRequest(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := jobstore.JobID(canon)
+
+	dir := t.TempDir()
+	st, err := jobstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Create(id, canon, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetRunning(id); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := jobstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Store: st2})
+	n, err := s.Recover()
+	if err != nil || n != 1 {
+		t.Fatalf("Recover resumed %d jobs, err %v", n, err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		rec, err := st2.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.State == jobstore.StateDone {
+			var verdict AssessResponse
+			if err := json.Unmarshal(rec.Verdict, &verdict); err != nil || !verdict.Leak {
+				t.Fatalf("recovered verdict %s: err %v", rec.Verdict, err)
+			}
+			break
+		}
+		if rec.State == jobstore.StateFailed || time.Now().After(deadline) {
+			t.Fatalf("recovered job did not complete: %+v", rec)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	s.Close()
+}

@@ -26,14 +26,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 
 	"desmask/internal/cliconf"
 	"desmask/internal/compiler"
 	"desmask/internal/desprog"
 	"desmask/internal/energy"
+	"desmask/internal/jobstore"
 	"desmask/internal/kernels"
 	"desmask/internal/leakstat"
 	"desmask/internal/trace"
@@ -56,6 +59,17 @@ type Config struct {
 	// Workers is the default shard worker pool size per assessment when the
 	// request leaves workers at 0 (0 = GOMAXPROCS).
 	Workers int
+	// Store, when non-nil, makes assessments durable: every accepted job is
+	// persisted before admission, survives a kill, and is resumed on
+	// restart with exactly-once verdict semantics (see internal/jobstore).
+	// It also enables the async job API (/v1/jobs) and per-shard streaming.
+	Store *jobstore.Store
+	// ShardWorkers lists base URLs of peer leakd processes to fan one
+	// assessment's shard sub-jobs across (their POST /v1/shard endpoints).
+	// Empty runs every shard in-process.
+	ShardWorkers []string
+	// Log receives service diagnostics (nil = the standard logger).
+	Log *log.Logger
 }
 
 // Server is the leakd HTTP service.
@@ -65,6 +79,16 @@ type Server struct {
 	metrics *metrics
 	sem     chan struct{}
 	mux     *http.ServeMux
+	log     *log.Logger
+
+	// Background job-execution lifecycle: baseCtx cancels the async runners
+	// on Close, wg tracks them for Drain.
+	baseCtx   context.Context
+	baseStop  context.CancelFunc
+	wg        sync.WaitGroup
+	progressM sync.Mutex
+	progress  map[string]*jobProgress
+	owned     map[string]bool // job ids an async runner currently owns
 }
 
 // New builds a Server with its routes registered.
@@ -78,14 +102,26 @@ func New(cfg Config) *Server {
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 60 * time.Second
 	}
+	if cfg.Log == nil {
+		cfg.Log = log.Default()
+	}
+	baseCtx, baseStop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		cache:   newProgramCache(cfg.CacheSize),
-		metrics: newMetrics(),
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		mux:     http.NewServeMux(),
+		cfg:      cfg,
+		cache:    newProgramCache(cfg.CacheSize),
+		metrics:  newMetrics(),
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		mux:      http.NewServeMux(),
+		log:      cfg.Log,
+		baseCtx:  baseCtx,
+		baseStop: baseStop,
+		progress: make(map[string]*jobProgress),
+		owned:    make(map[string]bool),
 	}
 	s.mux.HandleFunc("/v1/assess", s.handleAssess)
+	s.mux.HandleFunc("/v1/shard", s.handleShard)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -94,6 +130,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
+}
+
+// Close stops background job execution (async runners are cancelled; their
+// jobs stay pending in the store and resume on the next start).
+func (s *Server) Close() {
+	s.baseStop()
+	s.wg.Wait()
 }
 
 // Handler returns the service's HTTP handler.
@@ -143,20 +186,50 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The status line is gone; all that's left is to say what was lost
+		// (typically the client hung up mid-response).
+		s.log.Printf("leakd: writing %d response: %v", status, err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// admit gates one unit of execution through the semaphore and its bounded
+// wait queue, returning a release function on success, or the HTTP status
+// (429 or 504) and reason on rejection. A request that finds a free slot is
+// admitted on the fast path without touching the queue accounting — only
+// genuinely waiting requests consume MaxQueue capacity, so a burst of
+// MaxConcurrent+MaxQueue simultaneous requests is fully admitted.
+func (s *Server) admit(ctx context.Context) (release func(), status int, err error) {
+	release = func() { <-s.sem }
+	select {
+	case s.sem <- struct{}{}:
+		return release, 0, nil
+	default:
+	}
+	if depth := s.metrics.queueDepth.Add(1); depth > int64(s.cfg.MaxQueue) {
+		s.metrics.queueDepth.Add(-1)
+		return nil, http.StatusTooManyRequests, fmt.Errorf("queue full (%d waiting)", depth-1)
+	}
+	defer s.metrics.queueDepth.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return release, 0, nil
+	case <-ctx.Done():
+		return nil, http.StatusGatewayTimeout, fmt.Errorf("request expired while queued: %w", ctx.Err())
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -220,8 +293,15 @@ func cacheKeyFor(req *AssessRequest, r *cliconf.ResolvedAssess) cacheKey {
 
 // buildWorkload compiles (or fetches from cache) the program and locates the
 // assessment window. The compile stage is only timed on a miss; the window
-// probe run is timed per request.
-func (s *Server) buildWorkload(req *AssessRequest, r *cliconf.ResolvedAssess) (*workload, bool, error) {
+// probe run is timed per request. The context is threaded through every
+// expensive stage — cache waits, compiles, and the window-probe simulations
+// — so a request whose deadline has expired stops burning its worker slot
+// at the next stage boundary instead of completing a build nobody will
+// read; the caller maps the context error to 504.
+func (s *Server) buildWorkload(ctx context.Context, req *AssessRequest, r *cliconf.ResolvedAssess) (*workload, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	opt := compiler.Options{Policy: r.PolicyV, Target: r.TargetV, Optimize: req.Optimize}
 	key := cacheKeyFor(req, r)
 
@@ -235,13 +315,16 @@ func (s *Server) buildWorkload(req *AssessRequest, r *cliconf.ResolvedAssess) (*
 			OutputGlobal: req.OutputGlobal,
 			OutputLen:    req.OutputLen,
 		}
-		m, hit, err := s.cachedKernelMachine(key, k, opt)
+		m, hit, err := s.cachedKernelMachine(ctx, key, k, opt)
 		if err != nil {
 			return nil, hit, err
 		}
-		return s.kernelWorkload("custom", m, req.Secret, req.Public, 0xffffffff, r, hit)
+		return s.kernelWorkload(ctx, "custom", m, req.Secret, req.Public, 0xffffffff, r, hit)
 	case r.Kernel == "des":
-		v, hit, err := s.cache.getOrBuild(key, func() (any, error) {
+		v, hit, err := s.cache.getOrBuild(ctx, key, func() (any, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			start := time.Now()
 			m, err := desprog.NewFull(opt, energy.DefaultConfig())
 			if err == nil {
@@ -261,10 +344,10 @@ func (s *Server) buildWorkload(req *AssessRequest, r *cliconf.ResolvedAssess) (*
 		winStart := time.Now()
 		if r.Vary == "plaintext" {
 			src = leakstat.DESPlaintextSource(m, r.KeyV, r.PlaintextV, r.Seed, r.MaxCycles)
-			win, err2 = leakstat.DESRound1Window(m, r.KeyV, r.PlaintextV, r.MaxCycles)
+			win, err2 = leakstat.DESRound1WindowContext(ctx, m, r.KeyV, r.PlaintextV, r.MaxCycles)
 		} else {
 			src = leakstat.DESKeySource(m, r.KeyV, r.PlaintextV, r.Seed, r.MaxCycles)
-			win, err2 = leakstat.DESMaskedWindow(m, r.KeyV, r.PlaintextV, r.MaxCycles)
+			win, err2 = leakstat.DESMaskedWindowContext(ctx, m, r.KeyV, r.PlaintextV, r.MaxCycles)
 		}
 		if err2 != nil {
 			return nil, hit, err2
@@ -273,18 +356,21 @@ func (s *Server) buildWorkload(req *AssessRequest, r *cliconf.ResolvedAssess) (*
 		return &workload{name: "des", src: src, win: win}, hit, nil
 	default:
 		k, _ := kernels.ByName(r.Kernel)
-		m, hit, err := s.cachedKernelMachine(key, k, opt)
+		m, hit, err := s.cachedKernelMachine(ctx, key, k, opt)
 		if err != nil {
 			return nil, hit, err
 		}
 		secret, public, mask := kernels.TVLAInputs(k)
-		return s.kernelWorkload(r.Kernel, m, secret, public, mask, r, hit)
+		return s.kernelWorkload(ctx, r.Kernel, m, secret, public, mask, r, hit)
 	}
 }
 
 // cachedKernelMachine fetches or builds a kernels.Machine under the cache.
-func (s *Server) cachedKernelMachine(key cacheKey, k kernels.Kernel, opt compiler.Options) (*kernels.Machine, bool, error) {
-	v, hit, err := s.cache.getOrBuild(key, func() (any, error) {
+func (s *Server) cachedKernelMachine(ctx context.Context, key cacheKey, k kernels.Kernel, opt compiler.Options) (*kernels.Machine, bool, error) {
+	v, hit, err := s.cache.getOrBuild(ctx, key, func() (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start := time.Now()
 		m, err := kernels.Build(k, opt, energy.DefaultConfig())
 		if err == nil {
@@ -300,9 +386,9 @@ func (s *Server) cachedKernelMachine(key cacheKey, k kernels.Kernel, opt compile
 
 // kernelWorkload assembles the fixed-vs-random-secret population of a kernel
 // machine and its masked window.
-func (s *Server) kernelWorkload(name string, m *kernels.Machine, secret, public []uint32, mask uint32, r *cliconf.ResolvedAssess, hit bool) (*workload, bool, error) {
+func (s *Server) kernelWorkload(ctx context.Context, name string, m *kernels.Machine, secret, public []uint32, mask uint32, r *cliconf.ResolvedAssess, hit bool) (*workload, bool, error) {
 	winStart := time.Now()
-	win, err := leakstat.KernelMaskedWindow(m, secret, public)
+	win, err := leakstat.KernelMaskedWindowContext(ctx, m, secret, public)
 	if err != nil {
 		return nil, hit, err
 	}
@@ -317,12 +403,28 @@ func (s *Server) kernelWorkload(name string, m *kernels.Machine, secret, public 
 	return &workload{name: name, src: src, win: win}, hit, nil
 }
 
-// handleAssess runs one assessment request end to end: admission, program
-// build (through the cache), windowed TVLA sweep, verdict.
+// ctxErr reports whether err is (or wraps) a context cancellation — the
+// cases the HTTP surface maps to 504 rather than 422.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// requestTimeout returns the effective deadline of a request.
+func (s *Server) requestTimeout(req *AssessRequest) time.Duration {
+	if req.TimeoutMS > 0 {
+		return time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	return s.cfg.DefaultTimeout
+}
+
+// handleAssess runs one assessment request end to end: durability (when a
+// store is configured, the job is persisted before admission and a replay of
+// a completed job returns its stored verdict), admission, program build
+// (through the cache), windowed TVLA sweep, verdict.
 func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var req AssessRequest
@@ -330,75 +432,106 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.metrics.jobDone("rejected")
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	resolved, err := s.resolve(&req)
 	if err != nil {
 		s.metrics.jobDone("rejected")
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(&req))
 	defer cancel()
 
-	// Admission: bounded wait queue in front of the execution semaphore.
-	if depth := s.metrics.queueDepth.Add(1); depth > int64(s.cfg.MaxQueue) {
-		s.metrics.queueDepth.Add(-1)
-		s.metrics.jobDone("rejected")
-		writeError(w, http.StatusTooManyRequests, "queue full (%d waiting)", depth-1)
+	// Durability: the job record reaches disk before admission, so an
+	// accepted request survives any crash from here on, and an identical
+	// resubmission of a completed job replays the stored verdict instead of
+	// executing (exactly-once verdicts).
+	var jobID string
+	if s.cfg.Store != nil {
+		rec, err := s.persistJob(&req, resolved)
+		if err != nil {
+			s.metrics.jobDone("failed")
+			s.writeError(w, http.StatusInternalServerError, "persisting job: %v", err)
+			return
+		}
+		if rec.State == jobstore.StateDone {
+			s.metrics.jobDone("completed")
+			s.writeRawJSON(w, http.StatusOK, rec.Verdict)
+			return
+		}
+		jobID = rec.ID
+	}
+
+	release, status, aerr := s.admit(ctx)
+	if aerr != nil {
+		if status == http.StatusTooManyRequests {
+			s.metrics.jobDone("rejected")
+		} else {
+			s.metrics.jobDone("timeout")
+		}
+		s.writeError(w, status, "%v", aerr)
 		return
 	}
-	select {
-	case s.sem <- struct{}{}:
-		s.metrics.queueDepth.Add(-1)
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		s.metrics.queueDepth.Add(-1)
-		s.metrics.jobDone("timeout")
-		writeError(w, http.StatusGatewayTimeout, "request expired while queued: %v", ctx.Err())
-		return
-	}
+	defer release()
 
 	s.metrics.running.Add(1)
 	defer s.metrics.running.Add(-1)
 
-	start := time.Now()
-	wl, hit, err := s.buildWorkload(&req, resolved)
+	resp, err := s.execute(ctx, &req, resolved, jobID)
 	if err != nil {
-		s.metrics.jobDone("failed")
-		writeError(w, http.StatusUnprocessableEntity, "build failed: %v", err)
+		s.finishJobError(w, jobID, err)
 		return
+	}
+	s.completeJob(jobID, resp)
+	s.metrics.jobDone("completed")
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// execute runs the build + sweep of one admitted assessment. jobID, when
+// non-empty, names the durable job whose shard accumulators are persisted as
+// they complete; with shard workers configured the sweep fans out over HTTP.
+// Context errors come back unwrapped so callers can map them to 504.
+func (s *Server) execute(ctx context.Context, req *AssessRequest, resolved *cliconf.ResolvedAssess, jobID string) (*AssessResponse, error) {
+	if jobID != "" {
+		if err := s.cfg.Store.SetRunning(jobID); err != nil {
+			s.log.Printf("leakd: marking job %s running: %v", jobID, err)
+		}
+	}
+	start := time.Now()
+	wl, hit, err := s.buildWorkload(ctx, req, resolved)
+	if err != nil {
+		if ctxErr(err) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("build failed: %w", err)
 	}
 
 	cfg := resolved.Config()
 	cfg.Window = wl.win
 	assessStart := time.Now()
-	rep, err := leakstat.AssessContext(ctx, wl.src, cfg)
+	var rep *leakstat.Report
+	if jobID != "" || len(s.cfg.ShardWorkers) > 0 {
+		rep, err = s.assessSharded(ctx, jobID, req, wl, cfg)
+	} else {
+		rep, err = leakstat.AssessContext(ctx, wl.src, cfg)
+	}
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.metrics.jobDone("timeout")
-			writeError(w, http.StatusGatewayTimeout, "assessment cancelled: %v", err)
-			return
+		if ctxErr(err) {
+			return nil, err
 		}
-		s.metrics.jobDone("failed")
-		writeError(w, http.StatusUnprocessableEntity, "assessment failed: %v", err)
-		return
+		return nil, fmt.Errorf("assessment failed: %w", err)
 	}
 	s.metrics.observeStage("assess", time.Since(assessStart).Seconds())
 	s.metrics.cyclesSimulated.Add(rep.CyclesSimulated)
-	s.metrics.jobDone("completed")
 
 	vary := resolved.Vary
 	if wl.name != "des" {
 		vary = "secret"
 	}
-	writeJSON(w, http.StatusOK, AssessResponse{
+	return &AssessResponse{
 		Workload: wl.name,
 		Policy:   resolved.PolicyV.String(),
 		ISA:      resolved.TargetV.Name(),
@@ -407,5 +540,29 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		Report:   rep,
 		Seconds:  time.Since(start).Seconds(),
 		CacheHit: hit,
-	})
+	}, nil
+}
+
+// finishJobError maps an execute error onto the HTTP surface and the job
+// store: context expiry leaves a durable job pending (a restart resumes its
+// remaining shards) and returns 504; anything else fails the job and
+// returns 422.
+func (s *Server) finishJobError(w http.ResponseWriter, jobID string, err error) {
+	if ctxErr(err) {
+		if jobID != "" {
+			if rerr := s.cfg.Store.Requeue(jobID); rerr != nil {
+				s.log.Printf("leakd: requeueing job %s: %v", jobID, rerr)
+			}
+		}
+		s.metrics.jobDone("timeout")
+		s.writeError(w, http.StatusGatewayTimeout, "assessment cancelled: %v", err)
+		return
+	}
+	if jobID != "" {
+		if ferr := s.cfg.Store.Fail(jobID, err.Error()); ferr != nil {
+			s.log.Printf("leakd: failing job %s: %v", jobID, ferr)
+		}
+	}
+	s.metrics.jobDone("failed")
+	s.writeError(w, http.StatusUnprocessableEntity, "%v", err)
 }
