@@ -78,6 +78,7 @@ type assessment struct {
 	Policy   string `json:"policy"`
 	ISA      string `json:"isa"`
 	Vary     string `json:"vary"`
+	Shuffle  bool   `json:"shuffle,omitempty"`
 	*leakstat.Report
 	Seconds      float64 `json:"seconds"`
 	TracesPerSec float64 `json:"traces_per_sec"`
@@ -86,8 +87,8 @@ type assessment struct {
 }
 
 // desSetup builds the machine, source, and window of one DES assessment.
-func desSetup(policy compiler.Policy, target isa.Target, vary string, key, plain uint64, seed int64, maxCycles uint64) (*desprog.Machine, leakstat.Source, trace.Window, error) {
-	m, err := desprog.NewFull(compiler.Options{Policy: policy, Target: target}, energy.DefaultConfig())
+func desSetup(opt compiler.Options, vary string, key, plain uint64, seed int64, maxCycles uint64) (*desprog.Machine, leakstat.Source, trace.Window, error) {
+	m, err := desprog.NewFull(opt, energy.DefaultConfig())
 	if err != nil {
 		return nil, leakstat.Source{}, trace.Window{}, err
 	}
@@ -132,7 +133,7 @@ func precheckBlocks(src leakstat.Source, win trace.Window, maxCycles uint64) err
 	return nil
 }
 
-func assess(kernel string, policy compiler.Policy, target isa.Target, vary string, key, plain uint64,
+func assess(kernel string, opt compiler.Options, vary string, key, plain uint64,
 	cfg leakstat.Config, maxCycles uint64, runLeakcheck, blocks bool) (*assessment, error) {
 	var (
 		src leakstat.Source
@@ -144,7 +145,7 @@ func assess(kernel string, policy compiler.Policy, target isa.Target, vary strin
 	switch kernel {
 	case "des":
 		var m *desprog.Machine
-		m, src, win, err = desSetup(policy, target, vary, key, plain, cfg.Seed, maxCycles)
+		m, src, win, err = desSetup(opt, vary, key, plain, cfg.Seed, maxCycles)
 		if err != nil {
 			return nil, err
 		}
@@ -170,7 +171,7 @@ func assess(kernel string, policy compiler.Policy, target isa.Target, vary strin
 		if vary != "key" {
 			return nil, fmt.Errorf("-vary %s is DES-only; kernel populations always vary the secret", vary)
 		}
-		m, err := kernels.Build(k, compiler.Options{Policy: policy, Target: target}, energy.DefaultConfig())
+		m, err := kernels.Build(k, opt, energy.DefaultConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -208,8 +209,9 @@ func assess(kernel string, policy compiler.Policy, target isa.Target, vary strin
 	}
 	sec := time.Since(start).Seconds()
 	return &assessment{
-		Workload: kernel, Policy: policy.String(), ISA: target.Name(), Vary: vary,
-		Report: rep, Seconds: sec, TracesPerSec: float64(rep.NumTraces) / sec,
+		Workload: kernel, Policy: opt.Policy.String(), ISA: opt.Target.Name(), Vary: vary,
+		Shuffle: opt.Shuffle,
+		Report:  rep, Seconds: sec, TracesPerSec: float64(rep.NumTraces) / sec,
 		TaintLeakSites: taintN,
 	}, nil
 }
@@ -219,8 +221,12 @@ func printAssessment(a *assessment) {
 	if a.Leak {
 		verdict = "LEAK"
 	}
-	fmt.Printf("%-8s %-16s isa=%-4s vary=%-9s traces=%d window=[%d,%d) max|t|=%.4g @%d  %s (threshold %.1f)\n",
-		a.Workload, a.Policy, a.ISA, a.Vary, a.NumTraces, a.WindowStart, a.WindowEnd,
+	pol := a.Policy
+	if a.Shuffle {
+		pol += "+shuffle"
+	}
+	fmt.Printf("%-8s %-16s isa=%-4s vary=%-9s order=%d traces=%d window=[%d,%d) max|t|=%.4g @%d  %s (threshold %.1f)\n",
+		a.Workload, pol, a.ISA, a.Vary, a.Order, a.NumTraces, a.WindowStart, a.WindowEnd,
 		a.MaxAbsT, a.MaxTCycle, verdict, a.Threshold)
 	fmt.Printf("         fixed/random=%d/%d shards=%d state=%.1f KiB  %.1f traces/s\n",
 		a.FixedN, a.RandomN, a.Shards, float64(a.StateBytes)/1024, a.TracesPerSec)
@@ -257,9 +263,11 @@ func main() {
 	}
 
 	cfg := r.Config()
+	opt := r.CompilerOptions()
 	var reports []*assessment
 	for _, pol := range pols {
-		a, err := assess(r.Kernel, pol, r.TargetV, r.Vary, r.KeyV, r.PlaintextV, cfg, r.MaxCycles, *runLeakcheck, *blocks)
+		opt.Policy = pol
+		a, err := assess(r.Kernel, opt, r.Vary, r.KeyV, r.PlaintextV, cfg, r.MaxCycles, *runLeakcheck, *blocks)
 		if err != nil {
 			fatal(err)
 		}
@@ -358,7 +366,7 @@ func runBench(traces, baselineTraces, workers int, maxCycles uint64, key, plain 
 	sound := []compiler.Policy{compiler.PolicyNone, compiler.PolicySelective, compiler.PolicyAllSecure}
 	workerCounts := []int{1, 4, 16}
 	for _, pol := range sound {
-		_, src, win, err := desSetup(pol, isa.PISA, "key", key, plain, seed, maxCycles)
+		_, src, win, err := desSetup(compiler.Options{Policy: pol, Target: isa.PISA}, "key", key, plain, seed, maxCycles)
 		if err != nil {
 			fatal(err)
 		}
@@ -408,7 +416,7 @@ func runBench(traces, baselineTraces, workers int, maxCycles uint64, key, plain 
 	// leaves non-seed key loads unprotected, naive-loadstore leaves ALU ops
 	// on secrets unprotected; TVLA should rediscover both.
 	for _, pol := range []compiler.Policy{compiler.PolicySeedsOnly, compiler.PolicyNaiveLoadStore} {
-		_, src, win, err := desSetup(pol, isa.PISA, "key", key, plain, seed, maxCycles)
+		_, src, win, err := desSetup(compiler.Options{Policy: pol, Target: isa.PISA}, "key", key, plain, seed, maxCycles)
 		if err != nil {
 			fatal(err)
 		}

@@ -41,24 +41,91 @@ func ParseHex64(name, s string) (uint64, error) {
 	return v, nil
 }
 
+// FieldError is a validation failure pinned to one request field, carrying
+// the allowed values: the CLI renders it as usage text and leakd as a
+// structured 400 body ({"error", "field", "allowed"}) instead of a bare
+// string.
+type FieldError struct {
+	// Field names the offending parameter in request-JSON spelling
+	// (e.g. "policy", "protection.mask_order", "attack.stat").
+	Field string
+	// Value is the rejected value as submitted.
+	Value string
+	// Allowed lists the accepted values, when enumerable.
+	Allowed []string
+}
+
+// Error renders the failure with its allowed values.
+func (e *FieldError) Error() string {
+	msg := fmt.Sprintf("unknown %s %q", e.Field, e.Value)
+	if len(e.Allowed) > 0 {
+		msg += fmt.Sprintf(" (want %s)", strings.Join(e.Allowed, " | "))
+	}
+	return msg
+}
+
+// PolicyNames lists every protection-policy name the compiler accepts, in
+// increasing protection-cost order — the single source for flag usage,
+// validation errors and the structured 400 body.
+func PolicyNames() []string {
+	names := make([]string, 0, len(compiler.Policies()))
+	for _, p := range compiler.Policies() {
+		names = append(names, p.String())
+	}
+	return names
+}
+
 // ParsePolicy resolves a protection-policy name; the error lists the valid
-// names.
+// names (every compiler policy, including boolean-mask).
 func ParsePolicy(name string) (compiler.Policy, error) {
 	for _, p := range compiler.Policies() {
 		if p.String() == name {
 			return p, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown policy %q (want %s)", name, PolicyUsage())
+	return 0, &FieldError{Field: "policy", Value: name, Allowed: PolicyNames()}
 }
 
 // PolicyUsage renders the valid policy names for flag usage strings.
 func PolicyUsage() string {
-	names := make([]string, 0, len(compiler.Policies()))
-	for _, p := range compiler.Policies() {
-		names = append(names, p.String())
-	}
-	return strings.Join(names, " | ")
+	return strings.Join(PolicyNames(), " | ")
+}
+
+// AttackStats are the distinguishers the attack object accepts: "tvla" is
+// the fixed-vs-random Welch t-test assessment (leakstat), "cpa" the key-
+// recovery correlation attack and "dom" the Kocher difference-of-means attack
+// (both internal/dpa, cmd/dpa-attack). Order selects first-order statistics
+// (means) or second-order (centered second moments / centered squares), the
+// statistic that breaks first-order boolean masking; dom is first-order only.
+var AttackStats = []string{"tvla", "cpa", "dom"}
+
+// Protection is the structured countermeasure selector shared verbatim by
+// CLI flags, leakd request JSON and the jobstore idempotency key: which
+// compiler policy, what masking order, and whether operand shuffling is
+// layered on. The flat legacy `policy` string remains accepted; see
+// (Assess).Normalize for how the two spellings canonicalize to one job.
+type Protection struct {
+	// Policy is the compiler protection policy name (see PolicyNames).
+	Policy string `json:"policy"`
+	// MaskOrder is the masking order: 0 = the policy's natural order (1 for
+	// boolean-mask, 0 otherwise), 1 = first-order boolean masking (requires
+	// the boolean-mask policy). Higher orders are not implemented.
+	MaskOrder int `json:"mask_order,omitempty"`
+	// Shuffle layers the operand-shuffling countermeasure on: `shuffle for`
+	// loops run their independent iterations in a fresh random order per
+	// execution.
+	Shuffle bool `json:"shuffle,omitempty"`
+}
+
+// Attack is the structured distinguisher selector: which statistic and at
+// what order it attacks the traces.
+type Attack struct {
+	// Stat is "tvla" (leakage assessment), "cpa" (key-recovery correlation)
+	// or "dom" (key-recovery difference of means).
+	Stat string `json:"stat"`
+	// Order is 1 (first-order means) or 2 (second-order centered moments);
+	// 0 means 1.
+	Order int `json:"order,omitempty"`
 }
 
 // KernelNames are the built-in workload names an assessment accepts.
@@ -80,8 +147,16 @@ func validKernel(name string) bool {
 type Assess struct {
 	// Kernel is the workload: des, aes128, tea or sha1.
 	Kernel string `json:"kernel"`
-	// Policy is the protection policy name.
+	// Policy is the flat legacy protection selector: a bare policy name.
+	// Requests may use Protection instead; when both are present they must
+	// agree on the policy.
 	Policy string `json:"policy"`
+	// Protection is the structured countermeasure selector. nil means "use
+	// Policy with no extra countermeasures" — the legacy spelling.
+	Protection *Protection `json:"protection,omitempty"`
+	// Attack is the structured distinguisher selector. nil means first-order
+	// TVLA — the legacy behavior.
+	Attack *Attack `json:"attack,omitempty"`
 	// ISA is the target backend name (empty = pisa).
 	ISA string `json:"isa,omitempty"`
 	// Vary selects the DES population variable: key or plaintext. Non-DES
@@ -127,8 +202,20 @@ func DefaultAssess() Assess {
 // AddFlags registers the assessment parameters on a flag set, using the
 // receiver's current values as defaults.
 func (a *Assess) AddFlags(fs *flag.FlagSet) {
+	if a.Protection == nil {
+		a.Protection = &Protection{}
+	}
+	if a.Attack == nil {
+		a.Attack = &Attack{}
+	}
 	fs.StringVar(&a.Kernel, "kernel", a.Kernel, "workload: "+strings.Join(KernelNames, ", "))
 	fs.StringVar(&a.Policy, "policy", a.Policy, "protection policy: "+PolicyUsage())
+	fs.IntVar(&a.Protection.MaskOrder, "mask-order", a.Protection.MaskOrder,
+		"masking order (0 = the policy's natural order; 1 requires -policy boolean-mask)")
+	fs.BoolVar(&a.Protection.Shuffle, "shuffle", a.Protection.Shuffle,
+		"layer the operand-shuffling countermeasure on (fresh iteration order per execution)")
+	fs.IntVar(&a.Attack.Order, "order", a.Attack.Order,
+		"attack order: 1 = first-order statistics, 2 = second-order (centered second moments); 0 = 1")
 	fs.StringVar(&a.ISA, "isa", a.ISA, "target ISA backend: "+isa.TargetUsage())
 	fs.StringVar(&a.Vary, "vary", a.Vary, "DES population variable: key or plaintext")
 	fs.IntVar(&a.Traces, "traces", a.Traces, "total traces across both populations")
@@ -148,10 +235,24 @@ type ResolvedAssess struct {
 	Assess
 	// PolicyV is the resolved protection policy.
 	PolicyV compiler.Policy
+	// ShuffleV reports the operand-shuffling countermeasure is on.
+	ShuffleV bool
+	// MaskOrderV is the effective masking order (1 for boolean-mask, else 0).
+	MaskOrderV int
+	// StatV is the resolved attack statistic ("tvla" or "cpa").
+	StatV string
+	// OrderV is the resolved attack order (1 or 2).
+	OrderV int
 	// TargetV is the resolved ISA backend (never nil; pisa when unset).
 	TargetV isa.Target
 	// KeyV and PlaintextV are the parsed 64-bit DES inputs.
 	KeyV, PlaintextV uint64
+}
+
+// CompilerOptions assembles the compilation knobs of the resolved protection
+// (policy, shuffling, target); callers add Optimize themselves.
+func (r *ResolvedAssess) CompilerOptions() compiler.Options {
+	return compiler.Options{Policy: r.PolicyV, Target: r.TargetV, Shuffle: r.ShuffleV}
 }
 
 // Validate normalizes and checks the parameter set; exactly the same rules
@@ -170,9 +271,60 @@ func (a Assess) Validate() (*ResolvedAssess, error) {
 			return nil, fmt.Errorf("unknown kernel %q", r.Kernel)
 		}
 	}
+	// Protection: the structured object wins; an empty object inherits the
+	// flat Policy field, and a conflicting pair is rejected rather than
+	// silently preferring one spelling.
+	policyName := r.Policy
+	if p := r.Protection; p != nil {
+		if p.Policy != "" {
+			if r.Policy != "" && r.Policy != p.Policy {
+				return nil, fmt.Errorf("policy %q and protection.policy %q conflict", r.Policy, p.Policy)
+			}
+			policyName = p.Policy
+		}
+		r.ShuffleV = p.Shuffle
+	}
 	var err error
-	if r.PolicyV, err = ParsePolicy(r.Policy); err != nil {
+	if r.PolicyV, err = ParsePolicy(policyName); err != nil {
 		return nil, err
+	}
+	r.MaskOrderV = 0
+	if r.PolicyV == compiler.PolicyBooleanMask {
+		r.MaskOrderV = 1
+	}
+	if p := r.Protection; p != nil && p.MaskOrder != 0 {
+		if p.MaskOrder < 0 || p.MaskOrder > 1 {
+			return nil, &FieldError{Field: "protection.mask_order",
+				Value: strconv.Itoa(p.MaskOrder), Allowed: []string{"0", "1"}}
+		}
+		if r.PolicyV != compiler.PolicyBooleanMask {
+			return nil, fmt.Errorf("protection.mask_order %d requires the boolean-mask policy, not %q",
+				p.MaskOrder, r.PolicyV)
+		}
+	}
+	// Attack: nil means first-order TVLA, exactly the legacy behavior.
+	r.StatV, r.OrderV = "tvla", 1
+	if at := r.Attack; at != nil {
+		switch at.Stat {
+		case "", "tvla", "cpa", "dom":
+			if at.Stat != "" {
+				r.StatV = at.Stat
+			}
+		default:
+			return nil, &FieldError{Field: "attack.stat", Value: at.Stat, Allowed: AttackStats}
+		}
+		switch at.Order {
+		case 0, 1, 2:
+			if at.Order != 0 {
+				r.OrderV = at.Order
+			}
+		default:
+			return nil, &FieldError{Field: "attack.order",
+				Value: strconv.Itoa(at.Order), Allowed: []string{"1", "2"}}
+		}
+		if r.StatV == "dom" && r.OrderV != 1 {
+			return nil, fmt.Errorf("attack.stat dom is first-order only; use stat cpa with order 2 for the second-order attack")
+		}
 	}
 	if r.TargetV, err = ParseISA(r.ISA); err != nil {
 		return nil, err
@@ -228,7 +380,53 @@ func (r *ResolvedAssess) Config() leakstat.Config {
 		Workers:   r.Workers,
 		Gang:      r.Gang,
 		Threshold: r.Threshold,
+		Order:     r.OrderV,
 	}
+}
+
+// Normalize rewrites the parameter set into its canonical spelling: a
+// structured Protection or Attack object that only restates legacy defaults
+// (bare policy, no shuffle, natural mask order, first-order TVLA) is folded
+// back into the flat fields it duplicates. Two requests that mean the same
+// assessment — one legacy, one structured — normalize to identical values,
+// which is what keeps their jobstore idempotency keys (and therefore their
+// stored verdicts) shared. Call it only on parameter sets that Validate
+// accepts; it does not itself validate.
+func (a Assess) Normalize() Assess {
+	if p := a.Protection; p != nil {
+		if p.Policy != "" {
+			a.Policy = p.Policy
+		}
+		naturalOrder := 0
+		if a.Policy == compiler.PolicyBooleanMask.String() {
+			naturalOrder = 1
+		}
+		if !p.Shuffle && (p.MaskOrder == 0 || p.MaskOrder == naturalOrder) {
+			a.Protection = nil
+		} else {
+			cp := *p
+			cp.Policy = a.Policy
+			if cp.MaskOrder == naturalOrder {
+				cp.MaskOrder = 0
+			}
+			a.Protection = &cp
+		}
+	}
+	if at := a.Attack; at != nil {
+		if (at.Stat == "" || at.Stat == "tvla") && at.Order <= 1 {
+			a.Attack = nil
+		} else {
+			cp := *at
+			if cp.Stat == "" {
+				cp.Stat = "tvla"
+			}
+			if cp.Order == 0 {
+				cp.Order = 1
+			}
+			a.Attack = &cp
+		}
+	}
+	return a
 }
 
 // Batch is the shared execution-shape surface of the batch benchmarks and

@@ -128,6 +128,172 @@ func TestAssessValidation(t *testing.T) {
 	}
 }
 
+// TestProtectionAttackValidation: the structured selectors resolve, reject
+// bad values with field-pinned errors, and agree with the legacy flat
+// spelling.
+func TestProtectionAttackValidation(t *testing.T) {
+	a := DefaultAssess()
+	a.Policy = ""
+	a.Protection = &Protection{Policy: "boolean-mask", Shuffle: true}
+	a.Attack = &Attack{Stat: "tvla", Order: 2}
+	r, err := a.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PolicyV != compiler.PolicyBooleanMask || !r.ShuffleV || r.MaskOrderV != 1 {
+		t.Fatalf("protection resolved %+v", r)
+	}
+	if r.StatV != "tvla" || r.OrderV != 2 {
+		t.Fatalf("attack resolved stat=%q order=%d", r.StatV, r.OrderV)
+	}
+	if cfg := r.Config(); cfg.Order != 2 {
+		t.Fatalf("config order %d", cfg.Order)
+	}
+	opt := r.CompilerOptions()
+	if opt.Policy != compiler.PolicyBooleanMask || !opt.Shuffle {
+		t.Fatalf("compiler options %+v", opt)
+	}
+
+	// Empty attack object means first-order TVLA.
+	a = DefaultAssess()
+	a.Attack = &Attack{}
+	r, err = a.Validate()
+	if err != nil || r.StatV != "tvla" || r.OrderV != 1 {
+		t.Fatalf("empty attack resolved stat=%q order=%d err=%v", r.StatV, r.OrderV, err)
+	}
+
+	for _, tc := range []struct {
+		name  string
+		mut   func(*Assess)
+		field string
+	}{
+		{"bad structured policy", func(a *Assess) {
+			a.Policy = ""
+			a.Protection = &Protection{Policy: "paranoid"}
+		}, "policy"},
+		{"bad stat", func(a *Assess) { a.Attack = &Attack{Stat: "dpa"} }, "attack.stat"},
+		{"bad order", func(a *Assess) { a.Attack = &Attack{Stat: "tvla", Order: 5} }, "attack.order"},
+		{"bad mask order", func(a *Assess) {
+			a.Policy = "boolean-mask"
+			a.Protection = &Protection{MaskOrder: 3}
+		}, "protection.mask_order"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := DefaultAssess()
+			tc.mut(&a)
+			_, err := a.Validate()
+			var fe *FieldError
+			if err == nil || !errorsAs(err, &fe) {
+				t.Fatalf("want FieldError, got %v", err)
+			}
+			if fe.Field != tc.field {
+				t.Fatalf("field %q, want %q", fe.Field, tc.field)
+			}
+			if len(fe.Allowed) == 0 {
+				t.Fatal("FieldError without allowed values")
+			}
+		})
+	}
+
+	// mask_order on a non-masking policy is a conflict, not an enum error.
+	a = DefaultAssess()
+	a.Protection = &Protection{Policy: "selective", MaskOrder: 1}
+	if _, err := a.Validate(); err == nil || !strings.Contains(err.Error(), "boolean-mask") {
+		t.Fatalf("mask_order on selective: %v", err)
+	}
+
+	// Conflicting flat + structured policies are rejected.
+	a = DefaultAssess()
+	a.Policy = "none"
+	a.Protection = &Protection{Policy: "selective"}
+	if _, err := a.Validate(); err == nil || !strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("conflicting policies: %v", err)
+	}
+}
+
+// errorsAs is a local alias so the test reads like errors.As without the
+// import shuffle.
+func errorsAs(err error, target **FieldError) bool {
+	for ; err != nil; err = unwrap(err) {
+		if fe, ok := err.(*FieldError); ok {
+			*target = fe
+			return true
+		}
+	}
+	return false
+}
+
+func unwrap(err error) error {
+	u, ok := err.(interface{ Unwrap() error })
+	if !ok {
+		return nil
+	}
+	return u.Unwrap()
+}
+
+// TestNormalize: structured spellings of legacy defaults fold back to the
+// flat fields (shared idempotency keys), while real new settings survive.
+func TestNormalize(t *testing.T) {
+	base := DefaultAssess()
+
+	// Default-valued structured objects disappear.
+	a := base
+	a.Policy = ""
+	a.Protection = &Protection{Policy: "selective"}
+	a.Attack = &Attack{Stat: "tvla", Order: 1}
+	n := a.Normalize()
+	if n.Protection != nil || n.Attack != nil || n.Policy != "selective" {
+		t.Fatalf("defaults did not fold: %+v", n)
+	}
+
+	// boolean-mask's natural order folds too (mask_order 1 == default).
+	a = base
+	a.Policy = "boolean-mask"
+	a.Protection = &Protection{MaskOrder: 1}
+	n = a.Normalize()
+	if n.Protection != nil || n.Policy != "boolean-mask" {
+		t.Fatalf("natural mask order did not fold: %+v", n)
+	}
+
+	// Shuffle and second-order attacks survive normalization.
+	a = base
+	a.Protection = &Protection{Shuffle: true}
+	a.Attack = &Attack{Order: 2}
+	n = a.Normalize()
+	if n.Protection == nil || !n.Protection.Shuffle || n.Protection.Policy != base.Policy {
+		t.Fatalf("shuffle lost: %+v", n.Protection)
+	}
+	if n.Attack == nil || n.Attack.Stat != "tvla" || n.Attack.Order != 2 {
+		t.Fatalf("order-2 attack lost: %+v", n.Attack)
+	}
+
+	// Normalization is idempotent.
+	again := n.Normalize()
+	if *again.Protection != *n.Protection || *again.Attack != *n.Attack {
+		t.Fatalf("normalize not idempotent: %+v vs %+v", again, n)
+	}
+}
+
+// TestNewFlagsRoundTrip: the new countermeasure/attack flags land in the
+// structured objects and validate.
+func TestNewFlagsRoundTrip(t *testing.T) {
+	a := DefaultAssess()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	a.AddFlags(fs)
+	if err := fs.Parse([]string{
+		"-policy", "boolean-mask", "-shuffle", "-order", "2", "-traces", "32",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PolicyV != compiler.PolicyBooleanMask || !r.ShuffleV || r.OrderV != 2 {
+		t.Fatalf("resolved %+v", r)
+	}
+}
+
 func TestBatchValidate(t *testing.T) {
 	if err := (Batch{Traces: 10, Trials: 2}).Validate(); err != nil {
 		t.Fatal(err)

@@ -56,6 +56,13 @@ const (
 	// existing full dual-rail circuit approach (83.5 µJ, "almost twice the
 	// original").
 	PolicyAllSecure
+	// PolicyBooleanMask is first-order software boolean masking: every
+	// tainted value is carried as two shares (v XOR m, m) with fresh
+	// per-execution masks drawn from a runtime pool, GF(2)-linear operations
+	// computed share-wise on the ordinary (insecure, cheap) data path, and
+	// non-linear operations confined to secure-instruction islands. See
+	// mask.go.
+	PolicyBooleanMask
 )
 
 var policyNames = map[Policy]string{
@@ -64,6 +71,7 @@ var policyNames = map[Policy]string{
 	PolicySelective:      "selective",
 	PolicyNaiveLoadStore: "naive-loadstore",
 	PolicyAllSecure:      "all-secure",
+	PolicyBooleanMask:    "boolean-mask",
 }
 
 // String names the policy.
@@ -76,7 +84,7 @@ func (p Policy) String() string {
 
 // Policies lists all policies in increasing protection-cost order.
 func Policies() []Policy {
-	return []Policy{PolicyNone, PolicySeedsOnly, PolicySelective, PolicyNaiveLoadStore, PolicyAllSecure}
+	return []Policy{PolicyNone, PolicySeedsOnly, PolicySelective, PolicyNaiveLoadStore, PolicyAllSecure, PolicyBooleanMask}
 }
 
 // GlobalLabel returns the assembly label of a MiniC global, for poking
@@ -122,12 +130,55 @@ func (r Report) String() string {
 	return b.String()
 }
 
+// MaskRuntime describes the runtime support data a boolean-masked or
+// shuffled program expects the harness to populate (via the symbol table)
+// before each execution. All symbols are ordinary globals reachable through
+// Program.Symbols[GlobalLabel(name)].
+type MaskRuntime struct {
+	// PoolWords is the length in words of the __mask_pool global the
+	// program draws fresh masks from (0 when masking is off). The harness
+	// should fill it with uniform randoms before every execution; a
+	// zero-filled pool is still functionally correct but provides no
+	// protection.
+	PoolWords int
+	// ShuffleLen is the length of the __shuf permutation global (0 when
+	// shuffling is off). It is initialized to the identity; the harness
+	// overwrites it with a random permutation of 0..ShuffleLen-1 per
+	// execution.
+	ShuffleLen int
+	// MaskedGlobals lists the globals that are carried as share pairs: the
+	// slot named here holds v XOR m and its shadow (MaskShadow(name)) holds
+	// m. Secrets poked into these slots must be poked pre-masked.
+	MaskedGlobals []string
+}
+
+// Runtime-support symbol names for PolicyBooleanMask and Options.Shuffle.
+const (
+	// MaskPoolSym is the fresh-mask pool global ($s6 cursors through it).
+	MaskPoolSym = "__mask_pool"
+	// MaskScrubSym holds the random scrub word loaded into $s7 at startup.
+	MaskScrubSym = "__mask_scrub"
+	// MaskCursorSym receives the final pool cursor before halt, so harnesses
+	// can assert the pool did not overflow.
+	MaskCursorSym = "__mask_cursor"
+	// ShuffleSym is the iteration-order permutation for `shuffle for` loops.
+	ShuffleSym = "__shuf"
+	// MaskPoolWords is the pool length the compiler reserves.
+	MaskPoolWords = 4096
+)
+
+// MaskShadow names the shadow (mask-share) slot of a masked variable.
+func MaskShadow(name string) string { return name + "__m" }
+
 // Result is a successful compilation.
 type Result struct {
 	Asm      string
 	Program  *asm.Program
 	Report   Report
 	Analysis *Analysis
+	// Mask is non-nil when the program needs masking/shuffling runtime
+	// support (PolicyBooleanMask or Options.Shuffle).
+	Mask *MaskRuntime
 }
 
 // Options bundles compilation knobs beyond the policy.
@@ -146,6 +197,12 @@ type Options struct {
 	// Optimize enables the taint-sound IR pass pipeline (see passes.go) and
 	// gp-relative global addressing in the backend.
 	Optimize bool
+	// Shuffle enables the operand-shuffling countermeasure: loops annotated
+	// `shuffle for` are lowered through a per-execution permutation table
+	// (the __shuf runtime global) so independent iterations run in a random
+	// order. Without this flag the annotation is inert and lowering is
+	// bit-identical to an unannotated loop.
+	Shuffle bool
 	// DumpIR, when non-nil, receives the IR after lowering and — under
 	// Optimize — again after the pass pipeline (maskcc -dump-ir).
 	DumpIR io.Writer
@@ -172,6 +229,14 @@ func CompileFile(f *minic.File, policy Policy) (*Result, error) {
 
 // CompileFileWithOptions compiles a parsed file with explicit options.
 func CompileFileWithOptions(f *minic.File, opt Options) (*Result, error) {
+	var mrt *MaskRuntime
+	if opt.Shuffle {
+		n, err := injectShuffleGlobal(f)
+		if err != nil {
+			return nil, err
+		}
+		mrt = &MaskRuntime{ShuffleLen: n}
+	}
 	a, err := Analyze(f)
 	if err != nil {
 		return nil, err
@@ -187,6 +252,17 @@ func CompileFileWithOptions(f *minic.File, opt Options) (*Result, error) {
 	m, err := lower(a, opt)
 	if err != nil {
 		return nil, err
+	}
+	if opt.Policy == PolicyBooleanMask {
+		masked, err := maskModule(m, a)
+		if err != nil {
+			return nil, err
+		}
+		if mrt == nil {
+			mrt = &MaskRuntime{}
+		}
+		mrt.PoolWords = MaskPoolWords
+		mrt.MaskedGlobals = masked
 	}
 	if opt.DumpIR != nil {
 		fmt.Fprintf(opt.DumpIR, "; IR after lowering (policy %s)\n%s", opt.Policy, m.Dump())
@@ -243,5 +319,5 @@ func CompileFileWithOptions(f *minic.File, opt Options) (*Result, error) {
 	for _, pos := range a.TaintedBranches {
 		rep.TimingWarnings = append(rep.TimingWarnings, pos.String())
 	}
-	return &Result{Asm: text, Program: prog, Report: rep, Analysis: a}, nil
+	return &Result{Asm: text, Program: prog, Report: rep, Analysis: a, Mask: mrt}, nil
 }

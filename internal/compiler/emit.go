@@ -104,8 +104,23 @@ func emitModule(m *irModule, opts Options, allocs map[*irFunc]*allocation) (*asm
 	e.writeLine("")
 	e.writeLine("\t.text")
 	e.label("main")
+	if opts.Policy == PolicyBooleanMask {
+		// Masking runtime: $s6 cursors through the fresh-mask pool, $s7
+		// holds the rail-scrub random. Both are outside the allocatable
+		// pool, so no function ever clobbers them.
+		e.code("la %s, %s", isa.S6, GlobalLabel(MaskPoolSym))
+		e.b.LoadAddr(isa.S6, GlobalLabel(MaskPoolSym), false)
+		e.code("lw %s, %s", isa.S7, GlobalLabel(MaskScrubSym))
+		e.b.MemDirect(isa.OpLw, isa.S7, GlobalLabel(MaskScrubSym), 0, false)
+	}
 	e.code("jal f_main")
 	e.b.Jump(isa.OpJal, "f_main")
+	if opts.Policy == PolicyBooleanMask {
+		// Publish the final cursor so harnesses can assert the pool never
+		// overflowed into the zero-filled (unprotected) tail of memory.
+		e.code("sw %s, %s", isa.S6, GlobalLabel(MaskCursorSym))
+		e.b.MemDirect(isa.OpSw, isa.S6, GlobalLabel(MaskCursorSym), 0, false)
+	}
 	e.code("halt")
 	e.b.Inst(isa.Inst{Op: isa.OpHalt})
 
@@ -294,6 +309,34 @@ func (e *emitter) emitInstr(f *irFunc, al *allocation, in *irInstr, spillBase in
 			r := al.reg(in.Dst)
 			e.code("move%s %s, $v0", sfx(in.Secure), r)
 			e.b.Inst(isa.Inst{Op: isa.OpAddu, Rd: r, Rs: isa.V0, Rt: isa.Zero, Secure: in.Secure})
+		}
+
+	case opMaskLoad:
+		r := al.reg(in.Dst)
+		e.code("lw %s, 0(%s)", r, isa.S6)
+		e.b.Inst(isa.Inst{Op: isa.OpLw, Rt: r, Rs: isa.S6})
+		e.code("addiu %s, %s, 4", isa.S6, isa.S6)
+		e.b.Inst(isa.Inst{Op: isa.OpAddiu, Rt: isa.S6, Rs: isa.S6, Imm: 4})
+
+	case opScrub:
+		// Drives the ALU operand/result rails (and their transition history)
+		// to the public scrub random between the two halves of a share pair.
+		e.code("or %s, %s, %s", isa.K0, isa.S7, isa.S7)
+		e.b.Inst(isa.Inst{Op: isa.OpOr, Rd: isa.K0, Rs: isa.S7, Rt: isa.S7})
+
+	case opScrubX:
+		// Same, for the XOR functional unit's separate history.
+		e.code("xor %s, %s, %s", isa.K0, isa.S7, isa.Zero)
+		e.b.Inst(isa.Inst{Op: isa.OpXor, Rd: isa.K0, Rs: isa.S7, Rt: isa.Zero})
+
+	case opScrubLoad:
+		// Same, for the memory-data rail: a public load of the scrub word.
+		if off, ok := e.gpOff[MaskScrubSym]; ok {
+			e.code("lw %s, %d($gp)", isa.K0, off)
+			e.b.Inst(isa.Inst{Op: isa.OpLw, Rt: isa.K0, Rs: isa.GP, Imm: off})
+		} else {
+			e.code("lw %s, %s", isa.K0, GlobalLabel(MaskScrubSym))
+			e.b.MemDirect(isa.OpLw, isa.K0, GlobalLabel(MaskScrubSym), 0, false)
 		}
 	}
 }

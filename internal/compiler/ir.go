@@ -76,6 +76,13 @@ const (
 	opBin                // Dst = A <Bin> B
 	opBinImm             // Dst = A <Bin> Imm
 	opCall               // Dst = call Sym(Args...); Dst may be noValue
+
+	// Boolean-masking runtime ops (emitted only by the mask transform,
+	// see mask.go; no front-end construct lowers to them).
+	opMaskLoad  // Dst = *maskCursor++ (fresh random mask from the pool)
+	opScrub     // ALU-history scrub: or $k0, $s7, $s7 (no IR value)
+	opScrubX    // XOR-unit-history scrub: xor $k0, $s7, $zero (no IR value)
+	opScrubLoad // memory-rail scrub: $k0 = mem[__mask_scrub] (no IR value)
 )
 
 // irInstr is one three-address instruction.
@@ -93,7 +100,7 @@ type irInstr struct {
 // def returns the value this instruction defines, or noValue.
 func (in *irInstr) def() valueID {
 	switch in.Op {
-	case opStore, opStoreP:
+	case opStore, opStoreP, opScrub, opScrubX, opScrubLoad:
 		return noValue
 	case opCall:
 		return in.Dst
@@ -121,10 +128,14 @@ func (in *irInstr) eachUse(f func(valueID)) {
 
 // pure reports whether the instruction has no side effect beyond defining
 // Dst (loads are pure: removing one that executed in the unoptimized build
-// cannot introduce a fault).
+// cannot introduce a fault). Scrub ops are impure by design: their whole
+// point is the side effect on the energy model's transition history, so no
+// pass may delete them. opMaskLoad stays pure — deleting an unused one skips
+// a pool word, and every remaining mask is still an independent fresh random,
+// so the masking argument is unaffected.
 func (in *irInstr) pure() bool {
 	switch in.Op {
-	case opStore, opStoreP, opCall:
+	case opStore, opStoreP, opCall, opScrub, opScrubX, opScrubLoad:
 		return false
 	}
 	return true
@@ -294,6 +305,14 @@ func (f *irFunc) fmtInstr(in *irInstr) string {
 			return fmt.Sprintf("call %s(%s)", in.Sym, strings.Join(args, ", "))
 		}
 		return fmt.Sprintf("%s = call%s %s(%s)", f.fmtVal(in.Dst), sec, in.Sym, strings.Join(args, ", "))
+	case opMaskLoad:
+		return fmt.Sprintf("%s = maskload", f.fmtVal(in.Dst))
+	case opScrub:
+		return "scrub.alu"
+	case opScrubX:
+		return "scrub.xor"
+	case opScrubLoad:
+		return "scrub.mem"
 	}
 	return "?"
 }
@@ -311,6 +330,14 @@ func policySecure(p Policy, tainted, isMem bool) bool {
 		return isMem
 	case PolicyAllSecure:
 		return true
+	case PolicyBooleanMask:
+		// The mask transform (mask.go) rewrites tainted data flow into
+		// insecure share-wise operations, so by the time code is emitted the
+		// only tainted values left are the raw intermediates inside secure
+		// islands. Answering "tainted" here makes lowering and any pass that
+		// consults the table treat those exactly like PolicySelective — a
+		// safety net, not the protection mechanism.
+		return tainted
 	}
 	return false
 }

@@ -102,7 +102,10 @@ func (l *lowerer) paramTainted(fn *minic.FuncDecl, p *minic.VarDecl) bool {
 	switch l.opts.Policy {
 	case PolicySeedsOnly:
 		return p.Secure
-	case PolicySelective:
+	case PolicySelective, PolicyBooleanMask:
+		// Under boolean masking tainted parameters stay raw (they are secure
+		// islands' inputs), so their homing stores must be secure exactly as
+		// under the selective policy.
 		return l.a.Tainted[localID(fn.Name, p.Name)]
 	}
 	return false
@@ -507,6 +510,9 @@ func (l *lowerer) lowerWhile(st *minic.WhileStmt) error {
 }
 
 func (l *lowerer) lowerFor(st *minic.ForStmt) error {
+	if st.Shuffle && l.opts.Shuffle {
+		return l.lowerShuffledFor(st)
+	}
 	if st.Init != nil {
 		if err := l.lowerAssign(st.Init); err != nil {
 			return err
@@ -532,4 +538,39 @@ func (l *lowerer) lowerFor(st *minic.ForStmt) error {
 	l.cur.term = irTerm{Kind: termJmp, Cond: noValue, A: noValue, Target: headB}
 	l.startBlock(endB)
 	return nil
+}
+
+// lowerShuffledFor lowers a `shuffle for` loop under Options.Shuffle: a
+// hidden counter walks 0..N-1 and the programmer's loop variable is assigned
+// __shuf[counter] at the top of each iteration, so a per-execution random
+// permutation poked into __shuf decides the visitation order. The rewritten
+// loop reuses the ordinary lowering, so taint and Secure decisions are the
+// standard ones; the indirection itself is public data flow (the permutation
+// is independent of the secrets).
+func (l *lowerer) lowerShuffledFor(st *minic.ForStmt) error {
+	v, n, ok := canonicalFor(st)
+	if !ok {
+		return l.errf(st.Pos, "shuffle for requires the canonical form `for (v = 0; v < N; v = v + 1)`")
+	}
+	_ = n
+	l.label++
+	idx := fmt.Sprintf("__shufidx%d", l.label)
+	l.f.frame[idx] = l.f.frameSize
+	l.f.frameSize += 4
+	pos := st.Pos
+	indirect := &minic.AssignStmt{
+		Pos: pos,
+		LHS: &minic.VarRef{Pos: pos, Name: v},
+		RHS: &minic.IndexExpr{Pos: pos, Name: ShuffleSym, Index: &minic.VarRef{Pos: pos, Name: idx}},
+	}
+	rewritten := &minic.ForStmt{
+		Pos:  pos,
+		Init: &minic.AssignStmt{Pos: pos, LHS: &minic.VarRef{Pos: pos, Name: idx}, RHS: &minic.NumLit{Pos: pos, Val: 0}},
+		Cond: &minic.BinaryExpr{Pos: pos, Op: minic.OpLt,
+			X: &minic.VarRef{Pos: pos, Name: idx}, Y: st.Cond.(*minic.BinaryExpr).Y},
+		Post: &minic.AssignStmt{Pos: pos, LHS: &minic.VarRef{Pos: pos, Name: idx},
+			RHS: &minic.BinaryExpr{Pos: pos, Op: minic.OpAdd, X: &minic.VarRef{Pos: pos, Name: idx}, Y: &minic.NumLit{Pos: pos, Val: 1}}},
+		Body: &minic.Block{Pos: st.Body.Pos, Stmts: append([]minic.Stmt{indirect}, st.Body.Stmts...)},
+	}
+	return l.lowerFor(rewritten)
 }

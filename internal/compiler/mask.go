@@ -1,0 +1,632 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"desmask/internal/minic"
+)
+
+// Boolean masking (PolicyBooleanMask) — a software countermeasure in the
+// style of CryptRISC / Stangherlin & Sachdev: instead of charging every
+// secret-touching instruction the dual-rail energy penalty, each tainted
+// value is carried as a pair of shares (v XOR m, m) where m is a fresh
+// per-execution random, so the energy of the ordinary (insecure, cheap)
+// data path is statistically independent of the secret at first order.
+//
+// The transform runs on the lowered IR, before the -O passes:
+//
+//   - every tainted variable slot becomes a pair of slots: the slot itself
+//     holds v XOR m and an adjacent shadow slot (MaskShadow) holds m;
+//   - GF(2)-linear operations (xor, and-with-constant, constant shifts,
+//     copies, loads/stores) are computed share-wise with *insecure*
+//     instructions;
+//   - non-linear operations (add, mul, or, and, comparisons, tainted table
+//     indexing) become "secure islands": the operands are unmasked with a
+//     secure xor, the operation runs with its secure variant (dual-rail,
+//     data-independent energy), and the raw result is freshly remasked from
+//     the pool before it re-enters the insecure share world;
+//   - share values are statistically independent of the secrets, so their
+//     taint bit is cleared; raw island intermediates stay tainted, which
+//     makes every pass and the emitter treat them exactly as under
+//     PolicySelective (see policySecure).
+//
+// The energy model is transition-sensitive: a rail that carries v XOR m and
+// then m in consecutive transfers leaks HW(v). The transform therefore never
+// lets the two halves of a pair (or any mask and a value it masks) occupy a
+// rail back-to-back: every pair of share-wise operations is separated and
+// followed by a scrub instruction that drives the relevant rails to a
+// public random (the __mask_scrub word in $s7). The ALU, the XOR unit and
+// the memory-data rail keep independent transition histories, so there are
+// three scrub flavours (opScrub / opScrubX / opScrubLoad) and each pair
+// uses the one matching its execution unit.
+//
+// Masks are drawn from the __mask_pool global through the reserved cursor
+// register $s6 (opMaskLoad = load + post-increment), which the entry stub
+// initializes and whose final value is stored to __mask_cursor before halt
+// so harnesses can assert the pool never overflowed. A zero-filled pool
+// degrades to unmasked-but-correct execution; protection comes from the
+// harness poking fresh randoms per execution (see desprog/kernels).
+
+// canonicalFor matches `for (v = 0; v < N; v = v + 1)` and returns the loop
+// variable and trip count.
+func canonicalFor(st *minic.ForStmt) (string, int64, bool) {
+	if st.Init == nil || st.Cond == nil || st.Post == nil {
+		return "", 0, false
+	}
+	iv, ok := st.Init.LHS.(*minic.VarRef)
+	if !ok {
+		return "", 0, false
+	}
+	zero, ok := st.Init.RHS.(*minic.NumLit)
+	if !ok || zero.Val != 0 {
+		return "", 0, false
+	}
+	cond, ok := st.Cond.(*minic.BinaryExpr)
+	if !ok || cond.Op != minic.OpLt {
+		return "", 0, false
+	}
+	cv, ok := cond.X.(*minic.VarRef)
+	if !ok || cv.Name != iv.Name {
+		return "", 0, false
+	}
+	n, ok := cond.Y.(*minic.NumLit)
+	if !ok || n.Val <= 0 {
+		return "", 0, false
+	}
+	pv, ok := st.Post.LHS.(*minic.VarRef)
+	if !ok || pv.Name != iv.Name {
+		return "", 0, false
+	}
+	inc, ok := st.Post.RHS.(*minic.BinaryExpr)
+	if !ok || inc.Op != minic.OpAdd {
+		return "", 0, false
+	}
+	ix, ok := inc.X.(*minic.VarRef)
+	if !ok || ix.Name != iv.Name {
+		return "", 0, false
+	}
+	one, ok := inc.Y.(*minic.NumLit)
+	if !ok || one.Val != 1 {
+		return "", 0, false
+	}
+	return iv.Name, n.Val, true
+}
+
+// injectShuffleGlobal scans for `shuffle for` loops, validates them and adds
+// the identity-initialized __shuf permutation global. Returns the (common)
+// trip count, or 0 when the program has no shuffle loops.
+func injectShuffleGlobal(f *minic.File) (int, error) {
+	n := 0
+	var err error
+	var walkStmt func(s minic.Stmt)
+	walkBlock := func(b *minic.Block) {
+		for _, s := range b.Stmts {
+			walkStmt(s)
+		}
+	}
+	walkStmt = func(s minic.Stmt) {
+		switch st := s.(type) {
+		case *minic.Block:
+			walkBlock(st)
+		case *minic.IfStmt:
+			walkBlock(st.Then)
+			if st.Else != nil {
+				walkBlock(st.Else)
+			}
+		case *minic.WhileStmt:
+			walkBlock(st.Body)
+		case *minic.ForStmt:
+			if st.Shuffle {
+				_, tc, ok := canonicalFor(st)
+				if !ok && err == nil {
+					err = errf(st.Pos, "shuffle for requires the canonical form `for (v = 0; v < N; v = v + 1)`")
+				}
+				if ok {
+					if n != 0 && int64(n) != tc && err == nil {
+						err = errf(st.Pos, "all shuffle loops in a program must share one trip count (have %d and %d)", n, tc)
+					}
+					n = int(tc)
+				}
+			}
+			walkBlock(st.Body)
+		}
+	}
+	for _, fn := range f.Funcs {
+		walkBlock(fn.Body)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	if f.FindGlobal(ShuffleSym) == nil {
+		init := make([]int64, n)
+		for i := range init {
+			init[i] = int64(i)
+		}
+		f.Globals = append(f.Globals, &minic.VarDecl{
+			Name: ShuffleSym, IsArray: true, ArrayLen: n, Init: init,
+		})
+	}
+	return n, nil
+}
+
+// slot classes under masking.
+type mclass uint8
+
+const (
+	slotPub    mclass = iota // untainted variable: plain slot
+	slotMasked               // tainted variable: share pair (slot, shadow)
+	slotRaw                  // tainted parameter: raw value behind secure transfers
+)
+
+// value states during the rewrite.
+type mstate uint8
+
+const (
+	stPub    mstate = iota // public value
+	stMasked               // share0 of a pair (mask share tracked separately)
+	stRaw                  // raw secret intermediate (secure islands only)
+)
+
+// maskModule rewrites every function for PolicyBooleanMask and injects the
+// runtime-support globals. It returns the names of the masked globals (whose
+// contents harnesses must poke as share pairs).
+func maskModule(m *irModule, a *Analysis) ([]string, error) {
+	file := m.file
+
+	// Shadow globals, spliced right after their originals so the shadow of
+	// arr[i] sits exactly 4*len(arr) bytes above arr[i]; runtime globals
+	// appended at the end, the pool last so a cursor overflow runs into
+	// silent (zero-filled, unprotected) memory rather than program data.
+	var maskedGlobals []string
+	for _, g := range file.Globals {
+		if a.Tainted[globalID(g.Name)] {
+			maskedGlobals = append(maskedGlobals, g.Name)
+		}
+	}
+	if file.FindGlobal(MaskPoolSym) == nil {
+		var out []*minic.VarDecl
+		for _, g := range file.Globals {
+			out = append(out, g)
+			if a.Tainted[globalID(g.Name)] {
+				out = append(out, &minic.VarDecl{
+					Name: MaskShadow(g.Name), IsArray: g.IsArray, ArrayLen: g.ArrayLen,
+				})
+			}
+		}
+		out = append(out,
+			&minic.VarDecl{Name: MaskScrubSym},
+			&minic.VarDecl{Name: MaskCursorSym},
+			&minic.VarDecl{Name: MaskPoolSym, IsArray: true, ArrayLen: MaskPoolWords},
+		)
+		file.Globals = out
+	}
+
+	for _, f := range m.funcs {
+		if err := maskFunc(f, a); err != nil {
+			return nil, err
+		}
+	}
+	return maskedGlobals, nil
+}
+
+// masker carries the per-function rewrite state.
+type masker struct {
+	f     *irFunc
+	a     *Analysis
+	cls   map[string]mclass  // slot name -> class
+	delta map[string]int32   // masked slot -> byte offset of its shadow
+	st    map[valueID]mstate // value -> state (absent = stPub)
+	share map[valueID]valueID
+	out   []irInstr
+	// rawOf caches island unmaskings within one block (dominance-safe).
+	rawOf map[valueID]valueID
+}
+
+func maskFunc(f *irFunc, a *Analysis) error {
+	mk := &masker{
+		f: f, a: a,
+		cls:   map[string]mclass{},
+		delta: map[string]int32{},
+		st:    map[valueID]mstate{},
+		share: map[valueID]valueID{},
+	}
+	fn := f.decl
+	params := map[string]bool{}
+	for _, p := range fn.Params {
+		params[p.Name] = true
+	}
+
+	// Classify frame slots and grow the frame with local shadows. Iterate in
+	// offset order for a deterministic layout.
+	names := make([]string, 0, len(f.frame))
+	for name := range f.frame {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return f.frame[names[i]] < f.frame[names[j]] })
+	for _, name := range names {
+		if !a.Tainted[localID(fn.Name, name)] {
+			mk.cls[name] = slotPub
+			continue
+		}
+		if params[name] {
+			mk.cls[name] = slotRaw
+			continue
+		}
+		mk.cls[name] = slotMasked
+		words := 1
+		if d, ok := a.lookup(fn, name); ok && d.IsArray {
+			words = d.ArrayLen
+		}
+		sh := MaskShadow(name)
+		f.frame[sh] = f.frameSize
+		f.frameSize += 4 * words
+		mk.delta[name] = int32(f.frame[sh] - f.frame[name])
+	}
+	// Classify globals.
+	for _, g := range a.File.Globals {
+		if _, local := f.frame[g.Name]; local {
+			continue
+		}
+		if a.Tainted[globalID(g.Name)] {
+			mk.cls[g.Name] = slotMasked
+			words := 1
+			if g.IsArray {
+				words = g.ArrayLen
+			}
+			mk.delta[g.Name] = int32(4 * words)
+		}
+	}
+
+	for _, blk := range f.blocks {
+		mk.out = mk.out[:0]
+		mk.rawOf = map[valueID]valueID{}
+		for i := range blk.instrs {
+			if err := mk.rewrite(&blk.instrs[i]); err != nil {
+				return err
+			}
+		}
+		// Terminators read raw bits.
+		if blk.term.Kind == termBrz && mk.state(blk.term.Cond) == stMasked {
+			blk.term.Cond = mk.toRaw(blk.term.Cond)
+		}
+		if blk.term.Kind == termRet && blk.term.A != noValue && mk.state(blk.term.A) == stMasked {
+			blk.term.A = mk.toRaw(blk.term.A)
+		}
+		blk.instrs = append([]irInstr(nil), mk.out...)
+	}
+	return nil
+}
+
+func (mk *masker) emit(in irInstr) { mk.out = append(mk.out, in) }
+
+func (mk *masker) state(v valueID) mstate {
+	if v <= zeroValue {
+		return stPub
+	}
+	return mk.st[v]
+}
+
+func (mk *masker) classOf(sym string) mclass {
+	return mk.cls[sym] // absent (e.g. runtime globals, tables) = slotPub
+}
+
+func (mk *masker) newVal(tainted bool) valueID { return mk.f.newValue(tainted) }
+
+// setMasked marks v as share0 with the given mask share. Shares are
+// statistically independent of the secrets, so their taint is cleared.
+func (mk *masker) setMasked(v, mask valueID) {
+	mk.st[v] = stMasked
+	mk.share[v] = mask
+	mk.f.taint[v] = false
+}
+
+func (mk *masker) setRaw(v valueID) {
+	mk.st[v] = stRaw
+	mk.f.taint[v] = true
+}
+
+// freshMask draws a pool word; the following scrub keeps the mask that just
+// crossed the memory-data rail from sitting next to a value it masks.
+func (mk *masker) freshMask() valueID {
+	m := mk.newVal(false)
+	mk.emit(irInstr{Op: opMaskLoad, Dst: m})
+	mk.emit(irInstr{Op: opScrubLoad, Dst: noValue, A: noValue, B: noValue})
+	return m
+}
+
+// toRaw produces the raw bits of v (identity for public/raw values). The
+// unmasking xor is secure, so the recombination never appears on an
+// insecure rail.
+func (mk *masker) toRaw(v valueID) valueID {
+	if mk.state(v) != stMasked {
+		return v
+	}
+	if r, ok := mk.rawOf[v]; ok {
+		return r
+	}
+	r := mk.newVal(true)
+	mk.emit(irInstr{Op: opBin, Bin: binXor, Dst: r, A: v, B: mk.share[v], Secure: true})
+	mk.setRaw(r)
+	mk.rawOf[v] = r
+	return r
+}
+
+// remask converts a raw value into a fresh share pair via a secure xor.
+func (mk *masker) remask(raw valueID) valueID {
+	m := mk.freshMask()
+	s0 := mk.newVal(false)
+	mk.emit(irInstr{Op: opBin, Bin: binXor, Dst: s0, A: raw, B: m, Secure: true})
+	mk.setMasked(s0, m)
+	return s0
+}
+
+// asPair returns (share0, mask) for a value, remasking raw values and
+// pairing public values with the zero mask (public data needs no masking,
+// and (v, 0) is a valid share pair).
+func (mk *masker) asPair(v valueID) (valueID, valueID) {
+	switch mk.state(v) {
+	case stMasked:
+		return v, mk.share[v]
+	case stRaw:
+		s0 := mk.remask(v)
+		return s0, mk.share[s0]
+	}
+	return v, zeroValue
+}
+
+func (mk *masker) rewrite(in *irInstr) error {
+	switch in.Op {
+	case opConst, opAddr:
+		mk.emit(*in)
+		mk.st[in.Dst] = stPub
+		return nil
+
+	case opCopy:
+		switch mk.state(in.A) {
+		case stPub:
+			mk.emit(*in)
+			mk.st[in.Dst] = stPub
+		case stRaw:
+			cp := *in
+			cp.Secure = true
+			mk.emit(cp)
+			mk.setRaw(in.Dst)
+		case stMasked:
+			mk.emit(irInstr{Op: opCopy, Dst: in.Dst, A: in.A})
+			mk.setMasked(in.Dst, mk.share[in.A]) // mask share aliased, values are immutable
+		}
+		return nil
+
+	case opLoad:
+		switch mk.classOf(in.Sym) {
+		case slotMasked:
+			mk.emit(irInstr{Op: opLoad, Dst: in.Dst, Sym: in.Sym, Imm: in.Imm})
+			mk.emit(irInstr{Op: opScrubLoad})
+			m := mk.newVal(false)
+			mk.emit(irInstr{Op: opLoad, Dst: m, Sym: MaskShadow(in.Sym), Imm: in.Imm})
+			mk.emit(irInstr{Op: opScrubLoad})
+			mk.setMasked(in.Dst, m)
+		case slotRaw:
+			cp := *in
+			cp.Secure = true
+			mk.emit(cp)
+			mk.setRaw(in.Dst)
+		default:
+			mk.emit(*in)
+			mk.st[in.Dst] = stPub
+		}
+		return nil
+
+	case opStore:
+		switch mk.classOf(in.Sym) {
+		case slotMasked:
+			s0, m := mk.asPair(in.A)
+			if mk.state(in.A) == stPub {
+				// Public write: plain store plus shadow invalidation, so a
+				// later pair load reconstructs the public value.
+				mk.emit(irInstr{Op: opStore, Sym: in.Sym, Imm: in.Imm, A: s0, Dst: noValue})
+				mk.emit(irInstr{Op: opStore, Sym: MaskShadow(in.Sym), Imm: in.Imm, A: zeroValue, Dst: noValue})
+				return nil
+			}
+			mk.emit(irInstr{Op: opStore, Sym: in.Sym, Imm: in.Imm, A: s0, Dst: noValue})
+			mk.emit(irInstr{Op: opScrubLoad})
+			mk.emit(irInstr{Op: opStore, Sym: MaskShadow(in.Sym), Imm: in.Imm, A: m, Dst: noValue})
+			mk.emit(irInstr{Op: opScrubLoad})
+		case slotRaw:
+			cp := *in
+			cp.A = mk.toRaw(in.A)
+			cp.Secure = true
+			mk.emit(cp)
+		default:
+			cp := *in
+			if mk.state(in.A) != stPub {
+				cp.A = mk.toRaw(in.A)
+				cp.Secure = true
+			}
+			mk.emit(cp)
+		}
+		return nil
+
+	case opLoadP:
+		switch mk.classOf(in.Sym) {
+		case slotMasked:
+			if mk.state(in.A) == stPub {
+				mk.emit(irInstr{Op: opLoadP, Dst: in.Dst, Sym: in.Sym, A: in.A})
+				mk.emit(irInstr{Op: opScrubLoad})
+				addr2 := mk.newVal(false)
+				mk.emit(irInstr{Op: opBinImm, Bin: binAdd, Dst: addr2, A: in.A, Imm: mk.delta[in.Sym]})
+				m := mk.newVal(false)
+				mk.emit(irInstr{Op: opLoadP, Dst: m, Sym: MaskShadow(in.Sym), A: addr2})
+				mk.emit(irInstr{Op: opScrubLoad})
+				mk.setMasked(in.Dst, m)
+				return nil
+			}
+			// Secret-dependent address into a masked array: both share loads
+			// run secure (data-independent energy), no scrubs needed.
+			ar := mk.toRaw(in.A)
+			mk.emit(irInstr{Op: opLoadP, Dst: in.Dst, Sym: in.Sym, A: ar, Secure: true})
+			addr2 := mk.newVal(true)
+			mk.emit(irInstr{Op: opBinImm, Bin: binAdd, Dst: addr2, A: ar, Imm: mk.delta[in.Sym], Secure: true})
+			m := mk.newVal(false)
+			mk.emit(irInstr{Op: opLoadP, Dst: m, Sym: MaskShadow(in.Sym), A: addr2, Secure: true})
+			mk.setMasked(in.Dst, m)
+		default: // public array (incl. tables) or raw param (scalars only)
+			cp := *in
+			switch mk.state(in.A) {
+			case stPub:
+				mk.emit(cp)
+				if mk.f.taint[in.Dst] {
+					// e.g. control-tainted table data: raw under masking.
+					cp.Secure = true
+					mk.out[len(mk.out)-1] = cp
+					mk.setRaw(in.Dst)
+				} else {
+					mk.st[in.Dst] = stPub
+				}
+			default:
+				// The S-box case: a key-derived index must not ride the
+				// address path insecurely — unmask and load secure.
+				cp.A = mk.toRaw(in.A)
+				cp.Secure = true
+				mk.emit(cp)
+				mk.setRaw(in.Dst)
+			}
+		}
+		return nil
+
+	case opStoreP:
+		switch mk.classOf(in.Sym) {
+		case slotMasked:
+			if mk.state(in.A) != stPub {
+				ar := mk.toRaw(in.A)
+				s0, m := mk.asPair(in.B)
+				mk.emit(irInstr{Op: opStoreP, Sym: in.Sym, A: ar, B: s0, Dst: noValue, Secure: true})
+				addr2 := mk.newVal(true)
+				mk.emit(irInstr{Op: opBinImm, Bin: binAdd, Dst: addr2, A: ar, Imm: mk.delta[in.Sym], Secure: true})
+				mk.emit(irInstr{Op: opStoreP, Sym: MaskShadow(in.Sym), A: addr2, B: m, Dst: noValue, Secure: true})
+				return nil
+			}
+			s0, m := mk.asPair(in.B)
+			addr2 := mk.newVal(false)
+			if mk.state(in.B) == stPub {
+				mk.emit(irInstr{Op: opStoreP, Sym: in.Sym, A: in.A, B: s0, Dst: noValue})
+				mk.emit(irInstr{Op: opBinImm, Bin: binAdd, Dst: addr2, A: in.A, Imm: mk.delta[in.Sym]})
+				mk.emit(irInstr{Op: opStoreP, Sym: MaskShadow(in.Sym), A: addr2, B: zeroValue, Dst: noValue})
+				return nil
+			}
+			mk.emit(irInstr{Op: opStoreP, Sym: in.Sym, A: in.A, B: s0, Dst: noValue})
+			mk.emit(irInstr{Op: opScrubLoad})
+			mk.emit(irInstr{Op: opBinImm, Bin: binAdd, Dst: addr2, A: in.A, Imm: mk.delta[in.Sym]})
+			mk.emit(irInstr{Op: opStoreP, Sym: MaskShadow(in.Sym), A: addr2, B: m, Dst: noValue})
+			mk.emit(irInstr{Op: opScrubLoad})
+		default:
+			cp := *in
+			sec := cp.Secure
+			if mk.state(in.A) != stPub {
+				cp.A = mk.toRaw(in.A)
+				sec = true
+			}
+			if mk.state(in.B) != stPub {
+				cp.B = mk.toRaw(in.B)
+				sec = true
+			}
+			cp.Secure = sec
+			mk.emit(cp)
+		}
+		return nil
+
+	case opBin:
+		sa, sb := mk.state(in.A), mk.state(in.B)
+		if sa == stPub && sb == stPub {
+			mk.emit(*in)
+			mk.st[in.Dst] = stPub
+			return nil
+		}
+		if in.Bin == binXor && sa != stRaw && sb != stRaw {
+			switch {
+			case sa == stMasked && sb == stMasked:
+				mk.emit(irInstr{Op: opBin, Bin: binXor, Dst: in.Dst, A: in.A, B: in.B})
+				mk.emit(irInstr{Op: opScrubX})
+				m := mk.newVal(false)
+				mk.emit(irInstr{Op: opBin, Bin: binXor, Dst: m, A: mk.share[in.A], B: mk.share[in.B]})
+				mk.emit(irInstr{Op: opScrubX})
+				mk.setMasked(in.Dst, m)
+			case sa == stMasked:
+				mk.emit(irInstr{Op: opBin, Bin: binXor, Dst: in.Dst, A: in.A, B: in.B})
+				mk.setMasked(in.Dst, mk.share[in.A])
+			default: // sb == stMasked
+				mk.emit(irInstr{Op: opBin, Bin: binXor, Dst: in.Dst, A: in.A, B: in.B})
+				mk.setMasked(in.Dst, mk.share[in.B])
+			}
+			return nil
+		}
+		// Non-linear (or raw-fed) op: secure island.
+		cp := *in
+		cp.A = mk.toRaw(in.A)
+		cp.B = mk.toRaw(in.B)
+		cp.Secure = true
+		mk.emit(cp)
+		mk.setRaw(in.Dst)
+		return nil
+
+	case opBinImm:
+		switch mk.state(in.A) {
+		case stPub:
+			mk.emit(*in)
+			mk.st[in.Dst] = stPub
+			return nil
+		case stRaw:
+			cp := *in
+			cp.Secure = true
+			mk.emit(cp)
+			mk.setRaw(in.Dst)
+			return nil
+		}
+		switch in.Bin {
+		case binXor:
+			// (v0 ^ c, m) is a valid pair for v ^ c: mask unchanged.
+			mk.emit(irInstr{Op: opBinImm, Bin: binXor, Dst: in.Dst, A: in.A, Imm: in.Imm})
+			mk.setMasked(in.Dst, mk.share[in.A])
+		case binAnd, binShl, binShr, binShrU:
+			// Bit projections/selections are GF(2)-linear (sra replicates
+			// bit 31 in both shares, which cancels): apply share-wise.
+			mk.emit(irInstr{Op: opBinImm, Bin: in.Bin, Dst: in.Dst, A: in.A, Imm: in.Imm})
+			mk.emit(irInstr{Op: opScrub})
+			m := mk.newVal(false)
+			mk.emit(irInstr{Op: opBinImm, Bin: in.Bin, Dst: m, A: mk.share[in.A], Imm: in.Imm})
+			mk.emit(irInstr{Op: opScrub})
+			mk.setMasked(in.Dst, m)
+		default:
+			cp := *in
+			cp.A = mk.toRaw(in.A)
+			cp.Secure = true
+			mk.emit(cp)
+			mk.setRaw(in.Dst)
+		}
+		return nil
+
+	case opCall:
+		cp := *in
+		if len(in.Args) > 0 {
+			args := make([]valueID, len(in.Args))
+			for i, v := range in.Args {
+				args[i] = mk.toRaw(v) // raw args cross the call securely (taint-driven moves)
+			}
+			cp.Args = args
+		}
+		mk.emit(cp)
+		if in.Dst != noValue {
+			if mk.f.taint[in.Dst] {
+				mk.setRaw(in.Dst)
+			} else {
+				mk.st[in.Dst] = stPub
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("compiler: mask transform cannot handle op %v", in.Op)
+}

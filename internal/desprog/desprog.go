@@ -111,7 +111,7 @@ void right_side() {
 	int sidx;
 	int val;
 	for (i = 0; i < 48; i = i + 1) { ER[i] = R[E_TAB[i] - 1] ^ SUBKEY[i]; }
-	for (box = 0; box < 8; box = box + 1) {
+	shuffle for (box = 0; box < 8; box = box + 1) {
 		base = box * 6;
 		sidx = (ER[base] * 2 + ER[base + 5]) * 16
 			+ ER[base + 1] * 8 + ER[base + 2] * 4
@@ -340,9 +340,33 @@ func (m *Machine) Runner() *sim.Runner {
 // EncryptJob assembles the sim.Job of one encryption: the key and plaintext
 // bits are poked into their input globals in a fixed order (key first, then
 // plaintext) so simulation setup is fully deterministic, and the ciphertext
-// global is read back.
+// global is read back. On masked/shuffled machines it delegates to
+// EncryptJobSeeded with seed 0 — deterministic, but every trace of a batch
+// built this way reuses the same masks; attack and statistics drivers must
+// use EncryptJobSeeded with fresh per-trace seeds.
 func (m *Machine) EncryptJob(key, plaintext uint64, maxCycles uint64, capture bool) (sim.Job, error) {
+	return m.EncryptJobSeeded(key, plaintext, 0, maxCycles, capture)
+}
+
+// EncryptJobSeeded is EncryptJob plus the masking/shuffling runtime state for
+// one execution, all derived from maskSeed: on a PolicyBooleanMask machine the
+// key is poked pre-split into share pairs (key[i] = bit XOR m_i into the data
+// slot, m_i into the shadow slot — the raw key never appears in simulated
+// memory), the scrub word and the fresh-mask pool are filled with stream
+// randoms, and the final pool cursor is read back (Reads[1]) so callers can
+// assert the pool did not overflow; on a shuffled machine the __shuf global
+// gets a fresh random permutation. On unprotected machines maskSeed is
+// ignored and the job is the plain EncryptJob. Reads[0] is always the
+// ciphertext.
+func (m *Machine) EncryptJobSeeded(key, plaintext uint64, maskSeed int64, maxCycles uint64, capture bool) (sim.Job, error) {
 	job := sim.Job{MaxCycles: maxCycles, Trace: capture}
+	rng := compiler.NewMaskStream(maskSeed)
+	masked := make(map[string]bool)
+	if m.Res.Mask != nil {
+		for _, g := range m.Res.Mask.MaskedGlobals {
+			masked[g] = true
+		}
+	}
 	for _, in := range []struct {
 		name string
 		v    uint64
@@ -350,6 +374,19 @@ func (m *Machine) EncryptJob(key, plaintext uint64, maxCycles uint64, capture bo
 		addr, err := m.globalAddr(in.name)
 		if err != nil {
 			return sim.Job{}, err
+		}
+		if masked[in.name] {
+			shadow, err := m.globalAddr(compiler.MaskShadow(in.name))
+			if err != nil {
+				return sim.Job{}, err
+			}
+			for i, w := range spreadBits(in.v) {
+				mi := rng.Next32()
+				job.Writes = append(job.Writes,
+					sim.Write{Addr: addr + uint32(4*i), Val: w ^ mi},
+					sim.Write{Addr: shadow + uint32(4*i), Val: mi})
+			}
+			continue
 		}
 		for i, w := range spreadBits(in.v) {
 			job.Writes = append(job.Writes, sim.Write{Addr: addr + uint32(4*i), Val: w})
@@ -360,7 +397,56 @@ func (m *Machine) EncryptJob(key, plaintext uint64, maxCycles uint64, capture bo
 		return sim.Job{}, err
 	}
 	job.Reads = []sim.Read{{Addr: addr, Words: 64}}
+	if m.Res.Mask != nil {
+		if err := m.maskRuntimeWrites(&job, rng); err != nil {
+			return sim.Job{}, err
+		}
+	}
 	return job, nil
+}
+
+// maskRuntimeWrites appends the per-execution mask pool, scrub word and
+// shuffle permutation to a job, plus the pool-cursor read-back.
+func (m *Machine) maskRuntimeWrites(job *sim.Job, rng *compiler.MaskStream) error {
+	mrt := m.Res.Mask
+	for _, p := range mrt.RuntimePokes(rng) {
+		addr, err := m.globalAddr(p.Sym)
+		if err != nil {
+			return err
+		}
+		job.Writes = append(job.Writes, sim.Write{Addr: addr + uint32(4*p.Word), Val: p.Val})
+	}
+	if mrt.PoolWords > 0 {
+		cursor, err := m.globalAddr(compiler.MaskCursorSym)
+		if err != nil {
+			return err
+		}
+		job.Reads = append(job.Reads, sim.Read{Addr: cursor, Words: 1})
+	}
+	return nil
+}
+
+// CheckMaskCursor asserts a masked run stayed inside its fresh-mask pool,
+// using the cursor read-back appended by EncryptJobSeeded. No-op on
+// unprotected machines.
+func (m *Machine) CheckMaskCursor(res sim.Result) error {
+	if m.Res.Mask == nil || m.Res.Mask.PoolWords == 0 {
+		return nil
+	}
+	if len(res.Mem) < 2 || len(res.Mem[1]) != 1 {
+		return fmt.Errorf("desprog: masked run result carries no pool cursor read-back")
+	}
+	pool, err := m.globalAddr(compiler.MaskPoolSym)
+	if err != nil {
+		return err
+	}
+	end := pool + uint32(4*m.Res.Mask.PoolWords)
+	cur := res.Mem[1][0]
+	if cur < pool || cur > end {
+		return fmt.Errorf("desprog: mask pool overflow: cursor %#x outside [%#x,%#x] (%d words drawn, pool holds %d)",
+			cur, pool, end, (cur-pool)/4, m.Res.Mask.PoolWords)
+	}
+	return nil
 }
 
 // Encrypt runs one encryption through the simulation session, attaching any
@@ -392,7 +478,7 @@ func (m *Machine) EncryptBatch(key uint64, plaintexts []uint64, maxCycles uint64
 	}
 	jobs := make([]sim.Job, len(plaintexts))
 	for i, pt := range plaintexts {
-		job, err := m.EncryptJob(key, pt, maxCycles, capture)
+		job, err := m.EncryptJobSeeded(key, pt, sim.DeriveSeed(0, i), maxCycles, capture)
 		if err != nil {
 			return nil, err
 		}
@@ -408,11 +494,20 @@ type Input struct {
 }
 
 // TraceBatch captures full per-cycle traces for several inputs in parallel,
-// returning traces and ciphertexts in input order.
+// returning traces and ciphertexts in input order. Mask seeds derive from
+// base seed 0; attack drivers wanting an explicit mask stream should use
+// TraceBatchSeeded.
 func (m *Machine) TraceBatch(inputs []Input, opts sim.Options) ([]*trace.Trace, []uint64, error) {
+	return m.TraceBatchSeeded(inputs, 0, opts)
+}
+
+// TraceBatchSeeded is TraceBatch with an explicit base mask seed: trace i
+// runs with per-execution masks derived from (maskSeed, i), so every trace
+// of the batch draws an independent fresh-mask stream.
+func (m *Machine) TraceBatchSeeded(inputs []Input, maskSeed int64, opts sim.Options) ([]*trace.Trace, []uint64, error) {
 	jobs := make([]sim.Job, len(inputs))
 	for i, in := range inputs {
-		job, err := m.EncryptJob(in.Key, in.Plaintext, 0, true)
+		job, err := m.EncryptJobSeeded(in.Key, in.Plaintext, sim.DeriveSeed(maskSeed, i), 0, true)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -440,7 +535,7 @@ func (m *Machine) TraceBatch(inputs []Input, opts sim.Options) ([]*trace.Trace, 
 func (m *Machine) CipherBatch(inputs []Input, opts sim.Options) ([]uint64, error) {
 	jobs := make([]sim.Job, len(inputs))
 	for i, in := range inputs {
-		job, err := m.EncryptJob(in.Key, in.Plaintext, 0, false)
+		job, err := m.EncryptJobSeeded(in.Key, in.Plaintext, sim.DeriveSeed(0, i), 0, false)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,185 @@
+package dpa
+
+import (
+	"math"
+	"math/bits"
+
+	"desmask/internal/des"
+	"desmask/internal/leakstat"
+)
+
+// Second-order (centered-product) CPA — the attack that breaks first-order
+// boolean masking. A masked trace carries each sensitive value v as the pair
+// (v XOR m, m); no single sample's mean depends on v, so first-order CPA and
+// DoM collapse. But the *product* of two centered samples that process the
+// two shares (or one centered sample squared, when the pipeline overlaps the
+// shares in one cycle) has an expectation that depends on HW(v) again —
+// Messerges' classic second-order DPA, phrased as CPA. The preprocessing
+// here is univariate centered-square: y_j = (x_j - mean_j)^2, correlated
+// against the usual Hamming-weight model. It needs only the per-cycle means
+// (one streaming pass, O(window) memory) before the correlation pass.
+
+// CorrelationTrace2 returns the per-cycle Pearson correlation between the
+// Hamming weight of the predicted round-1 S-box output (for one sub-key
+// guess) and the centered-squared energy (x - mean)^2 — the univariate
+// second-order distinguisher.
+func CorrelationTrace2(ts *TraceSet, box int, guess uint32) []float64 {
+	n := ts.Window.Len()
+	m := len(ts.Traces)
+	if m == 0 || n <= 0 {
+		return nil
+	}
+
+	h := make([]float64, m)
+	var hAcc leakstat.Acc
+	for i, pt := range ts.Plaintexts {
+		h[i] = float64(bits.OnesCount8(des.FirstRoundSBoxOutput(pt, box, guess)))
+		hAcc.Add(h[i])
+	}
+	out := make([]float64, n)
+	if hAcc.M2 == 0 {
+		return out // constant prediction carries no signal
+	}
+
+	// Pass 1: per-cycle mean of the raw traces.
+	raw := leakstat.NewVec(n)
+	for _, tr := range ts.Traces {
+		raw.AddTrace(tr[ts.Window.Start:ts.Window.End])
+	}
+
+	// Pass 2: mean and M2 of the preprocessed samples y = (x - mean)^2, plus
+	// their covariance with the centered prediction, all streamed per cycle.
+	yMean := make([]float64, n)
+	yM2 := make([]float64, n)
+	cov := make([]float64, n)
+	inv := 1 / float64(m)
+	for i, tr := range ts.Traces {
+		seg := tr[ts.Window.Start:ts.Window.End]
+		hi := h[i] - hAcc.Mean
+		for j, x := range seg {
+			d := x - raw.Mean[j]
+			y := d * d
+			dy := y - yMean[j]
+			yMean[j] += dy * inv
+			yM2[j] += dy * (y - yMean[j])
+			cov[j] += hi * y
+		}
+	}
+	// cov accumulated sum(h_c * y); recenter by the y mean (sum(h_c) == 0
+	// makes the correction exact): cov_c = cov - m*mean(h_c)*mean(y) = cov.
+	// The Welford mean above is the final mean, so centering y after the
+	// fact costs nothing; the guard mirrors CorrelationTrace.
+	for j := range out {
+		if d := hAcc.M2 * yM2[j]; d > 0 {
+			out[j] = cov[j] / math.Sqrt(d)
+		}
+	}
+	return out
+}
+
+// CPA2AttackSBox scores every 6-bit sub-key guess of one S-box by its peak
+// absolute second-order correlation.
+func CPA2AttackSBox(ts *TraceSet, box int) BoxResult {
+	res := BoxResult{Box: box, Bit: -2, Best: GuessScore{Peak: -1}, RunnerUp: GuessScore{Peak: -1}}
+	for guess := uint32(0); guess < 64; guess++ {
+		corr := CorrelationTrace2(ts, box, guess)
+		peak := 0.0
+		for _, v := range corr {
+			if a := math.Abs(v); a > peak {
+				peak = a
+			}
+		}
+		res.AllScores[guess] = peak
+		switch {
+		case peak > res.Best.Peak:
+			res.RunnerUp = res.Best
+			res.Best = GuessScore{Guess: guess, Peak: peak}
+		case peak > res.RunnerUp.Peak:
+			res.RunnerUp = GuessScore{Guess: guess, Peak: peak}
+		}
+	}
+	return res
+}
+
+// CPA2AttackAll attacks all eight S-boxes with the second-order
+// distinguisher.
+func CPA2AttackAll(ts *TraceSet) [8]BoxResult {
+	var out [8]BoxResult
+	for box := 0; box < 8; box++ {
+		out[box] = CPA2AttackSBox(ts, box)
+	}
+	return out
+}
+
+// Chunks extracts the eight best-guess 6-bit sub-key chunks of a full-key
+// attack, in des.RecoverKey's order (chunk 0 feeds S-box 1).
+func Chunks(results [8]BoxResult) [8]uint32 {
+	var out [8]uint32
+	for box, r := range results {
+		out[box] = r.Best.Guess
+	}
+	return out
+}
+
+// FullKeyResult is the outcome of a complete first-round key-recovery attack:
+// all eight S-boxes attacked, the 48 recovered K1 bits completed to the
+// 56-bit key by trial encryption against one known pair.
+type FullKeyResult struct {
+	Boxes [8]BoxResult
+	// Recovered counts correct 6-bit chunks (needs the true key; filled by
+	// VerifyAgainst, -1 until then).
+	Recovered int
+	// Key is the completed 64-bit key (zero parity bits); OK reports that
+	// some candidate reproduced the known ciphertext.
+	Key uint64
+	OK  bool
+}
+
+// Stat names a full-key distinguisher.
+type Stat int
+
+const (
+	// StatDoM is Kocher-style single-bit difference of means.
+	StatDoM Stat = iota
+	// StatCPA is first-order Hamming-weight correlation.
+	StatCPA
+	// StatCPA2 is second-order centered-square correlation.
+	StatCPA2
+)
+
+// String names the distinguisher as the attack API spells it.
+func (s Stat) String() string {
+	switch s {
+	case StatDoM:
+		return "dom"
+	case StatCPA:
+		return "cpa"
+	case StatCPA2:
+		return "cpa2"
+	}
+	return "stat?"
+}
+
+// FullKeyAttack runs the complete 48-bit round-key recovery with the chosen
+// distinguisher and completes it to the 56-bit key via one known
+// (plaintext, ciphertext) pair. Recovered is left at -1; call VerifyAgainst
+// with the true key to fill it.
+func FullKeyAttack(ts *TraceSet, stat Stat, plaintext, ciphertext uint64) FullKeyResult {
+	var res FullKeyResult
+	switch stat {
+	case StatCPA:
+		res.Boxes = CPAAttackAll(ts)
+	case StatCPA2:
+		res.Boxes = CPA2AttackAll(ts)
+	default:
+		res.Boxes = AttackAll(ts, 0)
+	}
+	res.Recovered = -1
+	res.Key, res.OK = des.RecoverKey(Chunks(res.Boxes), plaintext, ciphertext)
+	return res
+}
+
+// VerifyAgainst scores the attack against the true key, filling Recovered.
+func (r *FullKeyResult) VerifyAgainst(key uint64) {
+	r.Recovered, _ = Verify(r.Boxes, key)
+}

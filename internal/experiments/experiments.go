@@ -580,17 +580,34 @@ func Workloads() ([]WorkloadRow, error) {
 	return rows, nil
 }
 
-// TVLARow is one fixed-vs-random Welch t-test verdict from the streaming
-// leakstat engine: the modern leakage-assessment complement to the exact
-// two-trace differentials of Figures 8-11.
+// TVLARow is one cell of the protection-vs-attack matrix: a (workload,
+// countermeasure) build pitted against one attack statistic. "tvla" cells
+// come from the streaming fixed-vs-random Welch engine — the modern
+// leakage-assessment complement to the exact two-trace differentials of
+// Figures 8-11 — at first or second statistical order; "cpa" cells are
+// full 48-bit round-key recovery outcomes from internal/dpa.
 type TVLARow struct {
 	Workload string
 	Policy   compiler.Policy
-	Traces   int
+	// Shuffle reports the operand-shuffling countermeasure was layered on
+	// top of the policy.
+	Shuffle bool
+	// Stat is the attack statistic: "tvla" rows carry an assessment verdict
+	// (MaxAbsT, Leak), "cpa" rows a key-recovery outcome (Recovered, KeyOK).
+	Stat string
+	// Order is the statistical order of the attack: 1 = means, 2 = centered
+	// second moments (the statistic that breaks first-order masking).
+	Order  int
+	Traces int
 	// MaxAbsT is the peak |t| over the masked region; Leak reports whether
 	// it crossed the TVLA threshold (leakstat.DefaultThreshold, 4.5).
 	MaxAbsT float64
 	Leak    bool
+	// Recovered counts correct 6-bit sub-key chunks out of 8 (-1 on tvla
+	// rows); KeyOK reports the completed 56-bit key reproduced the known
+	// ciphertext.
+	Recovered int
+	KeyOK     bool
 }
 
 // kernelInputs returns the canonical secret/public inputs and the secret
@@ -643,8 +660,8 @@ func TVLATable(traces, workers int) ([]TVLARow, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, TVLARow{Workload: "des", Policy: pol, Traces: traces,
-			MaxAbsT: rep.MaxAbsT, Leak: rep.Leak})
+		rows = append(rows, TVLARow{Workload: "des", Policy: pol, Stat: "tvla", Order: 1,
+			Traces: traces, MaxAbsT: rep.MaxAbsT, Leak: rep.Leak, Recovered: -1})
 	}
 
 	for _, k := range []kernels.Kernel{kernels.AES128(), kernels.TEA(), kernels.SHA1()} {
@@ -664,9 +681,89 @@ func TVLATable(traces, workers int) ([]TVLARow, error) {
 			if err != nil {
 				return nil, err
 			}
-			rows = append(rows, TVLARow{Workload: k.Name, Policy: pol, Traces: traces,
-				MaxAbsT: rep.MaxAbsT, Leak: rep.Leak})
+			rows = append(rows, TVLARow{Workload: k.Name, Policy: pol, Stat: "tvla", Order: 1,
+				Traces: traces, MaxAbsT: rep.MaxAbsT, Leak: rep.Leak, Recovered: -1})
 		}
+	}
+
+	att, err := MaskAttackTable(traces, traces, workers)
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, att...), nil
+}
+
+// maskCycleBudget bounds the boolean-mask TVLA cells: the second-order leak
+// (the 5-stage pipeline overlapping the two shares' EX and WB energy in one
+// cycle) sits near cycle 9.8k of the DES run, so a [0, 12k) budget covers it
+// at roughly half the full-window simulation cost.
+const maskCycleBudget = 12_000
+
+// MaskAttackTable pits the compiler countermeasures against the attacks they
+// were built to stop — and against the stronger attacks that still succeed:
+//
+//   - boolean-mask (with and without shuffling) vs TVLA at order 1 and 2,
+//     from ONE simulation pass per build: the order-2 accumulators carry the
+//     means, so WelchT over the same fold yields the first-order verdict for
+//     free. At assessment scale (thousands of traces) the masked build
+//     passes first order but fails second order: no single cycle's *mean*
+//     energy depends on the key, but the cycle-energy *variance* does where
+//     the pipeline co-schedules the two shares.
+//   - full-key CPA vs the unprotected and shuffled builds: at equal trace
+//     budgets the unprotected build gives up all 8 sub-key chunks and the
+//     completed 56-bit key, while shuffling leaves chunks wrong and the
+//     completion failing — degradation, not defeat (more traces still win).
+//
+// TVLATable embeds these cells at its own trace count; the pinned verdicts
+// above are asserted at their real operating points by TestMaskAttackPayoff
+// and the CI smoke job.
+func MaskAttackTable(tvlaTraces, cpaTraces, workers int) ([]TVLARow, error) {
+	var rows []TVLARow
+	for _, shuffle := range []bool{false, true} {
+		m, err := desprog.NewFull(compiler.Options{Policy: compiler.PolicyBooleanMask, Shuffle: shuffle}, energy.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		win, err := leakstat.DESMaskedWindow(m, DefaultKey, DefaultPlain, maskCycleBudget)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := leakstat.Assess(
+			leakstat.DESKeySource(m, DefaultKey, DefaultPlain, 7, maskCycleBudget),
+			leakstat.Config{NumTraces: tvlaTraces, Seed: 7, Workers: workers, Window: win, Order: 2})
+		if err != nil {
+			return nil, err
+		}
+		t1, err := leakstat.WelchT(rep.Fixed, rep.Random)
+		if err != nil {
+			return nil, err
+		}
+		peak1, _ := leakstat.MaxAbs(t1)
+		rows = append(rows,
+			TVLARow{Workload: "des", Policy: compiler.PolicyBooleanMask, Shuffle: shuffle,
+				Stat: "tvla", Order: 1, Traces: tvlaTraces,
+				MaxAbsT: peak1, Leak: peak1 > leakstat.DefaultThreshold, Recovered: -1},
+			TVLARow{Workload: "des", Policy: compiler.PolicyBooleanMask, Shuffle: shuffle,
+				Stat: "tvla", Order: 2, Traces: tvlaTraces,
+				MaxAbsT: rep.MaxAbsT, Leak: rep.Leak, Recovered: -1})
+	}
+
+	ciphertext := des.Encrypt(DefaultKey, DefaultPlain)
+	for _, shuffle := range []bool{false, true} {
+		m, err := desprog.NewFull(compiler.Options{Policy: compiler.PolicyNone, Shuffle: shuffle}, energy.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		ts, err := dpa.Collect(m, DefaultKey, dpa.Config{
+			NumTraces: cpaTraces, Seed: 1, MaxCycles: 25_000, Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		res := dpa.FullKeyAttack(ts, dpa.StatCPA, DefaultPlain, ciphertext)
+		res.VerifyAgainst(DefaultKey)
+		rows = append(rows, TVLARow{Workload: "des", Policy: compiler.PolicyNone, Shuffle: shuffle,
+			Stat: "cpa", Order: 1, Traces: cpaTraces,
+			Recovered: res.Recovered, KeyOK: res.OK})
 	}
 	return rows, nil
 }
@@ -1035,11 +1132,22 @@ func RunAll(w io.Writer, dpaTraces int) error {
 	if err != nil {
 		return err
 	}
-	p("%-8s %-16s %8s %14s %6s", "workload", "policy", "traces", "max |t|", "leak")
+	p("%-8s %-22s %5s %6s %8s %14s %6s %12s", "workload", "protection", "stat", "order", "traces", "max |t|", "leak", "key recovery")
 	for _, row := range tv {
-		p("%-8s %-16s %8d %14.2f %6v", row.Workload, row.Policy, row.Traces, row.MaxAbsT, row.Leak)
+		prot := row.Policy.String()
+		if row.Shuffle {
+			prot += "+shuffle"
+		}
+		rec := "-"
+		if row.Stat == "cpa" {
+			rec = fmt.Sprintf("%d/8 key=%v", row.Recovered, row.KeyOK)
+		}
+		p("%-8s %-22s %5s %6d %8d %14.2f %6v %12s",
+			row.Workload, prot, row.Stat, row.Order, row.Traces, row.MaxAbsT, row.Leak, rec)
 	}
 	p("threshold |t| = %.1f; secret varies between populations, window = masked region", leakstat.DefaultThreshold)
+	p("cpa rows attack round 1 of the build named under protection; verdicts at these small")
+	p("trace counts are indicative — the pinned operating points live in the experiments tests")
 
 	p("\n== Cross-ISA: same source, same policy, every backend ==")
 	ci, err := CrossISATable(32, 0)

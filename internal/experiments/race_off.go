@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports the race detector is compiled in; see race_on.go.
+const raceEnabled = false

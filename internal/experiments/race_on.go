@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports the race detector is compiled in. Assessment-scale
+// tests (thousands of traces) skip under it — the detector multiplies their
+// runtime several-fold and they assert statistics, not synchronization; the
+// CI workflow runs them in a dedicated race-free step instead.
+const raceEnabled = true

@@ -72,26 +72,86 @@ func (m *Machine) Runner() *sim.Runner {
 }
 
 // Job assembles the sim.Job of one kernel run: secret then public inputs
-// poked into their global arrays (fixed order), output array read back.
+// poked into their global arrays (fixed order), output array read back. On
+// masked/shuffled machines it delegates to JobSeeded with seed 0 —
+// deterministic, but every job built this way reuses the same masks;
+// statistics drivers must pass fresh per-trace seeds to JobSeeded.
 func (m *Machine) Job(secret, public []uint32, capture bool) (sim.Job, error) {
+	return m.JobSeeded(secret, public, 0, capture)
+}
+
+// globalAddr resolves the address of a MiniC global.
+func (m *Machine) globalAddr(name string) (uint32, error) {
+	addr, ok := m.Res.Program.Symbols[compiler.GlobalLabel(name)]
+	if !ok {
+		return 0, fmt.Errorf("kernels: %s: no global %q", m.Kernel.Name, name)
+	}
+	return addr, nil
+}
+
+// JobSeeded is Job plus the masking/shuffling runtime state for one
+// execution, all derived from maskSeed: on a PolicyBooleanMask machine the
+// secret is poked pre-split into share pairs (word XOR m_i into the data
+// slot, m_i into the shadow slot — the raw secret never appears in simulated
+// memory), the scrub word and fresh-mask pool are filled with stream
+// randoms, and the final pool cursor is read back (Reads[1]); on a shuffled
+// machine the __shuf global gets a fresh random permutation. On unprotected
+// machines maskSeed is ignored. Reads[0] is always the output array.
+func (m *Machine) JobSeeded(secret, public []uint32, maskSeed int64, capture bool) (sim.Job, error) {
 	job := sim.Job{Trace: capture}
+	rng := compiler.NewMaskStream(maskSeed)
+	masked := make(map[string]bool)
+	if m.Res.Mask != nil {
+		for _, g := range m.Res.Mask.MaskedGlobals {
+			masked[g] = true
+		}
+	}
 	for _, in := range []struct {
 		name string
 		vals []uint32
 	}{{m.Kernel.SecretGlobal, secret}, {m.Kernel.PublicGlobal, public}} {
-		addr, ok := m.Res.Program.Symbols[compiler.GlobalLabel(in.name)]
-		if !ok {
-			return sim.Job{}, fmt.Errorf("kernels: %s: no global %q", m.Kernel.Name, in.name)
+		addr, err := m.globalAddr(in.name)
+		if err != nil {
+			return sim.Job{}, err
+		}
+		if masked[in.name] {
+			shadow, err := m.globalAddr(compiler.MaskShadow(in.name))
+			if err != nil {
+				return sim.Job{}, err
+			}
+			for i, v := range in.vals {
+				mi := rng.Next32()
+				job.Writes = append(job.Writes,
+					sim.Write{Addr: addr + uint32(4*i), Val: v ^ mi},
+					sim.Write{Addr: shadow + uint32(4*i), Val: mi})
+			}
+			continue
 		}
 		for i, v := range in.vals {
 			job.Writes = append(job.Writes, sim.Write{Addr: addr + uint32(4*i), Val: v})
 		}
 	}
-	addr, ok := m.Res.Program.Symbols[compiler.GlobalLabel(m.Kernel.OutputGlobal)]
-	if !ok {
-		return sim.Job{}, fmt.Errorf("kernels: %s: no output global %q", m.Kernel.Name, m.Kernel.OutputGlobal)
+	addr, err := m.globalAddr(m.Kernel.OutputGlobal)
+	if err != nil {
+		return sim.Job{}, err
 	}
 	job.Reads = []sim.Read{{Addr: addr, Words: m.Kernel.OutputLen}}
+	if m.Res.Mask != nil {
+		for _, p := range m.Res.Mask.RuntimePokes(rng) {
+			addr, err := m.globalAddr(p.Sym)
+			if err != nil {
+				return sim.Job{}, err
+			}
+			job.Writes = append(job.Writes, sim.Write{Addr: addr + uint32(4*p.Word), Val: p.Val})
+		}
+		if m.Res.Mask.PoolWords > 0 {
+			cursor, err := m.globalAddr(compiler.MaskCursorSym)
+			if err != nil {
+				return sim.Job{}, err
+			}
+			job.Reads = append(job.Reads, sim.Read{Addr: cursor, Words: 1})
+		}
+	}
 	return job, nil
 }
 
@@ -125,7 +185,7 @@ func (m *Machine) Run(secret, public []uint32, probes ...cpu.Probe) ([]uint32, s
 func (m *Machine) RunBatch(secret []uint32, publics [][]uint32, capture bool, opts sim.Options) ([]sim.Result, error) {
 	jobs := make([]sim.Job, len(publics))
 	for i, pub := range publics {
-		job, err := m.Job(secret, pub, capture)
+		job, err := m.JobSeeded(secret, pub, sim.DeriveSeed(0, i), capture)
 		if err != nil {
 			return nil, err
 		}

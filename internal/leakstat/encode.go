@@ -17,22 +17,40 @@ import (
 // payloads detectable, so a durable job store can treat a bad shard file as
 // "not computed yet" instead of folding garbage into a verdict.
 
-// shardAccumMagic identifies (and versions) the ShardAccum wire format.
-const shardAccumMagic = "LSA1"
+// shardAccumMagic identifies (and versions) the ShardAccum wire format;
+// shardAccumMagic2 marks shard accumulators whose vectors carry third/fourth
+// moments (second-order assessments). First-order accumulators keep the
+// original magic and byte layout, so every stored LSA1 fact replays
+// unchanged.
+const (
+	shardAccumMagic  = "LSA1"
+	shardAccumMagic2 = "LSA2"
+)
 
-// MarshalBinary encodes the accumulator as (n, len, Mean bits…, M2 bits…).
+// vecMomentsFlag is set on the length word of a serialized Vec that carries
+// M3/M4 arrays. Sample counts are far below 2^63, so the bit is free; a
+// first-order Vec encodes with the flag clear, bit-identical to the
+// historical format.
+const vecMomentsFlag = uint64(1) << 63
+
+// MarshalBinary encodes the accumulator as (n, len, Mean bits…, M2 bits…),
+// with M3/M4 bits appended (and the length word flagged) for
+// moment-tracking accumulators.
 func (v *Vec) MarshalBinary() ([]byte, error) {
-	return v.appendBinary(make([]byte, 0, 16+16*len(v.Mean))), nil
+	return v.appendBinary(make([]byte, 0, 16+8*len(v.Mean)*2*v.Order())), nil
 }
 
 func (v *Vec) appendBinary(b []byte) []byte {
 	b = binary.LittleEndian.AppendUint64(b, v.n)
-	b = binary.LittleEndian.AppendUint64(b, uint64(len(v.Mean)))
-	for _, x := range v.Mean {
-		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+	ln := uint64(len(v.Mean))
+	if v.M3 != nil {
+		ln |= vecMomentsFlag
 	}
-	for _, x := range v.M2 {
-		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+	b = binary.LittleEndian.AppendUint64(b, ln)
+	for _, arr := range [][]float64{v.Mean, v.M2, v.M3, v.M4} {
+		for _, x := range arr {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+		}
 	}
 	return b
 }
@@ -55,8 +73,14 @@ func (v *Vec) consumeBinary(b []byte) ([]byte, error) {
 	}
 	n := binary.LittleEndian.Uint64(b)
 	ln := binary.LittleEndian.Uint64(b[8:])
+	moments := ln&vecMomentsFlag != 0
+	ln &^= vecMomentsFlag
 	b = b[16:]
-	if ln > uint64(len(b)/16) {
+	arrays := 2
+	if moments {
+		arrays = 4
+	}
+	if ln > uint64(len(b)/(8*arrays)) {
 		return nil, fmt.Errorf("leakstat: accumulator of %d samples truncated (%d payload bytes)", ln, len(b))
 	}
 	v.n = n
@@ -66,14 +90,18 @@ func (v *Vec) consumeBinary(b []byte) ([]byte, error) {
 	}
 	v.Mean = make([]float64, ln)
 	v.M2 = make([]float64, ln)
-	for j := range v.Mean {
-		v.Mean[j] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*j:]))
+	v.M3, v.M4 = nil, nil
+	if moments {
+		v.M3 = make([]float64, ln)
+		v.M4 = make([]float64, ln)
 	}
-	b = b[8*int(ln):]
-	for j := range v.M2 {
-		v.M2[j] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*j:]))
+	for _, arr := range [][]float64{v.Mean, v.M2, v.M3, v.M4} {
+		for j := range arr {
+			arr[j] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*j:]))
+		}
+		b = b[8*len(arr):]
 	}
-	return b[8*int(ln):], nil
+	return b, nil
 }
 
 // MarshalBinary encodes the shard accumulator pair with a magic/version
@@ -82,8 +110,12 @@ func (a *ShardAccum) MarshalBinary() ([]byte, error) {
 	if a.Fixed == nil || a.Random == nil {
 		return nil, fmt.Errorf("leakstat: shard %d accumulator incomplete", a.Shard)
 	}
-	b := make([]byte, 0, 4+8+8+32+16*(a.Fixed.Len()+a.Random.Len()))
-	b = append(b, shardAccumMagic...)
+	magic := shardAccumMagic
+	if a.Fixed.Order() >= 2 {
+		magic = shardAccumMagic2
+	}
+	b := make([]byte, 0, 4+8+8+32+8*(a.Fixed.Len()+a.Random.Len())*2*a.Fixed.Order())
+	b = append(b, magic...)
 	b = binary.LittleEndian.AppendUint64(b, uint64(a.Shard))
 	b = binary.LittleEndian.AppendUint64(b, a.Cycles)
 	b = a.Fixed.appendBinary(b)
@@ -101,7 +133,7 @@ func (a *ShardAccum) UnmarshalBinary(data []byte) error {
 	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
 		return fmt.Errorf("leakstat: shard accumulator checksum mismatch (%08x != %08x)", got, want)
 	}
-	if string(body[:4]) != shardAccumMagic {
+	if m := string(body[:4]); m != shardAccumMagic && m != shardAccumMagic2 {
 		return fmt.Errorf("leakstat: bad shard accumulator magic %q", body[:4])
 	}
 	a.Shard = int(binary.LittleEndian.Uint64(body[4:]))
@@ -117,6 +149,10 @@ func (a *ShardAccum) UnmarshalBinary(data []byte) error {
 	}
 	if len(rest) != 0 {
 		return fmt.Errorf("leakstat: %d trailing bytes after shard accumulator", len(rest))
+	}
+	if wantOrder2 := string(body[:4]) == shardAccumMagic2; (a.Fixed.Order() >= 2) != wantOrder2 || (a.Random.Order() >= 2) != wantOrder2 {
+		return fmt.Errorf("leakstat: shard accumulator magic %q disagrees with vector orders %d/%d",
+			body[:4], a.Fixed.Order(), a.Random.Order())
 	}
 	return nil
 }

@@ -44,6 +44,13 @@ type Config struct {
 	// same order either way, so the verdict is bit-identical for any Gang
 	// value — the knob only changes throughput. <= 1 keeps the scalar path.
 	Gang int
+	// Order selects the statistical order of the test: 1 (or 0, the
+	// default) is the first-order Welch t-test on the means; 2 is the
+	// centered-second-moment test (WelchT2), which detects the
+	// variance-domain leakage that first-order boolean masking leaves
+	// behind. Order 2 tracks two extra moment vectors per shard — the
+	// O(window) memory contract is unchanged, the constant doubles.
+	Order int
 	// Threshold is the |t| decision threshold (0 = DefaultThreshold).
 	Threshold float64
 	// Window is the half-open cycle range to assess. Every run must cover
@@ -70,6 +77,9 @@ type Report struct {
 
 	WindowStart int `json:"window_start"`
 	WindowEnd   int `json:"window_end"`
+
+	// Order is the statistical order the verdict was computed at.
+	Order int `json:"order"`
 
 	Threshold float64 `json:"threshold"`
 	// MaxAbsT is the largest |t| over the window (clamped to MaxFloat64 if
@@ -237,7 +247,7 @@ func FoldReport(cfg Config, parts []*ShardAccum) (*Report, error) {
 	if len(parts) != p.shards {
 		return nil, fmt.Errorf("leakstat: folding %d shard accumulators, want %d", len(parts), p.shards)
 	}
-	F, R := NewVec(p.L), NewVec(p.L)
+	F, R := NewVecOrder(p.L, p.order), NewVecOrder(p.L, p.order)
 	stateBytes := F.StateBytes() + R.StateBytes()
 	var cycles uint64
 	for s, acc := range parts {
@@ -256,7 +266,12 @@ func FoldReport(cfg Config, parts []*ShardAccum) (*Report, error) {
 			return nil, err
 		}
 	}
-	t, err := WelchT(F, R)
+	var t []float64
+	if p.order >= 2 {
+		t, err = WelchT2(F, R)
+	} else {
+		t, err = WelchT(F, R)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -268,6 +283,7 @@ func FoldReport(cfg Config, parts []*ShardAccum) (*Report, error) {
 		Shards:          p.shards,
 		WindowStart:     p.win.Start,
 		WindowEnd:       p.win.End,
+		Order:           p.order,
 		Threshold:       p.threshold,
 		MaxAbsT:         clampFinite(peak),
 		MaxTCycle:       p.win.Start + at,
@@ -286,6 +302,7 @@ type plan struct {
 	cfg       Config
 	win       trace.Window
 	shards    int
+	order     int
 	threshold float64
 	fixed     []bool
 	nFixed    int
@@ -295,6 +312,13 @@ type plan struct {
 func newPlan(cfg Config) (*plan, error) {
 	if cfg.NumTraces < 4 {
 		return nil, fmt.Errorf("leakstat: need at least 4 traces (2 per population), got %d", cfg.NumTraces)
+	}
+	order := cfg.Order
+	if order == 0 {
+		order = 1
+	}
+	if order != 1 && order != 2 {
+		return nil, fmt.Errorf("leakstat: unsupported statistical order %d (want 1 or 2)", cfg.Order)
 	}
 	win := cfg.Window
 	if win.Start < 0 || win.End <= win.Start {
@@ -319,6 +343,7 @@ func newPlan(cfg Config) (*plan, error) {
 		cfg:       cfg,
 		win:       win,
 		shards:    NumShards(cfg),
+		order:     order,
 		threshold: threshold,
 		fixed:     fixed,
 		nFixed:    nFixed,
@@ -331,7 +356,7 @@ func (p *plan) runShard(ctx context.Context, src Source, s int) (*ShardAccum, er
 	if src.Runner == nil || src.Job == nil {
 		return nil, fmt.Errorf("leakstat: source needs a Runner and a Job constructor")
 	}
-	acc := &ShardAccum{Shard: s, Fixed: NewVec(p.L), Random: NewVec(p.L)}
+	acc := &ShardAccum{Shard: s, Fixed: NewVecOrder(p.L, p.order), Random: NewVecOrder(p.L, p.order)}
 	lo, hi := ShardRange(s, p.shards, p.cfg.NumTraces)
 	var err error
 	if p.cfg.Gang > 1 {

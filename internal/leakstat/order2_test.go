@@ -1,0 +1,204 @@
+package leakstat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestVecMomentsMatchBatch: the streaming Pébay M2/M3/M4 updates must agree
+// with the direct two-pass central-moment sums to floating-point tolerance,
+// both for pure streaming and for shard-partitioned merges.
+func TestVecMomentsMatchBatch(t *testing.T) {
+	const (
+		samples = 7
+		traces  = 500
+	)
+	rng := rand.New(rand.NewSource(42))
+	data := make([][]float64, traces)
+	for i := range data {
+		row := make([]float64, samples)
+		for j := range row {
+			row[j] = rng.NormFloat64()*3 + float64(j)
+		}
+		data[i] = row
+	}
+
+	stream := NewVecOrder(samples, 2)
+	for _, row := range data {
+		stream.AddTrace(row)
+	}
+
+	merged := NewVecOrder(samples, 2)
+	for _, span := range [][2]int{{0, 100}, {100, 101}, {101, 350}, {350, 500}} {
+		part := NewVecOrder(samples, 2)
+		for _, row := range data[span[0]:span[1]] {
+			part.AddTrace(row)
+		}
+		if err := merged.Merge(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for j := 0; j < samples; j++ {
+		var mean float64
+		for _, row := range data {
+			mean += row[j]
+		}
+		mean /= traces
+		var m2, m3, m4 float64
+		for _, row := range data {
+			d := row[j] - mean
+			m2 += d * d
+			m3 += d * d * d
+			m4 += d * d * d * d
+		}
+		for _, v := range []*Vec{stream, merged} {
+			for _, m := range []struct {
+				name      string
+				got, want float64
+			}{
+				{"M2", v.M2[j], m2}, {"M3", v.M3[j], m3}, {"M4", v.M4[j], m4},
+			} {
+				tol := 1e-9 * math.Max(1, math.Abs(m.want))
+				if math.Abs(m.got-m.want) > tol {
+					t.Errorf("sample %d %s: streaming %g vs batch %g", j, m.name, m.got, m.want)
+				}
+			}
+		}
+	}
+}
+
+// TestWelchT2DetectsVarianceLeak: two populations with equal means but
+// different variances — the signature first-order boolean masking leaves —
+// must be invisible to the first-order test and loud at second order.
+func TestWelchT2DetectsVarianceLeak(t *testing.T) {
+	const n = 4000
+	rng := rand.New(rand.NewSource(7))
+	f := NewVecOrder(1, 2)
+	r := NewVecOrder(1, 2)
+	for i := 0; i < n; i++ {
+		f.AddTrace([]float64{10 + rng.NormFloat64()})   // sd 1
+		r.AddTrace([]float64{10 + 3*rng.NormFloat64()}) // sd 3, same mean
+	}
+	t1, err := WelchT(f, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := WelchT2(f, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(t1[0]) > 4.5 {
+		t.Errorf("first-order t = %g flags an equal-means population", t1[0])
+	}
+	if math.Abs(t2[0]) < 4.5 {
+		t.Errorf("second-order t = %g misses a 9x variance ratio at n=%d", t2[0], n)
+	}
+}
+
+// TestWelchT2RequiresMoments: first-order accumulators cannot silently feed
+// the second-order test.
+func TestWelchT2RequiresMoments(t *testing.T) {
+	f, r := NewVec(2), NewVec(2)
+	for i := 0; i < 4; i++ {
+		f.AddTrace([]float64{1, 2})
+		r.AddTrace([]float64{2, 1})
+	}
+	if _, err := WelchT2(f, r); err == nil {
+		t.Fatal("WelchT2 accepted moment-less accumulators")
+	}
+	if err := NewVecOrder(2, 2).Merge(NewVec(2)); err == nil {
+		t.Fatal("order-2 accumulator merged an order-1 accumulator")
+	}
+}
+
+// TestOrder2AssessWorkersBitIdentical is the second-moment shard-merge
+// property: an Order-2 assessment's full t-vector is bit-identical for
+// workers 1, 4 and 16 — the determinism contract extended to the new
+// moments.
+func TestOrder2AssessWorkersBitIdentical(t *testing.T) {
+	src, cfg := shardTestSource(t)
+	cfg.Order = 2
+	var ref *Report
+	for _, workers := range []int{1, 4, 16} {
+		cfg.Workers = workers
+		rep, err := Assess(src, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Order != 2 {
+			t.Fatalf("workers=%d: report order %d", workers, rep.Order)
+		}
+		if ref == nil {
+			ref = rep
+			continue
+		}
+		if len(rep.T) != len(ref.T) {
+			t.Fatalf("workers=%d: t-vector length %d vs %d", workers, len(rep.T), len(ref.T))
+		}
+		for j := range ref.T {
+			if math.Float64bits(rep.T[j]) != math.Float64bits(ref.T[j]) {
+				t.Fatalf("workers=%d: t[%d] bits differ: %x vs %x",
+					workers, j, math.Float64bits(rep.T[j]), math.Float64bits(ref.T[j]))
+			}
+		}
+		if rep.MaxAbsT != ref.MaxAbsT || rep.CyclesSimulated != ref.CyclesSimulated {
+			t.Fatalf("workers=%d: verdict diverged: %+v vs %+v", workers, rep, ref)
+		}
+	}
+}
+
+// TestOrder2ShardAccumRoundTrip: the LSA2 encoding carries M3/M4 with exact
+// bits, rejects corruption, and an LSA1 decode still yields a first-order
+// accumulator.
+func TestOrder2ShardAccumRoundTrip(t *testing.T) {
+	acc := &ShardAccum{Shard: 5, Cycles: 1234, Fixed: NewVecOrder(3, 2), Random: NewVecOrder(3, 2)}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10; i++ {
+		acc.Fixed.AddTrace([]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()})
+		acc.Random.AddTrace([]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()})
+	}
+	b, err := acc.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b[:4]) != "LSA2" {
+		t.Fatalf("moment-tracking accumulator encoded with magic %q", b[:4])
+	}
+	rt := new(ShardAccum)
+	if err := rt.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Fixed.Order() != 2 || rt.Random.Order() != 2 {
+		t.Fatalf("round trip lost moments: orders %d/%d", rt.Fixed.Order(), rt.Random.Order())
+	}
+	for j := range acc.Fixed.Mean {
+		for _, pair := range [][2]float64{
+			{rt.Fixed.M3[j], acc.Fixed.M3[j]}, {rt.Fixed.M4[j], acc.Fixed.M4[j]},
+			{rt.Random.M3[j], acc.Random.M3[j]}, {rt.Random.M4[j], acc.Random.M4[j]},
+		} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				t.Fatalf("sample %d moment bits diverged after round trip", j)
+			}
+		}
+	}
+	// First-order accumulators still use — and decode from — LSA1.
+	acc1 := &ShardAccum{Shard: 0, Fixed: NewVec(2), Random: NewVec(2)}
+	acc1.Fixed.AddTrace([]float64{1, 2})
+	acc1.Random.AddTrace([]float64{3, 4})
+	b1, err := acc1.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1[:4]) != "LSA1" {
+		t.Fatalf("first-order accumulator encoded with magic %q", b1[:4])
+	}
+	rt1 := new(ShardAccum)
+	if err := rt1.UnmarshalBinary(b1); err != nil {
+		t.Fatal(err)
+	}
+	if rt1.Fixed.Order() != 1 {
+		t.Fatalf("LSA1 decode produced order %d", rt1.Fixed.Order())
+	}
+}

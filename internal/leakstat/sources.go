@@ -11,12 +11,27 @@ import (
 	"desmask/internal/trace"
 )
 
+// maskSeedBase decorrelates the per-trace mask-stream seeds from the
+// per-trace input seeds (both are indexed by the trace number i): masks and
+// inputs must be independent randomness or the masking is fictitious.
+const maskSeedBase = int64(0x6d61736b) // "mask"
+
+// MaskSeed derives the mask-stream seed of trace i for an assessment seed.
+// Every source uses this one derivation, so a shard computed anywhere draws
+// the identical per-trace masks.
+func MaskSeed(seed int64, i int) int64 {
+	return sim.DeriveSeed(seed^maskSeedBase, i)
+}
+
 // DESKeySource builds the canonical DES fixed-vs-random-KEY population:
 // fixed traces encrypt plaintext under fixedKey, random traces under a key
 // derived from sim.DeriveSeed(seed, i). Varying the key (not the plaintext)
 // keeps the deliberately insecure initial permutation — which handles only
 // public plaintext bits — out of the comparison, so the verdict measures
-// exactly what the paper masks: key-dependent energy behavior.
+// exactly what the paper masks: key-dependent energy behavior. On masked or
+// shuffled machines every trace draws fresh countermeasure randomness from
+// MaskSeed(seed, i) — fixed-population traces included, which is what makes
+// a sound mask's two populations statistically indistinguishable.
 func DESKeySource(m *desprog.Machine, fixedKey, plaintext uint64, seed int64, maxCycles uint64) Source {
 	return Source{
 		Runner: m.Runner(),
@@ -25,7 +40,7 @@ func DESKeySource(m *desprog.Machine, fixedKey, plaintext uint64, seed int64, ma
 			if !fixed {
 				key = rand.New(rand.NewSource(sim.DeriveSeed(seed, i))).Uint64()
 			}
-			return m.EncryptJob(key, plaintext, maxCycles, false)
+			return m.EncryptJobSeeded(key, plaintext, MaskSeed(seed, i), maxCycles, false)
 		},
 	}
 }
@@ -42,7 +57,7 @@ func DESPlaintextSource(m *desprog.Machine, key, fixedPlain uint64, seed int64, 
 			if !fixed {
 				pt = rand.New(rand.NewSource(sim.DeriveSeed(seed, i))).Uint64()
 			}
-			return m.EncryptJob(key, pt, maxCycles, false)
+			return m.EncryptJobSeeded(key, pt, MaskSeed(seed, i), maxCycles, false)
 		},
 	}
 }
@@ -63,7 +78,7 @@ func KernelSecretSource(m *kernels.Machine, fixedSecret, public []uint32, wordMa
 					secret[j] = rng.Uint32() & wordMask
 				}
 			}
-			job, err := m.Job(secret, public, false)
+			job, err := m.JobSeeded(secret, public, MaskSeed(seed, i), false)
 			if err != nil {
 				return sim.Job{}, err
 			}

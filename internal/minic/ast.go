@@ -91,6 +91,11 @@ type ForStmt struct {
 	Cond Expr        // may be nil (infinite)
 	Post *AssignStmt // may be nil
 	Body *Block
+	// Shuffle marks a `shuffle for` loop: the programmer asserts the
+	// iterations are independent, allowing the compiler (under the shuffling
+	// countermeasure) to visit them in a per-execution random order. Without
+	// that option the annotation is inert and lowering is unchanged.
+	Shuffle bool
 }
 
 // ReturnStmt returns from a function, with optional value.

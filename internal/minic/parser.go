@@ -288,7 +288,16 @@ func (p *Parser) parseStmt() (Stmt, error) {
 	case TokWhile:
 		return p.parseWhile()
 	case TokFor:
-		return p.parseFor()
+		return p.parseFor(false)
+	case TokShuffle:
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != TokFor {
+			return nil, p.errorf(pos, "'shuffle' must be followed by 'for'")
+		}
+		return p.parseFor(true)
 	case TokReturn:
 		pos := p.tok.Pos
 		if err := p.next(); err != nil {
@@ -410,7 +419,7 @@ func (p *Parser) parseWhile() (Stmt, error) {
 	return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
 }
 
-func (p *Parser) parseFor() (Stmt, error) {
+func (p *Parser) parseFor(shuffle bool) (Stmt, error) {
 	pos := p.tok.Pos
 	if err := p.next(); err != nil {
 		return nil, err
@@ -418,7 +427,7 @@ func (p *Parser) parseFor() (Stmt, error) {
 	if _, err := p.expect(TokLParen); err != nil {
 		return nil, err
 	}
-	s := &ForStmt{Pos: pos}
+	s := &ForStmt{Pos: pos, Shuffle: shuffle}
 	if p.tok.Kind != TokSemi {
 		init, err := p.parseSimpleStmt()
 		if err != nil {

@@ -27,6 +27,7 @@ const (
 	TokElse
 	TokWhile
 	TokFor
+	TokShuffle
 	TokReturn
 
 	// Punctuation and operators.
@@ -62,7 +63,7 @@ var tokenNames = map[TokenKind]string{
 	TokEOF: "EOF", TokIdent: "identifier", TokNumber: "number",
 	TokInt: "'int'", TokVoid: "'void'", TokSecure: "'secure'",
 	TokIf: "'if'", TokElse: "'else'", TokWhile: "'while'",
-	TokFor: "'for'", TokReturn: "'return'",
+	TokFor: "'for'", TokShuffle: "'shuffle'", TokReturn: "'return'",
 	TokLParen: "'('", TokRParen: "')'", TokLBrace: "'{'", TokRBrace: "'}'",
 	TokLBracket: "'['", TokRBracket: "']'", TokComma: "','", TokSemi: "';'",
 	TokAssign: "'='", TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'",
@@ -83,7 +84,7 @@ func (k TokenKind) String() string {
 var keywords = map[string]TokenKind{
 	"int": TokInt, "void": TokVoid, "secure": TokSecure,
 	"if": TokIf, "else": TokElse, "while": TokWhile,
-	"for": TokFor, "return": TokReturn,
+	"for": TokFor, "shuffle": TokShuffle, "return": TokReturn,
 }
 
 // Pos is a source position.

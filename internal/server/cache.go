@@ -32,6 +32,9 @@ type cacheKey struct {
 	Policy   string
 	ISA      string
 	Optimize bool
+	// Shuffle distinguishes shuffled builds: the same source under the same
+	// policy emits different code when operand shuffling is on.
+	Shuffle bool
 }
 
 type cacheEntry struct {

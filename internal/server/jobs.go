@@ -31,10 +31,14 @@ import (
 // canonicalRequest is the byte encoding the idempotency key hashes: the
 // request's JSON in struct-field order, with the timeout zeroed — two
 // submissions that differ only in how long the client is willing to wait are
-// the same job.
+// the same job — and the protection/attack selectors normalized
+// (cliconf.Assess.Normalize), so a structured request that restates legacy
+// defaults hashes to the same job ID as the bare-string spelling and
+// replays its stored verdict.
 func canonicalRequest(req *AssessRequest) ([]byte, error) {
 	c := *req
 	c.TimeoutMS = 0
+	c.Assess = c.Assess.Normalize()
 	return json.Marshal(&c)
 }
 

@@ -173,17 +173,28 @@ type AssessRequest struct {
 type AssessResponse struct {
 	Workload string `json:"workload"`
 	Policy   string `json:"policy"`
-	ISA      string `json:"isa"`
-	Vary     string `json:"vary"`
-	Optimize bool   `json:"optimize"`
+	// Protection echoes the structured countermeasure selector when the
+	// assessment used one beyond a bare policy (masking order, shuffling);
+	// legacy policy-only responses keep their historical shape.
+	Protection *cliconf.Protection `json:"protection,omitempty"`
+	// Attack echoes the distinguisher when it differs from first-order TVLA.
+	Attack   *cliconf.Attack `json:"attack,omitempty"`
+	ISA      string          `json:"isa"`
+	Vary     string          `json:"vary"`
+	Optimize bool            `json:"optimize"`
 	*leakstat.Report
 	Seconds  float64 `json:"seconds"`
 	CacheHit bool    `json:"cache_hit"`
 }
 
-// errorResponse is the JSON error body.
+// errorResponse is the JSON error body. Field and Allowed are populated for
+// validation failures pinned to one parameter (cliconf.FieldError): the
+// client learns which field was rejected and what values it accepts instead
+// of parsing prose.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error   string   `json:"error"`
+	Field   string   `json:"field,omitempty"`
+	Allowed []string `json:"allowed,omitempty"`
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -199,7 +210,22 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+	resp := errorResponse{Error: fmt.Sprintf(format, args...)}
+	// Surface field-pinned validation failures structurally: any FieldError
+	// in the argument list carries the offending field and its allowed
+	// values into the body.
+	for _, a := range args {
+		err, ok := a.(error)
+		if !ok {
+			continue
+		}
+		var fe *cliconf.FieldError
+		if errors.As(err, &fe) {
+			resp.Field, resp.Allowed = fe.Field, fe.Allowed
+			break
+		}
+	}
+	s.writeJSON(w, status, resp)
 }
 
 // admit gates one unit of execution through the semaphore and its bounded
@@ -262,6 +288,9 @@ func (s *Server) resolve(req *AssessRequest) (*cliconf.ResolvedAssess, error) {
 	if err != nil {
 		return nil, err
 	}
+	if r.StatV != "tvla" {
+		return nil, fmt.Errorf("attack.stat %q is not assessable over HTTP — leakd runs the tvla statistic; key-recovery attacks (cpa, dom) run offline via cmd/dpa-attack", r.StatV)
+	}
 	if s.cfg.MaxTraces > 0 && r.Traces > s.cfg.MaxTraces {
 		return nil, fmt.Errorf("traces %d exceeds the server limit %d", r.Traces, s.cfg.MaxTraces)
 	}
@@ -288,7 +317,8 @@ func cacheKeyFor(req *AssessRequest, r *cliconf.ResolvedAssess) cacheKey {
 			req.Source, req.SecretGlobal, req.PublicGlobal, req.OutputGlobal, req.OutputLen)))
 		src = fmt.Sprintf("sha256:%x", h)
 	}
-	return cacheKey{Source: src, Policy: r.PolicyV.String(), ISA: r.TargetV.Name(), Optimize: req.Optimize}
+	return cacheKey{Source: src, Policy: r.PolicyV.String(), ISA: r.TargetV.Name(),
+		Optimize: req.Optimize, Shuffle: r.ShuffleV}
 }
 
 // buildWorkload compiles (or fetches from cache) the program and locates the
@@ -302,7 +332,8 @@ func (s *Server) buildWorkload(ctx context.Context, req *AssessRequest, r *clico
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
-	opt := compiler.Options{Policy: r.PolicyV, Target: r.TargetV, Optimize: req.Optimize}
+	opt := r.CompilerOptions()
+	opt.Optimize = req.Optimize
 	key := cacheKeyFor(req, r)
 
 	switch {
@@ -531,7 +562,7 @@ func (s *Server) execute(ctx context.Context, req *AssessRequest, resolved *clic
 	if wl.name != "des" {
 		vary = "secret"
 	}
-	return &AssessResponse{
+	resp := &AssessResponse{
 		Workload: wl.name,
 		Policy:   resolved.PolicyV.String(),
 		ISA:      resolved.TargetV.Name(),
@@ -540,7 +571,20 @@ func (s *Server) execute(ctx context.Context, req *AssessRequest, resolved *clic
 		Report:   rep,
 		Seconds:  time.Since(start).Seconds(),
 		CacheHit: hit,
-	}, nil
+	}
+	// Echo the structured selectors when they say more than the flat fields:
+	// legacy policy-only requests keep their historical response shape.
+	if resolved.ShuffleV || resolved.MaskOrderV > 0 {
+		resp.Protection = &cliconf.Protection{
+			Policy:    resolved.PolicyV.String(),
+			MaskOrder: resolved.MaskOrderV,
+			Shuffle:   resolved.ShuffleV,
+		}
+	}
+	if resolved.OrderV > 1 {
+		resp.Attack = &cliconf.Attack{Stat: resolved.StatV, Order: resolved.OrderV}
+	}
+	return resp, nil
 }
 
 // finishJobError maps an execute error onto the HTTP surface and the job
